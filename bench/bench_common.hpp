@@ -1,0 +1,31 @@
+// Shared setup for the experiment benches: the standard Monte Carlo
+// population used throughout EXPERIMENTS.md, and a banner helper.
+#pragma once
+
+#include <cstdio>
+
+#include "sim/scenarios.hpp"
+
+namespace aropuf::bench {
+
+/// The reference population every E-bench uses (seed printed so results are
+/// traceable; see DESIGN.md §5 for the calibration behind the constants).
+inline PopulationConfig standard_population() {
+  PopulationConfig pop;
+  pop.tech = TechnologyParams::cmos90();
+  pop.chips = 40;
+  pop.seed = 2014;
+  return pop;
+}
+
+inline void banner(const char* experiment, const char* paper_artifact) {
+  const PopulationConfig pop = standard_population();
+  std::printf("\n################################################################\n");
+  std::printf("# %s\n", experiment);
+  std::printf("# reproduces: %s\n", paper_artifact);
+  std::printf("# technology %s, %d chips, master seed %llu\n", pop.tech.name.c_str(),
+              pop.chips, static_cast<unsigned long long>(pop.seed));
+  std::printf("################################################################\n");
+}
+
+}  // namespace aropuf::bench

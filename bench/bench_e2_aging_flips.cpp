@@ -1,0 +1,47 @@
+// E2 — response bits flipped vs years of aging (the paper's headline).
+//
+// Paper: "Only 7.7% bits get flipped on average over 10 years operation
+// period for an ARO-PUF due to aging where the value is 32% for a
+// conventional RO-PUF."
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "sim/csv.hpp"
+
+int main() {
+  using namespace aropuf;
+  bench::banner("E2: bits flipped vs years of aging (headline)",
+                "Fig./Table — % flipped response bits after 1..10 years");
+
+  const PopulationConfig pop = bench::standard_population();
+  const double checkpoints[] = {1.0, 2.0, 4.0, 6.0, 8.0, 10.0};
+
+  const auto conv = run_aging_series(pop, PufConfig::conventional(), checkpoints);
+  const auto aro = run_aging_series(pop, PufConfig::aro(), checkpoints);
+
+  Table table("bits flipped vs enrollment (%)");
+  table.set_header({"years", "conventional mean", "conventional worst chip", "ARO mean",
+                    "ARO worst chip"});
+  auto csv = CsvWriter::for_bench("e2_aging_flips");
+  if (csv.has_value()) {
+    csv->write_row({"years", "conv_mean", "conv_worst", "aro_mean", "aro_worst"});
+  }
+  for (std::size_t i = 0; i < conv.years.size(); ++i) {
+    table.add_row({Table::num(conv.years[i], 0), Table::num(conv.mean_flip_percent[i], 2),
+                   Table::num(conv.max_flip_percent[i], 2), Table::num(aro.mean_flip_percent[i], 2),
+                   Table::num(aro.max_flip_percent[i], 2)});
+    if (csv.has_value()) {
+      csv->write_row({Table::num(conv.years[i], 1), Table::num(conv.mean_flip_percent[i], 4),
+                      Table::num(conv.max_flip_percent[i], 4),
+                      Table::num(aro.mean_flip_percent[i], 4),
+                      Table::num(aro.max_flip_percent[i], 4)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper:    conventional 32.0%   ARO 7.7%   (10 years)\n";
+  std::cout << "measured: conventional " << Table::num(conv.mean_flip_percent.back(), 1)
+            << "%   ARO " << Table::num(aro.mean_flip_percent.back(), 1) << "%\n";
+  return 0;
+}

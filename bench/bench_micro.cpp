@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark) for the simulation's hot kernels.
+//
+// These guard the throughput that makes the Monte Carlo studies cheap:
+// RO frequency evaluation, full-chip response evaluation, BCH decode, and
+// population uniqueness.
+#include <benchmark/benchmark.h>
+
+#include "ecc/bch.hpp"
+#include "keygen/sha256.hpp"
+#include "metrics/uniqueness.hpp"
+#include "puf/ro_puf.hpp"
+
+namespace {
+
+using namespace aropuf;
+
+const TechnologyParams& tech() {
+  static const TechnologyParams t = TechnologyParams::cmos90();
+  return t;
+}
+
+void BM_RoFrequency(benchmark::State& state) {
+  const DieVariation die(tech(), 1);
+  Xoshiro256 rng(2);
+  const RingOscillator ro(tech(), static_cast<int>(state.range(0)), {0.0, 0.0}, die, rng);
+  const OperatingPoint op{tech().vdd_nominal, tech().temp_nominal};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ro.frequency(op));
+  }
+}
+BENCHMARK(BM_RoFrequency)->Arg(5)->Arg(13)->Arg(31);
+
+void BM_ChipConstruction(benchmark::State& state) {
+  const PufConfig cfg = PufConfig::aro(static_cast<int>(state.range(0)));
+  const RngFabric fabric(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoPuf(tech(), cfg, fabric.child("chip", 0)));
+  }
+}
+BENCHMARK(BM_ChipConstruction)->Arg(64)->Arg(256);
+
+void BM_ChipEvaluate(benchmark::State& state) {
+  const RoPuf chip(tech(), PufConfig::aro(static_cast<int>(state.range(0))),
+                   RngFabric(7).child("chip", 0));
+  const auto op = chip.nominal_op();
+  std::uint64_t eval = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chip.evaluate(op, eval++));
+  }
+}
+BENCHMARK(BM_ChipEvaluate)->Arg(64)->Arg(256);
+
+void BM_ChipAgeOneYear(benchmark::State& state) {
+  RoPuf chip(tech(), PufConfig::conventional(256), RngFabric(9).child("chip", 0));
+  for (auto _ : state) {
+    chip.age_years(1.0);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ChipAgeOneYear);
+
+void BM_BchEncode(benchmark::State& state) {
+  const BchCode code(8, static_cast<int>(state.range(0)));
+  Xoshiro256 rng(3);
+  BitVector msg(code.k());
+  for (std::size_t i = 0; i < msg.size(); ++i) msg.set(i, rng.bernoulli(0.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(msg));
+  }
+}
+BENCHMARK(BM_BchEncode)->Arg(4)->Arg(18);
+
+void BM_BchDecode(benchmark::State& state) {
+  const BchCode code(8, static_cast<int>(state.range(0)));
+  Xoshiro256 rng(4);
+  BitVector msg(code.k());
+  for (std::size_t i = 0; i < msg.size(); ++i) msg.set(i, rng.bernoulli(0.5));
+  BitVector noisy = code.encode(msg);
+  for (int e = 0; e < static_cast<int>(state.range(0)); ++e) {
+    noisy.flip(static_cast<std::size_t>(rng.bounded(noisy.size())));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(noisy));
+  }
+}
+BENCHMARK(BM_BchDecode)->Arg(4)->Arg(18);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024);
+  Xoshiro256 rng(5);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.bounded(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_UniquenessPopulation(benchmark::State& state) {
+  Xoshiro256 rng(6);
+  std::vector<BitVector> responses;
+  for (int c = 0; c < static_cast<int>(state.range(0)); ++c) {
+    BitVector r(128);
+    for (std::size_t i = 0; i < r.size(); ++i) r.set(i, rng.bernoulli(0.5));
+    responses.push_back(std::move(r));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_uniqueness(responses));
+  }
+}
+BENCHMARK(BM_UniquenessPopulation)->Arg(20)->Arg(100);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// Authentication demo: a verifier manages a fleet of PUF devices over a
+// decade — enrollment, challenge-response verification, impostor rejection,
+// and margin-triggered re-enrollment.
+//
+//   $ ./auth_demo
+#include <cstdio>
+
+#include "auth/authenticator.hpp"
+#include "puf/ro_puf.hpp"
+
+int main() {
+  using namespace aropuf;
+  const TechnologyParams tech = TechnologyParams::cmos90();
+
+  // Verifier policy: threshold set for a 1e-6 false-accept rate at 128 bits.
+  const AuthPolicy policy = AuthPolicy::for_false_accept_rate(128, 1e-6);
+  Authenticator verifier(policy);
+  std::printf("verifier policy: accept at <= %.1f%% HD (FAR %.1e)\n",
+              policy.accept_threshold * 100.0, policy.false_accept_probability(128));
+
+  // Enroll a small fleet of ARO devices.
+  const RngFabric fab(77);
+  std::vector<RoPuf> fleet;
+  for (int d = 0; d < 4; ++d) {
+    fleet.emplace_back(tech, PufConfig::aro(), fab.child("device", static_cast<std::uint64_t>(d)));
+    const std::string id = "device-" + std::to_string(d);
+    verifier.enroll(id, fleet.back().evaluate(fleet.back().nominal_op(), 0));
+    std::printf("enrolled %s\n", id.c_str());
+  }
+
+  // An impostor clone tries to authenticate as device-0.
+  const RoPuf impostor(tech, PufConfig::aro(), fab.child("impostor", 0));
+  const auto stolen =
+      verifier.verify("device-0", impostor.evaluate(impostor.nominal_op(), 0));
+  std::printf("\nimpostor claiming device-0: HD %.1f%% -> %s\n",
+              stolen->fractional_distance * 100.0, stolen->accepted ? "ACCEPTED (!)" : "rejected");
+
+  // Ten years of field operation with margin-triggered re-enrollment.
+  std::printf("\nyear | device-0 HD%% | verdict | action\n");
+  for (int year = 2; year <= 10; year += 2) {
+    for (auto& device : fleet) device.age_years(2.0);
+    const BitVector reading =
+        fleet[0].evaluate(fleet[0].nominal_op(), static_cast<std::uint64_t>(year));
+    const auto result = verifier.verify("device-0", reading);
+    const char* action = "-";
+    if (result->accepted && verifier.needs_refresh(*result, 0.10)) {
+      verifier.enroll("device-0", reading);
+      action = "re-enrolled (thin margin)";
+    }
+    std::printf("%4d | %10.1f%% | %s | %s\n", year, result->fractional_distance * 100.0,
+                result->accepted ? "accept " : "REJECT ", action);
+  }
+  std::printf("\ngated aging keeps the ARO device inside the threshold for the whole\n"
+              "deployment; the same policy locks a conventional chip out in years.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Key enrollment and field reconstruction — the deployment flow the paper's
+// ECC analysis assumes, end to end:
+//
+//   factory:  measure golden response -> fuzzy-extractor enroll
+//             -> store public helper data, derive 128-bit device key
+//   field:    re-measure (noisy, aged) response + helper data
+//             -> reconstruct the same key, year after year
+//
+//   $ ./key_enrollment
+#include <cstdio>
+
+#include "ecc/code_search.hpp"
+#include "keygen/fuzzy_extractor.hpp"
+#include "puf/ro_puf.hpp"
+
+int main() {
+  using namespace aropuf;
+  const TechnologyParams tech = TechnologyParams::cmos90();
+
+  // Let the code search pick the minimum-area ECC for the ARO design's
+  // provisioning error rate (see bench_e7 for where 0.12 comes from).
+  const auto searched = find_min_area_scheme(tech, /*raw_ber=*/0.12, CodeSearchConstraints{});
+  if (!searched.has_value()) {
+    std::fprintf(stderr, "no ECC scheme found\n");
+    return 1;
+  }
+  const ConcatenatedScheme scheme = searched->scheme;
+  const FuzzyExtractor extractor(scheme);
+  std::printf("ECC scheme: repetition-%d + BCH(%zu,%zu,%d) x %zu block(s), %zu raw bits\n",
+              scheme.repetition, scheme.bch_n(), scheme.bch_k(), scheme.bch_t,
+              scheme.blocks(), scheme.raw_bits());
+
+  // Build an ARO chip with enough ROs to feed the extractor.
+  PufConfig cfg = PufConfig::aro(static_cast<int>(2 * extractor.response_bits()));
+  RoPuf chip(tech, cfg, RngFabric(7).child("chip", 0));
+  const OperatingPoint op = chip.nominal_op();
+
+  // --- Factory -------------------------------------------------------------
+  Xoshiro256 trng(0xC0FFEE);  // provisioning randomness
+  const BitVector golden = chip.evaluate(op, 0);
+  const Enrollment enrollment = extractor.enroll(golden, trng);
+  std::printf("\nenrolled device key: %s\n", Sha256::to_hex(enrollment.key).c_str());
+  std::printf("helper data: %zu public bits stored in NVM\n", enrollment.helper_data.size());
+
+  // --- Field, over ten years ------------------------------------------------
+  std::printf("\nyear | raw bit errors | key reconstructed\n");
+  std::printf("-----+----------------+------------------\n");
+  for (int year = 0; year <= 10; year += 2) {
+    if (year > 0) chip.age_years(2.0);
+    const BitVector reading = chip.evaluate(op, static_cast<std::uint64_t>(1 + year));
+    const auto key = extractor.reconstruct(reading, enrollment.helper_data);
+    const bool ok = key.has_value() && *key == enrollment.key;
+    std::printf("%4d | %8zu/%zu    | %s\n", year, hamming_distance(golden, reading),
+                golden.size(), ok ? "yes" : "NO");
+  }
+
+  std::printf("\nthe same key every time: the ECC absorbs aging + noise errors.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Uniqueness study: fabricate a lot of chips and measure how well their
+// responses distinguish them — inter-chip HD, uniformity, bit-aliasing —
+// for both designs, plus the identification margin (can you tell any two
+// chips apart by their responses?).
+//
+//   $ ./uniqueness_study [num_chips]     (default 60)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "metrics/uniformity.hpp"
+#include "metrics/uniqueness.hpp"
+#include "puf/ro_puf.hpp"
+
+namespace {
+
+void study(const char* label, const aropuf::PufConfig& cfg, int chips) {
+  using namespace aropuf;
+  const TechnologyParams tech = TechnologyParams::cmos90();
+  const RngFabric fabric(2024);
+  const auto population = make_population(tech, cfg, chips, fabric);
+
+  std::vector<BitVector> responses;
+  responses.reserve(population.size());
+  for (const auto& chip : population) {
+    responses.push_back(chip.evaluate(chip.nominal_op(), 0));
+  }
+
+  const auto uniq = compute_uniqueness(responses);
+  const auto unif = uniformity_stats(responses);
+  const auto alias = bit_aliasing_stats(responses);
+
+  std::printf("\n--- %s (%d chips, %zu-bit responses) ---\n", label, chips,
+              responses[0].size());
+  std::printf("inter-chip HD: mean %.2f%%  std %.2f%%  min %.2f%%  max %.2f%%\n",
+              uniq.mean_percent(), uniq.stats.stddev() * 100.0, uniq.stats.min() * 100.0,
+              uniq.stats.max() * 100.0);
+  std::printf("uniformity:    mean %.2f%%  std %.2f%%\n", unif.mean() * 100.0,
+              unif.stddev() * 100.0);
+  std::printf("bit-aliasing:  std %.2f%%  worst bias %.2f%%\n", alias.stddev() * 100.0,
+              100.0 * std::max(alias.max() - 0.5, 0.5 - alias.min()));
+
+  // Identification: with intra-chip noise ~1-2% and inter-chip HD near 50%,
+  // the nearest other chip must stay far from the re-measurement noise ball.
+  std::printf("identification margin: nearest pair at %.1f%% HD vs ~2%% noise ball -> %s\n",
+              uniq.stats.min() * 100.0, uniq.stats.min() > 0.10 ? "safe" : "COLLISION RISK");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int chips = argc > 1 ? std::atoi(argv[1]) : 60;
+  if (chips < 2) {
+    std::fprintf(stderr, "usage: %s [num_chips >= 2]\n", argv[0]);
+    return 1;
+  }
+  study("conventional RO-PUF", aropuf::PufConfig::conventional(), chips);
+  study("ARO-PUF", aropuf::PufConfig::aro(), chips);
+  std::printf("\nthe ARO-PUF's adjacent pairing cancels the layout systematics that\n"
+              "pull the conventional design's inter-chip HD below 50%%.\n");
+  return 0;
+}

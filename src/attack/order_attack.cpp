@@ -1,0 +1,70 @@
+#include "attack/order_attack.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+OrderAttack::OrderAttack(int num_ros) : n_(num_ros) {
+  ARO_REQUIRE(num_ros >= 2, "attack needs at least two ROs");
+  words_per_row_ = (static_cast<std::size_t>(n_) + 63) / 64;
+  faster_.assign(static_cast<std::size_t>(n_) * words_per_row_, 0);
+}
+
+bool OrderAttack::reachable(int from, int to) const {
+  const std::size_t row = static_cast<std::size_t>(from) * words_per_row_;
+  return (faster_[row + static_cast<std::size_t>(to) / 64] >>
+          (static_cast<std::size_t>(to) % 64)) &
+         1ULL;
+}
+
+void OrderAttack::add_edge(int from, int to) {
+  if (reachable(from, to)) return;
+  // New relation: everything that can reach `from` (including `from`) is now
+  // faster than everything `to` dominates (including `to`).  One pass over
+  // the rows suffices because each row is already transitively closed.
+  const std::size_t to_row = static_cast<std::size_t>(to) * words_per_row_;
+  auto absorb = [&](int node) {
+    const std::size_t row = static_cast<std::size_t>(node) * words_per_row_;
+    faster_[row + static_cast<std::size_t>(to) / 64] |= 1ULL
+                                                        << (static_cast<std::size_t>(to) % 64);
+    for (std::size_t w = 0; w < words_per_row_; ++w) faster_[row + w] |= faster_[to_row + w];
+  };
+  absorb(from);
+  for (int node = 0; node < n_; ++node) {
+    if (node != from && reachable(node, from)) absorb(node);
+  }
+}
+
+void OrderAttack::observe(int a, int b, bool a_faster) {
+  ARO_REQUIRE(a >= 0 && a < n_ && b >= 0 && b < n_, "RO index out of range");
+  ARO_REQUIRE(a != b, "challenge must name two distinct ROs");
+  ++observations_;
+  const int from = a_faster ? a : b;
+  const int to = a_faster ? b : a;
+  // A contradictory (noisy) observation would create a cycle; discard it.
+  if (reachable(to, from)) return;
+  add_edge(from, to);
+}
+
+std::optional<bool> OrderAttack::predict(int a, int b) const {
+  ARO_REQUIRE(a >= 0 && a < n_ && b >= 0 && b < n_, "RO index out of range");
+  ARO_REQUIRE(a != b, "challenge must name two distinct ROs");
+  if (reachable(a, b)) return true;
+  if (reachable(b, a)) return false;
+  return std::nullopt;
+}
+
+double OrderAttack::coverage() const {
+  std::size_t known = 0;
+  for (std::size_t row = 0; row < static_cast<std::size_t>(n_); ++row) {
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      known += static_cast<std::size_t>(std::popcount(faster_[row * words_per_row_ + w]));
+    }
+  }
+  const auto n = static_cast<double>(n_);
+  return static_cast<double>(known) / (n * (n - 1.0) / 2.0);
+}
+
+}  // namespace aropuf

@@ -1,0 +1,56 @@
+// Sort-order modeling attack on challenge-response RO-PUF usage.
+//
+// An RO-PUF bit is sign(f_a - f_b): the entire CRP space is determined by
+// the total order of the n oscillator frequencies.  An attacker observing
+// CRPs therefore learns a partial order whose transitive closure predicts
+// unobserved challenges — the classic result that RO-PUFs must not be used
+// as strong PUFs (Rührmair et al.), and the reason the ARO-PUF targets
+// *key generation* with dedicated pairs.  The E11 bench reproduces the
+// learnability curve: prediction accuracy vs observed CRPs.
+//
+// Implementation: a boolean reachability matrix over the n ROs, kept
+// transitively closed on insertion (O(n^2 / 64) words per edge via bitset
+// rows — instant at n = 256).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace aropuf {
+
+class OrderAttack {
+ public:
+  /// Attack against a PUF with `num_ros` oscillators.
+  explicit OrderAttack(int num_ros);
+
+  /// Feeds one observed CRP: challenge (a, b) answered "a is faster" iff
+  /// `a_faster`.  Contradictory observations (noise) are ignored rather
+  /// than poisoning the closure.
+  void observe(int a, int b, bool a_faster);
+
+  /// Predicted response for challenge (a, b): true = "a faster", nullopt if
+  /// the partial order does not determine it yet.
+  [[nodiscard]] std::optional<bool> predict(int a, int b) const;
+
+  /// Fraction of all n(n-1)/2 pairs currently determined.
+  [[nodiscard]] double coverage() const;
+
+  /// Number of (possibly redundant) observations fed in.
+  [[nodiscard]] std::size_t observations() const noexcept { return observations_; }
+
+  [[nodiscard]] int num_ros() const noexcept { return n_; }
+
+ private:
+  [[nodiscard]] bool reachable(int from, int to) const;
+  /// Adds edge from -> to ("from is faster") and re-closes transitively.
+  void add_edge(int from, int to);
+
+  int n_;
+  std::size_t words_per_row_;
+  /// faster_[a] row: bit b set when a is known faster than b.
+  std::vector<std::uint64_t> faster_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace aropuf

@@ -1,0 +1,74 @@
+#include "auth/authenticator.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/statistics.hpp"
+
+namespace aropuf {
+
+void AuthPolicy::validate() const {
+  ARO_REQUIRE(accept_threshold > 0.0 && accept_threshold < 0.5,
+              "accept threshold must be in (0, 0.5)");
+}
+
+double AuthPolicy::false_accept_probability(std::size_t response_bits) const {
+  validate();
+  ARO_REQUIRE(response_bits >= 1, "response must have bits");
+  // A different chip's response is i.i.d. fair coin vs ours: accept iff
+  // HD <= threshold * n, i.e. P[Bin(n, 1/2) <= floor(t n)].
+  const auto n = static_cast<std::uint64_t>(response_bits);
+  const auto limit = static_cast<std::uint64_t>(std::floor(
+      accept_threshold * static_cast<double>(response_bits)));
+  return 1.0 - binomial_tail_greater(n, limit, 0.5);
+}
+
+AuthPolicy AuthPolicy::for_false_accept_rate(std::size_t response_bits, double target_far) {
+  ARO_REQUIRE(response_bits >= 8, "response too short for thresholding");
+  ARO_REQUIRE(target_far > 0.0 && target_far < 1.0, "target FAR must be in (0, 1)");
+  AuthPolicy best;
+  best.accept_threshold = 1.0 / static_cast<double>(response_bits);
+  for (std::size_t k = 1; k * 2 < response_bits; ++k) {
+    AuthPolicy candidate;
+    candidate.accept_threshold =
+        (static_cast<double>(k) + 0.5) / static_cast<double>(response_bits);
+    if (candidate.false_accept_probability(response_bits) <= target_far) {
+      best = candidate;
+    } else {
+      break;  // FAR is monotone in the threshold
+    }
+  }
+  best.validate();
+  return best;
+}
+
+Authenticator::Authenticator(AuthPolicy policy) : policy_(policy) { policy_.validate(); }
+
+void Authenticator::enroll(const std::string& device_id, BitVector response) {
+  ARO_REQUIRE(!device_id.empty(), "device id must be non-empty");
+  ARO_REQUIRE(!response.empty(), "enrollment response must be non-empty");
+  db_[device_id] = std::move(response);
+}
+
+bool Authenticator::knows(const std::string& device_id) const {
+  return db_.find(device_id) != db_.end();
+}
+
+std::optional<AuthResult> Authenticator::verify(const std::string& device_id,
+                                                const BitVector& response) const {
+  const auto it = db_.find(device_id);
+  if (it == db_.end()) return std::nullopt;
+  ARO_REQUIRE(response.size() == it->second.size(), "response length mismatch");
+  AuthResult result;
+  result.fractional_distance = fractional_hamming_distance(it->second, response);
+  result.accepted = result.fractional_distance <= policy_.accept_threshold;
+  result.margin = policy_.accept_threshold - result.fractional_distance;
+  return result;
+}
+
+bool Authenticator::needs_refresh(const AuthResult& result, double refresh_margin) const {
+  ARO_REQUIRE(refresh_margin >= 0.0, "refresh margin must be non-negative");
+  return result.accepted && result.margin < refresh_margin;
+}
+
+}  // namespace aropuf

@@ -1,0 +1,77 @@
+// Lightweight PUF authentication: verifier-side CRP database and
+// threshold matching, with aging-aware threshold policy.
+//
+// The key-generation flow (keygen/) gives exact keys; many deployments
+// instead authenticate by *approximate* response matching: the verifier
+// stores enrollment responses, the device answers a challenge, and the
+// verifier accepts when the Hamming distance is below a threshold.  The
+// threshold must sit between the intra-chip error tail (false rejects) and
+// the inter-chip distance tail (false accepts) — and the intra-chip tail
+// *moves* as the device ages, which is exactly the failure mode the
+// ARO-PUF prevents.  E13 quantifies the authentication lifetime of both
+// designs under a fixed-threshold policy and under re-enrollment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace aropuf {
+
+struct AuthPolicy {
+  /// Accept when fractional HD to the enrolled response is <= threshold.
+  double accept_threshold = 0.20;
+
+  void validate() const;
+
+  /// False-accept probability of this threshold for an `n`-bit response
+  /// against a *different* chip (inter-chip HD ~ Bin(n, 0.5)).
+  [[nodiscard]] double false_accept_probability(std::size_t response_bits) const;
+
+  /// Threshold placed to bound the false-accept rate at `target_far` for
+  /// `response_bits`-bit responses (largest threshold meeting the bound).
+  static AuthPolicy for_false_accept_rate(std::size_t response_bits, double target_far);
+};
+
+struct AuthResult {
+  bool accepted = false;
+  double fractional_distance = 1.0;
+  /// Margin to the threshold (positive = accepted with room to spare).
+  double margin = 0.0;
+};
+
+/// Verifier-side database: enrolled responses per device id.
+class Authenticator {
+ public:
+  explicit Authenticator(AuthPolicy policy);
+
+  [[nodiscard]] const AuthPolicy& policy() const noexcept { return policy_; }
+
+  /// Registers (or refreshes) a device's enrollment response.
+  void enroll(const std::string& device_id, BitVector response);
+
+  /// True if the device has an enrollment on file.
+  [[nodiscard]] bool knows(const std::string& device_id) const;
+
+  /// Number of enrolled devices.
+  [[nodiscard]] std::size_t enrolled_count() const noexcept { return db_.size(); }
+
+  /// Verifies a response claim; std::nullopt when the device is unknown.
+  [[nodiscard]] std::optional<AuthResult> verify(const std::string& device_id,
+                                                 const BitVector& response) const;
+
+  /// Re-enrollment hygiene: returns true when the device authenticated but
+  /// with less than `refresh_margin` of threshold headroom — the moment to
+  /// refresh its stored response before aging drifts it out of reach.
+  [[nodiscard]] bool needs_refresh(const AuthResult& result, double refresh_margin) const;
+
+ private:
+  AuthPolicy policy_;
+  std::unordered_map<std::string, BitVector> db_;
+};
+
+}  // namespace aropuf

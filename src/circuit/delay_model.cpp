@@ -1,0 +1,46 @@
+#include "circuit/delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "device/technology.hpp"
+
+namespace aropuf {
+
+namespace {
+// Below this gate overdrive the alpha-power model is outside its validity
+// region (near/sub-threshold); clamping keeps sweeps well-defined while
+// preserving monotonicity.
+constexpr double kMinOverdrive = 0.05;
+}  // namespace
+
+OperatingPoint nominal_operating_point(const TechnologyParams& tech) {
+  return OperatingPoint{tech.vdd_nominal, tech.temp_nominal};
+}
+
+DelayModel::DelayModel(const TechnologyParams& tech) : tech_(&tech) { tech.validate(); }
+
+Seconds DelayModel::edge_delay(Volts vth, OperatingPoint op) const {
+  ARO_REQUIRE(op.vdd > 0.0, "vdd must be positive");
+  ARO_REQUIRE(op.temp > 0.0, "temperature must be in kelvin");
+  const double overdrive = std::max(op.vdd - vth, kMinOverdrive);
+  const double mobility_factor =
+      std::pow(op.temp / tech_->temp_nominal, tech_->mobility_temp_exp);
+  return tech_->delay_k * mobility_factor * op.vdd / std::pow(overdrive, tech_->alpha);
+}
+
+Seconds DelayModel::stage_delay(const Transistor& pmos, const Transistor& nmos,
+                                OperatingPoint op, const AgingShifts& shifts,
+                                double topology_factor) const {
+  ARO_REQUIRE(topology_factor >= 1.0, "topology factor must be >= 1");
+  ARO_ASSERT(pmos.type == DeviceType::kPmos && nmos.type == DeviceType::kNmos,
+             "stage devices passed in the wrong order");
+  const Volts vth_p = pmos.vth(op.temp, tech_->temp_nominal, shifts.nbti, shifts.hci);
+  const Volts vth_n = nmos.vth(op.temp, tech_->temp_nominal, shifts.nbti, shifts.hci);
+  const Seconds rise = edge_delay(vth_p, op);
+  const Seconds fall = edge_delay(vth_n, op);
+  return topology_factor * 0.5 * (rise + fall);
+}
+
+}  // namespace aropuf

@@ -1,0 +1,43 @@
+// Alpha-power-law stage delay.
+//
+//   tau_edge = K(T) * V_DD / (V_DD - Vth_eff)^alpha
+//   K(T)     = delay_k * (T / T_nom)^mobility_exp        (mobility degradation)
+//
+// The rising edge is set by the PMOS (its Vth carries the NBTI shift), the
+// falling edge by the NMOS (HCI shift); a stage's delay is the average of
+// the two edges.  This captures exactly the sensitivities that decide PUF
+// bits: dVth from variation or aging slows the oscillator monotonically,
+// temperature acts through both Vth and mobility (with the realistic
+// partial cancellation), and reduced V_DD amplifies Vth differences.
+#pragma once
+
+#include "circuit/operating_point.hpp"
+#include "common/units.hpp"
+#include "device/aging.hpp"
+#include "device/transistor.hpp"
+
+namespace aropuf {
+
+struct TechnologyParams;
+
+class DelayModel {
+ public:
+  explicit DelayModel(const TechnologyParams& tech);
+
+  /// Delay of one inverting stage built from `pmos`/`nmos`, at operating
+  /// point `op`, with the RO's deterministic aging shifts `shifts`.
+  /// `topology_factor` is 1.0 for an inverter, > 1 for the NAND enable stage.
+  [[nodiscard]] Seconds stage_delay(const Transistor& pmos, const Transistor& nmos,
+                                    OperatingPoint op, const AgingShifts& shifts,
+                                    double topology_factor = 1.0) const;
+
+  /// Delay of one edge driven by a device with effective threshold `vth`.
+  [[nodiscard]] Seconds edge_delay(Volts vth, OperatingPoint op) const;
+
+  [[nodiscard]] const TechnologyParams& technology() const noexcept { return *tech_; }
+
+ private:
+  const TechnologyParams* tech_;
+};
+
+}  // namespace aropuf

@@ -1,0 +1,18 @@
+// Supply voltage / temperature pair at which a circuit is evaluated.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace aropuf {
+
+struct OperatingPoint {
+  Volts vdd = 1.2;
+  Kelvin temp = celsius(25.0);
+};
+
+struct TechnologyParams;
+
+/// The technology's nominal corner.
+[[nodiscard]] OperatingPoint nominal_operating_point(const TechnologyParams& tech);
+
+}  // namespace aropuf

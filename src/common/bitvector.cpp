@@ -1,0 +1,139 @@
+#include "common/bitvector.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+constexpr std::size_t words_for(std::size_t bits) {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+BitVector::BitVector(std::size_t size) : words_(words_for(size), 0), size_(size) {}
+
+BitVector BitVector::from_string(const std::string& bits) {
+  BitVector v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[i];
+    ARO_REQUIRE(c == '0' || c == '1', "bit string may contain only '0' and '1'");
+    v.set(i, c == '1');
+  }
+  return v;
+}
+
+void BitVector::check_index(std::size_t i) const {
+  ARO_REQUIRE(i < size_, "bit index out of range");
+}
+
+bool BitVector::get(std::size_t i) const {
+  check_index(i);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+void BitVector::set(std::size_t i, bool value) {
+  check_index(i);
+  const std::uint64_t mask = 1ULL << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVector::flip(std::size_t i) {
+  check_index(i);
+  words_[i / kWordBits] ^= 1ULL << (i % kWordBits);
+}
+
+void BitVector::push_back(bool value) {
+  if (size_ % kWordBits == 0) words_.push_back(0);
+  ++size_;
+  set(size_ - 1, value);
+}
+
+std::size_t BitVector::popcount() const noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+double BitVector::ones_fraction() const noexcept {
+  if (size_ == 0) return 0.0;
+  return static_cast<double>(popcount()) / static_cast<double>(size_);
+}
+
+void BitVector::clear_padding() noexcept {
+  const std::size_t tail = size_ % kWordBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1ULL;
+  }
+}
+
+BitVector BitVector::operator^(const BitVector& other) const {
+  BitVector result = *this;
+  result ^= other;
+  return result;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) {
+  ARO_REQUIRE(size_ == other.size_, "XOR of bit vectors with different lengths");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+  return *this;
+}
+
+bool BitVector::operator==(const BitVector& other) const noexcept {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+BitVector BitVector::slice(std::size_t begin, std::size_t len) const {
+  ARO_REQUIRE(begin + len <= size_, "slice out of range");
+  BitVector out(len);
+  for (std::size_t i = 0; i < len; ++i) out.set(i, get(begin + i));
+  return out;
+}
+
+BitVector BitVector::concat(const BitVector& other) const {
+  BitVector out(size_ + other.size_);
+  for (std::size_t i = 0; i < size_; ++i) out.set(i, get(i));
+  for (std::size_t i = 0; i < other.size_; ++i) out.set(size_ + i, other.get(i));
+  return out;
+}
+
+std::string BitVector::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i)) s[i] = '1';
+  }
+  return s;
+}
+
+std::vector<std::uint8_t> BitVector::to_bytes() const {
+  std::vector<std::uint8_t> bytes((size_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i)) bytes[i / 8] |= static_cast<std::uint8_t>(1U << (i % 8));
+  }
+  return bytes;
+}
+
+std::size_t hamming_distance(const BitVector& a, const BitVector& b) {
+  ARO_REQUIRE(a.size() == b.size(), "Hamming distance requires equal lengths");
+  std::size_t total = 0;
+  const auto& wa = a.words();
+  const auto& wb = b.words();
+  for (std::size_t w = 0; w < wa.size(); ++w) {
+    total += static_cast<std::size_t>(std::popcount(wa[w] ^ wb[w]));
+  }
+  return total;
+}
+
+double fractional_hamming_distance(const BitVector& a, const BitVector& b) {
+  if (a.size() == 0 && b.size() == 0) return 0.0;
+  return static_cast<double>(hamming_distance(a, b)) / static_cast<double>(a.size());
+}
+
+}  // namespace aropuf

@@ -1,0 +1,44 @@
+// Lightweight precondition / invariant checking for the aropuf library.
+//
+// ARO_REQUIRE is used at public API boundaries: it throws std::invalid_argument
+// so callers can recover.  ARO_ASSERT is used for internal invariants: it
+// throws std::logic_error (a bug in this library, not in the caller).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aropuf {
+
+namespace detail {
+
+[[noreturn]] inline void throw_requirement(const char* expr, const char* file, int line,
+                                           const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assertion(const char* expr, const char* file, int line,
+                                         const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace aropuf
+
+#define ARO_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) ::aropuf::detail::throw_requirement(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define ARO_ASSERT(expr, msg)                                               \
+  do {                                                                      \
+    if (!(expr)) ::aropuf::detail::throw_assertion(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

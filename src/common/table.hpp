@@ -1,0 +1,36 @@
+// Minimal ASCII table renderer for the benchmark harness.
+//
+// Every bench binary prints the rows the paper's table/figure reports; this
+// keeps that output aligned and diff-friendly (EXPERIMENTS.md embeds it).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aropuf {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Adds a row of pre-formatted cells (must match the header width).
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with the given precision (helper for cells).
+  static std::string num(double value, int precision = 3);
+
+  /// Renders the table with box-drawing dashes and padded columns.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aropuf

@@ -1,0 +1,38 @@
+// Physical units and constants used across the device / circuit models.
+//
+// The library uses plain doubles in SI units (seconds, volts, hertz, kelvin)
+// with type aliases for documentation.  Helper functions convert the common
+// non-SI inputs (years, Celsius) that appear throughout the ARO-PUF paper.
+#pragma once
+
+namespace aropuf {
+
+using Seconds = double;
+using Volts = double;
+using Hertz = double;
+using Kelvin = double;
+using Celsius = double;
+
+namespace constants {
+
+/// Boltzmann constant in eV/K (activation energies in this library are in eV).
+inline constexpr double k_boltzmann_ev = 8.617333262e-5;
+
+/// Seconds per Julian year (365.25 days), the lifetime unit of the paper.
+inline constexpr double seconds_per_year = 365.25 * 24.0 * 3600.0;
+
+/// 0 °C in kelvin.
+inline constexpr double zero_celsius_kelvin = 273.15;
+
+}  // namespace constants
+
+/// Converts years of operation to seconds.
+constexpr Seconds years(double y) { return y * constants::seconds_per_year; }
+
+/// Converts a Celsius temperature to kelvin.
+constexpr Kelvin celsius(double c) { return c + constants::zero_celsius_kelvin; }
+
+/// Converts kelvin back to Celsius (for reporting).
+constexpr Celsius to_celsius(Kelvin k) { return k - constants::zero_celsius_kelvin; }
+
+}  // namespace aropuf

@@ -1,0 +1,32 @@
+#include "device/aging.hpp"
+
+#include "common/check.hpp"
+#include "device/technology.hpp"
+
+namespace aropuf {
+
+AgingModel::AgingModel(const TechnologyParams& tech) : nbti_(tech), hci_(tech) {}
+
+StressState AgingModel::accumulate(const StressState& state, const StressProfile& profile,
+                                   Seconds duration, Hertz f_osc) const {
+  ARO_REQUIRE(duration >= 0.0, "duration must be non-negative");
+  ARO_REQUIRE(f_osc >= 0.0, "oscillation frequency must be non-negative");
+  profile.validate();
+  StressState next = state;
+  next.elapsed += duration;
+  next.nbti_effective +=
+      nbti_.temperature_weight(profile.stress_temperature) *
+      nbti_.effective_stress(duration, profile.nbti_duty, profile.recovery_enabled);
+  next.switching_cycles += hci_.temperature_weight(profile.stress_temperature) * f_osc *
+                           duration * profile.oscillation_fraction;
+  return next;
+}
+
+AgingShifts AgingModel::shifts(const StressState& state) const {
+  AgingShifts s;
+  s.nbti = nbti_.delta_vth_weighted(state.nbti_effective);
+  s.hci = hci_.delta_vth_weighted(state.switching_cycles);
+  return s;
+}
+
+}  // namespace aropuf

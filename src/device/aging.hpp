@@ -1,0 +1,46 @@
+// AgingModel — facade combining NBTI and HCI over a stress profile.
+//
+// The lifetime simulator advances each RO's StressState through this class;
+// the circuit model then queries the deterministic shifts and scales them by
+// each transistor's stochastic sensitivity.
+#pragma once
+
+#include "common/units.hpp"
+#include "device/hci.hpp"
+#include "device/nbti.hpp"
+#include "device/stress.hpp"
+
+namespace aropuf {
+
+struct TechnologyParams;
+
+/// Deterministic (population-mean) Vth shifts for one RO's stress history.
+struct AgingShifts {
+  Volts nbti = 0.0;  ///< applies to PMOS devices
+  Volts hci = 0.0;   ///< applies to NMOS devices
+};
+
+class AgingModel {
+ public:
+  explicit AgingModel(const TechnologyParams& tech);
+
+  /// Extends `state` by `duration` wall-clock seconds of use under `profile`,
+  /// for an RO whose oscillation frequency while active is `f_osc`.
+  /// Stress is stored in *nominal-temperature-equivalent* units (the
+  /// profile's stress temperature is folded in via the models' temperature
+  /// weights), so phases at different temperatures accumulate exactly.
+  [[nodiscard]] StressState accumulate(const StressState& state, const StressProfile& profile,
+                                       Seconds duration, Hertz f_osc) const;
+
+  /// Deterministic shifts for an accumulated (nominal-equivalent) state.
+  [[nodiscard]] AgingShifts shifts(const StressState& state) const;
+
+  [[nodiscard]] const NbtiModel& nbti() const noexcept { return nbti_; }
+  [[nodiscard]] const HciModel& hci() const noexcept { return hci_; }
+
+ private:
+  NbtiModel nbti_;
+  HciModel hci_;
+};
+
+}  // namespace aropuf

@@ -1,0 +1,43 @@
+// Hot Carrier Injection — lucky-electron, switching-count-driven model.
+//
+//   dVth(N) = B * exp(-(Ea/k) * (1/T - 1/T_nom)) * (N / 1e15)^m,   m ≈ 0.45
+//
+// HCI damage accrues per switching event, so a conventional RO-PUF that
+// oscillates for its entire lifetime accumulates ~1e17 cycles while the
+// gated ARO-PUF accumulates only the cycles of its evaluation windows —
+// a second, independent reason differential aging collapses in the ARO
+// design.  Ea is slightly negative (HCI worsens at low temperature).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace aropuf {
+
+struct TechnologyParams;
+
+class HciModel {
+ public:
+  explicit HciModel(const TechnologyParams& tech);
+
+  /// Deterministic |Vth| shift after `switching_cycles` transitions at die
+  /// temperature `temp`.
+  [[nodiscard]] Volts delta_vth(double switching_cycles, Kelvin temp) const;
+
+  /// Temperature weight w(T): cycles at T count as w(T) * N nominal-
+  /// temperature cycles (dVth = B * (w N / 1e15)^m), making mixed-
+  /// temperature accumulation additive.
+  [[nodiscard]] double temperature_weight(Kelvin temp) const;
+
+  /// Shift for nominal-equivalent switching cycles.
+  [[nodiscard]] Volts delta_vth_weighted(double weighted_cycles) const;
+
+ private:
+  static constexpr double kReferenceCycles = 1e15;
+
+  double b_;
+  double ea_;
+  double m_;
+  Kelvin t_nominal_;
+};
+
+}  // namespace aropuf

@@ -1,0 +1,49 @@
+#include "device/stress.hpp"
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+void StressProfile::validate() const {
+  ARO_REQUIRE(oscillation_fraction >= 0.0 && oscillation_fraction <= 1.0,
+              "oscillation fraction must be in [0, 1]");
+  ARO_REQUIRE(nbti_duty >= 0.0 && nbti_duty <= 1.0, "NBTI duty must be in [0, 1]");
+  ARO_REQUIRE(stress_temperature > 0.0, "stress temperature must be in kelvin");
+}
+
+StressProfile StressProfile::conventional_always_on() {
+  StressProfile p;
+  p.name = "conventional-always-on";
+  p.oscillation_fraction = 1.0;
+  p.nbti_duty = 0.5;
+  // While oscillating, the relaxation half-cycles do recover; modelled via
+  // the recovery term of the NBTI model.
+  p.recovery_enabled = true;
+  return p;
+}
+
+StressProfile StressProfile::static_enabled_idle() {
+  StressProfile p;
+  p.name = "static-enabled-idle";
+  p.oscillation_fraction = 0.0;
+  // Internal nodes freeze: statistically half the PMOS devices are under DC
+  // bias with no relaxation phase.  The per-pair average duty is 0.5 but
+  // without recovery, which is worse than the oscillating case.
+  p.nbti_duty = 0.5;
+  p.recovery_enabled = false;
+  return p;
+}
+
+StressProfile StressProfile::aro_gated(double evaluations_per_day, Seconds eval_duration) {
+  ARO_REQUIRE(evaluations_per_day >= 0.0, "evaluation rate must be non-negative");
+  ARO_REQUIRE(eval_duration >= 0.0, "evaluation duration must be non-negative");
+  StressProfile p;
+  p.name = "aro-gated";
+  const double active_fraction = evaluations_per_day * eval_duration / 86400.0;
+  p.oscillation_fraction = active_fraction > 1.0 ? 1.0 : active_fraction;
+  p.nbti_duty = 0.5 * p.oscillation_fraction;
+  p.recovery_enabled = true;
+  return p;
+}
+
+}  // namespace aropuf

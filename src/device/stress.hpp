@@ -1,0 +1,67 @@
+// Stress profiles and accumulated stress state.
+//
+// A StressProfile describes *how* a ring oscillator is used over its
+// lifetime — the single design lever that separates the conventional RO-PUF
+// from the ARO-PUF:
+//
+//  * conventional: ROs are enabled whenever the chip is powered, so they
+//    oscillate for the whole lifetime (AC NBTI at ~50 % duty, continuous HCI
+//    switching);
+//  * ARO: ROs are enable/power gated and only stressed during key
+//    evaluations (minutes per year), and the idle state parks internal nodes
+//    so PMOS gates see no negative bias and interrupted stress *recovers*.
+//
+// A StressState is the integrated result: effective NBTI stress seconds and
+// accumulated switching cycles, which the NBTI/HCI models turn into Vth
+// shifts.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace aropuf {
+
+struct StressProfile {
+  std::string name;
+  /// Fraction of wall-clock lifetime during which the RO oscillates.
+  double oscillation_fraction = 1.0;
+  /// Fraction of wall-clock lifetime during which a PMOS gate is under
+  /// negative bias (0.5 while oscillating: the node toggles).
+  double nbti_duty = 0.5;
+  /// Whether the idle state permits NBTI relaxation (ARO enable gating).
+  bool recovery_enabled = true;
+  /// Die temperature while stress accrues.
+  Kelvin stress_temperature = celsius(55.0);
+
+  /// Conventional RO-PUF: oscillating whenever powered, no recovery benefit
+  /// beyond the intrinsic AC behaviour.
+  static StressProfile conventional_always_on();
+
+  /// Ablation baseline: ROs powered but enable held static when idle — no
+  /// oscillation (no HCI) but half the PMOS devices sit under DC bias, and
+  /// no relaxation phases exist for them.
+  static StressProfile static_enabled_idle();
+
+  /// ARO-PUF gated profile: stressed only during evaluations.
+  /// `evaluations_per_day` runs of `eval_duration` each.
+  static StressProfile aro_gated(double evaluations_per_day, Seconds eval_duration);
+
+  void validate() const;
+};
+
+/// Integrated stress of one RO (shared by all its devices; per-device
+/// stochastic factors live on the Transistor).  The NBTI/HCI fields are in
+/// *nominal-temperature-equivalent* units: AgingModel::accumulate folds the
+/// phase's temperature acceleration in, so mixed-temperature missions add
+/// exactly (see NbtiModel::temperature_weight).
+struct StressState {
+  /// Wall-clock lifetime represented by this state.
+  Seconds elapsed = 0.0;
+  /// Recovery/duty-weighted NBTI stress, nominal-equivalent seconds.
+  Seconds nbti_effective = 0.0;
+  /// Accumulated oscillation cycles, nominal-equivalent (HCI driver).
+  double switching_cycles = 0.0;
+};
+
+}  // namespace aropuf

@@ -1,0 +1,124 @@
+// Technology parameter sets for the analytical transistor/circuit models.
+//
+// The ARO-PUF paper evaluates on a 90 nm commercial process in HSPICE; we
+// substitute calibrated analytical models.  Every constant a model consumes
+// lives here, so an experiment is fully described by (TechnologyParams,
+// design, seed).  Factories provide a calibrated 90 nm set (the paper's
+// node) plus 65/45 nm variants for scaling studies.
+//
+// Calibration anchors (see DESIGN.md §5):
+//  * nominal 13-stage RO frequency in the hundreds of MHz;
+//  * local Vth mismatch sigma ≈ 15 mV (Pelgrom, minimum-size devices);
+//  * 10 years of DC NBTI stress at 55 °C ⇒ ≈ 50 mV |Vth_p| shift;
+//  * HCI after 10 years of continuous ~500 MHz switching ⇒ ≈ 15-20 mV.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace aropuf {
+
+struct TechnologyParams {
+  std::string name;
+
+  // --- Supply / thermal operating point -----------------------------------
+  Volts vdd_nominal = 1.2;
+  Kelvin temp_nominal = celsius(25.0);
+
+  // --- Transistor DC parameters (alpha-power law) --------------------------
+  /// Zero-bias threshold magnitudes (fresh, nominal corner).
+  Volts vth_n = 0.35;
+  Volts vth_p = 0.38;
+  /// Velocity-saturation index of the alpha-power-law delay model.
+  double alpha = 1.3;
+  /// Stage-delay prefactor: tau = delay_k * vdd / (vdd - vth)^alpha.
+  /// Units: s * V^(alpha-1); calibrated for the target nominal frequency.
+  double delay_k = 0.0;
+  /// NAND enable stage is slower than an inverter stage (series stack).
+  double nand_delay_factor = 1.35;
+
+  // --- Temperature behaviour ------------------------------------------------
+  /// |Vth| reduction per kelvin above temp_nominal (positive number).
+  double vth_tempco = 0.8e-3;
+  /// Relative device-to-device spread of vth_tempco (drives T-induced flips).
+  double vth_tempco_mismatch_rel = 0.05;
+  /// Mobility exponent: delay_k scales with (T / temp_nominal)^mobility_exp.
+  double mobility_temp_exp = 1.5;
+
+  // --- Process variation -----------------------------------------------------
+  /// Local (white, per-device) Vth mismatch sigma.
+  Volts sigma_vth_local = 15e-3;
+  /// Inter-die (global) Vth shift sigma, fully correlated within a die.
+  Volts sigma_vth_global = 20e-3;
+  /// Sigma of the within-die spatially correlated Vth component.
+  Volts sigma_vth_spatial = 8e-3;
+  /// Correlation length of the spatial component, in RO-pitch units.
+  double spatial_correlation_length = 12.0;
+  /// Amplitude of the layout-systematic frequency pattern shared by all dies
+  /// (IR-drop gradient, litho systematics), expressed as an equivalent
+  /// per-stage Vth offset at full array span.  Distant pairings pick this up
+  /// (inter-chip HD < 50 %); adjacent pairings cancel it.
+  Volts layout_systematic_amplitude = 6e-3;
+  /// Wavelength of the smooth layout ripple, in RO-pitch units (matched to
+  /// the default 16-wide array so distant pairs straddle half a period).
+  double layout_ripple_wavelength = 16.0;
+
+  // --- NBTI (reaction-diffusion long-term form) -----------------------------
+  /// Shift after 1 s of effective stress at temp_nominal:
+  /// dVth = nbti_a * exp(-(Ea/k)(1/T - 1/T_nom)) * (t_eff / 1 s)^n.
+  /// 2.3 mV reproduces ~80 mV after 10 years of DC-equivalent stress at 55 C.
+  double nbti_a = 2.3e-3;
+  /// Effective activation energy (eV).
+  double nbti_ea = 0.13;
+  /// Time exponent n (classic RD value 1/6).
+  double nbti_n = 1.0 / 6.0;
+  /// Fraction of interrupted stress that recovers (AC/relaxation benefit).
+  double nbti_recovery_fraction = 0.35;
+  /// Device-to-device relative spread of the NBTI shift (Poisson trap
+  /// statistics of minimum-size devices); the source of *differential*
+  /// aging inside an RO pair.
+  double nbti_sigma_rel = 0.52;
+
+  // --- HCI (lucky-electron, switching-count driven) -------------------------
+  /// Shift at 1e15 switching events at temp_nominal:
+  /// dVth = hci_b * exp(-(Ea/k)(1/T - 1/T_nom)) * (N_switch / 1e15)^m.
+  /// 2.0 mV gives ~25 mV after 10 years of continuous ~1.2 GHz oscillation.
+  double hci_b = 2.0e-3;
+  double hci_ea = -0.05;  // HCI worsens slightly at low T; negative Ea.
+  double hci_m = 0.45;
+  double hci_sigma_rel = 0.45;
+
+  // --- Measurement noise ------------------------------------------------------
+  /// Relative cycle-to-cycle thermal jitter of one RO period.
+  double jitter_cycle_rel = 2e-3;
+  /// Relative low-frequency (flicker / supply) noise per evaluation.
+  double noise_lowfreq_rel = 1.2e-4;
+
+  // --- Area (for the ECC / key-footprint analysis of Table E7) ----------------
+  /// One two-input NAND gate equivalent (GE), in um^2.
+  double area_ge_um2 = 3.1;
+  /// One RO cell: stages + enable NAND + output mux leg, in GE.
+  double area_ro_cell_ge = 22.0;
+  /// Counter bit (TFF + glue), in GE; counters are width `counter_bits`.
+  double area_counter_bit_ge = 7.0;
+  int counter_bits = 16;
+
+  /// Throws std::invalid_argument if any parameter is out of its physical
+  /// domain (e.g. vth >= vdd, negative sigmas).
+  void validate() const;
+
+  /// Nominal (variation-free, fresh, T0) frequency of an n-stage RO; used by
+  /// calibration tests and for choosing measurement windows.
+  [[nodiscard]] Hertz nominal_ro_frequency(int stages) const;
+
+  // --- Factories ---------------------------------------------------------------
+  /// The paper's node: 90 nm bulk CMOS, 1.2 V.
+  static TechnologyParams cmos90();
+  /// 65 nm, 1.1 V (scaling study).
+  static TechnologyParams cmos65();
+  /// 45 nm, 1.0 V (scaling study).
+  static TechnologyParams cmos45();
+};
+
+}  // namespace aropuf

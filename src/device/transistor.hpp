@@ -1,0 +1,41 @@
+// Per-transistor state: threshold voltage with process variation, its
+// temperature coefficient, and the device's individual aging sensitivities.
+//
+// Deterministic aging magnitudes (from NbtiModel / HciModel applied to the
+// RO's shared StressState) are scaled per device by `nbti_sensitivity` /
+// `hci_sensitivity`, which encode the Poisson-trap stochastic component of
+// BTI/HCI — the physical origin of *differential* aging within an RO pair.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace aropuf {
+
+enum class DeviceType { kNmos, kPmos };
+
+struct Transistor {
+  DeviceType type = DeviceType::kNmos;
+  /// Fresh |Vth| at the nominal temperature, including all process-variation
+  /// components (global + spatial + local + layout-systematic).
+  Volts vth_fresh = 0.0;
+  /// |Vth| reduction per kelvin above nominal (device-specific; mismatch in
+  /// this coefficient drives temperature-induced bit flips).
+  double vth_tempco = 0.0;
+  /// Multiplier on the deterministic NBTI shift (1.0 = nominal device).
+  double nbti_sensitivity = 1.0;
+  /// Multiplier on the deterministic HCI shift.
+  double hci_sensitivity = 1.0;
+
+  /// Effective |Vth| under temperature `t` given the deterministic aging
+  /// magnitudes computed for this device's stress history.  NBTI applies to
+  /// PMOS, HCI to NMOS (dominant mechanisms at the 90 nm node).
+  [[nodiscard]] Volts vth(Kelvin t, Kelvin t_nominal, Volts nbti_shift,
+                          Volts hci_shift) const noexcept {
+    const double thermal = vth_fresh - vth_tempco * (t - t_nominal);
+    const double aging = (type == DeviceType::kPmos) ? nbti_sensitivity * nbti_shift
+                                                     : hci_sensitivity * hci_shift;
+    return thermal + aging;
+  }
+};
+
+}  // namespace aropuf

@@ -1,0 +1,70 @@
+#include "ecc/area_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+namespace {
+// Structural gate-equivalent costs (GE per element).
+constexpr double kGePerFlipFlop = 6.0;
+constexpr double kGePerXor = 2.0;
+constexpr double kGePerAnd = 1.25;
+constexpr double kControlOverheadGe = 250.0;  // FSM, handshaking, addressing
+}  // namespace
+
+AreaModel::AreaModel(const TechnologyParams& tech) : tech_(&tech) { tech.validate(); }
+
+double AreaModel::ge_to_um2(double ge) const { return ge * tech_->area_ge_um2; }
+
+double AreaModel::bch_decoder_ge(int m, int t) const {
+  ARO_REQUIRE(m >= 3 && t >= 1, "invalid BCH parameters");
+  const double md = m;
+  const double td = t;
+  // Syndrome generator: 2t cells, each an m-bit register plus a constant
+  // GF(2^m) multiplier (~m^2/2 XOR gates).
+  const double syndrome =
+      2.0 * td * (md * kGePerFlipFlop + 0.5 * md * md * kGePerXor);
+  // Inversionless Berlekamp-Massey: ~(3t + 2) m-bit registers, two full
+  // GF multipliers (~2 m^2 gates each), and a comparator tree.
+  const double bm = (3.0 * td + 2.0) * md * kGePerFlipFlop +
+                    2.0 * (2.0 * md * md) * kGePerAnd + 4.0 * md;
+  // Chien search: (t + 1) m-bit registers with constant multipliers and a
+  // zero-detect OR tree.
+  const double chien =
+      (td + 1.0) * (md * kGePerFlipFlop + 0.5 * md * md * kGePerXor) + 2.0 * md;
+  return syndrome + bm + chien + kControlOverheadGe;
+}
+
+double AreaModel::bch_encoder_ge(int m, int t) const {
+  ARO_REQUIRE(m >= 3 && t >= 1, "invalid BCH parameters");
+  // LFSR of deg(g) <= m*t bits with feedback taps.
+  const double deg = static_cast<double>(m) * static_cast<double>(t);
+  return deg * (kGePerFlipFlop + kGePerXor) + 0.5 * kControlOverheadGe;
+}
+
+double AreaModel::majority_voter_ge(int r) const {
+  ARO_REQUIRE(r >= 1 && r % 2 == 1, "repetition factor must be odd");
+  if (r == 1) return 0.0;
+  // Serial vote: ceil(log2(r+1))-bit up counter + threshold compare.
+  const double bits = std::ceil(std::log2(static_cast<double>(r) + 1.0));
+  return bits * (kGePerFlipFlop + 2.0 * kGePerAnd) + 3.0 * bits;
+}
+
+AreaBreakdown AreaModel::estimate(const ConcatenatedScheme& scheme) const {
+  scheme.validate();
+  AreaBreakdown a;
+  const std::size_t raw = scheme.raw_bits();
+  a.puf_array_ge = static_cast<double>(ros_for_raw_bits(raw)) * tech_->area_ro_cell_ge;
+  // Two shared counters (the pair is measured simultaneously), one
+  // comparator, plus sequencing control.
+  a.counters_ge = 2.0 * tech_->counter_bits * tech_->area_counter_bit_ge +
+                  tech_->counter_bits * 3.0 + kControlOverheadGe;
+  a.voter_ge = majority_voter_ge(scheme.repetition);
+  a.bch_decoder_ge = bch_decoder_ge(scheme.bch_m, scheme.bch_t);
+  a.bch_encoder_ge = bch_encoder_ge(scheme.bch_m, scheme.bch_t);
+  return a;
+}
+
+}  // namespace aropuf

@@ -1,0 +1,61 @@
+// Gate-count area model for a complete PUF key macro.
+//
+// Reproduces the paper's Table-E7 comparison: for a 128-bit key, the total
+// silicon area is dominated by the raw PUF bits (two ROs per response bit),
+// so a design whose bit-error rate demands heavy repetition + strong BCH
+// pays an area multiple.  Gate-equivalent (GE) formulas follow standard
+// structural estimates:
+//
+//   RO cell            — area_ro_cell_ge per RO (stages + enable + mux leg)
+//   counters           — two shared ripple counters + comparator
+//   majority voter     — serial accumulate-and-threshold per repetition group
+//   BCH decoder        — syndrome cells + iBM datapath + Chien search, all
+//                        scaling with (m, t): registers are m bits, constant
+//                        GF multipliers ~ m^2/2 XORs, full multipliers ~ 2m^2
+//
+// Helper-data storage is excluded on both sides (it lives in NVM, identical
+// per raw bit for both designs), matching the paper's PUF+ECC focus.
+#pragma once
+
+#include "device/technology.hpp"
+#include "ecc/concatenated.hpp"
+
+namespace aropuf {
+
+struct AreaBreakdown {
+  double puf_array_ge = 0.0;    ///< RO cells for all raw bits
+  double counters_ge = 0.0;     ///< measurement counters + comparator + control
+  double voter_ge = 0.0;        ///< repetition majority logic
+  double bch_decoder_ge = 0.0;  ///< syndrome + BM + Chien
+  double bch_encoder_ge = 0.0;  ///< LFSR encoder (enrollment path)
+
+  [[nodiscard]] double total_ge() const {
+    return puf_array_ge + counters_ge + voter_ge + bch_decoder_ge + bch_encoder_ge;
+  }
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(const TechnologyParams& tech);
+
+  /// Full macro estimate for a key-generation scheme.
+  [[nodiscard]] AreaBreakdown estimate(const ConcatenatedScheme& scheme) const;
+
+  /// Number of ROs needed for `raw_bits` response bits (dedicated pairing).
+  [[nodiscard]] static std::size_t ros_for_raw_bits(std::size_t raw_bits) {
+    return 2 * raw_bits;
+  }
+
+  /// GE → um^2 conversion for this technology.
+  [[nodiscard]] double ge_to_um2(double ge) const;
+
+  /// Decoder-only estimate (unit-testable pieces).
+  [[nodiscard]] double bch_decoder_ge(int m, int t) const;
+  [[nodiscard]] double bch_encoder_ge(int m, int t) const;
+  [[nodiscard]] double majority_voter_ge(int r) const;
+
+ private:
+  const TechnologyParams* tech_;
+};
+
+}  // namespace aropuf

@@ -1,0 +1,43 @@
+#include "ecc/code_search.hpp"
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+std::optional<CodeSearchResult> find_min_area_scheme(const TechnologyParams& tech,
+                                                     double raw_ber,
+                                                     const CodeSearchConstraints& constraints) {
+  ARO_REQUIRE(raw_ber >= 0.0 && raw_ber < 0.5, "raw BER must be in [0, 0.5)");
+  ARO_REQUIRE(constraints.key_bits >= 1, "key must have at least one bit");
+  ARO_REQUIRE(constraints.target_key_failure > 0.0 && constraints.target_key_failure < 1.0,
+              "target failure must be in (0, 1)");
+  const AreaModel area_model(tech);
+
+  std::optional<CodeSearchResult> best;
+  for (const int r : constraints.repetition_options) {
+    ARO_REQUIRE(r >= 1 && r % 2 == 1, "repetition options must be odd");
+    for (const int m : constraints.bch_m_options) {
+      for (int t = 1; t <= constraints.max_bch_t; ++t) {
+        ConcatenatedScheme scheme;
+        scheme.repetition = r;
+        scheme.bch_m = m;
+        scheme.bch_t = t;
+        scheme.key_bits = constraints.key_bits;
+        if (scheme.bch_k() < 1) break;  // t exhausted the code's redundancy
+        const double failure = scheme.key_failure_probability(raw_ber);
+        if (failure > constraints.target_key_failure) continue;
+        const AreaBreakdown area = area_model.estimate(scheme);
+        if (!best.has_value() || area.total_ge() < best->area.total_ge()) {
+          best = CodeSearchResult{scheme, area, failure};
+        }
+        // Raising t further only adds area at this (r, m): raw bits grow
+        // with blocks and the decoder grows with t, while the target is
+        // already met.
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace aropuf

@@ -1,0 +1,43 @@
+// Minimum-area ECC search for a target key-failure probability.
+//
+// Given a raw bit-error rate (the PUF's measured worst-case BER including
+// aging), find the (repetition r, BCH(m, t)) concatenation that minimizes
+// total macro area while keeping P[key reconstruction fails] below target.
+// This is exactly the paper's Table-E7 procedure: the conventional RO-PUF's
+// 32 % BER forces heavy repetition and a strong outer code, while the
+// ARO-PUF's 7.7 % admits a light scheme — the ~24x area ratio.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "device/technology.hpp"
+#include "ecc/area_model.hpp"
+#include "ecc/concatenated.hpp"
+
+namespace aropuf {
+
+struct CodeSearchConstraints {
+  int key_bits = 128;
+  double target_key_failure = 1e-6;
+  /// Candidate odd repetition factors.
+  std::vector<int> repetition_options = {1, 3, 5, 7, 9, 11, 15, 21, 27, 31, 37, 45, 61, 81, 101, 127};
+  /// Candidate BCH field degrees (n = 2^m − 1).
+  std::vector<int> bch_m_options = {7, 8, 9, 10};
+  /// Upper bound on BCH t per m (search stops earlier when k hits 0).
+  int max_bch_t = 120;
+};
+
+struct CodeSearchResult {
+  ConcatenatedScheme scheme;
+  AreaBreakdown area;
+  double key_failure = 1.0;
+};
+
+/// Exhaustive search over the constraint grid; std::nullopt when no scheme
+/// meets the target (e.g. BER >= 0.5).
+[[nodiscard]] std::optional<CodeSearchResult> find_min_area_scheme(
+    const TechnologyParams& tech, double raw_ber, const CodeSearchConstraints& constraints);
+
+}  // namespace aropuf

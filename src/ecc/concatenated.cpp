@@ -1,0 +1,74 @@
+#include "ecc/concatenated.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/statistics.hpp"
+
+namespace aropuf {
+
+void ConcatenatedScheme::validate() const {
+  ARO_REQUIRE(repetition >= 1 && repetition % 2 == 1, "repetition must be odd and >= 1");
+  ARO_REQUIRE(key_bits >= 1, "key must have at least one bit");
+  ARO_REQUIRE(bch_k() >= 1, "BCH (m, t) combination has no information bits");
+}
+
+std::size_t ConcatenatedScheme::blocks() const {
+  const std::size_t k = bch_k();
+  ARO_REQUIRE(k >= 1, "BCH (m, t) combination has no information bits");
+  return (static_cast<std::size_t>(key_bits) + k - 1) / k;
+}
+
+double ConcatenatedScheme::block_failure_probability(double raw_ber) const {
+  const RepetitionCode rep(repetition);
+  const double inner_ber = rep.decoded_error_rate(raw_ber);
+  return binomial_tail_greater(bch_n(), static_cast<std::uint64_t>(bch_t), inner_ber);
+}
+
+double ConcatenatedScheme::key_failure_probability(double raw_ber) const {
+  const double p_block = block_failure_probability(raw_ber);
+  const double blocks_d = static_cast<double>(blocks());
+  // 1 - (1 - p)^B, computed stably for tiny p.
+  return -std::expm1(blocks_d * std::log1p(-p_block));
+}
+
+ConcatenatedCode::ConcatenatedCode(const ConcatenatedScheme& scheme)
+    : scheme_(scheme), rep_(scheme.repetition), bch_(scheme.bch_m, scheme.bch_t) {
+  scheme_.validate();
+}
+
+BitVector ConcatenatedCode::encode(const BitVector& key) const {
+  ARO_REQUIRE(key.size() == static_cast<std::size_t>(scheme_.key_bits),
+              "key length must match the scheme");
+  const std::size_t k = bch_.k();
+  BitVector out;
+  for (std::size_t block = 0; block < scheme_.blocks(); ++block) {
+    BitVector message(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t key_index = block * k + i;
+      if (key_index < key.size()) message.set(i, key.get(key_index));
+    }
+    out = out.concat(rep_.encode(bch_.encode(message)));
+  }
+  ARO_ASSERT(out.size() == scheme_.raw_bits(), "encoded length mismatch");
+  return out;
+}
+
+std::optional<BitVector> ConcatenatedCode::decode(const BitVector& received) const {
+  ARO_REQUIRE(received.size() == scheme_.raw_bits(), "received length must match the scheme");
+  const std::size_t block_raw = bch_.n() * static_cast<std::size_t>(rep_.r());
+  BitVector key(static_cast<std::size_t>(scheme_.key_bits));
+  for (std::size_t block = 0; block < scheme_.blocks(); ++block) {
+    const BitVector voted = rep_.decode(received.slice(block * block_raw, block_raw));
+    const auto corrected = bch_.decode(voted);
+    if (!corrected.has_value()) return std::nullopt;
+    const BitVector message = bch_.extract_message(*corrected);
+    for (std::size_t i = 0; i < message.size(); ++i) {
+      const std::size_t key_index = block * bch_.k() + i;
+      if (key_index < key.size()) key.set(key_index, message.get(i));
+    }
+  }
+  return key;
+}
+
+}  // namespace aropuf

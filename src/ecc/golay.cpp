@@ -1,0 +1,116 @@
+#include "ecc/golay.hpp"
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+namespace {
+
+// Generator polynomial x^11 + x^10 + x^6 + x^5 + x^4 + x^2 + 1.
+constexpr std::uint32_t kGenerator = 0xC75;
+constexpr std::uint32_t kParityBits = 11;
+
+/// Remainder of word(x) * 1 mod g(x), word given as a 23-bit integer with
+/// bit i the coefficient of x^i.
+std::uint32_t poly_mod(std::uint32_t word) {
+  for (int bit = 22; bit >= static_cast<int>(kParityBits); --bit) {
+    if (word & (1U << bit)) {
+      word ^= kGenerator << (bit - static_cast<int>(kParityBits));
+    }
+  }
+  return word;
+}
+
+std::uint32_t to_word(const BitVector& v) {
+  std::uint32_t word = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v.get(i)) word |= 1U << i;
+  }
+  return word;
+}
+
+BitVector to_bits(std::uint32_t word, std::size_t size) {
+  BitVector v(size);
+  for (std::size_t i = 0; i < size; ++i) v.set(i, (word >> i) & 1U);
+  return v;
+}
+
+}  // namespace
+
+GolayCode::GolayCode() : error_table_(1U << kParityBits, 0) {
+  // Perfect code: the 1 + 23 + 253 + 1771 = 2048 patterns of weight <= 3
+  // hit every syndrome exactly once.
+  auto add_pattern = [this](std::uint32_t pattern) {
+    const std::uint32_t s = poly_mod(pattern);
+    ARO_ASSERT(pattern == 0 || error_table_[s] == 0, "syndrome collision: not a perfect code");
+    error_table_[s] = pattern;
+  };
+  add_pattern(0);
+  for (int a = 0; a < 23; ++a) {
+    add_pattern(1U << a);
+    for (int b = a + 1; b < 23; ++b) {
+      add_pattern((1U << a) | (1U << b));
+      for (int c = b + 1; c < 23; ++c) {
+        add_pattern((1U << a) | (1U << b) | (1U << c));
+      }
+    }
+  }
+}
+
+std::uint32_t GolayCode::syndrome(const BitVector& word) const {
+  ARO_REQUIRE(word.size() == kN, "Golay words are 23 bits");
+  return poly_mod(to_word(word));
+}
+
+BitVector GolayCode::encode(const BitVector& message) const {
+  ARO_REQUIRE(message.size() == kK, "Golay messages are 12 bits");
+  // Systematic: codeword = x^11 * m(x) + (x^11 * m(x) mod g).
+  const std::uint32_t shifted = to_word(message) << kParityBits;
+  const std::uint32_t parity = poly_mod(shifted);
+  const std::uint32_t codeword = shifted | parity;
+  ARO_ASSERT(poly_mod(codeword) == 0, "systematic Golay encoding failed");
+  return to_bits(codeword, kN);
+}
+
+bool GolayCode::is_codeword(const BitVector& word) const { return syndrome(word) == 0; }
+
+BitVector GolayCode::decode(const BitVector& received) const {
+  const std::uint32_t s = syndrome(received);
+  const std::uint32_t pattern = error_table_[s];
+  const std::uint32_t corrected = to_word(received) ^ pattern;
+  ARO_ASSERT(poly_mod(corrected) == 0, "Golay correction left a nonzero syndrome");
+  return to_bits(corrected, kN);
+}
+
+BitVector GolayCode::encode_extended(const BitVector& message) const {
+  const BitVector base = encode(message);
+  BitVector extended(kExtendedN);
+  for (std::size_t i = 0; i < kN; ++i) extended.set(i, base.get(i));
+  extended.set(kN, base.popcount() % 2 == 1);  // even overall weight
+  return extended;
+}
+
+std::optional<BitVector> GolayCode::decode_extended(const BitVector& received) const {
+  ARO_REQUIRE(received.size() == kExtendedN, "extended Golay words are 24 bits");
+  const BitVector base = received.slice(0, kN);
+  const bool received_parity = received.get(kN);
+  const BitVector corrected = decode(base);
+  const std::size_t corrections = hamming_distance(base, corrected);
+  const bool parity_consistent = (corrected.popcount() % 2 == 1) == received_parity;
+  // A true weight-4 pattern either forces three "corrections" onto a wrong
+  // codeword (odd-weight offset flips the parity relation) or is 3-in-body
+  // plus a flipped parity bit; both show up as (3 corrections, parity
+  // mismatch).  Every weight <= 3 pattern avoids that signature.
+  if (corrections == 3 && !parity_consistent) return std::nullopt;
+  BitVector out(kExtendedN);
+  for (std::size_t i = 0; i < kN; ++i) out.set(i, corrected.get(i));
+  out.set(kN, corrected.popcount() % 2 == 1);
+  return out;
+}
+
+BitVector GolayCode::extract_message(const BitVector& codeword) const {
+  ARO_REQUIRE(codeword.size() == kN, "Golay words are 23 bits");
+  return codeword.slice(kParityBits, kK);
+}
+
+}  // namespace aropuf

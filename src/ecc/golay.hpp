@@ -1,0 +1,65 @@
+// Binary Golay code (23, 12, 7) — the perfect 3-error-correcting code.
+//
+// An alternative outer code for small key blocks: being perfect, its 2^11
+// syndromes map one-to-one onto the error patterns of weight <= 3, so
+// decoding is a table lookup (no Berlekamp–Massey machinery) — attractive
+// for the tiny-decoder corner of the E7 area trade-off.  Ten (23,12) blocks
+// carry a 120-bit key; twelve carry 128 bits with headroom.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace aropuf {
+
+class GolayCode {
+ public:
+  static constexpr std::size_t kN = 23;
+  static constexpr std::size_t kK = 12;
+  static constexpr int kT = 3;
+
+  GolayCode();
+
+  [[nodiscard]] static constexpr std::size_t n() { return kN; }
+  [[nodiscard]] static constexpr std::size_t k() { return kK; }
+  [[nodiscard]] static constexpr int t() { return kT; }
+
+  /// Systematic encode: [parity(11) | message(12)].
+  [[nodiscard]] BitVector encode(const BitVector& message) const;
+
+  /// Decodes a 23-bit word.  A perfect code always lands on *some* codeword
+  /// within distance 3, so this never returns nullopt for well-formed input
+  /// — words with > 3 errors mis-decode silently (use the extended parity
+  /// bit or an outer check when detection matters).
+  [[nodiscard]] BitVector decode(const BitVector& received) const;
+
+  /// Message bits of a codeword.
+  [[nodiscard]] BitVector extract_message(const BitVector& codeword) const;
+
+  [[nodiscard]] bool is_codeword(const BitVector& word) const;
+
+  // --- Extended (24, 12, 8) variant ------------------------------------------
+  /// Appends an overall parity bit: corrects 3 errors AND detects 4.
+
+  static constexpr std::size_t kExtendedN = 24;
+
+  /// [codeword(23) | overall parity] — every extended word has even weight.
+  [[nodiscard]] BitVector encode_extended(const BitVector& message) const;
+
+  /// Decodes a 24-bit extended word; std::nullopt when a weight-4 error
+  /// pattern is detected (3-correctable patterns always succeed).
+  [[nodiscard]] std::optional<BitVector> decode_extended(const BitVector& received) const;
+
+ private:
+  /// 11-bit syndrome of a 23-bit word (remainder mod the generator).
+  [[nodiscard]] std::uint32_t syndrome(const BitVector& word) const;
+
+  /// syndrome -> 23-bit error pattern (as a mask), for all weight <= 3.
+  std::vector<std::uint32_t> error_table_;
+};
+
+}  // namespace aropuf

@@ -1,0 +1,44 @@
+#include "ecc/repetition.hpp"
+
+#include "common/check.hpp"
+#include "common/statistics.hpp"
+
+namespace aropuf {
+
+RepetitionCode::RepetitionCode(int r) : r_(r) {
+  ARO_REQUIRE(r >= 1 && r % 2 == 1, "repetition factor must be odd and >= 1");
+}
+
+BitVector RepetitionCode::encode(const BitVector& message) const {
+  BitVector out(message.size() * static_cast<std::size_t>(r_));
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    if (!message.get(i)) continue;
+    for (int j = 0; j < r_; ++j) {
+      out.set(i * static_cast<std::size_t>(r_) + static_cast<std::size_t>(j), true);
+    }
+  }
+  return out;
+}
+
+BitVector RepetitionCode::decode(const BitVector& received) const {
+  ARO_REQUIRE(received.size() % static_cast<std::size_t>(r_) == 0,
+              "received length must be a multiple of r");
+  const std::size_t bits = received.size() / static_cast<std::size_t>(r_);
+  BitVector out(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    int ones = 0;
+    for (int j = 0; j < r_; ++j) {
+      ones += received.get(i * static_cast<std::size_t>(r_) + static_cast<std::size_t>(j)) ? 1 : 0;
+    }
+    out.set(i, 2 * ones > r_);
+  }
+  return out;
+}
+
+double RepetitionCode::decoded_error_rate(double p) const {
+  // Majority fails when more than half the copies flip.
+  return binomial_tail_greater(static_cast<std::uint64_t>(r_),
+                               static_cast<std::uint64_t>(r_ / 2), p);
+}
+
+}  // namespace aropuf

@@ -1,0 +1,36 @@
+// Repetition code with majority decoding — the inner code of the
+// fuzzy-extractor concatenation.
+//
+// An odd repetition factor r turns a raw bit-error rate p into a majority
+// error rate P[Bin(r, p) > r/2]; cheap in logic (one majority voter per
+// bit), expensive in raw PUF bits.  The code search trades it off against
+// the outer BCH strength.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitvector.hpp"
+
+namespace aropuf {
+
+class RepetitionCode {
+ public:
+  /// `r` must be odd so majority voting is unambiguous.
+  explicit RepetitionCode(int r);
+
+  [[nodiscard]] int r() const noexcept { return r_; }
+
+  /// Each input bit appears r times consecutively.
+  [[nodiscard]] BitVector encode(const BitVector& message) const;
+
+  /// Majority-decodes a length-multiple-of-r word.
+  [[nodiscard]] BitVector decode(const BitVector& received) const;
+
+  /// Post-decoding bit error probability for raw error rate `p`.
+  [[nodiscard]] double decoded_error_rate(double p) const;
+
+ private:
+  int r_;
+};
+
+}  // namespace aropuf

@@ -1,0 +1,24 @@
+#include "keygen/debias.hpp"
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+DebiasResult von_neumann_debias(const BitVector& input) {
+  DebiasResult result;
+  const std::size_t pairs = input.size() / 2;
+  result.consumed = pairs * 2;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const bool a = input.get(2 * p);
+    const bool b = input.get(2 * p + 1);
+    if (a != b) result.bits.push_back(a);  // 01 -> 0, 10 -> 1
+  }
+  return result;
+}
+
+double expected_von_neumann_yield(double ones_fraction) {
+  ARO_REQUIRE(ones_fraction >= 0.0 && ones_fraction <= 1.0, "bias must be in [0, 1]");
+  return ones_fraction * (1.0 - ones_fraction);
+}
+
+}  // namespace aropuf

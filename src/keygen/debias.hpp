@@ -1,0 +1,36 @@
+// Von Neumann debiasing.
+//
+// The conventional RO-PUF's layout systematics bias response bits (E4 shows
+// it failing monobit); feeding biased bits into key material overstates
+// entropy.  The von Neumann extractor turns any i.i.d.-per-pair biased
+// source into exactly unbiased output at the cost of yield:
+// pairs 01 -> 0, 10 -> 1, 00/11 -> discarded (expected yield p(1-p)).
+//
+// Classic trade-off demonstrated in the tests: debiasing fixes *bias* but
+// cannot fix *correlation*, and it discards data a fuzzy extractor would
+// need aligned — so the ARO answer (fix the bias at the source, by pairing)
+// is the better design.
+#pragma once
+
+#include "common/bitvector.hpp"
+
+namespace aropuf {
+
+struct DebiasResult {
+  BitVector bits;           ///< extracted unbiased bits
+  std::size_t consumed = 0; ///< input bits consumed (always even)
+
+  [[nodiscard]] double yield() const {
+    return consumed == 0 ? 0.0
+                         : static_cast<double>(bits.size()) / static_cast<double>(consumed);
+  }
+};
+
+/// Runs the von Neumann extractor over consecutive bit pairs of `input`
+/// (a trailing odd bit is ignored).
+[[nodiscard]] DebiasResult von_neumann_debias(const BitVector& input);
+
+/// Expected yield for per-bit bias p (fraction of ones): p(1-p).
+[[nodiscard]] double expected_von_neumann_yield(double ones_fraction);
+
+}  // namespace aropuf

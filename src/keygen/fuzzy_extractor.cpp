@@ -1,0 +1,45 @@
+#include "keygen/fuzzy_extractor.hpp"
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+FuzzyExtractor::FuzzyExtractor(const ConcatenatedScheme& scheme) : code_(scheme) {}
+
+Sha256::Digest FuzzyExtractor::derive_key(const BitVector& secret) {
+  const auto bytes = secret.to_bytes();
+  return Sha256::hash(bytes);
+}
+
+Enrollment FuzzyExtractor::enroll(const BitVector& golden_response, Xoshiro256& rng) const {
+  ARO_REQUIRE(golden_response.size() == response_bits(),
+              "response length must match the scheme's raw bits");
+  BitVector secret(static_cast<std::size_t>(code_.scheme().key_bits));
+  for (std::size_t i = 0; i < secret.size(); ++i) secret.set(i, rng.bernoulli(0.5));
+  Enrollment e;
+  e.helper_data = golden_response ^ code_.encode(secret);
+  e.key = derive_key(secret);
+  return e;
+}
+
+std::optional<BitVector> FuzzyExtractor::refresh_helper_data(
+    const BitVector& current_response, const BitVector& old_helper_data) const {
+  ARO_REQUIRE(current_response.size() == response_bits(),
+              "response length must match the scheme's raw bits");
+  ARO_REQUIRE(old_helper_data.size() == response_bits(), "helper data length mismatch");
+  const auto secret = code_.decode(current_response ^ old_helper_data);
+  if (!secret.has_value()) return std::nullopt;
+  return current_response ^ code_.encode(*secret);
+}
+
+std::optional<Sha256::Digest> FuzzyExtractor::reconstruct(const BitVector& response,
+                                                          const BitVector& helper_data) const {
+  ARO_REQUIRE(response.size() == response_bits(),
+              "response length must match the scheme's raw bits");
+  ARO_REQUIRE(helper_data.size() == response_bits(), "helper data length mismatch");
+  const auto secret = code_.decode(response ^ helper_data);
+  if (!secret.has_value()) return std::nullopt;
+  return derive_key(*secret);
+}
+
+}  // namespace aropuf

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// The fuzzy extractor compresses the reconstructed secret through a hash to
+// produce the final cryptographic key (entropy extraction); this is the only
+// cryptographic primitive the key-generation flow needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aropuf {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestBytes = 32;
+  using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+  Sha256();
+
+  /// Streams `data` into the hash.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Finishes and returns the digest; the object must not be reused after.
+  [[nodiscard]] Digest finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data);
+
+  /// Lowercase hex rendering of a digest.
+  [[nodiscard]] static std::string to_hex(const Digest& digest);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace aropuf

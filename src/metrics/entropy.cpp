@@ -1,0 +1,113 @@
+#include "metrics/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "metrics/uniformity.hpp"
+
+namespace aropuf {
+
+namespace {
+
+/// SP 800-90B style upper confidence bound on an observed proportion
+/// (normal approximation at 99 %): p_u = p + 2.576 * sqrt(p(1-p)/n), capped.
+double upper_bound(double p, std::size_t n) {
+  const double adj = 2.576 * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+  return std::min(1.0, p + adj);
+}
+
+}  // namespace
+
+double mcv_min_entropy(std::span<const BitVector> responses) {
+  ARO_REQUIRE(responses.size() >= 2, "MCV estimate needs a population");
+  const auto aliasing = bit_aliasing(responses);
+  double total = 0.0;
+  for (const double p1 : aliasing) {
+    const double p_max = std::max(p1, 1.0 - p1);
+    const double p_u = upper_bound(p_max, responses.size());
+    total += -std::log2(std::max(p_u, 1e-12));
+  }
+  return total / static_cast<double>(aliasing.size());
+}
+
+double collision_min_entropy(std::span<const BitVector> responses, int word_bits) {
+  ARO_REQUIRE(!responses.empty(), "collision estimate needs responses");
+  ARO_REQUIRE(word_bits >= 1 && word_bits <= 24, "word size must be in [1, 24]");
+  // Count collisions between same-position words across chips: a biased or
+  // correlated source collides more often than 2^-w.
+  const std::size_t word_count = responses[0].size() / static_cast<std::size_t>(word_bits);
+  ARO_REQUIRE(word_count >= 1, "responses shorter than one word");
+  std::size_t pairs = 0;
+  std::size_t collisions = 0;
+  for (std::size_t w = 0; w < word_count; ++w) {
+    std::unordered_map<std::uint32_t, std::size_t> counts;
+    for (const auto& r : responses) {
+      std::uint32_t word = 0;
+      for (int b = 0; b < word_bits; ++b) {
+        word = (word << 1) |
+               static_cast<std::uint32_t>(r.get(w * static_cast<std::size_t>(word_bits) +
+                                                static_cast<std::size_t>(b)));
+      }
+      ++counts[word];
+    }
+    const std::size_t n = responses.size();
+    pairs += n * (n - 1) / 2;
+    for (const auto& [word, c] : counts) collisions += c * (c - 1) / 2;
+  }
+  ARO_ASSERT(pairs > 0, "no word pairs counted");
+  const double rate = std::max(static_cast<double>(collisions) / static_cast<double>(pairs),
+                               std::pow(2.0, -static_cast<double>(word_bits)));
+  // Collision probability of an i.i.d. source with per-symbol collision
+  // probability q is q; min-entropy lower bound via p_max <= sqrt(q).
+  const double p_max = std::sqrt(rate);
+  return -std::log2(p_max) / static_cast<double>(word_bits);
+}
+
+double markov_min_entropy(std::span<const BitVector> responses) {
+  ARO_REQUIRE(!responses.empty(), "Markov estimate needs responses");
+  // Pool transition counts over all responses.
+  double n0 = 0.0;
+  double n1 = 0.0;
+  double t01 = 0.0;
+  double t11 = 0.0;
+  std::size_t samples = 0;
+  for (const auto& r : responses) {
+    ARO_REQUIRE(r.size() >= 2, "Markov estimate needs >= 2 bits per response");
+    for (std::size_t i = 0; i + 1 < r.size(); ++i) {
+      const bool a = r.get(i);
+      const bool b = r.get(i + 1);
+      if (a) {
+        n1 += 1.0;
+        if (b) t11 += 1.0;
+      } else {
+        n0 += 1.0;
+        if (b) t01 += 1.0;
+      }
+      ++samples;
+    }
+  }
+  const double p1 = (n1 + t01) > 0.0 ? (n1 / (n0 + n1)) : 0.5;
+  const double p01 = n0 > 0.0 ? t01 / n0 : 0.5;
+  const double p11 = n1 > 0.0 ? t11 / n1 : 0.5;
+  // Upper-bound the probabilities before chaining (conservative).
+  const double q1 = upper_bound(std::max(p1, 1.0 - p1), samples);
+  const double q0max = upper_bound(std::max(p01, 1.0 - p01), samples);
+  const double q1max = upper_bound(std::max(p11, 1.0 - p11), samples);
+  // Most probable length-L path: start with the likelier bit, then L-1 steps
+  // of the likelier transition.  Per-bit entropy is the asymptotic rate.
+  const double step = std::max(q0max, q1max);
+  (void)q1;  // the start symbol's contribution vanishes asymptotically
+  return -std::log2(std::max(step, 1e-12));
+}
+
+double min_entropy_estimate(std::span<const BitVector> responses) {
+  const double mcv = mcv_min_entropy(responses);
+  const double coll = collision_min_entropy(responses);
+  const double markov = markov_min_entropy(responses);
+  return std::min({mcv, coll, markov});
+}
+
+}  // namespace aropuf

@@ -1,0 +1,42 @@
+// Min-entropy estimation for PUF responses (NIST SP 800-90B-lite).
+//
+// Key material must be budgeted against min-entropy, not Shannon entropy: a
+// fuzzy extractor's output length is bounded by H_min(response) minus the
+// helper-data leakage.  Three standard estimators, each conservative in a
+// different failure mode:
+//
+//  * most-common-value (MCV) — per-bit-position, catches biased bits;
+//  * collision — catches low-diversity sources via birthday statistics;
+//  * Markov (order-1) — catches serial dependence between adjacent bits.
+//
+// Estimates are per-bit (in [0, 1]); multiply by the response length for a
+// total budget.  The final estimate takes the minimum of the three.
+#pragma once
+
+#include <span>
+
+#include "common/bitvector.hpp"
+
+namespace aropuf {
+
+/// Per-bit MCV min-entropy over bit positions: for each position, the
+/// across-chip bias p_max; H = mean over positions of -log2(p_max).
+/// Includes the SP 800-90B upper-confidence adjustment on p_max.
+[[nodiscard]] double mcv_min_entropy(std::span<const BitVector> responses);
+
+/// Collision-based estimate over w-bit words at matching positions across
+/// chips: collision rate q -> p_max <= sqrt(q) -> per-bit entropy.  The
+/// sqrt bound is a true lower bound on H_min but is conservative by up to a
+/// factor 2 (an ideal source scores 0.5/bit, not 1.0); it exists to catch
+/// low-diversity failures (cloned or heavily correlated chips), which drive
+/// it toward 0.
+[[nodiscard]] double collision_min_entropy(std::span<const BitVector> responses, int word_bits = 8);
+
+/// Order-1 Markov estimate on each response (serial dependence): per-bit
+/// min-entropy of the most probable transition path.
+[[nodiscard]] double markov_min_entropy(std::span<const BitVector> responses);
+
+/// min(MCV, collision, Markov) — the conservative budget figure.
+[[nodiscard]] double min_entropy_estimate(std::span<const BitVector> responses);
+
+}  // namespace aropuf

@@ -1,0 +1,222 @@
+#include "metrics/nist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/special_functions.hpp"
+
+namespace aropuf {
+
+namespace {
+
+NistTestResult not_applicable(std::string name) {
+  NistTestResult r;
+  r.name = std::move(name);
+  r.applicable = false;
+  r.p_value = 1.0;
+  return r;
+}
+
+/// Counts of overlapping m-bit patterns with cyclic wrap-around, as the
+/// serial and approximate-entropy tests require.
+std::vector<std::uint64_t> overlapping_pattern_counts(const BitVector& bits, std::size_t m) {
+  std::vector<std::uint64_t> counts(std::size_t{1} << m, 0);
+  const std::size_t n = bits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t pattern = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      pattern = (pattern << 1) | static_cast<std::size_t>(bits.get((i + j) % n));
+    }
+    ++counts[pattern];
+  }
+  return counts;
+}
+
+/// psi-squared statistic of the serial test.
+double psi_squared(const BitVector& bits, std::size_t m) {
+  if (m == 0) return 0.0;
+  const auto counts = overlapping_pattern_counts(bits, m);
+  const double n = static_cast<double>(bits.size());
+  double sum = 0.0;
+  for (const std::uint64_t c : counts) {
+    sum += static_cast<double>(c) * static_cast<double>(c);
+  }
+  return sum * std::pow(2.0, static_cast<double>(m)) / n - n;
+}
+
+}  // namespace
+
+NistTestResult nist_monobit(const BitVector& bits) {
+  if (bits.size() < 100) return not_applicable("frequency (monobit)");
+  const double n = static_cast<double>(bits.size());
+  const double ones = static_cast<double>(bits.popcount());
+  const double s = std::fabs(2.0 * ones - n) / std::sqrt(n);
+  NistTestResult r;
+  r.name = "frequency (monobit)";
+  r.p_value = std::erfc(s / std::sqrt(2.0));
+  return r;
+}
+
+NistTestResult nist_block_frequency(const BitVector& bits, std::size_t block) {
+  ARO_REQUIRE(block >= 2, "block length must be >= 2");
+  const std::size_t blocks = bits.size() / block;
+  if (blocks < 4) return not_applicable("block frequency");
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < block; ++i) ones += static_cast<std::size_t>(bits.get(b * block + i));
+    const double pi = static_cast<double>(ones) / static_cast<double>(block);
+    chi2 += (pi - 0.5) * (pi - 0.5);
+  }
+  chi2 *= 4.0 * static_cast<double>(block);
+  NistTestResult r;
+  r.name = "block frequency";
+  r.p_value = regularized_gamma_q(static_cast<double>(blocks) / 2.0, chi2 / 2.0);
+  return r;
+}
+
+NistTestResult nist_runs(const BitVector& bits) {
+  if (bits.size() < 100) return not_applicable("runs");
+  const double n = static_cast<double>(bits.size());
+  const double pi = static_cast<double>(bits.popcount()) / n;
+  // Prerequisite of the runs test: monobit must not be badly violated.
+  if (std::fabs(pi - 0.5) >= 2.0 / std::sqrt(n)) {
+    NistTestResult r;
+    r.name = "runs";
+    r.p_value = 0.0;
+    return r;
+  }
+  std::size_t runs = 1;
+  for (std::size_t i = 1; i < bits.size(); ++i) {
+    if (bits.get(i) != bits.get(i - 1)) ++runs;
+  }
+  const double v = static_cast<double>(runs);
+  const double num = std::fabs(v - 2.0 * n * pi * (1.0 - pi));
+  const double den = 2.0 * std::sqrt(2.0 * n) * pi * (1.0 - pi);
+  NistTestResult r;
+  r.name = "runs";
+  r.p_value = std::erfc(num / den);
+  return r;
+}
+
+NistTestResult nist_longest_run(const BitVector& bits) {
+  // n >= 128 variant: M = 8, categories { <=1, 2, 3, >=4 }.
+  if (bits.size() < 128) return not_applicable("longest run of ones");
+  constexpr std::size_t kBlock = 8;
+  static constexpr double kPi[4] = {0.2148, 0.3672, 0.2305, 0.1875};
+  const std::size_t blocks = bits.size() / kBlock;
+  std::size_t v[4] = {0, 0, 0, 0};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t longest = 0;
+    std::size_t current = 0;
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      if (bits.get(b * kBlock + i)) {
+        ++current;
+        longest = std::max(longest, current);
+      } else {
+        current = 0;
+      }
+    }
+    if (longest <= 1) {
+      ++v[0];
+    } else if (longest == 2) {
+      ++v[1];
+    } else if (longest == 3) {
+      ++v[2];
+    } else {
+      ++v[3];
+    }
+  }
+  const double big_n = static_cast<double>(blocks);
+  double chi2 = 0.0;
+  for (int k = 0; k < 4; ++k) {
+    const double expected = big_n * kPi[k];
+    const double diff = static_cast<double>(v[k]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  NistTestResult r;
+  r.name = "longest run of ones";
+  r.p_value = regularized_gamma_q(3.0 / 2.0, chi2 / 2.0);
+  return r;
+}
+
+NistTestResult nist_serial(const BitVector& bits, std::size_t m) {
+  ARO_REQUIRE(m >= 2, "serial test needs m >= 2");
+  if (bits.size() < (std::size_t{1} << (m + 2))) return not_applicable("serial");
+  const double psi_m = psi_squared(bits, m);
+  const double psi_m1 = psi_squared(bits, m - 1);
+  const double psi_m2 = psi_squared(bits, m - 2);
+  const double d1 = psi_m - psi_m1;
+  const double d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+  const double p1 = regularized_gamma_q(std::pow(2.0, static_cast<double>(m - 2)), d1 / 2.0);
+  const double p2 = regularized_gamma_q(std::pow(2.0, static_cast<double>(m - 3)), d2 / 2.0);
+  NistTestResult r;
+  r.name = "serial (m=" + std::to_string(m) + ")";
+  r.p_value = std::min(p1, p2);
+  return r;
+}
+
+NistTestResult nist_cumulative_sums(const BitVector& bits) {
+  if (bits.size() < 100) return not_applicable("cumulative sums");
+  const auto n = static_cast<double>(bits.size());
+  std::int64_t sum = 0;
+  std::int64_t z = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    sum += bits.get(i) ? 1 : -1;
+    z = std::max<std::int64_t>(z, sum < 0 ? -sum : sum);
+  }
+  const double zd = static_cast<double>(z);
+  const double sqrt_n = std::sqrt(n);
+  double p = 1.0;
+  const auto k_start = static_cast<long>(std::floor((-n / zd + 1.0) / 4.0));
+  const auto k_end = static_cast<long>(std::floor((n / zd - 1.0) / 4.0));
+  for (long k = k_start; k <= k_end; ++k) {
+    const double kk = static_cast<double>(k);
+    p -= normal_cdf((4.0 * kk + 1.0) * zd / sqrt_n) -
+         normal_cdf((4.0 * kk - 1.0) * zd / sqrt_n);
+  }
+  const auto k2_start = static_cast<long>(std::floor((-n / zd - 3.0) / 4.0));
+  const auto k2_end = static_cast<long>(std::floor((n / zd - 1.0) / 4.0));
+  for (long k = k2_start; k <= k2_end; ++k) {
+    const double kk = static_cast<double>(k);
+    p += normal_cdf((4.0 * kk + 3.0) * zd / sqrt_n) -
+         normal_cdf((4.0 * kk + 1.0) * zd / sqrt_n);
+  }
+  NistTestResult r;
+  r.name = "cumulative sums";
+  r.p_value = std::clamp(p, 0.0, 1.0);
+  return r;
+}
+
+NistTestResult nist_approximate_entropy(const BitVector& bits, std::size_t m) {
+  if (bits.size() < (std::size_t{1} << (m + 5))) return not_applicable("approximate entropy");
+  const double n = static_cast<double>(bits.size());
+  auto phi = [&bits, n](std::size_t mm) {
+    const auto counts = overlapping_pattern_counts(bits, mm);
+    double sum = 0.0;
+    for (const std::uint64_t c : counts) {
+      if (c == 0) continue;
+      const double freq = static_cast<double>(c) / n;
+      sum += freq * std::log(freq);
+    }
+    return sum;
+  };
+  const double ap_en = phi(m) - phi(m + 1);
+  const double chi2 = 2.0 * n * (std::log(2.0) - ap_en);
+  NistTestResult r;
+  r.name = "approximate entropy (m=" + std::to_string(m) + ")";
+  r.p_value = regularized_gamma_q(std::pow(2.0, static_cast<double>(m - 1)), chi2 / 2.0);
+  return r;
+}
+
+std::vector<NistTestResult> nist_battery(const BitVector& bits) {
+  return {
+      nist_monobit(bits),          nist_block_frequency(bits), nist_runs(bits),
+      nist_longest_run(bits),      nist_serial(bits),          nist_cumulative_sums(bits),
+      nist_approximate_entropy(bits),
+  };
+}
+
+}  // namespace aropuf

@@ -1,0 +1,37 @@
+// NIST SP 800-22-style randomness battery ("NIST-lite").
+//
+// Seven of the statistical tests from the suite, enough to exercise the
+// paper's randomness claim on concatenated PUF responses.  Each test
+// produces a p-value; the conventional pass threshold is p >= 0.01.
+//
+// Implemented tests:
+//   frequency (monobit), block frequency, runs, longest-run-of-ones,
+//   serial (m = 3), cumulative sums (forward), approximate entropy (m = 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace aropuf {
+
+struct NistTestResult {
+  std::string name;
+  double p_value = 0.0;
+  bool applicable = true;  ///< false when the sequence is too short
+  [[nodiscard]] bool pass(double alpha = 0.01) const { return !applicable || p_value >= alpha; }
+};
+
+[[nodiscard]] NistTestResult nist_monobit(const BitVector& bits);
+[[nodiscard]] NistTestResult nist_block_frequency(const BitVector& bits, std::size_t block = 16);
+[[nodiscard]] NistTestResult nist_runs(const BitVector& bits);
+[[nodiscard]] NistTestResult nist_longest_run(const BitVector& bits);
+[[nodiscard]] NistTestResult nist_serial(const BitVector& bits, std::size_t m = 3);
+[[nodiscard]] NistTestResult nist_cumulative_sums(const BitVector& bits);
+[[nodiscard]] NistTestResult nist_approximate_entropy(const BitVector& bits, std::size_t m = 2);
+
+/// Runs the whole battery.
+[[nodiscard]] std::vector<NistTestResult> nist_battery(const BitVector& bits);
+
+}  // namespace aropuf

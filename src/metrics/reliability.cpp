@@ -1,0 +1,31 @@
+#include "metrics/reliability.hpp"
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+ReliabilityResult compute_reliability(const BitVector& golden,
+                                      std::span<const BitVector> measurements) {
+  ARO_REQUIRE(!measurements.empty(), "reliability needs at least one measurement");
+  ReliabilityResult result;
+  for (const auto& m : measurements) {
+    result.stats.add(fractional_hamming_distance(golden, m));
+  }
+  return result;
+}
+
+std::vector<double> per_bit_flip_rate(const BitVector& golden,
+                                      std::span<const BitVector> measurements) {
+  ARO_REQUIRE(!measurements.empty(), "per-bit flip rate needs measurements");
+  std::vector<double> rate(golden.size(), 0.0);
+  for (const auto& m : measurements) {
+    ARO_REQUIRE(m.size() == golden.size(), "measurement length mismatch");
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      if (m.get(i) != golden.get(i)) rate[i] += 1.0;
+    }
+  }
+  for (auto& r : rate) r /= static_cast<double>(measurements.size());
+  return rate;
+}
+
+}  // namespace aropuf

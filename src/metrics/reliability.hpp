@@ -1,0 +1,34 @@
+// Reliability: intra-chip Hamming distance against a golden (enrollment)
+// response.
+//
+// The paper's headline metric — "% bits flipped over 10 years" — is the
+// fractional HD between the enrollment response and the response measured
+// after aging (plus measurement noise).  We also report per-bit flip
+// probabilities so the ECC search can consume a bit-error rate.
+#pragma once
+
+#include <span>
+
+#include "common/bitvector.hpp"
+#include "common/statistics.hpp"
+
+namespace aropuf {
+
+struct ReliabilityResult {
+  /// Over re-measurements: fractional HD to golden.
+  RunningStats stats;
+  /// Reliability as the paper reports it: 100 % − mean intra-chip HD %.
+  [[nodiscard]] double reliability_percent() const { return (1.0 - stats.mean()) * 100.0; }
+  [[nodiscard]] double flip_percent() const { return stats.mean() * 100.0; }
+};
+
+/// HD of each of `measurements` against `golden`.
+[[nodiscard]] ReliabilityResult compute_reliability(const BitVector& golden,
+                                                    std::span<const BitVector> measurements);
+
+/// Per-bit flip rate across measurements (index i = fraction of measurements
+/// whose bit i differs from golden); feeds the worst-case-bit analysis.
+[[nodiscard]] std::vector<double> per_bit_flip_rate(const BitVector& golden,
+                                                    std::span<const BitVector> measurements);
+
+}  // namespace aropuf

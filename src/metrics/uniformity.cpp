@@ -1,0 +1,50 @@
+#include "metrics/uniformity.hpp"
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+double uniformity(const BitVector& response) {
+  ARO_REQUIRE(!response.empty(), "uniformity of an empty response");
+  return response.ones_fraction();
+}
+
+RunningStats uniformity_stats(std::span<const BitVector> responses) {
+  ARO_REQUIRE(!responses.empty(), "uniformity stats need at least one response");
+  RunningStats stats;
+  for (const auto& r : responses) stats.add(uniformity(r));
+  return stats;
+}
+
+std::vector<double> bit_aliasing(std::span<const BitVector> responses) {
+  ARO_REQUIRE(!responses.empty(), "bit aliasing needs at least one response");
+  std::vector<double> ones(responses[0].size(), 0.0);
+  for (const auto& r : responses) {
+    ARO_REQUIRE(r.size() == responses[0].size(), "response length mismatch");
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (r.get(i)) ones[i] += 1.0;
+    }
+  }
+  for (auto& o : ones) o /= static_cast<double>(responses.size());
+  return ones;
+}
+
+RunningStats bit_aliasing_stats(std::span<const BitVector> responses) {
+  RunningStats stats;
+  for (const double a : bit_aliasing(responses)) stats.add(a);
+  return stats;
+}
+
+double autocorrelation(const BitVector& response, std::size_t lag) {
+  ARO_REQUIRE(lag >= 1 && lag < response.size(), "lag must be in [1, size)");
+  const std::size_t n = response.size() - lag;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = response.get(i) ? 1.0 : -1.0;
+    const double b = response.get(i + lag) ? 1.0 : -1.0;
+    sum += a * b;
+  }
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace aropuf

@@ -1,0 +1,34 @@
+// Uniformity, bit-aliasing, and autocorrelation.
+//
+//  * uniformity — fraction of 1s within one chip's response (ideal 50 %);
+//  * bit-aliasing — for each bit position, the fraction of chips whose bit
+//    is 1 (ideal 50 %; systematic layout bias shows up here first);
+//  * autocorrelation — correlation of a response with its lag-shifted self
+//    (overlapping pairings such as chain-neighbor leave a signature here).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/statistics.hpp"
+
+namespace aropuf {
+
+/// Fraction of ones in one response.
+[[nodiscard]] double uniformity(const BitVector& response);
+
+/// Uniformity statistics over a population.
+[[nodiscard]] RunningStats uniformity_stats(std::span<const BitVector> responses);
+
+/// Per-bit-position ones-fraction across chips.
+[[nodiscard]] std::vector<double> bit_aliasing(std::span<const BitVector> responses);
+
+/// Summary of how far bit-aliasing strays from the ideal 0.5.
+[[nodiscard]] RunningStats bit_aliasing_stats(std::span<const BitVector> responses);
+
+/// Normalized autocorrelation of `response` at `lag` (in [-1, 1]; bits are
+/// mapped to ±1).  Requires 1 <= lag < size.
+[[nodiscard]] double autocorrelation(const BitVector& response, std::size_t lag);
+
+}  // namespace aropuf

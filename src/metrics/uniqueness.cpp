@@ -1,0 +1,22 @@
+#include "metrics/uniqueness.hpp"
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+UniquenessResult compute_uniqueness(std::span<const BitVector> responses) {
+  ARO_REQUIRE(responses.size() >= 2, "uniqueness needs at least two chips");
+  UniquenessResult result;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ARO_REQUIRE(responses[i].size() == responses[0].size(),
+                "all responses must have equal length");
+    for (std::size_t j = i + 1; j < responses.size(); ++j) {
+      const double hd = fractional_hamming_distance(responses[i], responses[j]);
+      result.stats.add(hd);
+      result.histogram.add(hd);
+    }
+  }
+  return result;
+}
+
+}  // namespace aropuf

@@ -1,0 +1,25 @@
+// Uniqueness: the inter-chip Hamming distance statistics of a population.
+//
+// For k chips, all k(k-1)/2 pairwise fractional HDs are accumulated; the
+// paper reports the mean (ideal 50 %: every pair of chips disagrees on half
+// their bits) and the distribution (Fig. E3's histogram).
+#pragma once
+
+#include <span>
+
+#include "common/bitvector.hpp"
+#include "common/statistics.hpp"
+
+namespace aropuf {
+
+struct UniquenessResult {
+  RunningStats stats;        ///< over all pairwise fractional HDs
+  Histogram histogram{0.0, 1.0, 50};
+
+  [[nodiscard]] double mean_percent() const { return stats.mean() * 100.0; }
+};
+
+/// Pairwise inter-chip HD over `responses` (all must be equal length).
+[[nodiscard]] UniquenessResult compute_uniqueness(std::span<const BitVector> responses);
+
+}  // namespace aropuf

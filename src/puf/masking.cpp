@@ -1,0 +1,65 @@
+#include "puf/masking.hpp"
+
+#include "common/check.hpp"
+#include "device/technology.hpp"
+
+namespace aropuf {
+
+ScreeningConfig ScreeningConfig::nominal_only(int repeats) {
+  ScreeningConfig c;
+  c.repeats = repeats;
+  return c;
+}
+
+ScreeningConfig ScreeningConfig::full_corners(const TechnologyParams& tech, int repeats) {
+  ScreeningConfig c;
+  c.repeats = repeats;
+  c.corners = {
+      OperatingPoint{tech.vdd_nominal, celsius(-40.0)},
+      OperatingPoint{tech.vdd_nominal, celsius(125.0)},
+      OperatingPoint{tech.vdd_nominal * 0.9, tech.temp_nominal},
+      OperatingPoint{tech.vdd_nominal * 1.1, tech.temp_nominal},
+  };
+  return c;
+}
+
+void ScreeningConfig::validate() const {
+  ARO_REQUIRE(repeats >= 1, "screening needs at least one repeat");
+  for (const auto& op : corners) {
+    ARO_REQUIRE(op.vdd > 0.0 && op.temp > 0.0, "screening corner out of domain");
+  }
+}
+
+StabilityMask screen_stability(const RoPuf& chip, const ScreeningConfig& config) {
+  config.validate();
+  const OperatingPoint nominal = chip.nominal_op();
+  const BitVector golden = chip.evaluate(nominal, config.base_eval_index);
+
+  StabilityMask mask;
+  mask.keep = BitVector(golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) mask.keep.set(i, true);
+
+  std::uint64_t eval = config.base_eval_index + 1;
+  auto screen_at = [&](const OperatingPoint& op) {
+    for (int r = 0; r < config.repeats; ++r) {
+      const BitVector reading = chip.evaluate(op, eval++);
+      for (std::size_t i = 0; i < golden.size(); ++i) {
+        if (reading.get(i) != golden.get(i)) mask.keep.set(i, false);
+      }
+    }
+  };
+  screen_at(nominal);
+  for (const auto& corner : config.corners) screen_at(corner);
+  return mask;
+}
+
+BitVector apply_mask(const BitVector& response, const StabilityMask& mask) {
+  ARO_REQUIRE(response.size() == mask.keep.size(), "mask length mismatch");
+  BitVector out;
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    if (mask.keep.get(i)) out.push_back(response.get(i));
+  }
+  return out;
+}
+
+}  // namespace aropuf

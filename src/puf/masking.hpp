@@ -1,0 +1,54 @@
+// Stability screening ("dark-bit masking").
+//
+// At enrollment, each response bit is measured repeatedly across
+// environmental corners; bits that ever disagree with the nominal golden
+// value are marked unstable and excluded from key material.  The mask is
+// public helper data (it reveals which *positions* are noisy, not their
+// values).  Masking attacks the measurement-noise and environmental error
+// floor — it cannot see future aging — so it composes with, rather than
+// replaces, the ARO design's gating: the E10 bench quantifies both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/operating_point.hpp"
+#include "common/bitvector.hpp"
+#include "puf/ro_puf.hpp"
+
+namespace aropuf {
+
+struct ScreeningConfig {
+  /// Re-measurements per operating point.
+  int repeats = 5;
+  /// Corners screened in addition to the nominal point.
+  std::vector<OperatingPoint> corners;
+  /// First eval index reserved for screening reads (so later evaluations
+  /// don't replay screening noise).
+  std::uint64_t base_eval_index = 1000;
+
+  /// Nominal-only screening (noise floor screening).
+  static ScreeningConfig nominal_only(int repeats = 5);
+
+  /// Industrial screening: nominal + cold/hot + low/high VDD corners.
+  static ScreeningConfig full_corners(const TechnologyParams& tech, int repeats = 3);
+
+  void validate() const;
+};
+
+struct StabilityMask {
+  /// Bit i set = position i was stable through screening (keep it).
+  BitVector keep;
+
+  [[nodiscard]] std::size_t stable_count() const { return keep.popcount(); }
+  [[nodiscard]] double stable_fraction() const { return keep.ones_fraction(); }
+};
+
+/// Screens `chip` around its current aging state and returns the mask.
+/// Deterministic for a given (chip, config).
+[[nodiscard]] StabilityMask screen_stability(const RoPuf& chip, const ScreeningConfig& config);
+
+/// Compacts `response` to only the positions the mask keeps.
+[[nodiscard]] BitVector apply_mask(const BitVector& response, const StabilityMask& mask);
+
+}  // namespace aropuf

@@ -1,0 +1,46 @@
+// Enrollment-time maximum-margin pair selection.
+//
+// Instead of a fixed pairing, each response bit draws on a *group* of k
+// physically adjacent ROs; enrollment measures the group and publishes (as
+// helper data) the pair with the largest frequency margin.  A bit backed by
+// a wide margin survives noise, environment, and differential aging far
+// longer — at the cost of k/2x more ROs per bit.  This is the classic
+// reliability enhancement the paper's related-work discusses; the E13 bench
+// quantifies it against (and combined with) the ARO design's gating.
+//
+// The selection indices are public: they reveal the *ordering margin*
+// structure but, like all helper data here, not the response values.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "circuit/operating_point.hpp"
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+#include "puf/ro_puf.hpp"
+
+namespace aropuf {
+
+/// Chosen RO index pairs, one per group (public helper data).
+struct SelectedPairs {
+  int group_size = 0;
+  std::vector<std::pair<int, int>> pairs;
+
+  [[nodiscard]] std::size_t response_bits() const { return pairs.size(); }
+};
+
+/// Partitions the chip's array into consecutive groups of `group_size` ROs
+/// and selects, per group, the pair with the widest measured count margin.
+/// `repeats` measurements per RO are averaged to keep noise from steering
+/// the choice.  Requires group_size >= 2 and num_ros % group_size == 0.
+[[nodiscard]] SelectedPairs select_max_margin_pairs(const RoPuf& chip, int group_size,
+                                                    OperatingPoint op, Xoshiro256& noise_rng,
+                                                    int repeats = 3);
+
+/// Response readout with an explicit pair table.
+[[nodiscard]] BitVector evaluate_with_pairs(const RoPuf& chip, const SelectedPairs& selection,
+                                            OperatingPoint op, Xoshiro256& noise_rng);
+
+}  // namespace aropuf

@@ -1,0 +1,84 @@
+#include "puf/ro_puf.hpp"
+
+#include "common/check.hpp"
+#include "variation/process_variation.hpp"
+
+namespace aropuf {
+
+RoPuf::RoPuf(const TechnologyParams& tech, PufConfig config, RngFabric fabric)
+    : tech_(std::make_shared<TechnologyParams>(tech)),
+      config_(std::move(config)),
+      fabric_(fabric),
+      aging_(*tech_),
+      counter_(*tech_, config_.measurement_window) {
+  tech_->validate();
+  config_.validate();
+  const DieVariation die(*tech_, fabric_.derive("die-variation"));
+  ros_.reserve(static_cast<std::size_t>(config_.num_ros));
+  for (int i = 0; i < config_.num_ros; ++i) {
+    const Position pos{static_cast<double>(i % config_.array_width),
+                       static_cast<double>(i / config_.array_width)};
+    Xoshiro256 device_rng = fabric_.stream("devices", static_cast<std::uint64_t>(i));
+    ros_.emplace_back(*tech_, config_.stages, pos, die, device_rng);
+  }
+  pairs_ = make_pairs(config_.pairing, config_.num_ros, config_.challenge_seed);
+}
+
+BitVector RoPuf::evaluate(OperatingPoint op, std::uint64_t eval_index) const {
+  BitVector response(pairs_.size());
+  for (std::size_t b = 0; b < pairs_.size(); ++b) {
+    Xoshiro256 noise_rng = fabric_.stream("noise", eval_index, b);
+    const auto [ia, ib] = pairs_[b];
+    const std::uint64_t ca = counter_.measure(ros_[static_cast<std::size_t>(ia)], op, noise_rng);
+    const std::uint64_t cb = counter_.measure(ros_[static_cast<std::size_t>(ib)], op, noise_rng);
+    response.set(b, compare_counts(ca, cb));
+  }
+  return response;
+}
+
+BitVector RoPuf::noiseless_response(OperatingPoint op) const {
+  BitVector response(pairs_.size());
+  for (std::size_t b = 0; b < pairs_.size(); ++b) {
+    const auto [ia, ib] = pairs_[b];
+    const Hertz fa = ros_[static_cast<std::size_t>(ia)].frequency(op);
+    const Hertz fb = ros_[static_cast<std::size_t>(ib)].frequency(op);
+    response.set(b, fa > fb);
+  }
+  return response;
+}
+
+std::vector<double> RoPuf::pair_frequency_differences(OperatingPoint op) const {
+  std::vector<double> diffs;
+  diffs.reserve(pairs_.size());
+  for (const auto& [ia, ib] : pairs_) {
+    diffs.push_back(ros_[static_cast<std::size_t>(ia)].frequency(op) -
+                    ros_[static_cast<std::size_t>(ib)].frequency(op));
+  }
+  return diffs;
+}
+
+void RoPuf::age_years(double y) {
+  ARO_REQUIRE(y >= 0.0, "years must be non-negative");
+  age(config_.lifetime_profile, years(y));
+}
+
+void RoPuf::age(const StressProfile& profile, Seconds duration) {
+  for (auto& ro : ros_) ro.apply_stress(aging_, profile, duration);
+}
+
+void RoPuf::reset_aging() {
+  for (auto& ro : ros_) ro.reset_aging();
+}
+
+std::vector<RoPuf> make_population(const TechnologyParams& tech, const PufConfig& config,
+                                   int count, const RngFabric& master_fabric) {
+  ARO_REQUIRE(count >= 1, "population must have at least one chip");
+  std::vector<RoPuf> chips;
+  chips.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    chips.emplace_back(tech, config, master_fabric.child("chip", static_cast<std::uint64_t>(i)));
+  }
+  return chips;
+}
+
+}  // namespace aropuf

@@ -1,0 +1,65 @@
+#include "sim/analytic.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "device/aging.hpp"
+
+namespace aropuf {
+
+double analytic_flip_probability(double sigma_disturbance, double sigma_margin) {
+  ARO_REQUIRE(sigma_disturbance >= 0.0, "sigma must be non-negative");
+  ARO_REQUIRE(sigma_margin > 0.0, "margin sigma must be positive");
+  return std::atan(sigma_disturbance / sigma_margin) / M_PI;
+}
+
+double analytic_interchip_hd(double sigma_systematic, double sigma_random) {
+  ARO_REQUIRE(sigma_systematic >= 0.0, "sigma must be non-negative");
+  ARO_REQUIRE(sigma_random > 0.0, "random sigma must be positive");
+  const double s2 = sigma_systematic * sigma_systematic;
+  const double rho = s2 / (s2 + sigma_random * sigma_random);
+  return std::acos(rho) / M_PI;
+}
+
+double analytic_pair_margin_sigma(const TechnologyParams& tech, int stages) {
+  ARO_REQUIRE(stages >= 3, "RO needs stages");
+  tech.validate();
+  // 2 devices per stage; a pair doubles the variance of the RO means.
+  const double devices = 2.0 * static_cast<double>(stages);
+  return tech.sigma_vth_local * std::sqrt(2.0 / devices);
+}
+
+double analytic_aging_disturbance_sigma(const TechnologyParams& tech, int stages,
+                                        const StressProfile& profile, double years_of_use) {
+  ARO_REQUIRE(stages >= 3, "RO needs stages");
+  ARO_REQUIRE(years_of_use >= 0.0, "years must be non-negative");
+  profile.validate();
+  const AgingModel aging(tech);
+  StressState state;
+  state = aging.accumulate(state, profile, years(years_of_use),
+                           tech.nominal_ro_frequency(stages));
+  const AgingShifts shifts = aging.shifts(state);
+  // NBTI applies per PMOS (one per stage); a pair's differential is the
+  // difference of two per-RO means of `stages` i.i.d. sensitivities.  HCI
+  // contributes the analogous NMOS term.
+  const double per_ro = std::sqrt(2.0 / static_cast<double>(stages));
+  const double nbti = shifts.nbti * tech.nbti_sigma_rel * per_ro;
+  const double hci = shifts.hci * tech.hci_sigma_rel * per_ro;
+  return std::sqrt(nbti * nbti + hci * hci);
+}
+
+double analytic_aging_flip_probability(const TechnologyParams& tech, const PufConfig& config,
+                                       double years_of_use) {
+  config.validate();
+  // The delay model averages rising and falling edges, so a PMOS-only
+  // (NBTI) or NMOS-only (HCI) shift carries half weight relative to a
+  // whole-device Vth change — the local-mismatch margin below includes both
+  // edges, so scale the disturbance by 0.5.
+  const double sigma_margin = analytic_pair_margin_sigma(tech, config.stages);
+  const double sigma_aging =
+      0.5 * analytic_aging_disturbance_sigma(tech, config.stages, config.lifetime_profile,
+                                             years_of_use);
+  return analytic_flip_probability(sigma_aging, sigma_margin);
+}
+
+}  // namespace aropuf

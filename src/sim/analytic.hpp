@@ -1,0 +1,50 @@
+// Closed-form companions to the Monte Carlo experiments.
+//
+// Two exact results for Gaussian comparison channels underpin the
+// calibration (DESIGN.md §5); exposing them lets tests cross-validate the
+// simulator against theory and lets users size designs without running MC:
+//
+//  * flip probability under additive disturbance: a bit decided by
+//    sign(d0), d0 ~ N(0, σ0²), flips under an independent disturbance
+//    a ~ N(0, σa²) with probability  P = atan(σa/σ0) / π.
+//  * inter-chip HD under shared bias: two chips' bits come from
+//    sign(μ + σ z) with common μ ~ N(0, σsys²); the expected disagreement
+//    is  arccos(ρ)/π  with  ρ = σsys² / (σsys² + σ²).
+//
+// The moments themselves (σ0, σa, σsys) follow from the technology
+// parameters; helpers below assemble the leading-order terms used in the
+// calibration notes.
+#pragma once
+
+#include "device/technology.hpp"
+#include "puf/puf_config.hpp"
+
+namespace aropuf {
+
+/// P[sign(d0 + a) != sign(d0)] for independent zero-mean Gaussians.
+[[nodiscard]] double analytic_flip_probability(double sigma_disturbance, double sigma_margin);
+
+/// Expected inter-chip fractional HD when each bit carries a shared
+/// (die-independent) bias of sigma `sigma_systematic` on top of per-die
+/// randomness `sigma_random`.
+[[nodiscard]] double analytic_interchip_hd(double sigma_systematic, double sigma_random);
+
+/// Leading-order sigma of a pair's Vth-equivalent margin from local
+/// mismatch: sigma_local * sqrt(2 / devices_per_ro).
+[[nodiscard]] double analytic_pair_margin_sigma(const TechnologyParams& tech, int stages);
+
+/// Leading-order sigma of the differential NBTI disturbance after
+/// `years_of_use` under `profile` (per-pair, Vth-equivalent): the
+/// deterministic shift times sigma_rel * sqrt(2 / pmos_per_ro).
+[[nodiscard]] double analytic_aging_disturbance_sigma(const TechnologyParams& tech, int stages,
+                                                      const StressProfile& profile,
+                                                      double years_of_use);
+
+/// Convenience: predicted 10-year-style flip probability for a design,
+/// from the two sigmas above (noise excluded; PMOS sensitivity factor 0.5
+/// folded in since NBTI acts on the rising edge only).
+[[nodiscard]] double analytic_aging_flip_probability(const TechnologyParams& tech,
+                                                     const PufConfig& config,
+                                                     double years_of_use);
+
+}  // namespace aropuf

@@ -1,0 +1,50 @@
+#include "sim/csv.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path, std::ios::trunc) {
+  if (!out_.is_open()) {
+    throw std::runtime_error("cannot open CSV output file: " + path);
+  }
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  ARO_REQUIRE(!fields.empty(), "CSV row must have at least one field");
+  if (rows_ == 0) {
+    columns_ = fields.size();
+  } else {
+    ARO_REQUIRE(fields.size() == columns_, "CSV rows must have a consistent width");
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::optional<CsvWriter> CsvWriter::for_bench(const std::string& name) {
+  const char* dir = std::getenv("ARO_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return CsvWriter(std::string(dir) + "/" + name + ".csv");
+}
+
+}  // namespace aropuf

@@ -1,0 +1,40 @@
+// CSV export for experiment results.
+//
+// Bench binaries print human tables; setting ARO_CSV_DIR makes them also
+// drop machine-readable CSVs there so figures can be replotted without
+// parsing ASCII art.  Fields are quoted per RFC 4180 when they contain
+// separators, quotes, or newlines.
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aropuf {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; every call must carry the same number of fields as the
+  /// first row written.
+  void write_row(const std::vector<std::string>& fields);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// RFC 4180 quoting of one field.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+  /// If the ARO_CSV_DIR environment variable is set, returns a writer for
+  /// `<dir>/<name>.csv`; otherwise nullopt (benches skip CSV output).
+  [[nodiscard]] static std::optional<CsvWriter> for_bench(const std::string& name);
+
+ private:
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace aropuf

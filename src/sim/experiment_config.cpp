@@ -1,0 +1,207 @@
+#include "sim/experiment_config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+namespace {
+
+const char* pairing_name(PairingStrategy s) { return to_string(s); }
+
+PairingStrategy pairing_from_name(const std::string& name) {
+  if (name == "adjacent-dedicated") return PairingStrategy::kAdjacentDedicated;
+  if (name == "distant-dedicated") return PairingStrategy::kDistantDedicated;
+  if (name == "chain-neighbor") return PairingStrategy::kChainNeighbor;
+  if (name == "random-challenge") return PairingStrategy::kRandomChallenge;
+  throw std::invalid_argument("unknown pairing strategy: " + name);
+}
+
+}  // namespace
+
+JsonValue to_json(const TechnologyParams& t) {
+  JsonValue::Object o;
+  o["name"] = t.name;
+  o["vdd_nominal"] = t.vdd_nominal;
+  o["temp_nominal"] = t.temp_nominal;
+  o["vth_n"] = t.vth_n;
+  o["vth_p"] = t.vth_p;
+  o["alpha"] = t.alpha;
+  o["delay_k"] = t.delay_k;
+  o["nand_delay_factor"] = t.nand_delay_factor;
+  o["vth_tempco"] = t.vth_tempco;
+  o["vth_tempco_mismatch_rel"] = t.vth_tempco_mismatch_rel;
+  o["mobility_temp_exp"] = t.mobility_temp_exp;
+  o["sigma_vth_local"] = t.sigma_vth_local;
+  o["sigma_vth_global"] = t.sigma_vth_global;
+  o["sigma_vth_spatial"] = t.sigma_vth_spatial;
+  o["spatial_correlation_length"] = t.spatial_correlation_length;
+  o["layout_systematic_amplitude"] = t.layout_systematic_amplitude;
+  o["layout_ripple_wavelength"] = t.layout_ripple_wavelength;
+  o["nbti_a"] = t.nbti_a;
+  o["nbti_ea"] = t.nbti_ea;
+  o["nbti_n"] = t.nbti_n;
+  o["nbti_recovery_fraction"] = t.nbti_recovery_fraction;
+  o["nbti_sigma_rel"] = t.nbti_sigma_rel;
+  o["hci_b"] = t.hci_b;
+  o["hci_ea"] = t.hci_ea;
+  o["hci_m"] = t.hci_m;
+  o["hci_sigma_rel"] = t.hci_sigma_rel;
+  o["jitter_cycle_rel"] = t.jitter_cycle_rel;
+  o["noise_lowfreq_rel"] = t.noise_lowfreq_rel;
+  o["area_ge_um2"] = t.area_ge_um2;
+  o["area_ro_cell_ge"] = t.area_ro_cell_ge;
+  o["area_counter_bit_ge"] = t.area_counter_bit_ge;
+  o["counter_bits"] = t.counter_bits;
+  return JsonValue(std::move(o));
+}
+
+TechnologyParams technology_from_json(const JsonValue& v) {
+  // Named-node base keeps configs short: {"name": "cmos65"} is complete,
+  // and any further key overrides that node's calibrated value.
+  const std::string name = v.string_or("name", "cmos90");
+  TechnologyParams t;
+  if (name == "cmos90") {
+    t = TechnologyParams::cmos90();
+  } else if (name == "cmos65") {
+    t = TechnologyParams::cmos65();
+  } else if (name == "cmos45") {
+    t = TechnologyParams::cmos45();
+  } else {
+    t = TechnologyParams::cmos90();
+    t.name = name;
+  }
+  t.vdd_nominal = v.number_or("vdd_nominal", t.vdd_nominal);
+  t.temp_nominal = v.number_or("temp_nominal", t.temp_nominal);
+  t.vth_n = v.number_or("vth_n", t.vth_n);
+  t.vth_p = v.number_or("vth_p", t.vth_p);
+  t.alpha = v.number_or("alpha", t.alpha);
+  t.delay_k = v.number_or("delay_k", t.delay_k);
+  t.nand_delay_factor = v.number_or("nand_delay_factor", t.nand_delay_factor);
+  t.vth_tempco = v.number_or("vth_tempco", t.vth_tempco);
+  t.vth_tempco_mismatch_rel =
+      v.number_or("vth_tempco_mismatch_rel", t.vth_tempco_mismatch_rel);
+  t.mobility_temp_exp = v.number_or("mobility_temp_exp", t.mobility_temp_exp);
+  t.sigma_vth_local = v.number_or("sigma_vth_local", t.sigma_vth_local);
+  t.sigma_vth_global = v.number_or("sigma_vth_global", t.sigma_vth_global);
+  t.sigma_vth_spatial = v.number_or("sigma_vth_spatial", t.sigma_vth_spatial);
+  t.spatial_correlation_length =
+      v.number_or("spatial_correlation_length", t.spatial_correlation_length);
+  t.layout_systematic_amplitude =
+      v.number_or("layout_systematic_amplitude", t.layout_systematic_amplitude);
+  t.layout_ripple_wavelength =
+      v.number_or("layout_ripple_wavelength", t.layout_ripple_wavelength);
+  t.nbti_a = v.number_or("nbti_a", t.nbti_a);
+  t.nbti_ea = v.number_or("nbti_ea", t.nbti_ea);
+  t.nbti_n = v.number_or("nbti_n", t.nbti_n);
+  t.nbti_recovery_fraction = v.number_or("nbti_recovery_fraction", t.nbti_recovery_fraction);
+  t.nbti_sigma_rel = v.number_or("nbti_sigma_rel", t.nbti_sigma_rel);
+  t.hci_b = v.number_or("hci_b", t.hci_b);
+  t.hci_ea = v.number_or("hci_ea", t.hci_ea);
+  t.hci_m = v.number_or("hci_m", t.hci_m);
+  t.hci_sigma_rel = v.number_or("hci_sigma_rel", t.hci_sigma_rel);
+  t.jitter_cycle_rel = v.number_or("jitter_cycle_rel", t.jitter_cycle_rel);
+  t.noise_lowfreq_rel = v.number_or("noise_lowfreq_rel", t.noise_lowfreq_rel);
+  t.area_ge_um2 = v.number_or("area_ge_um2", t.area_ge_um2);
+  t.area_ro_cell_ge = v.number_or("area_ro_cell_ge", t.area_ro_cell_ge);
+  t.area_counter_bit_ge = v.number_or("area_counter_bit_ge", t.area_counter_bit_ge);
+  t.counter_bits = static_cast<int>(v.number_or("counter_bits", t.counter_bits));
+  t.validate();
+  return t;
+}
+
+JsonValue to_json(const StressProfile& p) {
+  JsonValue::Object o;
+  o["name"] = p.name;
+  o["oscillation_fraction"] = p.oscillation_fraction;
+  o["nbti_duty"] = p.nbti_duty;
+  o["recovery_enabled"] = p.recovery_enabled;
+  o["stress_temperature"] = p.stress_temperature;
+  return JsonValue(std::move(o));
+}
+
+StressProfile stress_profile_from_json(const JsonValue& v) {
+  StressProfile p = StressProfile::conventional_always_on();
+  p.name = v.string_or("name", p.name);
+  p.oscillation_fraction = v.number_or("oscillation_fraction", p.oscillation_fraction);
+  p.nbti_duty = v.number_or("nbti_duty", p.nbti_duty);
+  p.recovery_enabled = v.bool_or("recovery_enabled", p.recovery_enabled);
+  p.stress_temperature = v.number_or("stress_temperature", p.stress_temperature);
+  p.validate();
+  return p;
+}
+
+JsonValue to_json(const PufConfig& c) {
+  JsonValue::Object o;
+  o["design"] = std::string(to_string(c.design));
+  o["label"] = c.label;
+  o["num_ros"] = c.num_ros;
+  o["stages"] = c.stages;
+  o["array_width"] = c.array_width;
+  o["measurement_window"] = c.measurement_window;
+  o["pairing"] = std::string(pairing_name(c.pairing));
+  o["challenge_seed"] = static_cast<double>(c.challenge_seed);
+  o["lifetime_profile"] = to_json(c.lifetime_profile);
+  return JsonValue(std::move(o));
+}
+
+PufConfig puf_config_from_json(const JsonValue& v) {
+  // Base design selects the factory; explicit keys override.
+  const std::string design = v.string_or("design", "ARO-PUF");
+  PufConfig c;
+  if (design == "conventional RO-PUF") {
+    c = PufConfig::conventional();
+  } else if (design == "ARO-PUF") {
+    c = PufConfig::aro();
+  } else {
+    c.design = PufDesign::kCustom;
+  }
+  c.label = v.string_or("label", c.label);
+  c.num_ros = static_cast<int>(v.number_or("num_ros", c.num_ros));
+  c.stages = static_cast<int>(v.number_or("stages", c.stages));
+  c.array_width = static_cast<int>(v.number_or("array_width", c.array_width));
+  c.measurement_window = v.number_or("measurement_window", c.measurement_window);
+  if (v.contains("pairing")) c.pairing = pairing_from_name(v.at("pairing").as_string());
+  c.challenge_seed = static_cast<std::uint64_t>(v.number_or("challenge_seed", 0.0));
+  if (v.contains("lifetime_profile")) {
+    c.lifetime_profile = stress_profile_from_json(v.at("lifetime_profile"));
+  }
+  c.validate();
+  return c;
+}
+
+JsonValue to_json(const PopulationConfig& pop) {
+  JsonValue::Object o;
+  o["technology"] = to_json(pop.tech);
+  o["chips"] = pop.chips;
+  o["seed"] = static_cast<double>(pop.seed);
+  return JsonValue(std::move(o));
+}
+
+PopulationConfig population_from_json(const JsonValue& v) {
+  PopulationConfig pop;
+  if (v.contains("technology")) pop.tech = technology_from_json(v.at("technology"));
+  pop.chips = static_cast<int>(v.number_or("chips", pop.chips));
+  pop.seed = static_cast<std::uint64_t>(v.number_or("seed", static_cast<double>(pop.seed)));
+  ARO_REQUIRE(pop.chips >= 1, "population must have at least one chip");
+  return pop;
+}
+
+PopulationConfig load_population_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) throw std::runtime_error("cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return population_from_json(JsonValue::parse(buffer.str()));
+}
+
+void save_population_config(const PopulationConfig& pop, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) throw std::runtime_error("cannot open config file for writing: " + path);
+  out << to_json(pop).dump(2) << '\n';
+}
+
+}  // namespace aropuf

@@ -1,0 +1,36 @@
+// JSON (de)serialization of experiment configurations.
+//
+// A study is fully described by (TechnologyParams, PufConfig,
+// PopulationConfig); these bindings let studies live in checked-in config
+// files.  Serialization is total (every field), deserialization is
+// default-tolerant (missing keys keep the in-code defaults) but
+// type-strict, and every load ends in validate().
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "puf/puf_config.hpp"
+#include "sim/scenarios.hpp"
+
+namespace aropuf {
+
+[[nodiscard]] JsonValue to_json(const TechnologyParams& tech);
+[[nodiscard]] TechnologyParams technology_from_json(const JsonValue& v);
+
+[[nodiscard]] JsonValue to_json(const StressProfile& profile);
+[[nodiscard]] StressProfile stress_profile_from_json(const JsonValue& v);
+
+[[nodiscard]] JsonValue to_json(const PufConfig& config);
+[[nodiscard]] PufConfig puf_config_from_json(const JsonValue& v);
+
+[[nodiscard]] JsonValue to_json(const PopulationConfig& pop);
+[[nodiscard]] PopulationConfig population_from_json(const JsonValue& v);
+
+/// Reads a PopulationConfig (with embedded technology) from a JSON file.
+[[nodiscard]] PopulationConfig load_population_config(const std::string& path);
+
+/// Writes a PopulationConfig to a JSON file (pretty-printed).
+void save_population_config(const PopulationConfig& pop, const std::string& path);
+
+}  // namespace aropuf

@@ -1,0 +1,342 @@
+#include "sim/scenarios.hpp"
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "metrics/reliability.hpp"
+#include "metrics/uniformity.hpp"
+#include "puf/masking.hpp"
+#include "puf/ro_puf.hpp"
+
+namespace aropuf {
+
+namespace {
+
+std::vector<RoPuf> build_population(const PopulationConfig& pop, const PufConfig& puf) {
+  const RngFabric fabric(pop.seed);
+  return make_population(pop.tech, puf, pop.chips, fabric);
+}
+
+/// Evaluation indices: 0 is reserved for the golden (enrollment) read; later
+/// reads use distinct indices so their noise draws are independent.
+constexpr std::uint64_t kGoldenEval = 0;
+
+}  // namespace
+
+FrequencySeries run_frequency_degradation(const PopulationConfig& pop, const PufConfig& puf,
+                                          std::span<const double> checkpoints) {
+  ARO_REQUIRE(!checkpoints.empty(), "need at least one checkpoint");
+  auto chips = build_population(pop, puf);
+  const OperatingPoint op = nominal_operating_point(pop.tech);
+
+  FrequencySeries series;
+  series.label = puf.label;
+  std::vector<std::vector<double>> fresh(chips.size());
+  for (std::size_t c = 0; c < chips.size(); ++c) {
+    for (const auto& ro : chips[c].oscillators()) {
+      fresh[c].push_back(ro.fresh_frequency(op));
+    }
+  }
+  double previous_years = 0.0;
+  for (const double y : checkpoints) {
+    ARO_REQUIRE(y >= previous_years, "checkpoints must be non-decreasing");
+    RunningStats shift;
+    for (std::size_t c = 0; c < chips.size(); ++c) {
+      chips[c].age_years(y - previous_years);
+      const auto& ros = chips[c].oscillators();
+      for (std::size_t r = 0; r < ros.size(); ++r) {
+        const double f_aged = ros[r].frequency(op);
+        shift.add((fresh[c][r] - f_aged) / fresh[c][r] * 100.0);
+      }
+    }
+    previous_years = y;
+    series.years.push_back(y);
+    series.mean_freq_shift_percent.push_back(shift.mean());
+  }
+  return series;
+}
+
+AgingSeries run_aging_series(const PopulationConfig& pop, const PufConfig& puf,
+                             std::span<const double> checkpoints) {
+  ARO_REQUIRE(!checkpoints.empty(), "need at least one checkpoint");
+  auto chips = build_population(pop, puf);
+  const OperatingPoint op = nominal_operating_point(pop.tech);
+
+  std::vector<BitVector> golden;
+  golden.reserve(chips.size());
+  for (const auto& chip : chips) golden.push_back(chip.evaluate(op, kGoldenEval));
+
+  AgingSeries series;
+  series.label = puf.label;
+  double previous_years = 0.0;
+  std::uint64_t eval_index = 1;
+  for (const double y : checkpoints) {
+    ARO_REQUIRE(y >= previous_years, "checkpoints must be non-decreasing");
+    RunningStats flips;
+    for (std::size_t c = 0; c < chips.size(); ++c) {
+      chips[c].age_years(y - previous_years);
+      const BitVector aged = chips[c].evaluate(op, eval_index);
+      flips.add(fractional_hamming_distance(golden[c], aged) * 100.0);
+    }
+    previous_years = y;
+    ++eval_index;
+    series.years.push_back(y);
+    series.mean_flip_percent.push_back(flips.mean());
+    series.max_flip_percent.push_back(flips.max());
+  }
+  return series;
+}
+
+AgingSeries run_aging_series_with_burnin(const PopulationConfig& pop, const PufConfig& puf,
+                                         const StressProfile& burnin_profile,
+                                         Seconds burnin_duration,
+                                         std::span<const double> checkpoints) {
+  ARO_REQUIRE(!checkpoints.empty(), "need at least one checkpoint");
+  ARO_REQUIRE(burnin_duration >= 0.0, "burn-in duration must be non-negative");
+  auto chips = build_population(pop, puf);
+  const OperatingPoint op = nominal_operating_point(pop.tech);
+
+  std::vector<BitVector> golden;
+  golden.reserve(chips.size());
+  for (auto& chip : chips) {
+    chip.age(burnin_profile, burnin_duration);
+    golden.push_back(chip.evaluate(op, kGoldenEval));
+  }
+
+  AgingSeries series;
+  series.label = puf.label + " +burn-in";
+  double previous_years = 0.0;
+  std::uint64_t eval_index = 1;
+  for (const double y : checkpoints) {
+    ARO_REQUIRE(y >= previous_years, "checkpoints must be non-decreasing");
+    RunningStats flips;
+    for (std::size_t c = 0; c < chips.size(); ++c) {
+      chips[c].age_years(y - previous_years);
+      flips.add(fractional_hamming_distance(golden[c], chips[c].evaluate(op, eval_index)) *
+                100.0);
+    }
+    previous_years = y;
+    ++eval_index;
+    series.years.push_back(y);
+    series.mean_flip_percent.push_back(flips.mean());
+    series.max_flip_percent.push_back(flips.max());
+  }
+  return series;
+}
+
+Seconds MissionProfile::cycle_duration() const {
+  Seconds total = 0.0;
+  for (const auto& phase : cycle) total += phase.duration;
+  return total;
+}
+
+void MissionProfile::validate() const {
+  ARO_REQUIRE(!cycle.empty(), "mission needs at least one phase");
+  for (const auto& phase : cycle) {
+    phase.profile.validate();
+    ARO_REQUIRE(phase.duration > 0.0, "mission phases need positive durations");
+  }
+}
+
+MissionProfile MissionProfile::automotive(bool gated) {
+  MissionProfile m;
+  m.name = gated ? "automotive-gated" : "automotive-always-on";
+
+  MissionPhase driving;
+  driving.duration = 2.0 * 3600.0;
+  driving.profile = gated ? StressProfile::aro_gated(20.0, 10e-3)
+                          : StressProfile::conventional_always_on();
+  driving.profile.stress_temperature = celsius(85.0);
+  driving.profile.name = "engine-on";
+
+  MissionPhase parked;
+  parked.duration = 22.0 * 3600.0;
+  parked.profile = gated ? StressProfile::aro_gated(0.0, 0.0)
+                         : StressProfile::conventional_always_on();
+  parked.profile.stress_temperature = celsius(15.0);
+  parked.profile.name = "parked";
+
+  m.cycle = {driving, parked};
+  m.validate();
+  return m;
+}
+
+MissionResult run_mission(const PopulationConfig& pop, const PufConfig& puf,
+                          const MissionProfile& mission,
+                          std::span<const double> year_checkpoints) {
+  mission.validate();
+  ARO_REQUIRE(!year_checkpoints.empty(), "need at least one checkpoint");
+  auto chips = build_population(pop, puf);
+  const OperatingPoint op = nominal_operating_point(pop.tech);
+
+  std::vector<BitVector> golden;
+  golden.reserve(chips.size());
+  for (const auto& chip : chips) golden.push_back(chip.evaluate(op, kGoldenEval));
+
+  MissionResult result;
+  result.label = puf.label + " @ " + mission.name;
+  // Cycles are daily-scale and lifetimes are years: advancing phase-by-phase
+  // for every cycle would be millions of steps.  The aging state is additive
+  // in (effective stress seconds, cycles), so we apply each phase once per
+  // checkpoint interval with its total accumulated duration — exact for the
+  // power-law models used here up to the documented stress-temperature
+  // piecewise approximation.
+  double previous_years = 0.0;
+  std::uint64_t eval_index = 1;
+  for (const double y : year_checkpoints) {
+    ARO_REQUIRE(y >= previous_years, "checkpoints must be non-decreasing");
+    const Seconds interval = years(y - previous_years);
+    const double cycles_in_interval = interval / mission.cycle_duration();
+    RunningStats flips;
+    for (std::size_t c = 0; c < chips.size(); ++c) {
+      for (const auto& phase : mission.cycle) {
+        chips[c].age(phase.profile, phase.duration * cycles_in_interval);
+      }
+      flips.add(fractional_hamming_distance(golden[c], chips[c].evaluate(op, eval_index)) *
+                100.0);
+    }
+    previous_years = y;
+    ++eval_index;
+    result.years.push_back(y);
+    result.mean_flip_percent.push_back(flips.mean());
+    result.max_flip_percent.push_back(flips.max());
+  }
+  return result;
+}
+
+MaskingStudyResult run_masking_study(const PopulationConfig& pop, const PufConfig& puf,
+                                     bool full_corners, int screening_repeats, double years) {
+  ARO_REQUIRE(years >= 0.0, "years must be non-negative");
+  auto chips = build_population(pop, puf);
+  const OperatingPoint op = nominal_operating_point(pop.tech);
+  const ScreeningConfig screening = full_corners
+                                        ? ScreeningConfig::full_corners(pop.tech,
+                                                                        screening_repeats)
+                                        : ScreeningConfig::nominal_only(screening_repeats);
+
+  RunningStats stable;
+  RunningStats raw_ber;
+  RunningStats masked_ber;
+  for (auto& chip : chips) {
+    const StabilityMask mask = screen_stability(chip, screening);
+    const BitVector golden = chip.evaluate(op, kGoldenEval);
+    chip.age_years(years);
+    const BitVector aged = chip.evaluate(op, 1);
+    stable.add(mask.stable_fraction());
+    raw_ber.add(fractional_hamming_distance(golden, aged));
+    if (mask.stable_count() > 0) {
+      masked_ber.add(fractional_hamming_distance(apply_mask(golden, mask),
+                                                 apply_mask(aged, mask)));
+    }
+  }
+  MaskingStudyResult result;
+  result.stable_fraction = stable.mean();
+  result.unmasked_ber = raw_ber.mean();
+  result.masked_ber = masked_ber.mean();
+  return result;
+}
+
+UniquenessExperimentResult run_uniqueness(const PopulationConfig& pop, const PufConfig& puf) {
+  auto chips = build_population(pop, puf);
+  const OperatingPoint op = nominal_operating_point(pop.tech);
+
+  std::vector<BitVector> responses;
+  responses.reserve(chips.size());
+  for (const auto& chip : chips) responses.push_back(chip.evaluate(op, kGoldenEval));
+
+  UniquenessExperimentResult result;
+  result.label = puf.label;
+  result.uniqueness = compute_uniqueness(responses);
+  result.uniformity = uniformity_stats(responses);
+  result.aliasing = bit_aliasing_stats(responses);
+  return result;
+}
+
+namespace {
+
+std::vector<SweepPoint> run_environment_sweep(const PopulationConfig& pop, const PufConfig& puf,
+                                              std::span<const double> points,
+                                              bool sweep_temperature) {
+  ARO_REQUIRE(!points.empty(), "need at least one sweep point");
+  auto chips = build_population(pop, puf);
+  const OperatingPoint nominal = nominal_operating_point(pop.tech);
+
+  std::vector<BitVector> golden;
+  golden.reserve(chips.size());
+  for (const auto& chip : chips) golden.push_back(chip.evaluate(nominal, kGoldenEval));
+
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(points.size());
+  std::uint64_t eval_index = 1;
+  for (const double value : points) {
+    OperatingPoint op = nominal;
+    if (sweep_temperature) {
+      op.temp = celsius(value);
+    } else {
+      op.vdd = value;
+    }
+    RunningStats ber;
+    for (std::size_t c = 0; c < chips.size(); ++c) {
+      const BitVector response = chips[c].evaluate(op, eval_index);
+      ber.add(fractional_hamming_distance(golden[c], response) * 100.0);
+    }
+    ++eval_index;
+    sweep.push_back(SweepPoint{value, ber.mean(), ber.max()});
+  }
+  return sweep;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> run_temperature_sweep(const PopulationConfig& pop, const PufConfig& puf,
+                                              std::span<const double> celsius_points) {
+  return run_environment_sweep(pop, puf, celsius_points, /*sweep_temperature=*/true);
+}
+
+std::vector<SweepPoint> run_voltage_sweep(const PopulationConfig& pop, const PufConfig& puf,
+                                          std::span<const double> vdd_points) {
+  return run_environment_sweep(pop, puf, vdd_points, /*sweep_temperature=*/false);
+}
+
+BerStats measure_eol_ber(const PopulationConfig& pop, const PufConfig& puf,
+                         double years_of_use) {
+  ARO_REQUIRE(years_of_use >= 0.0, "years must be non-negative");
+  auto chips = build_population(pop, puf);
+  const OperatingPoint op = nominal_operating_point(pop.tech);
+  RunningStats ber;
+  for (auto& chip : chips) {
+    const BitVector golden = chip.evaluate(op, kGoldenEval);
+    chip.age_years(years_of_use);
+    const BitVector aged = chip.evaluate(op, 1);
+    ber.add(fractional_hamming_distance(golden, aged));
+  }
+  return BerStats{ber.mean(), ber.stddev(), ber.max()};
+}
+
+EccComparison run_ecc_comparison(const TechnologyParams& tech, double conventional_ber,
+                                 double aro_ber, const CodeSearchConstraints& constraints) {
+  EccComparison cmp;
+  cmp.conventional_ber = conventional_ber;
+  cmp.aro_ber = aro_ber;
+  const auto conv = find_min_area_scheme(tech, conventional_ber, constraints);
+  const auto aro = find_min_area_scheme(tech, aro_ber, constraints);
+  if (!conv.has_value()) {
+    throw std::runtime_error("no ECC scheme meets the target for the conventional BER");
+  }
+  if (!aro.has_value()) {
+    throw std::runtime_error("no ECC scheme meets the target for the ARO BER");
+  }
+  cmp.conventional = *conv;
+  cmp.aro = *aro;
+  return cmp;
+}
+
+EccComparison run_ecc_comparison_from_simulation(const PopulationConfig& pop,
+                                                 const CodeSearchConstraints& constraints,
+                                                 double years) {
+  const BerStats ber_conv = measure_eol_ber(pop, PufConfig::conventional(), years);
+  const BerStats ber_aro = measure_eol_ber(pop, PufConfig::aro(), years);
+  return run_ecc_comparison(pop.tech, ber_conv.p90(), ber_aro.p90(), constraints);
+}
+
+}  // namespace aropuf

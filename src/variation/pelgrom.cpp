@@ -1,0 +1,20 @@
+#include "variation/pelgrom.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+Volts PelgromModel::sigma_vth(double width_um, double length_um) const {
+  ARO_REQUIRE(width_um > 0.0 && length_um > 0.0, "device dimensions must be positive");
+  ARO_REQUIRE(a_vt_mv_um > 0.0, "Pelgrom coefficient must be positive");
+  return a_vt_mv_um * 1e-3 / std::sqrt(width_um * length_um);
+}
+
+double PelgromModel::upsizing_for_sigma_reduction(double factor) {
+  ARO_REQUIRE(factor >= 1.0, "sigma reduction factor must be >= 1");
+  return factor * factor;
+}
+
+}  // namespace aropuf

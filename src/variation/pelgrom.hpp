@@ -1,0 +1,24 @@
+// Pelgrom mismatch law: sigma(dVth) = A_vt / sqrt(W * L).
+//
+// Used to derive the local mismatch sigma for non-minimum-size devices (the
+// paper's ROs use minimum-size inverters to maximize entropy; the upsizing
+// sweep in the ablation bench uses this law to trade area for stability).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace aropuf {
+
+struct PelgromModel {
+  /// Technology mismatch coefficient, in mV·um (≈ 4.5 mV·um at 90 nm).
+  double a_vt_mv_um = 4.5;
+
+  /// Local Vth mismatch sigma (volts) for a W×L device (micrometres).
+  [[nodiscard]] Volts sigma_vth(double width_um, double length_um) const;
+
+  /// Width multiplier needed to shrink the mismatch sigma by `factor`
+  /// relative to the W×L baseline (area grows with factor^2).
+  [[nodiscard]] static double upsizing_for_sigma_reduction(double factor);
+};
+
+}  // namespace aropuf

@@ -1,0 +1,58 @@
+// Composition of all Vth variation components for one die.
+//
+//   Vth(device) = Vth_nom
+//               + global(die)            — inter-die shift, N(0, σ_global)
+//               + spatial(x, y | die)    — within-die correlated field
+//               + systematic(x, y)       — layout pattern SHARED by all dies
+//               + local(device)          — white mismatch, N(0, σ_local)
+//
+// The systematic component is the reproduction's model for why conventional
+// (distant-pair) RO-PUFs show inter-chip HD below 50 %: IR-drop gradients and
+// litho systematics repeat on every die, so a pair spanning the array is
+// biased the same way on every chip.  Adjacent pairs (the ARO-PUF layout
+// discipline) see only its spatial derivative, which is negligible at one
+// RO pitch.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "device/technology.hpp"
+#include "variation/spatial_field.hpp"
+
+namespace aropuf {
+
+class DieVariation {
+ public:
+  /// `die_seed` identifies the die; dies with different seeds have
+  /// independent global shifts and spatial fields.  The systematic pattern
+  /// depends only on `tech`.
+  DieVariation(const TechnologyParams& tech, std::uint64_t die_seed);
+
+  /// Inter-die Vth shift (same for every device on the die).
+  [[nodiscard]] Volts global_offset() const noexcept { return global_; }
+
+  /// Within-die correlated component at `p` (die-specific).
+  [[nodiscard]] Volts spatial_offset(Position p) const noexcept { return field_(p); }
+
+  /// Layout-systematic component at `p` (identical on all dies).
+  [[nodiscard]] Volts systematic_offset(Position p) const noexcept;
+
+  /// Draws one device's white local mismatch from `rng`.
+  [[nodiscard]] Volts local_sample(Xoshiro256& rng) const noexcept {
+    return rng.gaussian(0.0, tech_->sigma_vth_local);
+  }
+
+  /// All four components combined for a device at `p`.
+  [[nodiscard]] Volts total_offset(Position p, Xoshiro256& local_rng) const noexcept {
+    return global_ + spatial_offset(p) + systematic_offset(p) + local_sample(local_rng);
+  }
+
+ private:
+  const TechnologyParams* tech_;
+  Volts global_;
+  SpatialField field_;
+};
+
+}  // namespace aropuf

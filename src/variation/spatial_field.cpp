@@ -1,0 +1,56 @@
+#include "variation/spatial_field.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace aropuf {
+
+namespace {
+// Anchors within this many correlation lengths contribute to a point.
+constexpr std::int64_t kKernelRadiusCells = 3;
+}  // namespace
+
+SpatialField::SpatialField(double sigma, double correlation_length, std::uint64_t seed)
+    : sigma_(sigma), lambda_(correlation_length), seed_(seed) {
+  ARO_REQUIRE(sigma >= 0.0, "field sigma must be non-negative");
+  ARO_REQUIRE(correlation_length > 0.0, "correlation length must be positive");
+}
+
+double SpatialField::anchor(std::int64_t ix, std::int64_t iy) const noexcept {
+  // Hash the cell coordinates into two uniforms, then Box-Muller.  The +large
+  // offsets keep ix/iy non-negative distinct patterns for negative cells.
+  const auto ux = static_cast<std::uint64_t>(ix + (1LL << 32));
+  const auto uy = static_cast<std::uint64_t>(iy + (1LL << 32));
+  SplitMix64 h(seed_ ^ (ux * 0x9e3779b97f4a7c15ULL) ^ (uy * 0xc2b2ae3d27d4eb4fULL));
+  const double u1 = (static_cast<double>(h.next() >> 11) + 0.5) * 0x1.0p-53;
+  const double u2 = static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double SpatialField::operator()(Position p) const noexcept {
+  if (sigma_ == 0.0) return 0.0;
+  const double gx = p.x / lambda_;
+  const double gy = p.y / lambda_;
+  const auto cx = static_cast<std::int64_t>(std::floor(gx));
+  const auto cy = static_cast<std::int64_t>(std::floor(gy));
+
+  double weighted = 0.0;
+  double weight_sq = 0.0;
+  for (std::int64_t ix = cx - kKernelRadiusCells; ix <= cx + kKernelRadiusCells; ++ix) {
+    for (std::int64_t iy = cy - kKernelRadiusCells; iy <= cy + kKernelRadiusCells; ++iy) {
+      const double dx = gx - static_cast<double>(ix);
+      const double dy = gy - static_cast<double>(iy);
+      const double d2 = dx * dx + dy * dy;
+      const double w = std::exp(-0.5 * d2);
+      weighted += w * anchor(ix, iy);
+      weight_sq += w * w;
+    }
+  }
+  // Normalizing by sqrt(sum w^2) makes the marginal exactly N(0, sigma^2)
+  // regardless of where p falls relative to the anchor grid.
+  return sigma_ * weighted / std::sqrt(weight_sq);
+}
+
+}  // namespace aropuf

@@ -1,0 +1,50 @@
+// Spatially correlated Gaussian random field over die coordinates.
+//
+// Within-die process variation is not white: neighbouring devices share
+// lithography/anneal history, so their Vth offsets are correlated with a
+// characteristic length of tens of microns.  The field is synthesised as a
+// kernel-weighted sum of i.i.d. anchors on a coarse grid (spacing = the
+// correlation length); weights use a Gaussian kernel and are normalized so
+// the marginal at every point is N(0, sigma^2).
+//
+// Anchors are derived lazily by hashing (seed, ix, iy), so the field is a
+// pure function of (seed, position): no storage, fully deterministic, and
+// two dies with different seeds get independent fields.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace aropuf {
+
+/// Die-local coordinates in RO-pitch units.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class SpatialField {
+ public:
+  /// `sigma` — marginal standard deviation at every point;
+  /// `correlation_length` — distance (same units as Position) at which
+  /// correlation decays to ~0.45;
+  /// `seed` — identity of this die's field.
+  SpatialField(double sigma, double correlation_length, std::uint64_t seed);
+
+  /// Field value at `p`; marginally N(0, sigma^2).
+  [[nodiscard]] double operator()(Position p) const noexcept;
+
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+  [[nodiscard]] double correlation_length() const noexcept { return lambda_; }
+
+ private:
+  /// Deterministic standard-normal anchor value at grid cell (ix, iy).
+  [[nodiscard]] double anchor(std::int64_t ix, std::int64_t iy) const noexcept;
+
+  double sigma_;
+  double lambda_;
+  std::uint64_t seed_;
+};
+
+}  // namespace aropuf

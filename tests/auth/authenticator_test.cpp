@@ -1,0 +1,144 @@
+#include "auth/authenticator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "puf/ro_puf.hpp"
+
+namespace aropuf {
+namespace {
+
+TEST(AuthPolicyTest, ValidationBounds) {
+  AuthPolicy p;
+  p.accept_threshold = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.accept_threshold = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.accept_threshold = 0.2;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(AuthPolicyTest, FalseAcceptMatchesBinomialTail) {
+  AuthPolicy p;
+  p.accept_threshold = 0.25;
+  // 128 bits: P[Bin(128, 0.5) <= 32].
+  const double far = p.false_accept_probability(128);
+  EXPECT_GT(far, 0.0);
+  EXPECT_LT(far, 1e-7);
+  // Looser threshold accepts more impostors.
+  AuthPolicy loose;
+  loose.accept_threshold = 0.45;
+  EXPECT_GT(loose.false_accept_probability(128), far);
+}
+
+TEST(AuthPolicyTest, ForFalseAcceptRatePicksLargestSafeThreshold) {
+  const auto policy = AuthPolicy::for_false_accept_rate(128, 1e-6);
+  EXPECT_LE(policy.false_accept_probability(128), 1e-6);
+  // One more bit of slack would blow the budget.
+  AuthPolicy next;
+  next.accept_threshold = policy.accept_threshold + 1.0 / 128.0;
+  EXPECT_GT(next.false_accept_probability(128), 1e-6);
+}
+
+TEST(AuthPolicyTest, LongerResponsesAllowHigherThresholds) {
+  const auto short_resp = AuthPolicy::for_false_accept_rate(64, 1e-6);
+  const auto long_resp = AuthPolicy::for_false_accept_rate(512, 1e-6);
+  EXPECT_GT(long_resp.accept_threshold, short_resp.accept_threshold);
+}
+
+class AuthenticatorTest : public ::testing::Test {
+ protected:
+  AuthenticatorTest() : auth_(AuthPolicy::for_false_accept_rate(128, 1e-6)) {}
+
+  RoPuf make_chip(std::uint64_t index) const {
+    return RoPuf(TechnologyParams::cmos90(), PufConfig::aro(), RngFabric(5).child("chip", index));
+  }
+
+  Authenticator auth_;
+};
+
+TEST_F(AuthenticatorTest, UnknownDeviceIsNullopt) {
+  EXPECT_FALSE(auth_.verify("ghost", BitVector(128)).has_value());
+  EXPECT_FALSE(auth_.knows("ghost"));
+}
+
+TEST_F(AuthenticatorTest, EnrolledDeviceAuthenticates) {
+  const RoPuf chip = make_chip(0);
+  const auto op = chip.nominal_op();
+  auth_.enroll("device-0", chip.evaluate(op, 0));
+  EXPECT_TRUE(auth_.knows("device-0"));
+  const auto result = auth_.verify("device-0", chip.evaluate(op, 1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->accepted);
+  EXPECT_GT(result->margin, 0.0);
+}
+
+TEST_F(AuthenticatorTest, ImpostorChipIsRejected) {
+  const RoPuf genuine = make_chip(1);
+  const RoPuf impostor = make_chip(2);
+  const auto op = genuine.nominal_op();
+  auth_.enroll("device-1", genuine.evaluate(op, 0));
+  const auto result = auth_.verify("device-1", impostor.evaluate(op, 0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->accepted);
+  EXPECT_GT(result->fractional_distance, 0.3);
+}
+
+TEST_F(AuthenticatorTest, ReEnrollReplacesResponse) {
+  const RoPuf chip = make_chip(3);
+  const auto op = chip.nominal_op();
+  auth_.enroll("device-3", chip.evaluate(op, 0));
+  auth_.enroll("device-3", chip.evaluate(op, 5));
+  EXPECT_EQ(auth_.enrolled_count(), 1U);
+  EXPECT_TRUE(auth_.verify("device-3", chip.evaluate(op, 6))->accepted);
+}
+
+TEST_F(AuthenticatorTest, AgedConventionalChipEventuallyFailsFixedThreshold) {
+  Authenticator auth(AuthPolicy::for_false_accept_rate(128, 1e-6));
+  RoPuf chip(TechnologyParams::cmos90(), PufConfig::conventional(),
+             RngFabric(5).child("chip", 7));
+  const auto op = chip.nominal_op();
+  auth.enroll("conv", chip.evaluate(op, 0));
+  chip.age_years(10.0);
+  const auto result = auth.verify("conv", chip.evaluate(op, 1));
+  ASSERT_TRUE(result.has_value());
+  // ~33% flips vs a ~0.3 threshold: the conventional chip is locked out.
+  EXPECT_FALSE(result->accepted);
+}
+
+TEST_F(AuthenticatorTest, AgedAroChipKeepsAuthenticating) {
+  RoPuf chip(TechnologyParams::cmos90(), PufConfig::aro(), RngFabric(5).child("chip", 8));
+  const auto op = chip.nominal_op();
+  auth_.enroll("aro", chip.evaluate(op, 0));
+  chip.age_years(10.0);
+  const auto result = auth_.verify("aro", chip.evaluate(op, 1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->accepted);
+}
+
+TEST_F(AuthenticatorTest, RefreshPolicyFlagsThinMargins) {
+  AuthResult comfy;
+  comfy.accepted = true;
+  comfy.margin = 0.15;
+  AuthResult thin;
+  thin.accepted = true;
+  thin.margin = 0.02;
+  AuthResult rejected;
+  rejected.accepted = false;
+  rejected.margin = -0.1;
+  EXPECT_FALSE(auth_.needs_refresh(comfy, 0.05));
+  EXPECT_TRUE(auth_.needs_refresh(thin, 0.05));
+  EXPECT_FALSE(auth_.needs_refresh(rejected, 0.05));
+}
+
+TEST_F(AuthenticatorTest, RejectsDegenerateInputs) {
+  EXPECT_THROW(auth_.enroll("", BitVector(8)), std::invalid_argument);
+  EXPECT_THROW(auth_.enroll("x", BitVector()), std::invalid_argument);
+  auth_.enroll("x", BitVector(16));
+  EXPECT_THROW((void)auth_.verify("x", BitVector(8)), std::invalid_argument);
+  EXPECT_THROW((void)auth_.needs_refresh(AuthResult{}, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

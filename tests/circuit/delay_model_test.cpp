@@ -1,0 +1,129 @@
+#include "circuit/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "device/technology.hpp"
+
+namespace aropuf {
+namespace {
+
+class DelayModelTest : public ::testing::Test {
+ protected:
+  Transistor make(DeviceType type, double vth) const {
+    Transistor t;
+    t.type = type;
+    t.vth_fresh = vth;
+    t.vth_tempco = tech_.vth_tempco;
+    return t;
+  }
+
+  TechnologyParams tech_ = TechnologyParams::cmos90();
+  DelayModel model_{tech_};
+  OperatingPoint nominal_{tech_.vdd_nominal, tech_.temp_nominal};
+};
+
+TEST_F(DelayModelTest, EdgeDelayMatchesAlphaPowerFormula) {
+  const double vth = 0.35;
+  const double expected =
+      tech_.delay_k * tech_.vdd_nominal / std::pow(tech_.vdd_nominal - vth, tech_.alpha);
+  EXPECT_NEAR(model_.edge_delay(vth, nominal_), expected, expected * 1e-12);
+}
+
+TEST_F(DelayModelTest, HigherVthIsSlower) {
+  EXPECT_GT(model_.edge_delay(0.40, nominal_), model_.edge_delay(0.35, nominal_));
+}
+
+TEST_F(DelayModelTest, LowerSupplyIsSlower) {
+  OperatingPoint low = nominal_;
+  low.vdd = 1.08;
+  EXPECT_GT(model_.edge_delay(0.35, low), model_.edge_delay(0.35, nominal_));
+}
+
+TEST_F(DelayModelTest, OverdriveClampKeepsDelayFinite) {
+  // Vth above VDD would explode the formula; the clamp keeps it finite and
+  // monotone.
+  const double at_clamp = model_.edge_delay(1.3, nominal_);
+  EXPECT_TRUE(std::isfinite(at_clamp));
+  EXPECT_GE(at_clamp, model_.edge_delay(0.5, nominal_));
+}
+
+TEST_F(DelayModelTest, StageDelayAveragesEdges) {
+  const Transistor p = make(DeviceType::kPmos, 0.38);
+  const Transistor n = make(DeviceType::kNmos, 0.35);
+  const double expected =
+      0.5 * (model_.edge_delay(0.38, nominal_) + model_.edge_delay(0.35, nominal_));
+  EXPECT_NEAR(model_.stage_delay(p, n, nominal_, AgingShifts{}), expected, expected * 1e-12);
+}
+
+TEST_F(DelayModelTest, TopologyFactorScalesStage) {
+  const Transistor p = make(DeviceType::kPmos, 0.38);
+  const Transistor n = make(DeviceType::kNmos, 0.35);
+  const double inv = model_.stage_delay(p, n, nominal_, AgingShifts{}, 1.0);
+  const double nand = model_.stage_delay(p, n, nominal_, AgingShifts{}, 1.35);
+  EXPECT_NEAR(nand / inv, 1.35, 1e-12);
+  EXPECT_THROW((void)model_.stage_delay(p, n, nominal_, AgingShifts{}, 0.9), std::invalid_argument);
+}
+
+TEST_F(DelayModelTest, NbtiShiftSlowsOnlyThroughPmos) {
+  const Transistor p = make(DeviceType::kPmos, 0.38);
+  const Transistor n = make(DeviceType::kNmos, 0.35);
+  AgingShifts shifts;
+  shifts.nbti = 0.05;
+  const double fresh = model_.stage_delay(p, n, nominal_, AgingShifts{});
+  const double aged = model_.stage_delay(p, n, nominal_, shifts);
+  EXPECT_GT(aged, fresh);
+  // The NMOS edge is untouched: the increase equals half the PMOS edge rise.
+  const double pmos_rise =
+      model_.edge_delay(0.43, nominal_) - model_.edge_delay(0.38, nominal_);
+  EXPECT_NEAR(aged - fresh, 0.5 * pmos_rise, pmos_rise * 1e-9);
+}
+
+TEST_F(DelayModelTest, HciShiftSlowsOnlyThroughNmos) {
+  const Transistor p = make(DeviceType::kPmos, 0.38);
+  const Transistor n = make(DeviceType::kNmos, 0.35);
+  AgingShifts shifts;
+  shifts.hci = 0.03;
+  const double fresh = model_.stage_delay(p, n, nominal_, AgingShifts{});
+  const double aged = model_.stage_delay(p, n, nominal_, shifts);
+  const double nmos_rise =
+      model_.edge_delay(0.38, nominal_) - model_.edge_delay(0.35, nominal_);
+  EXPECT_NEAR(aged - fresh, 0.5 * nmos_rise, nmos_rise * 1e-9);
+}
+
+TEST_F(DelayModelTest, RejectsBadOperatingPoint) {
+  EXPECT_THROW((void)model_.edge_delay(0.35, OperatingPoint{0.0, 300.0}), std::invalid_argument);
+  EXPECT_THROW((void)model_.edge_delay(0.35, OperatingPoint{1.2, 0.0}), std::invalid_argument);
+}
+
+// Temperature behaviour: Vth decrease speeds up, mobility decrease slows
+// down.  Near nominal supply, mobility dominates in this model: delay grows
+// with temperature.
+class DelayTemperatureTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DelayTemperatureTest, DelayGrowsWithTemperatureAtNominalVdd) {
+  const TechnologyParams tech = TechnologyParams::cmos90();
+  const DelayModel model(tech);
+  Transistor p;
+  p.type = DeviceType::kPmos;
+  p.vth_fresh = tech.vth_p;
+  p.vth_tempco = tech.vth_tempco;
+  Transistor n;
+  n.type = DeviceType::kNmos;
+  n.vth_fresh = tech.vth_n;
+  n.vth_tempco = tech.vth_tempco;
+
+  const double t_cold = GetParam();
+  const OperatingPoint cold{tech.vdd_nominal, celsius(t_cold)};
+  const OperatingPoint hot{tech.vdd_nominal, celsius(t_cold + 40.0)};
+  EXPECT_GT(model.stage_delay(p, n, hot, AgingShifts{}),
+            model.stage_delay(p, n, cold, AgingShifts{}));
+}
+
+INSTANTIATE_TEST_SUITE_P(TemperatureSweep, DelayTemperatureTest,
+                         ::testing::Values(-40.0, 0.0, 25.0, 85.0));
+
+}  // namespace
+}  // namespace aropuf

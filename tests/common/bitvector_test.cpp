@@ -1,0 +1,145 @@
+#include "common/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+TEST(BitVectorTest, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0U);
+  EXPECT_EQ(v.popcount(), 0U);
+}
+
+TEST(BitVectorTest, ConstructedZeroed) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130U);
+  EXPECT_EQ(v.popcount(), 0U);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVectorTest, SetGetFlip) {
+  BitVector v(70);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(69, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(69));
+  EXPECT_EQ(v.popcount(), 4U);
+  v.flip(63);
+  EXPECT_FALSE(v.get(63));
+  v.set(0, false);
+  EXPECT_EQ(v.popcount(), 2U);
+}
+
+TEST(BitVectorTest, IndexOutOfRangeThrows) {
+  BitVector v(10);
+  EXPECT_THROW((void)v.get(10), std::invalid_argument);
+  EXPECT_THROW(v.set(10, true), std::invalid_argument);
+  EXPECT_THROW(v.flip(10), std::invalid_argument);
+}
+
+TEST(BitVectorTest, FromStringRoundTrip) {
+  const std::string s = "1011001110001111";
+  const BitVector v = BitVector::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.popcount(), 10U);
+}
+
+TEST(BitVectorTest, FromStringRejectsNonBinary) {
+  EXPECT_THROW(BitVector::from_string("10x1"), std::invalid_argument);
+}
+
+TEST(BitVectorTest, PushBackGrowsAcrossWords) {
+  BitVector v;
+  for (int i = 0; i < 130; ++i) v.push_back(i % 3 == 0);
+  EXPECT_EQ(v.size(), 130U);
+  for (int i = 0; i < 130; ++i) EXPECT_EQ(v.get(static_cast<std::size_t>(i)), i % 3 == 0);
+}
+
+TEST(BitVectorTest, XorBehaves) {
+  const BitVector a = BitVector::from_string("1100");
+  const BitVector b = BitVector::from_string("1010");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  BitVector c = a;
+  c ^= b;
+  EXPECT_EQ(c.to_string(), "0110");
+  EXPECT_EQ((a ^ a).popcount(), 0U);
+}
+
+TEST(BitVectorTest, XorLengthMismatchThrows) {
+  const BitVector a(4);
+  const BitVector b(5);
+  EXPECT_THROW(a ^ b, std::invalid_argument);
+}
+
+TEST(BitVectorTest, EqualityIncludesLength) {
+  EXPECT_EQ(BitVector::from_string("101"), BitVector::from_string("101"));
+  EXPECT_FALSE(BitVector::from_string("101") == BitVector::from_string("1010"));
+  EXPECT_FALSE(BitVector::from_string("101") == BitVector::from_string("100"));
+}
+
+TEST(BitVectorTest, SliceExtractsRange) {
+  const BitVector v = BitVector::from_string("0110100110");
+  EXPECT_EQ(v.slice(2, 5).to_string(), "10100");
+  EXPECT_EQ(v.slice(0, 0).size(), 0U);
+  EXPECT_THROW(v.slice(6, 5), std::invalid_argument);
+}
+
+TEST(BitVectorTest, ConcatPreservesOrder) {
+  const BitVector a = BitVector::from_string("110");
+  const BitVector b = BitVector::from_string("01");
+  EXPECT_EQ(a.concat(b).to_string(), "11001");
+  EXPECT_EQ(BitVector().concat(b).to_string(), "01");
+}
+
+TEST(BitVectorTest, OnesFraction) {
+  EXPECT_DOUBLE_EQ(BitVector().ones_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(BitVector::from_string("1100").ones_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(BitVector::from_string("1111").ones_fraction(), 1.0);
+}
+
+TEST(BitVectorTest, ToBytesLsbFirst) {
+  // bits 0..7 = 10000000 -> byte 0x01; bit 8 set -> second byte 0x01.
+  BitVector v(9);
+  v.set(0, true);
+  v.set(8, true);
+  const auto bytes = v.to_bytes();
+  ASSERT_EQ(bytes.size(), 2U);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[1], 0x01);
+}
+
+TEST(HammingDistanceTest, CountsDifferences) {
+  const BitVector a = BitVector::from_string("110010");
+  const BitVector b = BitVector::from_string("011010");
+  EXPECT_EQ(hamming_distance(a, b), 2U);
+  EXPECT_EQ(hamming_distance(a, a), 0U);
+}
+
+TEST(HammingDistanceTest, WorksAcrossWordBoundaries) {
+  BitVector a(200);
+  BitVector b(200);
+  for (std::size_t i = 0; i < 200; i += 7) b.flip(i);
+  EXPECT_EQ(hamming_distance(a, b), b.popcount());
+}
+
+TEST(HammingDistanceTest, LengthMismatchThrows) {
+  EXPECT_THROW((void)hamming_distance(BitVector(3), BitVector(4)), std::invalid_argument);
+}
+
+TEST(FractionalHammingDistanceTest, NormalizesByLength) {
+  const BitVector a = BitVector::from_string("1111");
+  const BitVector b = BitVector::from_string("0011");
+  EXPECT_DOUBLE_EQ(fractional_hamming_distance(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(fractional_hamming_distance(BitVector(), BitVector()), 0.0);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,122 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-3.25").as_number(), -3.25);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1.5e3").as_number(), 1500.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2E-2").as_number(), 0.02);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(JsonValue::parse(R"("line\nbreak")").as_string(), "line\nbreak");
+  EXPECT_EQ(JsonValue::parse(R"("tab\there")").as_string(), "tab\there");
+  EXPECT_EQ(JsonValue::parse(R"("back\\slash")").as_string(), "back\\slash");
+  EXPECT_EQ(JsonValue::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse(R"("é")").as_string(), "\xC3\xA9");    // é
+  EXPECT_EQ(JsonValue::parse(R"("€")").as_string(), "\xE2\x82\xAC");  // €
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  const auto v = JsonValue::parse(R"({
+    "name": "cmos90",
+    "sweep": [1, 2.5, 10],
+    "nested": {"flag": true, "note": null}
+  })");
+  EXPECT_EQ(v.at("name").as_string(), "cmos90");
+  const auto& sweep = v.at("sweep").as_array();
+  ASSERT_EQ(sweep.size(), 3U);
+  EXPECT_DOUBLE_EQ(sweep[1].as_number(), 2.5);
+  EXPECT_TRUE(v.at("nested").at("flag").as_bool());
+  EXPECT_TRUE(v.at("nested").at("note").is_null());
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_TRUE(JsonValue::parse("[]").as_array().empty());
+  EXPECT_TRUE(JsonValue::parse("{}").as_object().empty());
+  EXPECT_TRUE(JsonValue::parse("  [ ]  ").as_array().empty());
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "[1 2]", "{\"a\" 1}", "{\"a\":}", "tru", "nul", "01x", "+1",
+        "\"unterminated", "{\"a\":1,}", "[1,]", "1 2", "{1: 2}", "\"bad\\q\"",
+        "\"\\u12G4\""}) {
+    EXPECT_THROW(JsonValue::parse(bad), std::invalid_argument) << "input: " << bad;
+  }
+}
+
+TEST(JsonParseTest, RejectsUnescapedControlCharacters) {
+  EXPECT_THROW(JsonValue::parse("\"a\nb\""), std::invalid_argument);
+}
+
+TEST(JsonDumpTest, CompactRendering) {
+  JsonValue::Object o;
+  o["b"] = JsonValue(true);
+  o["a"] = JsonValue(1);
+  o["s"] = JsonValue("x,y");
+  JsonValue::Array arr{JsonValue(1), JsonValue(2)};
+  o["arr"] = JsonValue(arr);
+  // std::map ordering: keys alphabetical -> canonical output.
+  EXPECT_EQ(JsonValue(o).dump(), R"({"a":1,"arr":[1,2],"b":true,"s":"x,y"})");
+}
+
+TEST(JsonDumpTest, NumbersRoundTripPrecisely) {
+  for (const double d : {0.0, 1.0, -7.0, 3.141592653589793, 1e-9, 2.35e-3, 1.5e15}) {
+    const std::string text = JsonValue(d).dump();
+    EXPECT_DOUBLE_EQ(JsonValue::parse(text).as_number(), d) << text;
+  }
+}
+
+TEST(JsonDumpTest, StringsEscapeOnOutput) {
+  EXPECT_EQ(JsonValue("say \"hi\"\n").dump(), R"("say \"hi\"\n")");
+}
+
+TEST(JsonDumpTest, PrettyPrintIndents) {
+  JsonValue::Object o;
+  o["k"] = JsonValue(1);
+  const std::string pretty = JsonValue(o).dump(2);
+  EXPECT_NE(pretty.find("{\n  \"k\": 1\n}"), std::string::npos);
+}
+
+TEST(JsonRoundTripTest, ParseDumpParseIsIdentity) {
+  const std::string text =
+      R"({"a":[1,2,{"deep":true}],"b":"text","c":null,"d":-2.5,"e":{}})";
+  const JsonValue once = JsonValue::parse(text);
+  const JsonValue twice = JsonValue::parse(once.dump());
+  EXPECT_TRUE(once == twice);
+}
+
+TEST(JsonAccessTest, TypedAccessorsThrowOnMismatch) {
+  const JsonValue v = JsonValue::parse("[1]");
+  EXPECT_THROW((void)v.as_object(), std::invalid_argument);
+  EXPECT_THROW((void)v.as_string(), std::invalid_argument);
+  EXPECT_THROW((void)v.at("missing"), std::invalid_argument);
+  const JsonValue o = JsonValue::parse("{\"x\": 1}");
+  EXPECT_THROW((void)o.at("y"), std::invalid_argument);
+  EXPECT_THROW((void)o.at("x").as_bool(), std::invalid_argument);
+}
+
+TEST(JsonAccessTest, DefaultingAccessors) {
+  const JsonValue o = JsonValue::parse(R"({"x": 2, "flag": true, "s": "v"})");
+  EXPECT_DOUBLE_EQ(o.number_or("x", 7.0), 2.0);
+  EXPECT_DOUBLE_EQ(o.number_or("missing", 7.0), 7.0);
+  EXPECT_TRUE(o.bool_or("flag", false));
+  EXPECT_FALSE(o.bool_or("missing", false));
+  EXPECT_EQ(o.string_or("s", "d"), "v");
+  EXPECT_EQ(o.string_or("missing", "d"), "d");
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,52 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+TEST(TableTest, RendersTitleHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"a", "long-column", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"wide-cell", "x", "y"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("long-column"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell"), std::string::npos);
+  EXPECT_NE(out.find(" | "), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMustMatchHeader) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, HeaderAfterRowsRejected) {
+  Table t("demo");
+  t.add_row({"free-form"});
+  EXPECT_THROW(t.set_header({"a"}), std::invalid_argument);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(TableTest, HeaderlessTablePrintsRows) {
+  Table t("raw");
+  t.add_row({"x", "y"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,97 @@
+#include "device/aging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "device/technology.hpp"
+
+namespace aropuf {
+namespace {
+
+class AgingModelTest : public ::testing::Test {
+ protected:
+  TechnologyParams tech_ = TechnologyParams::cmos90();
+  AgingModel model_{tech_};
+};
+
+TEST_F(AgingModelTest, FreshStateHasNoShifts) {
+  const auto shifts = model_.shifts(StressState{});
+  EXPECT_DOUBLE_EQ(shifts.nbti, 0.0);
+  EXPECT_DOUBLE_EQ(shifts.hci, 0.0);
+}
+
+TEST_F(AgingModelTest, AccumulateAdvancesAllFields) {
+  const auto profile = StressProfile::conventional_always_on();
+  const StressState s = model_.accumulate(StressState{}, profile, 1000.0, 1e9);
+  EXPECT_DOUBLE_EQ(s.elapsed, 1000.0);
+  EXPECT_GT(s.nbti_effective, 0.0);
+  // Cycles are stored nominal-temperature-equivalent.
+  const double hci_weight = model_.hci().temperature_weight(profile.stress_temperature);
+  EXPECT_NEAR(s.switching_cycles, hci_weight * 1e12, 1e6);
+}
+
+TEST_F(AgingModelTest, AccumulateIsAdditive) {
+  const auto profile = StressProfile::conventional_always_on();
+  StressState once = model_.accumulate(StressState{}, profile, 2000.0, 1e9);
+  StressState twice = model_.accumulate(StressState{}, profile, 1000.0, 1e9);
+  twice = model_.accumulate(twice, profile, 1000.0, 1e9);
+  EXPECT_NEAR(once.elapsed, twice.elapsed, 1e-9);
+  EXPECT_NEAR(once.nbti_effective, twice.nbti_effective, 1e-6);
+  EXPECT_NEAR(once.switching_cycles, twice.switching_cycles, 1.0);
+}
+
+TEST_F(AgingModelTest, GatedProfileAccumulatesLessOfEverything) {
+  const auto conv = StressProfile::conventional_always_on();
+  const auto gated = StressProfile::aro_gated(20.0, 10e-3);
+  const StressState sc = model_.accumulate(StressState{}, conv, years(1.0), 1e9);
+  const StressState sg = model_.accumulate(StressState{}, gated, years(1.0), 1e9);
+  EXPECT_LT(sg.nbti_effective, sc.nbti_effective * 1e-4);
+  EXPECT_LT(sg.switching_cycles, sc.switching_cycles * 1e-4);
+}
+
+TEST_F(AgingModelTest, StaticIdleGetsNoHciButFullNbti) {
+  const auto profile = StressProfile::static_enabled_idle();
+  const StressState s = model_.accumulate(StressState{}, profile, years(1.0), 1e9);
+  EXPECT_DOUBLE_EQ(s.switching_cycles, 0.0);
+  EXPECT_GT(s.nbti_effective, 0.0);
+  // No recovery: effective stress is elapsed * duty, temperature-weighted
+  // into nominal-equivalent seconds.
+  const double w = model_.nbti().temperature_weight(profile.stress_temperature);
+  EXPECT_NEAR(s.nbti_effective, w * years(1.0) * 0.5, w * 10.0);
+}
+
+TEST_F(AgingModelTest, ShiftsGrowWithAccumulatedStress) {
+  const auto profile = StressProfile::conventional_always_on();
+  StressState s = StressState{};
+  double prev_nbti = -1.0;
+  double prev_hci = -1.0;
+  for (int year = 0; year < 5; ++year) {
+    s = model_.accumulate(s, profile, years(1.0), 1e9);
+    const auto shifts = model_.shifts(s);
+    EXPECT_GT(shifts.nbti, prev_nbti);
+    EXPECT_GT(shifts.hci, prev_hci);
+    prev_nbti = shifts.nbti;
+    prev_hci = shifts.hci;
+  }
+}
+
+TEST_F(AgingModelTest, SublinearGrowthInTime) {
+  // Both mechanisms saturate: the second 5 years add less than the first 5.
+  const auto profile = StressProfile::conventional_always_on();
+  const StressState s5 = model_.accumulate(StressState{}, profile, years(5.0), 1e9);
+  const StressState s10 = model_.accumulate(s5, profile, years(5.0), 1e9);
+  const auto sh5 = model_.shifts(s5);
+  const auto sh10 = model_.shifts(s10);
+  EXPECT_LT(sh10.nbti - sh5.nbti, sh5.nbti);
+  EXPECT_LT(sh10.hci - sh5.hci, sh5.hci);
+}
+
+TEST_F(AgingModelTest, RejectsBadInputs) {
+  const auto profile = StressProfile::conventional_always_on();
+  EXPECT_THROW((void)model_.accumulate(StressState{}, profile, -1.0, 1e9), std::invalid_argument);
+  EXPECT_THROW((void)model_.accumulate(StressState{}, profile, 1.0, -1e9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,71 @@
+#include "device/hci.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "device/technology.hpp"
+
+namespace aropuf {
+namespace {
+
+class HciModelTest : public ::testing::Test {
+ protected:
+  TechnologyParams tech_ = TechnologyParams::cmos90();
+  HciModel model_{tech_};
+};
+
+TEST_F(HciModelTest, ZeroCyclesZeroShift) {
+  EXPECT_DOUBLE_EQ(model_.delta_vth(0.0, celsius(55.0)), 0.0);
+}
+
+TEST_F(HciModelTest, PrefactorIsShiftAtReferenceCycles) {
+  EXPECT_NEAR(model_.delta_vth(1e15, tech_.temp_nominal), tech_.hci_b, 1e-15);
+}
+
+TEST_F(HciModelTest, PowerLawExponent) {
+  const Kelvin t = tech_.temp_nominal;
+  const double v1 = model_.delta_vth(1e15, t);
+  const double v100 = model_.delta_vth(1e17, t);
+  EXPECT_NEAR(v100 / v1, std::pow(100.0, tech_.hci_m), 1e-9);
+}
+
+TEST_F(HciModelTest, ColdIsWorseForHci) {
+  // Negative activation energy: impact ionization worsens at low T.
+  EXPECT_GT(model_.delta_vth(1e16, celsius(-40.0)), model_.delta_vth(1e16, celsius(125.0)));
+}
+
+TEST_F(HciModelTest, TenYearContinuousOscillationAnchor) {
+  // ~1.2 GHz for 10 years: a few tens of millivolts.
+  const double cycles = 1.2e9 * years(10.0);
+  const double shift = model_.delta_vth(cycles, celsius(55.0));
+  EXPECT_GT(shift, 0.005);
+  EXPECT_LT(shift, 0.08);
+}
+
+TEST_F(HciModelTest, GatedDesignAccumulatesNegligibleHci) {
+  // ARO usage: ~0.2 s of oscillation per day for 10 years.
+  const double cycles = 1.2e9 * (0.2 / 86400.0) * years(10.0);
+  const double gated = model_.delta_vth(cycles, celsius(55.0));
+  const double continuous = model_.delta_vth(1.2e9 * years(10.0), celsius(55.0));
+  EXPECT_LT(gated, continuous * 0.01);
+}
+
+TEST_F(HciModelTest, MonotoneInCycles) {
+  double prev = -1.0;
+  for (double c = 0.0; c <= 1e17; c += 2e16) {
+    const double shift = model_.delta_vth(c, celsius(55.0));
+    EXPECT_GE(shift, prev);
+    prev = shift;
+  }
+}
+
+TEST_F(HciModelTest, RejectsBadDomain) {
+  EXPECT_THROW((void)model_.delta_vth(-1.0, 300.0), std::invalid_argument);
+  EXPECT_THROW((void)model_.delta_vth(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

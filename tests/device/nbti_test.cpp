@@ -1,0 +1,115 @@
+#include "device/nbti.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "device/technology.hpp"
+
+namespace aropuf {
+namespace {
+
+class NbtiModelTest : public ::testing::Test {
+ protected:
+  TechnologyParams tech_ = TechnologyParams::cmos90();
+  NbtiModel model_{tech_};
+};
+
+TEST_F(NbtiModelTest, ZeroStressZeroShift) {
+  EXPECT_DOUBLE_EQ(model_.delta_vth(0.0, celsius(55.0)), 0.0);
+}
+
+TEST_F(NbtiModelTest, ShiftFollowsSixthRootOfTime) {
+  const Kelvin t = celsius(55.0);
+  const double v1 = model_.delta_vth(1e6, t);
+  const double v64 = model_.delta_vth(64e6, t);
+  EXPECT_NEAR(v64 / v1, 2.0, 1e-9);  // 64^(1/6) = 2
+}
+
+TEST_F(NbtiModelTest, ShiftGrowsWithTemperature) {
+  EXPECT_GT(model_.delta_vth(1e7, celsius(125.0)), model_.delta_vth(1e7, celsius(25.0)));
+  EXPECT_GT(model_.delta_vth(1e7, celsius(25.0)), model_.delta_vth(1e7, celsius(-40.0)));
+}
+
+TEST_F(NbtiModelTest, PrefactorIsShiftAtOneSecondNominalTemp) {
+  EXPECT_NEAR(model_.delta_vth(1.0, tech_.temp_nominal), tech_.nbti_a, 1e-15);
+}
+
+TEST_F(NbtiModelTest, TenYearContinuousStressNearCalibrationAnchor) {
+  // DC stress at 55 C for 10 years: calibrated to tens of millivolts.
+  const Seconds eff = model_.effective_stress(years(10.0), 1.0, false);
+  const double shift = model_.delta_vth(eff, celsius(55.0));
+  EXPECT_GT(shift, 0.04);
+  EXPECT_LT(shift, 0.15);
+}
+
+TEST_F(NbtiModelTest, EffectiveStressScalesWithDuty) {
+  const Seconds full = model_.effective_stress(1000.0, 1.0, false);
+  const Seconds half = model_.effective_stress(1000.0, 0.5, false);
+  EXPECT_DOUBLE_EQ(full, 1000.0);
+  EXPECT_DOUBLE_EQ(half, 500.0);
+}
+
+TEST_F(NbtiModelTest, RecoveryReducesEffectiveStress) {
+  const Seconds with = model_.effective_stress(1000.0, 0.5, true);
+  const Seconds without = model_.effective_stress(1000.0, 0.5, false);
+  EXPECT_LT(with, without);
+  // At duty 0.5 with recovery fraction r: 500 * (1 - r/2).
+  EXPECT_NEAR(with, 500.0 * (1.0 - tech_.nbti_recovery_fraction * 0.5), 1e-9);
+}
+
+TEST_F(NbtiModelTest, RecoveryIrrelevantAtFullDuty) {
+  EXPECT_DOUBLE_EQ(model_.effective_stress(1000.0, 1.0, true),
+                   model_.effective_stress(1000.0, 1.0, false));
+}
+
+TEST_F(NbtiModelTest, TinyDutyCollapsesShiftBySixthRoot) {
+  // The ARO mechanism: duty 1e-6 => shift ratio (1e-6)^(1/6) = 0.1.
+  const Kelvin t = celsius(55.0);
+  const double full = model_.delta_vth(model_.effective_stress(years(10.0), 1.0, false), t);
+  const double gated =
+      model_.delta_vth(model_.effective_stress(years(10.0), 1e-6, false), t);
+  EXPECT_NEAR(gated / full, 0.1, 1e-6);
+}
+
+TEST_F(NbtiModelTest, InverseRecoversTime) {
+  const Kelvin t = celsius(85.0);
+  const Seconds eff = 3.7e8;
+  const double shift = model_.delta_vth(eff, t);
+  EXPECT_NEAR(model_.effective_stress_for_shift(shift, t), eff, eff * 1e-9);
+}
+
+TEST_F(NbtiModelTest, InverseOfZeroIsZero) {
+  EXPECT_DOUBLE_EQ(model_.effective_stress_for_shift(0.0, celsius(25.0)), 0.0);
+}
+
+TEST_F(NbtiModelTest, RejectsBadDomain) {
+  EXPECT_THROW((void)model_.delta_vth(-1.0, 300.0), std::invalid_argument);
+  EXPECT_THROW((void)model_.delta_vth(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)model_.effective_stress(-1.0, 0.5, true), std::invalid_argument);
+  EXPECT_THROW((void)model_.effective_stress(1.0, 1.5, true), std::invalid_argument);
+  EXPECT_THROW((void)model_.effective_stress_for_shift(-0.1, 300.0), std::invalid_argument);
+}
+
+// Property sweep: monotonicity of the shift in stress time at any duty.
+class NbtiMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NbtiMonotonicityTest, ShiftIsMonotoneInTime) {
+  const TechnologyParams tech = TechnologyParams::cmos90();
+  const NbtiModel model(tech);
+  const double duty = GetParam();
+  double prev = -1.0;
+  for (double t = 0.0; t <= 10.0; t += 1.0) {
+    const Seconds eff = model.effective_stress(years(t), duty, true);
+    const double shift = model.delta_vth(eff, celsius(55.0));
+    EXPECT_GE(shift, prev);
+    prev = shift;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DutySweep, NbtiMonotonicityTest,
+                         ::testing::Values(1e-7, 1e-5, 1e-3, 0.1, 0.5, 1.0));
+
+}  // namespace
+}  // namespace aropuf

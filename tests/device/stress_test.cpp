@@ -1,0 +1,72 @@
+#include "device/stress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+TEST(StressProfileTest, ConventionalProfileShape) {
+  const auto p = StressProfile::conventional_always_on();
+  p.validate();
+  EXPECT_DOUBLE_EQ(p.oscillation_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.nbti_duty, 0.5);
+  EXPECT_TRUE(p.recovery_enabled);
+}
+
+TEST(StressProfileTest, StaticIdleProfileShape) {
+  const auto p = StressProfile::static_enabled_idle();
+  p.validate();
+  EXPECT_DOUBLE_EQ(p.oscillation_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(p.nbti_duty, 0.5);
+  EXPECT_FALSE(p.recovery_enabled);
+}
+
+TEST(StressProfileTest, GatedProfileComputesActiveFraction) {
+  // 20 evaluations of 10 ms per day: 0.2 s / 86400 s.
+  const auto p = StressProfile::aro_gated(20.0, 10e-3);
+  p.validate();
+  EXPECT_NEAR(p.oscillation_fraction, 0.2 / 86400.0, 1e-12);
+  EXPECT_NEAR(p.nbti_duty, 0.5 * 0.2 / 86400.0, 1e-12);
+  EXPECT_TRUE(p.recovery_enabled);
+}
+
+TEST(StressProfileTest, GatedProfileSaturatesAtContinuousUse) {
+  const auto p = StressProfile::aro_gated(1e9, 1.0);
+  EXPECT_DOUBLE_EQ(p.oscillation_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.nbti_duty, 0.5);
+}
+
+TEST(StressProfileTest, GatedRejectsNegativeInputs) {
+  EXPECT_THROW(StressProfile::aro_gated(-1.0, 1e-3), std::invalid_argument);
+  EXPECT_THROW(StressProfile::aro_gated(1.0, -1e-3), std::invalid_argument);
+}
+
+TEST(StressProfileTest, ZeroUsageMeansZeroStress) {
+  const auto p = StressProfile::aro_gated(0.0, 1e-3);
+  EXPECT_DOUBLE_EQ(p.oscillation_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(p.nbti_duty, 0.0);
+}
+
+TEST(StressProfileTest, ValidationCatchesBadValues) {
+  StressProfile p = StressProfile::conventional_always_on();
+  p.nbti_duty = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = StressProfile::conventional_always_on();
+  p.oscillation_fraction = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = StressProfile::conventional_always_on();
+  p.stress_temperature = -5.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(StressStateTest, DefaultIsFresh) {
+  const StressState s;
+  EXPECT_DOUBLE_EQ(s.elapsed, 0.0);
+  EXPECT_DOUBLE_EQ(s.nbti_effective, 0.0);
+  EXPECT_DOUBLE_EQ(s.switching_cycles, 0.0);
+}
+
+}  // namespace
+}  // namespace aropuf

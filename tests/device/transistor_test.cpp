@@ -1,0 +1,59 @@
+#include "device/transistor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aropuf {
+namespace {
+
+Transistor make(DeviceType type) {
+  Transistor t;
+  t.type = type;
+  t.vth_fresh = 0.35;
+  t.vth_tempco = 0.8e-3;
+  t.nbti_sensitivity = 1.0;
+  t.hci_sensitivity = 1.0;
+  return t;
+}
+
+TEST(TransistorTest, FreshVthAtNominalTemp) {
+  const Transistor t = make(DeviceType::kNmos);
+  EXPECT_DOUBLE_EQ(t.vth(300.0, 300.0, 0.0, 0.0), 0.35);
+}
+
+TEST(TransistorTest, VthFallsWithTemperature) {
+  const Transistor t = make(DeviceType::kNmos);
+  EXPECT_NEAR(t.vth(400.0, 300.0, 0.0, 0.0), 0.35 - 0.08, 1e-12);
+  EXPECT_NEAR(t.vth(250.0, 300.0, 0.0, 0.0), 0.35 + 0.04, 1e-12);
+}
+
+TEST(TransistorTest, NbtiAppliesOnlyToPmos) {
+  const Transistor p = make(DeviceType::kPmos);
+  const Transistor n = make(DeviceType::kNmos);
+  EXPECT_DOUBLE_EQ(p.vth(300.0, 300.0, 0.05, 0.0), 0.40);
+  EXPECT_DOUBLE_EQ(n.vth(300.0, 300.0, 0.05, 0.0), 0.35);
+}
+
+TEST(TransistorTest, HciAppliesOnlyToNmos) {
+  const Transistor p = make(DeviceType::kPmos);
+  const Transistor n = make(DeviceType::kNmos);
+  EXPECT_DOUBLE_EQ(n.vth(300.0, 300.0, 0.0, 0.02), 0.37);
+  EXPECT_DOUBLE_EQ(p.vth(300.0, 300.0, 0.0, 0.02), 0.35);
+}
+
+TEST(TransistorTest, SensitivityScalesAging) {
+  Transistor p = make(DeviceType::kPmos);
+  p.nbti_sensitivity = 1.5;
+  EXPECT_DOUBLE_EQ(p.vth(300.0, 300.0, 0.04, 0.0), 0.35 + 0.06);
+  Transistor n = make(DeviceType::kNmos);
+  n.hci_sensitivity = 0.5;
+  EXPECT_DOUBLE_EQ(n.vth(300.0, 300.0, 0.0, 0.04), 0.35 + 0.02);
+}
+
+TEST(TransistorTest, TemperatureAndAgingCompose) {
+  Transistor p = make(DeviceType::kPmos);
+  const double vth = p.vth(350.0, 300.0, 0.03, 0.0);
+  EXPECT_NEAR(vth, 0.35 - 0.8e-3 * 50.0 + 0.03, 1e-12);
+}
+
+}  // namespace
+}  // namespace aropuf

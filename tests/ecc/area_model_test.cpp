@@ -1,0 +1,89 @@
+#include "ecc/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+class AreaModelTest : public ::testing::Test {
+ protected:
+  TechnologyParams tech_ = TechnologyParams::cmos90();
+  AreaModel model_{tech_};
+};
+
+TEST_F(AreaModelTest, RosForRawBitsIsTwoPerBit) {
+  EXPECT_EQ(AreaModel::ros_for_raw_bits(128), 256U);
+  EXPECT_EQ(AreaModel::ros_for_raw_bits(0), 0U);
+}
+
+TEST_F(AreaModelTest, GeToAreaUsesTechnologyCell) {
+  EXPECT_DOUBLE_EQ(model_.ge_to_um2(100.0), 100.0 * tech_.area_ge_um2);
+}
+
+TEST_F(AreaModelTest, DecoderGrowsWithT) {
+  EXPECT_LT(model_.bch_decoder_ge(8, 4), model_.bch_decoder_ge(8, 16));
+  EXPECT_LT(model_.bch_decoder_ge(8, 16), model_.bch_decoder_ge(8, 40));
+}
+
+TEST_F(AreaModelTest, DecoderGrowsWithFieldDegree) {
+  EXPECT_LT(model_.bch_decoder_ge(7, 10), model_.bch_decoder_ge(10, 10));
+}
+
+TEST_F(AreaModelTest, DecoderInPlausibleGateBand) {
+  // A (255, 131, 18) decoder synthesizes to a few thousand GE.
+  const double ge = model_.bch_decoder_ge(8, 18);
+  EXPECT_GT(ge, 1000.0);
+  EXPECT_LT(ge, 50000.0);
+}
+
+TEST_F(AreaModelTest, EncoderSmallerThanDecoder) {
+  EXPECT_LT(model_.bch_encoder_ge(8, 18), model_.bch_decoder_ge(8, 18));
+}
+
+TEST_F(AreaModelTest, MajorityVoterScaling) {
+  EXPECT_DOUBLE_EQ(model_.majority_voter_ge(1), 0.0);
+  EXPECT_GT(model_.majority_voter_ge(3), 0.0);
+  EXPECT_LE(model_.majority_voter_ge(3), model_.majority_voter_ge(31));
+  EXPECT_THROW((void)model_.majority_voter_ge(4), std::invalid_argument);
+}
+
+TEST_F(AreaModelTest, EstimateBreakdownIsConsistent) {
+  ConcatenatedScheme s;
+  s.repetition = 3;
+  s.bch_m = 8;
+  s.bch_t = 18;
+  s.key_bits = 128;
+  const AreaBreakdown a = model_.estimate(s);
+  EXPECT_GT(a.puf_array_ge, 0.0);
+  EXPECT_GT(a.counters_ge, 0.0);
+  EXPECT_GT(a.voter_ge, 0.0);
+  EXPECT_GT(a.bch_decoder_ge, 0.0);
+  EXPECT_NEAR(a.total_ge(),
+              a.puf_array_ge + a.counters_ge + a.voter_ge + a.bch_decoder_ge + a.bch_encoder_ge,
+              1e-9);
+  // RO array dominates a PUF key macro.
+  EXPECT_GT(a.puf_array_ge, 0.5 * a.total_ge());
+}
+
+TEST_F(AreaModelTest, PufArrayScalesWithRawBits) {
+  ConcatenatedScheme small;
+  small.repetition = 1;
+  small.bch_m = 8;
+  small.bch_t = 18;
+  small.key_bits = 128;
+  ConcatenatedScheme large = small;
+  large.repetition = 3;
+  const double ratio =
+      model_.estimate(large).puf_array_ge / model_.estimate(small).puf_array_ge;
+  EXPECT_NEAR(ratio, 3.0, 1e-9);
+}
+
+TEST_F(AreaModelTest, RejectsInvalidParameters) {
+  EXPECT_THROW((void)model_.bch_decoder_ge(2, 1), std::invalid_argument);
+  EXPECT_THROW((void)model_.bch_decoder_ge(8, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

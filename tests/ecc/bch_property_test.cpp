@@ -1,0 +1,96 @@
+// Randomized property sweep over the BCH codec: for arbitrary codes,
+// messages, and error patterns, decoding within capability always restores
+// the codeword, and decoding never fabricates a non-codeword.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "ecc/bch.hpp"
+
+namespace aropuf {
+namespace {
+
+struct SweepCase {
+  int m;
+  int t;
+  std::uint64_t seed;
+};
+
+class BchPropertyTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(BchPropertyTest, RandomizedCorrectionSweep) {
+  const auto [m, t, seed] = GetParam();
+  const BchCode code(m, t);
+  Xoshiro256 rng(seed);
+
+  for (int round = 0; round < 25; ++round) {
+    BitVector msg(code.k());
+    for (std::size_t i = 0; i < msg.size(); ++i) msg.set(i, rng.bernoulli(0.5));
+    const BitVector cw = code.encode(msg);
+
+    // Property 1: encoding is systematic and valid.
+    ASSERT_TRUE(code.is_codeword(cw));
+    ASSERT_EQ(code.extract_message(cw), msg);
+
+    // Property 2: any error pattern of weight <= t is corrected.
+    const auto weight = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(t) + 1));
+    BitVector noisy = cw;
+    std::set<std::uint64_t> positions;
+    while (positions.size() < static_cast<std::size_t>(weight)) {
+      positions.insert(rng.bounded(cw.size()));
+    }
+    for (const auto p : positions) noisy.flip(static_cast<std::size_t>(p));
+    const auto decoded = code.decode(noisy);
+    ASSERT_TRUE(decoded.has_value()) << "weight " << weight;
+    ASSERT_EQ(*decoded, cw) << "weight " << weight;
+
+    // Property 3: beyond-capability patterns never yield a non-codeword.
+    BitVector heavy = cw;
+    std::set<std::uint64_t> heavy_positions;
+    const std::size_t heavy_weight = static_cast<std::size_t>(t) + 2 + rng.bounded(5);
+    while (heavy_positions.size() < heavy_weight) {
+      heavy_positions.insert(rng.bounded(cw.size()));
+    }
+    for (const auto p : heavy_positions) heavy.flip(static_cast<std::size_t>(p));
+    const auto maybe = code.decode(heavy);
+    if (maybe.has_value()) {
+      EXPECT_TRUE(code.is_codeword(*maybe));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodeGrid, BchPropertyTest,
+    ::testing::Values(SweepCase{4, 2, 1}, SweepCase{5, 2, 2}, SweepCase{5, 5, 3},
+                      SweepCase{6, 3, 4}, SweepCase{6, 7, 5}, SweepCase{7, 4, 6},
+                      SweepCase{7, 9, 7}, SweepCase{8, 6, 8}, SweepCase{8, 22, 9},
+                      SweepCase{9, 12, 10}),
+    [](const auto& info) {
+      std::string name = "m";
+      name += std::to_string(info.param.m);
+      name += "t";
+      name += std::to_string(info.param.t);
+      return name;
+    });
+
+// Dimension table property: k is non-increasing in t and bounded by n - m*t.
+TEST(BchDimensionPropertyTest, SingletonAndMonotonicity) {
+  for (int m = 4; m <= 10; ++m) {
+    const std::size_t n = (std::size_t{1} << m) - 1;
+    std::size_t prev_k = n;
+    for (int t = 1; t <= 12; ++t) {
+      const std::size_t k = BchCode::dimension(m, t);
+      if (k == 0) break;
+      EXPECT_LE(k, prev_k) << "m=" << m << " t=" << t;
+      // Each of the t conjugate classes has at most m members (signed math:
+      // the bound can go negative when m*t exceeds n).
+      EXPECT_GE(static_cast<long>(k), static_cast<long>(n) - static_cast<long>(m) * t)
+          << "m=" << m << " t=" << t;
+      prev_k = k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,113 @@
+#include "ecc/code_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+class CodeSearchTest : public ::testing::Test {
+ protected:
+  TechnologyParams tech_ = TechnologyParams::cmos90();
+  CodeSearchConstraints constraints_;
+};
+
+TEST_F(CodeSearchTest, FindsSchemeAtLowBer) {
+  const auto result = find_min_area_scheme(tech_, 0.02, constraints_);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->key_failure, constraints_.target_key_failure);
+  EXPECT_GE(result->scheme.bch_k() * result->scheme.blocks(),
+            static_cast<std::size_t>(constraints_.key_bits));
+}
+
+TEST_F(CodeSearchTest, ZeroBerPrefersLightestScheme) {
+  const auto result = find_min_area_scheme(tech_, 0.0, constraints_);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->scheme.repetition, 1);
+  EXPECT_DOUBLE_EQ(result->key_failure, 0.0);
+}
+
+TEST_F(CodeSearchTest, AreaGrowsWithBer) {
+  double prev_area = 0.0;
+  for (const double ber : {0.01, 0.05, 0.10, 0.20, 0.30, 0.40}) {
+    const auto result = find_min_area_scheme(tech_, ber, constraints_);
+    ASSERT_TRUE(result.has_value()) << "ber " << ber;
+    EXPECT_GE(result->area.total_ge(), prev_area) << "ber " << ber;
+    prev_area = result->area.total_ge();
+  }
+}
+
+TEST_F(CodeSearchTest, PaperRegimeRatioIsLarge) {
+  // Conventional provisioning BER ~0.40 vs ARO ~0.12: order-of-magnitude+
+  // area gap (the paper's ~24x lives here).
+  const auto conv = find_min_area_scheme(tech_, 0.40, constraints_);
+  const auto aro = find_min_area_scheme(tech_, 0.12, constraints_);
+  ASSERT_TRUE(conv.has_value());
+  ASSERT_TRUE(aro.has_value());
+  const double ratio = conv->area.total_ge() / aro->area.total_ge();
+  EXPECT_GT(ratio, 10.0);
+  EXPECT_LT(ratio, 60.0);
+}
+
+TEST_F(CodeSearchTest, HighBerNeedsHeavyRepetition) {
+  const auto result = find_min_area_scheme(tech_, 0.35, constraints_);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(result->scheme.repetition, 15);
+}
+
+TEST_F(CodeSearchTest, ResultMeetsTargetExactlyByConstruction) {
+  for (const double ber : {0.05, 0.15, 0.25}) {
+    const auto result = find_min_area_scheme(tech_, ber, constraints_);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_LE(result->key_failure, constraints_.target_key_failure);
+    // Consistency: recomputing the failure from the scheme matches.
+    EXPECT_NEAR(result->scheme.key_failure_probability(ber), result->key_failure, 1e-15);
+  }
+}
+
+TEST_F(CodeSearchTest, TighterTargetCostsMoreArea) {
+  CodeSearchConstraints loose = constraints_;
+  loose.target_key_failure = 1e-3;
+  CodeSearchConstraints tight = constraints_;
+  tight.target_key_failure = 1e-9;
+  const auto loose_result = find_min_area_scheme(tech_, 0.10, loose);
+  const auto tight_result = find_min_area_scheme(tech_, 0.10, tight);
+  ASSERT_TRUE(loose_result.has_value());
+  ASSERT_TRUE(tight_result.has_value());
+  EXPECT_LE(loose_result->area.total_ge(), tight_result->area.total_ge());
+}
+
+TEST_F(CodeSearchTest, LongerKeyCostsMoreArea) {
+  CodeSearchConstraints short_key = constraints_;
+  short_key.key_bits = 64;
+  CodeSearchConstraints long_key = constraints_;
+  long_key.key_bits = 256;
+  const auto s = find_min_area_scheme(tech_, 0.08, short_key);
+  const auto l = find_min_area_scheme(tech_, 0.08, long_key);
+  ASSERT_TRUE(s.has_value());
+  ASSERT_TRUE(l.has_value());
+  EXPECT_LT(s->area.total_ge(), l->area.total_ge());
+}
+
+TEST_F(CodeSearchTest, ReturnsNulloptWhenImpossible) {
+  CodeSearchConstraints cramped = constraints_;
+  cramped.repetition_options = {1};
+  cramped.bch_m_options = {7};
+  cramped.max_bch_t = 2;
+  EXPECT_FALSE(find_min_area_scheme(tech_, 0.30, cramped).has_value());
+}
+
+TEST_F(CodeSearchTest, RejectsBadInputs) {
+  EXPECT_THROW((void)find_min_area_scheme(tech_, 0.5, constraints_), std::invalid_argument);
+  EXPECT_THROW((void)find_min_area_scheme(tech_, -0.1, constraints_), std::invalid_argument);
+  CodeSearchConstraints bad = constraints_;
+  bad.target_key_failure = 0.0;
+  EXPECT_THROW((void)find_min_area_scheme(tech_, 0.1, bad), std::invalid_argument);
+  bad = constraints_;
+  bad.repetition_options = {2};
+  EXPECT_THROW((void)find_min_area_scheme(tech_, 0.1, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,152 @@
+#include "ecc/concatenated.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace aropuf {
+namespace {
+
+ConcatenatedScheme small_scheme() {
+  ConcatenatedScheme s;
+  s.repetition = 3;
+  s.bch_m = 5;
+  s.bch_t = 3;  // (31, 16, 3)
+  s.key_bits = 40;
+  return s;
+}
+
+BitVector random_key(int bits, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVector k(static_cast<std::size_t>(bits));
+  for (std::size_t i = 0; i < k.size(); ++i) k.set(i, rng.bernoulli(0.5));
+  return k;
+}
+
+TEST(ConcatenatedSchemeTest, DerivedQuantities) {
+  const auto s = small_scheme();
+  EXPECT_EQ(s.bch_n(), 31U);
+  EXPECT_EQ(s.bch_k(), 16U);
+  EXPECT_EQ(s.blocks(), 3U);  // ceil(40 / 16)
+  EXPECT_EQ(s.raw_bits(), 3U * 31U * 3U);
+}
+
+TEST(ConcatenatedSchemeTest, ValidationCatchesBadSchemes) {
+  auto s = small_scheme();
+  s.repetition = 4;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = small_scheme();
+  s.key_bits = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = small_scheme();
+  s.bch_t = 7;  // (31, 1, 7): k = 1 still exists
+  EXPECT_NO_THROW(s.validate());
+  s.bch_t = 16;  // 2t wraps past n: generator consumes every root, k = 0
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ConcatenatedSchemeTest, FailureProbabilityMonotoneInBer) {
+  const auto s = small_scheme();
+  double prev = -1.0;
+  for (const double p : {0.0, 0.01, 0.05, 0.1, 0.2, 0.3}) {
+    const double fail = s.key_failure_probability(p);
+    EXPECT_GE(fail, prev);
+    prev = fail;
+  }
+  EXPECT_DOUBLE_EQ(s.key_failure_probability(0.0), 0.0);
+}
+
+TEST(ConcatenatedSchemeTest, StrongerOuterCodeFailsLess) {
+  auto weak = small_scheme();
+  auto strong = small_scheme();
+  strong.bch_t = 5;
+  EXPECT_LT(strong.block_failure_probability(0.1), weak.block_failure_probability(0.1));
+}
+
+TEST(ConcatenatedSchemeTest, MoreBlocksFailMore) {
+  auto one = small_scheme();
+  one.key_bits = 16;  // 1 block
+  auto many = small_scheme();
+  many.key_bits = 160;  // 10 blocks
+  EXPECT_GT(many.key_failure_probability(0.08), one.key_failure_probability(0.08));
+}
+
+TEST(ConcatenatedCodeTest, RoundTripNoErrors) {
+  const ConcatenatedCode code(small_scheme());
+  const BitVector key = random_key(40, 1);
+  const BitVector encoded = code.encode(key);
+  EXPECT_EQ(encoded.size(), code.scheme().raw_bits());
+  const auto decoded = code.decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, key);
+}
+
+TEST(ConcatenatedCodeTest, CorrectsScatteredErrors) {
+  const ConcatenatedCode code(small_scheme());
+  const BitVector key = random_key(40, 2);
+  BitVector noisy = code.encode(key);
+  // Flip ~4 % of raw bits: well within rep-3 + BCH t=3 capability.
+  Xoshiro256 rng(3);
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    if (rng.bernoulli(0.04)) noisy.flip(i);
+  }
+  const auto decoded = code.decode(noisy);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, key);
+}
+
+TEST(ConcatenatedCodeTest, FailsCleanlyUnderHeavyNoise) {
+  const ConcatenatedCode code(small_scheme());
+  const BitVector key = random_key(40, 4);
+  BitVector noisy = code.encode(key);
+  Xoshiro256 rng(5);
+  int clean_failures = 0;
+  int wrong_key = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    BitVector heavy = noisy;
+    for (std::size_t i = 0; i < heavy.size(); ++i) {
+      if (rng.bernoulli(0.35)) heavy.flip(i);
+    }
+    const auto decoded = code.decode(heavy);
+    if (!decoded.has_value()) {
+      ++clean_failures;
+    } else if (*decoded != key) {
+      ++wrong_key;
+    }
+  }
+  EXPECT_GT(clean_failures + wrong_key, 15);
+}
+
+TEST(ConcatenatedCodeTest, EncodeRejectsWrongKeyLength) {
+  const ConcatenatedCode code(small_scheme());
+  EXPECT_THROW(code.encode(BitVector(41)), std::invalid_argument);
+}
+
+TEST(ConcatenatedCodeTest, DecodeRejectsWrongLength) {
+  const ConcatenatedCode code(small_scheme());
+  EXPECT_THROW(code.decode(BitVector(100)), std::invalid_argument);
+}
+
+TEST(ConcatenatedCodeTest, PaperSized128BitKey) {
+  ConcatenatedScheme s;
+  s.repetition = 3;
+  s.bch_m = 8;
+  s.bch_t = 18;  // (255, 131, 18)
+  s.key_bits = 128;
+  const ConcatenatedCode code(s);
+  EXPECT_EQ(s.blocks(), 1U);
+  const BitVector key = random_key(128, 6);
+  BitVector noisy = code.encode(key);
+  Xoshiro256 rng(7);
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    if (rng.bernoulli(0.05)) noisy.flip(i);
+  }
+  const auto decoded = code.decode(noisy);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, key);
+}
+
+}  // namespace
+}  // namespace aropuf

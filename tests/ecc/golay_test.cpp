@@ -1,0 +1,161 @@
+#include "ecc/golay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace aropuf {
+namespace {
+
+BitVector random_message(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVector m(GolayCode::kK);
+  for (std::size_t i = 0; i < m.size(); ++i) m.set(i, rng.bernoulli(0.5));
+  return m;
+}
+
+class GolayTest : public ::testing::Test {
+ protected:
+  GolayCode code_;
+};
+
+TEST_F(GolayTest, Parameters) {
+  EXPECT_EQ(GolayCode::n(), 23U);
+  EXPECT_EQ(GolayCode::k(), 12U);
+  EXPECT_EQ(GolayCode::t(), 3);
+}
+
+TEST_F(GolayTest, EncodeProducesCodewords) {
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const BitVector msg = random_message(s);
+    const BitVector cw = code_.encode(msg);
+    EXPECT_EQ(cw.size(), 23U);
+    EXPECT_TRUE(code_.is_codeword(cw));
+    EXPECT_EQ(code_.extract_message(cw), msg);
+  }
+}
+
+TEST_F(GolayTest, AllSingleAndDoubleErrorsCorrected) {
+  const BitVector cw = code_.encode(random_message(7));
+  for (std::size_t a = 0; a < 23; ++a) {
+    BitVector e1 = cw;
+    e1.flip(a);
+    EXPECT_EQ(code_.decode(e1), cw) << "single error at " << a;
+    for (std::size_t b = a + 1; b < 23; ++b) {
+      BitVector e2 = e1;
+      e2.flip(b);
+      EXPECT_EQ(code_.decode(e2), cw) << "double error at " << a << "," << b;
+    }
+  }
+}
+
+TEST_F(GolayTest, AllTripleErrorsCorrected) {
+  const BitVector cw = code_.encode(random_message(9));
+  // All C(23,3) = 1771 patterns.
+  for (std::size_t a = 0; a < 23; ++a) {
+    for (std::size_t b = a + 1; b < 23; ++b) {
+      for (std::size_t c = b + 1; c < 23; ++c) {
+        BitVector noisy = cw;
+        noisy.flip(a);
+        noisy.flip(b);
+        noisy.flip(c);
+        ASSERT_EQ(code_.decode(noisy), cw) << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST_F(GolayTest, FourErrorsMisdecodeToAnotherCodeword) {
+  // Perfect code: weight-4 errors land within distance 3 of a *different*
+  // codeword; decode always yields a codeword but not the original.
+  const BitVector cw = code_.encode(random_message(11));
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    BitVector noisy = cw;
+    std::set<std::uint64_t> pos;
+    while (pos.size() < 4) pos.insert(rng.bounded(23));
+    for (const auto p : pos) noisy.flip(static_cast<std::size_t>(p));
+    const BitVector decoded = code_.decode(noisy);
+    EXPECT_TRUE(code_.is_codeword(decoded));
+    EXPECT_FALSE(decoded == cw);
+  }
+}
+
+TEST_F(GolayTest, MinimumDistanceIsSeven) {
+  // Spot-check: distance between distinct codewords is at least 7, with 7
+  // achieved somewhere (the code's weight enumerator has A_7 = 253).
+  std::size_t min_distance = 23;
+  for (std::uint32_t m1 = 0; m1 < 64; ++m1) {
+    for (std::uint32_t m2 = m1 + 1; m2 < 64; ++m2) {
+      BitVector a(GolayCode::kK);
+      BitVector b(GolayCode::kK);
+      for (std::size_t i = 0; i < 6; ++i) {
+        a.set(i, (m1 >> i) & 1U);
+        b.set(i, (m2 >> i) & 1U);
+      }
+      const std::size_t d = hamming_distance(code_.encode(a), code_.encode(b));
+      EXPECT_GE(d, 7U);
+      min_distance = std::min(min_distance, d);
+    }
+  }
+  EXPECT_EQ(min_distance, 7U);
+}
+
+TEST_F(GolayTest, LinearCode) {
+  const BitVector c1 = code_.encode(random_message(17));
+  const BitVector c2 = code_.encode(random_message(18));
+  EXPECT_TRUE(code_.is_codeword(c1 ^ c2));
+  EXPECT_TRUE(code_.is_codeword(BitVector(23)));  // zero word
+}
+
+TEST_F(GolayTest, ExtendedEncodeHasEvenWeight) {
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    const BitVector cw = code_.encode_extended(random_message(s));
+    EXPECT_EQ(cw.size(), 24U);
+    EXPECT_EQ(cw.popcount() % 2, 0U);
+  }
+}
+
+TEST_F(GolayTest, ExtendedCorrectsUpToThreeAnywhere) {
+  const BitVector cw = code_.encode_extended(random_message(21));
+  Xoshiro256 rng(23);
+  for (int weight = 0; weight <= 3; ++weight) {
+    for (int trial = 0; trial < 60; ++trial) {
+      BitVector noisy = cw;
+      std::set<std::uint64_t> pos;
+      while (pos.size() < static_cast<std::size_t>(weight)) pos.insert(rng.bounded(24));
+      for (const auto p : pos) noisy.flip(static_cast<std::size_t>(p));
+      const auto decoded = code_.decode_extended(noisy);
+      ASSERT_TRUE(decoded.has_value()) << "weight " << weight;
+      EXPECT_EQ(*decoded, cw) << "weight " << weight;
+    }
+  }
+}
+
+TEST_F(GolayTest, ExtendedDetectsAllWeightFourErrors) {
+  const BitVector cw = code_.encode_extended(random_message(25));
+  Xoshiro256 rng(27);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVector noisy = cw;
+    std::set<std::uint64_t> pos;
+    while (pos.size() < 4) pos.insert(rng.bounded(24));
+    for (const auto p : pos) noisy.flip(static_cast<std::size_t>(p));
+    EXPECT_FALSE(code_.decode_extended(noisy).has_value());
+  }
+}
+
+TEST_F(GolayTest, ExtendedRejectsWrongLength) {
+  EXPECT_THROW(code_.decode_extended(BitVector(23)), std::invalid_argument);
+}
+
+TEST_F(GolayTest, RejectsWrongLengths) {
+  EXPECT_THROW(code_.encode(BitVector(11)), std::invalid_argument);
+  EXPECT_THROW(code_.decode(BitVector(24)), std::invalid_argument);
+  EXPECT_THROW(code_.extract_message(BitVector(22)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,87 @@
+// Reproducibility invariants: every result in EXPERIMENTS.md must regenerate
+// bit-exactly from (master seed, config).  These tests pin the properties
+// that make that true.
+#include <gtest/gtest.h>
+
+#include "puf/ro_puf.hpp"
+#include "sim/scenarios.hpp"
+
+namespace aropuf {
+namespace {
+
+TEST(DeterminismTest, ChipConstructionIsPure) {
+  const TechnologyParams tech = TechnologyParams::cmos90();
+  const RngFabric fabric(123);
+  const RoPuf a(tech, PufConfig::aro(64), fabric.child("chip", 0));
+  const RoPuf b(tech, PufConfig::aro(64), fabric.child("chip", 0));
+  for (std::size_t i = 0; i < a.oscillators().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.oscillators()[i].frequency(a.nominal_op()),
+                     b.oscillators()[i].frequency(b.nominal_op()));
+  }
+}
+
+TEST(DeterminismTest, EvaluationOrderDoesNotMatter) {
+  const TechnologyParams tech = TechnologyParams::cmos90();
+  const RoPuf chip(tech, PufConfig::aro(64), RngFabric(5).child("chip", 0));
+  const auto op = chip.nominal_op();
+  // Evaluating index 7 first, then 3, equals evaluating 3 then 7: streams
+  // are derived from (eval index, bit), not from call order.
+  const BitVector r7_first = chip.evaluate(op, 7);
+  const BitVector r3_second = chip.evaluate(op, 3);
+  const BitVector r3_first = chip.evaluate(op, 3);
+  const BitVector r7_second = chip.evaluate(op, 7);
+  EXPECT_EQ(r7_first, r7_second);
+  EXPECT_EQ(r3_first, r3_second);
+}
+
+TEST(DeterminismTest, AgingDoesNotPerturbRngStreams) {
+  const TechnologyParams tech = TechnologyParams::cmos90();
+  RoPuf chip(tech, PufConfig::aro(64), RngFabric(6).child("chip", 0));
+  const auto op = chip.nominal_op();
+  const BitVector before = chip.evaluate(op, 9);
+  chip.age_years(10.0);
+  chip.reset_aging();
+  EXPECT_EQ(chip.evaluate(op, 9), before);
+}
+
+TEST(DeterminismTest, PopulationsAreIndexStable) {
+  // Chip i of an N-chip population equals chip i of an M-chip population:
+  // growing a study never silently reshuffles existing dies.
+  const TechnologyParams tech = TechnologyParams::cmos90();
+  const RngFabric fabric(77);
+  const auto small = make_population(tech, PufConfig::aro(64), 3, fabric);
+  const auto large = make_population(tech, PufConfig::aro(64), 6, fabric);
+  const auto op = small[0].nominal_op();
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i].evaluate(op, 0), large[i].evaluate(op, 0));
+  }
+}
+
+TEST(DeterminismTest, ScenarioResultsAreBitExactAcrossRuns) {
+  PopulationConfig pop;
+  pop.chips = 6;
+  pop.seed = 99;
+  const auto u1 = run_uniqueness(pop, PufConfig::conventional(128));
+  const auto u2 = run_uniqueness(pop, PufConfig::conventional(128));
+  EXPECT_DOUBLE_EQ(u1.uniqueness.stats.mean(), u2.uniqueness.stats.mean());
+  EXPECT_DOUBLE_EQ(u1.uniformity.mean(), u2.uniformity.mean());
+  EXPECT_DOUBLE_EQ(u1.aliasing.stddev(), u2.aliasing.stddev());
+}
+
+TEST(DeterminismTest, DesignsShareSiliconUnderSameFabric) {
+  // The conventional vs ARO comparison is paired: built from the same chip
+  // fabric, the two designs' RO arrays carry identical process variation
+  // (only pairing and stress differ), so fresh noiseless frequencies match.
+  const TechnologyParams tech = TechnologyParams::cmos90();
+  const RngFabric fabric(31);
+  const RoPuf conv(tech, PufConfig::conventional(64), fabric.child("chip", 2));
+  const RoPuf aro(tech, PufConfig::aro(64), fabric.child("chip", 2));
+  const auto op = conv.nominal_op();
+  for (std::size_t i = 0; i < conv.oscillators().size(); ++i) {
+    EXPECT_DOUBLE_EQ(conv.oscillators()[i].fresh_frequency(op),
+                     aro.oscillators()[i].fresh_frequency(op));
+  }
+}
+
+}  // namespace
+}  // namespace aropuf

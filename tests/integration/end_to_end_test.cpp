@@ -1,0 +1,120 @@
+// End-to-end integration: silicon -> response -> fuzzy extractor -> key,
+// across the full simulated lifetime.  This is the deployment story the
+// paper's ECC analysis assumes, exercised concretely.
+#include <gtest/gtest.h>
+
+#include "ecc/code_search.hpp"
+#include "keygen/fuzzy_extractor.hpp"
+#include "puf/ro_puf.hpp"
+#include "sim/scenarios.hpp"
+
+namespace aropuf {
+namespace {
+
+/// Builds an ARO chip with enough ROs for the extractor's raw bits.
+RoPuf make_chip_for(const FuzzyExtractor& fx, const TechnologyParams& tech,
+                    std::uint64_t chip_index) {
+  const int ros = static_cast<int>(2 * fx.response_bits());
+  PufConfig cfg = PufConfig::aro(ros);
+  return RoPuf(tech, cfg, RngFabric(99).child("chip", chip_index));
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static ConcatenatedScheme scheme() {
+    // Found by the code search for the ARO provisioning BER; hard-coded so
+    // the test is stable: rep-3 inner, BCH(127, 64, 10) outer, 2 blocks.
+    ConcatenatedScheme s;
+    s.repetition = 3;
+    s.bch_m = 7;
+    s.bch_t = 10;
+    s.key_bits = 128;
+    return s;
+  }
+
+  TechnologyParams tech_ = TechnologyParams::cmos90();
+  FuzzyExtractor fx_{scheme()};
+};
+
+TEST_F(EndToEndTest, KeySurvivesTenYearsOnAroChip) {
+  RoPuf chip = make_chip_for(fx_, tech_, 0);
+  const auto op = chip.nominal_op();
+  Xoshiro256 trng(42);
+
+  const BitVector golden = chip.evaluate(op, 0);
+  const Enrollment enrollment = fx_.enroll(golden, trng);
+
+  chip.age_years(10.0);
+  const BitVector aged = chip.evaluate(op, 1);
+  const auto key = fx_.reconstruct(aged, enrollment.helper_data);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, enrollment.key);
+}
+
+TEST_F(EndToEndTest, KeyStableAtEveryYearlyCheckpoint) {
+  RoPuf chip = make_chip_for(fx_, tech_, 1);
+  const auto op = chip.nominal_op();
+  Xoshiro256 trng(43);
+  const Enrollment enrollment = fx_.enroll(chip.evaluate(op, 0), trng);
+  for (int year = 1; year <= 10; ++year) {
+    chip.age_years(1.0);
+    const auto key =
+        fx_.reconstruct(chip.evaluate(op, static_cast<std::uint64_t>(year)),
+                        enrollment.helper_data);
+    ASSERT_TRUE(key.has_value()) << "year " << year;
+    EXPECT_EQ(*key, enrollment.key) << "year " << year;
+  }
+}
+
+TEST_F(EndToEndTest, KeySurvivesModerateTemperatureExcursion) {
+  RoPuf chip = make_chip_for(fx_, tech_, 2);
+  Xoshiro256 trng(44);
+  const Enrollment enrollment = fx_.enroll(chip.evaluate(chip.nominal_op(), 0), trng);
+  chip.age_years(5.0);
+  OperatingPoint hot = chip.nominal_op();
+  hot.temp = celsius(55.0);
+  const auto key = fx_.reconstruct(chip.evaluate(hot, 1), enrollment.helper_data);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, enrollment.key);
+}
+
+TEST_F(EndToEndTest, DifferentChipsGetDifferentKeys) {
+  RoPuf a = make_chip_for(fx_, tech_, 3);
+  RoPuf b = make_chip_for(fx_, tech_, 4);
+  Xoshiro256 trng(45);
+  const Enrollment ea = fx_.enroll(a.evaluate(a.nominal_op(), 0), trng);
+  const Enrollment eb = fx_.enroll(b.evaluate(b.nominal_op(), 0), trng);
+  EXPECT_NE(ea.key, eb.key);
+  // Chip B cannot impersonate chip A even with A's public helper data.
+  const auto stolen = fx_.reconstruct(b.evaluate(b.nominal_op(), 1), ea.helper_data);
+  EXPECT_TRUE(!stolen.has_value() || *stolen != ea.key);
+}
+
+TEST_F(EndToEndTest, ConventionalChipKeyOftenDiesWithLightEcc) {
+  // The paper's motivation: at 32 % BER the ARO-sized ECC is hopeless for a
+  // conventional chip aged 10 years.
+  const int ros = static_cast<int>(2 * fx_.response_bits());
+  PufConfig cfg = PufConfig::conventional(ros);
+  int failures = 0;
+  for (std::uint64_t c = 0; c < 5; ++c) {
+    RoPuf chip(tech_, cfg, RngFabric(7).child("chip", c));
+    Xoshiro256 trng(50 + c);
+    const auto op = chip.nominal_op();
+    const Enrollment enrollment = fx_.enroll(chip.evaluate(op, 0), trng);
+    chip.age_years(10.0);
+    const auto key = fx_.reconstruct(chip.evaluate(op, 1), enrollment.helper_data);
+    if (!key.has_value() || *key != enrollment.key) ++failures;
+  }
+  EXPECT_GE(failures, 4);
+}
+
+TEST_F(EndToEndTest, SearchedSchemeMatchesHardcodedScheme) {
+  // Keep the hard-coded scheme in sync with what the search would pick for
+  // the ARO design's provisioning BER band.
+  const auto found = find_min_area_scheme(tech_, 0.12, CodeSearchConstraints{});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_LE(found->scheme.raw_bits(), scheme().raw_bits() * 2);
+}
+
+}  // namespace
+}  // namespace aropuf

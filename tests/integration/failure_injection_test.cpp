@@ -1,0 +1,128 @@
+// Failure-injection tests: mis-sized measurement windows, degenerate
+// technologies, and hostile operating points must fail loudly or degrade
+// the way real hardware does — never crash or silently produce plausible
+// nonsense.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/uniqueness.hpp"
+#include "puf/ro_puf.hpp"
+#include "sim/scenarios.hpp"
+
+namespace aropuf {
+namespace {
+
+TEST(FailureInjectionTest, SaturatedCountersDestroyUniqueness) {
+  // A window far too long for the counter width saturates every count:
+  // all comparisons tie, every response collapses to all-zeros.  The
+  // *measurable* symptom is uniqueness ~0 — exactly how the bug presents in
+  // the lab.
+  TechnologyParams tech = TechnologyParams::cmos90();
+  tech.counter_bits = 10;  // max 1023 counts
+  PufConfig cfg = PufConfig::aro(64);
+  cfg.measurement_window = 1e-3;  // ~1e6 cycles >> 1023
+  const RngFabric fabric(3);
+  std::vector<BitVector> responses;
+  for (int c = 0; c < 6; ++c) {
+    const RoPuf chip(tech, cfg, fabric.child("chip", static_cast<std::uint64_t>(c)));
+    responses.push_back(chip.evaluate(chip.nominal_op(), 0));
+    EXPECT_EQ(responses.back().popcount(), 0U);  // ties resolve to 0
+  }
+  EXPECT_DOUBLE_EQ(compute_uniqueness(responses).stats.mean(), 0.0);
+}
+
+TEST(FailureInjectionTest, TooShortWindowCollapsesBitsIntoTies) {
+  // A 20 ns window counts only ~25 cycles, so the percent-level frequency
+  // margins are fractions of one count: most pairs quantize to *equal*
+  // counts, ties resolve to 0, and the response collapses toward all-zeros
+  // (the lab symptom of an undersized gate time: dead uniformity, not
+  // noise).
+  const TechnologyParams tech = TechnologyParams::cmos90();
+  auto ones_fraction = [&tech](Seconds window) {
+    PufConfig cfg = PufConfig::aro(256);
+    cfg.measurement_window = window;
+    const RoPuf chip(tech, cfg, RngFabric(5).child("chip", 0));
+    return chip.evaluate(chip.nominal_op(), 0).ones_fraction();
+  };
+  const double healthy = ones_fraction(20e-6);
+  const double starved = ones_fraction(20e-9);
+  EXPECT_GT(healthy, 0.35);
+  EXPECT_LT(healthy, 0.65);
+  EXPECT_LT(starved, 0.25);
+}
+
+TEST(FailureInjectionTest, ZeroNoiseTechnologyIsPerfectlyStable) {
+  TechnologyParams tech = TechnologyParams::cmos90();
+  tech.jitter_cycle_rel = 0.0;
+  tech.noise_lowfreq_rel = 0.0;
+  const RoPuf chip(tech, PufConfig::aro(128), RngFabric(7).child("chip", 0));
+  const auto op = chip.nominal_op();
+  const BitVector golden = chip.evaluate(op, 0);
+  for (std::uint64_t e = 1; e <= 5; ++e) {
+    EXPECT_EQ(chip.evaluate(op, e), golden);
+  }
+}
+
+TEST(FailureInjectionTest, ZeroMismatchTechnologyHasNoEntropy) {
+  // All variation sources off: every chip is identical, uniqueness ~0.
+  TechnologyParams tech = TechnologyParams::cmos90();
+  tech.sigma_vth_local = 0.0;
+  tech.sigma_vth_global = 0.0;
+  tech.sigma_vth_spatial = 0.0;
+  tech.layout_systematic_amplitude = 0.0;
+  tech.jitter_cycle_rel = 0.0;
+  tech.noise_lowfreq_rel = 0.0;
+  tech.vth_tempco_mismatch_rel = 0.0;
+  const RngFabric fabric(9);
+  std::vector<BitVector> responses;
+  for (int c = 0; c < 4; ++c) {
+    const RoPuf chip(tech, PufConfig::aro(64), fabric.child("chip", static_cast<std::uint64_t>(c)));
+    responses.push_back(chip.evaluate(chip.nominal_op(), 0));
+  }
+  EXPECT_DOUBLE_EQ(compute_uniqueness(responses).stats.mean(), 0.0);
+}
+
+TEST(FailureInjectionTest, DeepSubthresholdSupplyStaysFiniteAndMonotone) {
+  // VDD below Vth: the overdrive clamp keeps frequencies finite (slow) and
+  // ordering-based evaluation still functions.
+  const TechnologyParams tech = TechnologyParams::cmos90();
+  const RoPuf chip(tech, PufConfig::aro(64), RngFabric(11).child("chip", 0));
+  OperatingPoint starved{0.3, tech.temp_nominal};
+  for (const auto& ro : chip.oscillators()) {
+    const double f = ro.frequency(starved);
+    EXPECT_TRUE(std::isfinite(f));
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, ro.frequency(chip.nominal_op()));
+  }
+  EXPECT_EQ(chip.noiseless_response(starved).size(), chip.response_bits());
+}
+
+TEST(FailureInjectionTest, CryogenicToOvenSweepNeverThrows) {
+  PopulationConfig pop;
+  pop.chips = 3;
+  pop.seed = 13;
+  const double temps[] = {-150.0, -40.0, 25.0, 200.0};
+  EXPECT_NO_THROW({
+    const auto sweep = run_temperature_sweep(pop, PufConfig::aro(64), temps);
+    EXPECT_EQ(sweep.size(), 4U);
+  });
+}
+
+TEST(FailureInjectionTest, CenturyOfAgingSaturatesGracefully) {
+  RoPuf chip(TechnologyParams::cmos90(), PufConfig::conventional(64),
+             RngFabric(17).child("chip", 0));
+  const auto op = chip.nominal_op();
+  chip.age_years(100.0);
+  const double f = chip.oscillators()[0].frequency(op);
+  EXPECT_TRUE(std::isfinite(f));
+  EXPECT_GT(f, 0.0);
+  // Flips approach (but cannot meaningfully exceed) the random-guess bound.
+  RoPuf fresh(TechnologyParams::cmos90(), PufConfig::conventional(64),
+              RngFabric(17).child("chip", 0));
+  const double hd = fractional_hamming_distance(fresh.evaluate(op, 0), chip.evaluate(op, 1));
+  EXPECT_LT(hd, 0.65);
+}
+
+}  // namespace
+}  // namespace aropuf

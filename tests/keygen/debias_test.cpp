@@ -1,0 +1,68 @@
+#include "keygen/debias.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace aropuf {
+namespace {
+
+TEST(DebiasTest, PairConvention) {
+  // 01 -> 0, 10 -> 1, 00/11 discarded.
+  const auto r = von_neumann_debias(BitVector::from_string("01100011"));
+  EXPECT_EQ(r.bits.to_string(), "01");
+  EXPECT_EQ(r.consumed, 8U);
+  EXPECT_DOUBLE_EQ(r.yield(), 0.25);
+}
+
+TEST(DebiasTest, TrailingOddBitIgnored) {
+  const auto r = von_neumann_debias(BitVector::from_string("101"));
+  EXPECT_EQ(r.bits.to_string(), "1");
+  EXPECT_EQ(r.consumed, 2U);
+}
+
+TEST(DebiasTest, EmptyAndConstantInputs) {
+  EXPECT_EQ(von_neumann_debias(BitVector()).bits.size(), 0U);
+  const auto ones = von_neumann_debias(BitVector::from_string("11111111"));
+  EXPECT_EQ(ones.bits.size(), 0U);
+  EXPECT_DOUBLE_EQ(ones.yield(), 0.0);
+}
+
+TEST(DebiasTest, RemovesBiasFromBernoulliSource) {
+  Xoshiro256 rng(3);
+  BitVector biased(40000);
+  for (std::size_t i = 0; i < biased.size(); ++i) biased.set(i, rng.bernoulli(0.8));
+  const auto r = von_neumann_debias(biased);
+  // Output is unbiased regardless of the 80/20 input.
+  EXPECT_NEAR(r.bits.ones_fraction(), 0.5, 0.02);
+  // Yield near p(1-p) = 0.16.
+  EXPECT_NEAR(r.yield(), expected_von_neumann_yield(0.8), 0.01);
+}
+
+TEST(DebiasTest, ExpectedYieldFormula) {
+  EXPECT_DOUBLE_EQ(expected_von_neumann_yield(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(expected_von_neumann_yield(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_von_neumann_yield(1.0), 0.0);
+  EXPECT_THROW((void)expected_von_neumann_yield(1.5), std::invalid_argument);
+}
+
+TEST(DebiasTest, OutputLengthIsDataDependent) {
+  // The fuzzy-extractor caveat: two noisy readings of the same biased
+  // response can debias to different *lengths*, which is why debiasing
+  // composes poorly with code-offset helper data.
+  Xoshiro256 rng(5);
+  BitVector a(1000);
+  for (std::size_t i = 0; i < a.size(); ++i) a.set(i, rng.bernoulli(0.7));
+  BitVector b = a;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (rng.bernoulli(0.05)) b.flip(i);
+  }
+  const auto ra = von_neumann_debias(a);
+  const auto rb = von_neumann_debias(b);
+  EXPECT_NE(ra.bits.size(), rb.bits.size());
+}
+
+}  // namespace
+}  // namespace aropuf

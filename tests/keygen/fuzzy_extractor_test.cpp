@@ -1,0 +1,129 @@
+#include "keygen/fuzzy_extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace aropuf {
+namespace {
+
+ConcatenatedScheme test_scheme() {
+  ConcatenatedScheme s;
+  s.repetition = 3;
+  s.bch_m = 7;
+  s.bch_t = 10;  // (127, 64, 10)
+  s.key_bits = 128;
+  return s;
+}
+
+BitVector random_response(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.bernoulli(0.5));
+  return v;
+}
+
+BitVector flip_fraction(const BitVector& v, double p, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVector out = v;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (rng.bernoulli(p)) out.flip(i);
+  }
+  return out;
+}
+
+class FuzzyExtractorTest : public ::testing::Test {
+ protected:
+  FuzzyExtractor fx_{test_scheme()};
+  Xoshiro256 rng_{2014};
+};
+
+TEST_F(FuzzyExtractorTest, ResponseBitsMatchScheme) {
+  EXPECT_EQ(fx_.response_bits(), test_scheme().raw_bits());
+}
+
+TEST_F(FuzzyExtractorTest, ExactResponseReconstructsKey) {
+  const BitVector response = random_response(fx_.response_bits(), 1);
+  const Enrollment e = fx_.enroll(response, rng_);
+  const auto key = fx_.reconstruct(response, e.helper_data);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, e.key);
+}
+
+TEST_F(FuzzyExtractorTest, NoisyResponseReconstructsKey) {
+  const BitVector response = random_response(fx_.response_bits(), 2);
+  const Enrollment e = fx_.enroll(response, rng_);
+  // 5 % raw BER: comfortably within rep-3 + BCH t=10.
+  const BitVector noisy = flip_fraction(response, 0.05, 3);
+  const auto key = fx_.reconstruct(noisy, e.helper_data);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, e.key);
+}
+
+TEST_F(FuzzyExtractorTest, HeavyNoiseFailsOrMismatches) {
+  const BitVector response = random_response(fx_.response_bits(), 4);
+  const Enrollment e = fx_.enroll(response, rng_);
+  int bad = 0;
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    const BitVector noisy = flip_fraction(response, 0.45, 100 + t);
+    const auto key = fx_.reconstruct(noisy, e.helper_data);
+    if (!key.has_value() || *key != e.key) ++bad;
+  }
+  EXPECT_GE(bad, 9);
+}
+
+TEST_F(FuzzyExtractorTest, WrongChipCannotReconstruct) {
+  const BitVector response_a = random_response(fx_.response_bits(), 5);
+  const BitVector response_b = random_response(fx_.response_bits(), 6);
+  const Enrollment e = fx_.enroll(response_a, rng_);
+  const auto key = fx_.reconstruct(response_b, e.helper_data);
+  // A different chip's response is ~50 % HD away: reconstruction must not
+  // yield the enrolled key.
+  EXPECT_TRUE(!key.has_value() || *key != e.key);
+}
+
+TEST_F(FuzzyExtractorTest, DistinctEnrollmentsDistinctKeys) {
+  const BitVector response = random_response(fx_.response_bits(), 7);
+  const Enrollment e1 = fx_.enroll(response, rng_);
+  const Enrollment e2 = fx_.enroll(response, rng_);
+  // Fresh secret each enrollment: keys and helper data both differ.
+  EXPECT_NE(e1.key, e2.key);
+  EXPECT_FALSE(e1.helper_data == e2.helper_data);
+}
+
+TEST_F(FuzzyExtractorTest, HelperDataAloneDoesNotLeakResponseWeight) {
+  // Code-offset masking: helper = response XOR codeword.  For a balanced
+  // random secret the helper's ones-fraction stays near 1/2 regardless of
+  // the response's own bias.
+  BitVector biased(fx_.response_bits());
+  for (std::size_t i = 0; i < biased.size(); ++i) biased.set(i, true);
+  const Enrollment e = fx_.enroll(biased, rng_);
+  EXPECT_GT(e.helper_data.ones_fraction(), 0.3);
+  EXPECT_LT(e.helper_data.ones_fraction(), 0.7);
+}
+
+TEST_F(FuzzyExtractorTest, RejectsWrongLengths) {
+  const BitVector short_resp(10);
+  EXPECT_THROW(fx_.enroll(short_resp, rng_), std::invalid_argument);
+  const BitVector response = random_response(fx_.response_bits(), 8);
+  const Enrollment e = fx_.enroll(response, rng_);
+  EXPECT_THROW((void)fx_.reconstruct(short_resp, e.helper_data), std::invalid_argument);
+  EXPECT_THROW((void)fx_.reconstruct(response, short_resp), std::invalid_argument);
+}
+
+TEST_F(FuzzyExtractorTest, KeyIsDeterministicGivenSecret) {
+  // Reconstruction through different noisy readings yields the same digest.
+  const BitVector response = random_response(fx_.response_bits(), 9);
+  const Enrollment e = fx_.enroll(response, rng_);
+  const auto k1 = fx_.reconstruct(flip_fraction(response, 0.03, 11), e.helper_data);
+  const auto k2 = fx_.reconstruct(flip_fraction(response, 0.03, 12), e.helper_data);
+  ASSERT_TRUE(k1.has_value());
+  ASSERT_TRUE(k2.has_value());
+  EXPECT_EQ(*k1, *k2);
+  EXPECT_EQ(*k1, e.key);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,108 @@
+// Helper-data refresh (key maintenance) tests.
+#include <gtest/gtest.h>
+
+#include "keygen/fuzzy_extractor.hpp"
+#include "puf/ro_puf.hpp"
+
+namespace aropuf {
+namespace {
+
+ConcatenatedScheme tight_scheme() {
+  // Deliberately light ECC: enough for inter-refresh drift, not for a
+  // decade of accumulated drift — the scenario where refresh matters.
+  ConcatenatedScheme s;
+  s.repetition = 3;
+  s.bch_m = 7;
+  s.bch_t = 5;  // (127, 92, 5)
+  s.key_bits = 128;
+  return s;
+}
+
+class RefreshTest : public ::testing::Test {
+ protected:
+  RefreshTest() : fx_(tight_scheme()) {}
+
+  RoPuf make_chip(const PufConfig& base, std::uint64_t index) const {
+    PufConfig cfg = base;
+    cfg.num_ros = static_cast<int>(2 * fx_.response_bits());
+    return RoPuf(TechnologyParams::cmos90(), cfg, RngFabric(61).child("chip", index));
+  }
+
+  FuzzyExtractor fx_;
+  Xoshiro256 trng_{99};
+};
+
+TEST_F(RefreshTest, RefreshPreservesTheKey) {
+  RoPuf chip = make_chip(PufConfig::aro(), 0);
+  const auto op = chip.nominal_op();
+  const Enrollment e = fx_.enroll(chip.evaluate(op, 0), trng_);
+  chip.age_years(2.0);
+  const auto new_helper = fx_.refresh_helper_data(chip.evaluate(op, 1), e.helper_data);
+  ASSERT_TRUE(new_helper.has_value());
+  // Key through the refreshed helper is unchanged.
+  const auto key = fx_.reconstruct(chip.evaluate(op, 2), *new_helper);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, e.key);
+}
+
+TEST_F(RefreshTest, RefreshedHelperDiffersWhenResponseDrifted) {
+  RoPuf chip = make_chip(PufConfig::aro(), 1);
+  const auto op = chip.nominal_op();
+  const Enrollment e = fx_.enroll(chip.evaluate(op, 0), trng_);
+  chip.age_years(3.0);
+  const auto new_helper = fx_.refresh_helper_data(chip.evaluate(op, 1), e.helper_data);
+  ASSERT_TRUE(new_helper.has_value());
+  EXPECT_FALSE(*new_helper == e.helper_data);
+}
+
+TEST_F(RefreshTest, PeriodicRefreshOutlivesOneShotEnrollment) {
+  // Controlled drift: each epoch flips 3% of the response (well inside the
+  // code), but five epochs accumulate ~14% (beyond it).  Rolling refresh
+  // only ever faces one epoch of drift; the one-shot helper faces them all.
+  Xoshiro256 drift_rng(5);
+  BitVector response(fx_.response_bits());
+  for (std::size_t i = 0; i < response.size(); ++i) response.set(i, drift_rng.bernoulli(0.5));
+
+  const Enrollment e = fx_.enroll(response, trng_);
+  BitVector rolling_helper = e.helper_data;
+
+  int one_shot_ok = 0;
+  int refreshed_ok = 0;
+  int refresh_failures = 0;
+  for (int epoch = 1; epoch <= 5; ++epoch) {
+    for (std::size_t i = 0; i < response.size(); ++i) {
+      if (drift_rng.bernoulli(0.03)) response.flip(i);
+    }
+    const auto k1 = fx_.reconstruct(response, e.helper_data);
+    if (k1.has_value() && *k1 == e.key) ++one_shot_ok;
+    const auto k2 = fx_.reconstruct(response, rolling_helper);
+    if (k2.has_value() && *k2 == e.key) ++refreshed_ok;
+    const auto next_helper = fx_.refresh_helper_data(response, rolling_helper);
+    if (next_helper.has_value()) {
+      rolling_helper = *next_helper;
+    } else {
+      ++refresh_failures;
+    }
+  }
+  EXPECT_EQ(refreshed_ok, 5);
+  EXPECT_LT(one_shot_ok, 5);
+  EXPECT_EQ(refresh_failures, 0);
+}
+
+TEST_F(RefreshTest, RefreshFailsWhenDriftExceededTheCode) {
+  RoPuf chip = make_chip(PufConfig::conventional(), 3);
+  const auto op = chip.nominal_op();
+  const Enrollment e = fx_.enroll(chip.evaluate(op, 0), trng_);
+  chip.age_years(10.0);  // ~33% drift vs a t=5 code: hopeless
+  const auto new_helper = fx_.refresh_helper_data(chip.evaluate(op, 1), e.helper_data);
+  EXPECT_FALSE(new_helper.has_value());
+}
+
+TEST_F(RefreshTest, RejectsWrongLengths) {
+  EXPECT_THROW(fx_.refresh_helper_data(BitVector(10), BitVector(10)), std::invalid_argument);
+  const BitVector ok(fx_.response_bits());
+  EXPECT_THROW(fx_.refresh_helper_data(ok, BitVector(10)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

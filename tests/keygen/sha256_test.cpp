@@ -1,0 +1,94 @@
+#include "keygen/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace aropuf {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+std::string hash_hex(const std::string& s) {
+  const auto b = bytes_of(s);
+  return Sha256::to_hex(Sha256::hash(b));
+}
+
+// FIPS 180-4 / NIST CAVP reference vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, ExactBlockBoundary64Bytes) {
+  const std::string s(64, 'a');
+  EXPECT_EQ(hash_hex(s),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::vector<std::uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(Sha256::to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingEqualsOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (const char c : msg) {
+    const auto byte = static_cast<std::uint8_t>(c);
+    h.update({&byte, 1});
+  }
+  EXPECT_EQ(Sha256::to_hex(h.finish()), hash_hex(msg));
+}
+
+TEST(Sha256Test, StreamingAcrossBlockBoundary) {
+  const std::string msg(130, 'x');
+  Sha256 h;
+  h.update(bytes_of(msg.substr(0, 63)));
+  h.update(bytes_of(msg.substr(63, 2)));
+  h.update(bytes_of(msg.substr(65)));
+  EXPECT_EQ(Sha256::to_hex(h.finish()), hash_hex(msg));
+}
+
+TEST(Sha256Test, ReuseAfterFinishRejected) {
+  Sha256 h;
+  h.update(bytes_of("abc"));
+  (void)h.finish();
+  EXPECT_THROW(h.update(bytes_of("x")), std::invalid_argument);
+  EXPECT_THROW((void)h.finish(), std::invalid_argument);
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(hash_hex("abc"), hash_hex("abd"));
+  EXPECT_NE(hash_hex("abc"), hash_hex("abc "));
+}
+
+TEST(Sha256Test, HexRenderingIsLowercase64Chars) {
+  const auto d = Sha256::hash(bytes_of("x"));
+  const std::string hex = Sha256::to_hex(d);
+  EXPECT_EQ(hex.size(), 64U);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+}  // namespace
+}  // namespace aropuf

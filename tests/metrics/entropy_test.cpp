@@ -1,0 +1,111 @@
+#include "metrics/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace aropuf {
+namespace {
+
+std::vector<BitVector> population(int chips, std::size_t bits, double p, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<BitVector> out;
+  for (int c = 0; c < chips; ++c) {
+    BitVector r(bits);
+    for (std::size_t i = 0; i < bits; ++i) r.set(i, rng.bernoulli(p));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TEST(McvEntropyTest, NearOneForUnbiasedBits) {
+  const auto pop = population(400, 128, 0.5, 1);
+  const double h = mcv_min_entropy(pop);
+  // The 99% confidence adjustment on p_max costs ~0.2 bit at 400 chips.
+  EXPECT_GT(h, 0.72);
+  EXPECT_LE(h, 1.0);
+}
+
+TEST(McvEntropyTest, DropsWithBias) {
+  const auto fair = population(400, 128, 0.5, 2);
+  const auto biased = population(400, 128, 0.8, 3);
+  EXPECT_LT(mcv_min_entropy(biased), mcv_min_entropy(fair));
+  // p = 0.8: ideal -log2(0.8) = 0.32, minus the confidence haircut.
+  EXPECT_GT(mcv_min_entropy(biased), 0.15);
+  EXPECT_LT(mcv_min_entropy(biased), 0.35);
+}
+
+TEST(McvEntropyTest, ZeroForConstantBits) {
+  std::vector<BitVector> constant(50, BitVector::from_string("1111111111111111"));
+  EXPECT_NEAR(mcv_min_entropy(constant), 0.0, 1e-9);
+}
+
+TEST(CollisionEntropyTest, SqrtBoundCeilingForRandom) {
+  // The p_max <= sqrt(q) bound saturates at half a bit per bit for an ideal
+  // source (documented conservatism); the estimator's job is the other end.
+  const auto pop = population(300, 128, 0.5, 4);
+  const double h = collision_min_entropy(pop);
+  EXPECT_GT(h, 0.44);
+  EXPECT_LE(h, 0.51);
+}
+
+TEST(CollisionEntropyTest, CollapsesForClonedChips) {
+  // Every chip identical: collisions are certain; entropy ~ 0.
+  std::vector<BitVector> clones(100, population(1, 128, 0.5, 5)[0]);
+  EXPECT_LT(collision_min_entropy(clones), 0.05);
+}
+
+TEST(CollisionEntropyTest, WordSizeValidation) {
+  const auto pop = population(10, 64, 0.5, 6);
+  EXPECT_THROW((void)collision_min_entropy(pop, 0), std::invalid_argument);
+  EXPECT_THROW((void)collision_min_entropy(pop, 25), std::invalid_argument);
+  EXPECT_THROW((void)collision_min_entropy(pop, 65), std::invalid_argument);
+}
+
+TEST(MarkovEntropyTest, NearOneForIid) {
+  const auto pop = population(100, 256, 0.5, 7);
+  const double h = markov_min_entropy(pop);
+  EXPECT_GT(h, 0.85);
+  EXPECT_LE(h, 1.0);
+}
+
+TEST(MarkovEntropyTest, DetectsSerialDependence) {
+  // Strongly sticky source: P(next == current) = 0.9 but globally balanced,
+  // so MCV sees nothing while Markov collapses.
+  Xoshiro256 rng(8);
+  std::vector<BitVector> pop;
+  for (int c = 0; c < 100; ++c) {
+    BitVector r(256);
+    bool bit = rng.bernoulli(0.5);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      r.set(i, bit);
+      if (rng.bernoulli(0.1)) bit = !bit;
+    }
+    pop.push_back(std::move(r));
+  }
+  const double markov = markov_min_entropy(pop);
+  const double mcv = mcv_min_entropy(pop);
+  EXPECT_LT(markov, 0.35);  // ~ -log2(0.9) = 0.152 plus confidence slack
+  EXPECT_GT(mcv, 0.5);
+}
+
+TEST(MinEntropyEstimateTest, TakesTheMinimum) {
+  const auto pop = population(200, 128, 0.5, 9);
+  const double combined = min_entropy_estimate(pop);
+  EXPECT_LE(combined, mcv_min_entropy(pop) + 1e-12);
+  EXPECT_LE(combined, collision_min_entropy(pop) + 1e-12);
+  EXPECT_LE(combined, markov_min_entropy(pop) + 1e-12);
+}
+
+TEST(MinEntropyEstimateTest, RejectsDegenerateInput) {
+  std::vector<BitVector> one{BitVector(16)};
+  EXPECT_THROW((void)mcv_min_entropy(one), std::invalid_argument);
+  std::vector<BitVector> empty;
+  EXPECT_THROW((void)markov_min_entropy(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

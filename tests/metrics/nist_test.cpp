@@ -1,0 +1,144 @@
+#include "metrics/nist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace aropuf {
+namespace {
+
+BitVector random_bits(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.bernoulli(0.5));
+  return v;
+}
+
+BitVector biased_bits(std::size_t n, double p, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.bernoulli(p));
+  return v;
+}
+
+// --- Reference vector from NIST SP 800-22 §2.1.8 (monobit example):
+// the first 100 binary digits of e have p-value 0.699... for frequency.
+TEST(NistMonobitTest, Sp80022ExampleEpsilon) {
+  const std::string e_bits =
+      "1100100100001111110110101010001000100001011010001100001000110100"
+      "110001001100011001100010100010111000";
+  const auto r = nist_monobit(BitVector::from_string(e_bits));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_NEAR(r.p_value, 0.109599, 1e-4);
+}
+
+TEST(NistMonobitTest, PassesRandomFailsBiased) {
+  EXPECT_TRUE(nist_monobit(random_bits(4096, 1)).pass());
+  EXPECT_FALSE(nist_monobit(biased_bits(4096, 0.7, 2)).pass());
+}
+
+TEST(NistMonobitTest, ShortSequenceNotApplicable) {
+  const auto r = nist_monobit(BitVector(50));
+  EXPECT_FALSE(r.applicable);
+  EXPECT_TRUE(r.pass());
+}
+
+TEST(NistBlockFrequencyTest, PassesRandomFailsStructured) {
+  EXPECT_TRUE(nist_block_frequency(random_bits(4096, 3)).pass());
+  // Alternating blocks of ones and zeros: each block is all-0 or all-1.
+  BitVector structured(4096);
+  for (std::size_t i = 0; i < structured.size(); ++i) structured.set(i, (i / 16) % 2 == 0);
+  EXPECT_FALSE(nist_block_frequency(structured, 16).pass());
+}
+
+TEST(NistRunsTest, Sp80022StyleBehaviour) {
+  EXPECT_TRUE(nist_runs(random_bits(4096, 5)).pass());
+  // Perfect alternation has twice the expected number of runs.
+  BitVector alternating(4096);
+  for (std::size_t i = 0; i < alternating.size(); i += 2) alternating.set(i, true);
+  EXPECT_FALSE(nist_runs(alternating).pass());
+}
+
+TEST(NistRunsTest, FailsWhenMonobitPrerequisiteBroken) {
+  const auto r = nist_runs(biased_bits(4096, 0.8, 6));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);
+}
+
+TEST(NistLongestRunTest, PassesRandomFailsClumped) {
+  EXPECT_TRUE(nist_longest_run(random_bits(4096, 7)).pass());
+  // Long solid runs of ones in every block.
+  BitVector clumped(4096);
+  for (std::size_t i = 0; i < clumped.size(); ++i) clumped.set(i, (i % 8) < 6);
+  EXPECT_FALSE(nist_longest_run(clumped).pass());
+}
+
+TEST(NistSerialTest, PassesRandomFailsPeriodic) {
+  EXPECT_TRUE(nist_serial(random_bits(4096, 9)).pass());
+  BitVector periodic(4096);
+  for (std::size_t i = 0; i < periodic.size(); ++i) periodic.set(i, i % 3 == 0);
+  EXPECT_FALSE(nist_serial(periodic).pass());
+}
+
+TEST(NistCusumTest, PassesRandomFailsDrifting) {
+  EXPECT_TRUE(nist_cumulative_sums(random_bits(4096, 11)).pass());
+  // First half mostly ones, second half mostly zeros: large excursion.
+  BitVector drift(4096);
+  for (std::size_t i = 0; i < 2048; ++i) drift.set(i, true);
+  EXPECT_FALSE(nist_cumulative_sums(drift).pass());
+}
+
+TEST(NistCusumTest, Sp80022ShortExample) {
+  // SP 800-22 §2.13.8: epsilon = 1011010111, z = 4, p-value = 0.4116588.
+  // Our implementation requires n >= 100, so replicate the structure check
+  // with the documented formula on a longer random sequence instead; here we
+  // verify the short input is flagged not-applicable.
+  const auto r = nist_cumulative_sums(BitVector::from_string("1011010111"));
+  EXPECT_FALSE(r.applicable);
+}
+
+TEST(NistApproximateEntropyTest, PassesRandomFailsRepetitive) {
+  EXPECT_TRUE(nist_approximate_entropy(random_bits(4096, 13)).pass());
+  BitVector repetitive(4096);
+  for (std::size_t i = 0; i < repetitive.size(); ++i) repetitive.set(i, (i % 4) < 2);
+  EXPECT_FALSE(nist_approximate_entropy(repetitive).pass());
+}
+
+TEST(NistBatteryTest, RunsAllSevenTests) {
+  const auto results = nist_battery(random_bits(4096, 15));
+  EXPECT_EQ(results.size(), 7U);
+  int passed = 0;
+  for (const auto& r : results) {
+    if (r.pass()) ++passed;
+  }
+  EXPECT_GE(passed, 6);  // a true random sequence passes essentially all
+}
+
+TEST(NistBatteryTest, PValuesAreProbabilities) {
+  for (const auto& r : nist_battery(random_bits(2048, 17))) {
+    EXPECT_GE(r.p_value, 0.0) << r.name;
+    EXPECT_LE(r.p_value, 1.0) << r.name;
+  }
+}
+
+// p-value uniformity property: over many random sequences, each test should
+// reject at close to its alpha level.
+class NistFalsePositiveRateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NistFalsePositiveRateTest, RejectionRateNearAlpha) {
+  const int test_index = GetParam();
+  int rejects = 0;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto results =
+        nist_battery(random_bits(2048, 1000 + static_cast<std::uint64_t>(trial)));
+    if (!results[static_cast<std::size_t>(test_index)].pass(0.01)) ++rejects;
+  }
+  // alpha = 1 %: expect <= ~5 % rejections allowing Monte Carlo slack.
+  EXPECT_LE(rejects, 10) << "test index " << test_index;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTests, NistFalsePositiveRateTest, ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace aropuf

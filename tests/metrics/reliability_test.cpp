@@ -1,0 +1,66 @@
+#include "metrics/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace aropuf {
+namespace {
+
+TEST(ReliabilityTest, PerfectMeasurementsGiveFullReliability) {
+  const BitVector golden = BitVector::from_string("10110100");
+  const std::vector<BitVector> meas(5, golden);
+  const auto result = compute_reliability(golden, meas);
+  EXPECT_DOUBLE_EQ(result.stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(result.reliability_percent(), 100.0);
+  EXPECT_DOUBLE_EQ(result.flip_percent(), 0.0);
+}
+
+TEST(ReliabilityTest, KnownFlipFraction) {
+  const BitVector golden = BitVector::from_string("00000000");
+  std::vector<BitVector> meas{BitVector::from_string("00000011"),   // 2/8
+                              BitVector::from_string("00001111")};  // 4/8
+  const auto result = compute_reliability(golden, meas);
+  EXPECT_NEAR(result.stats.mean(), 0.375, 1e-12);
+  EXPECT_NEAR(result.flip_percent(), 37.5, 1e-9);
+  EXPECT_NEAR(result.reliability_percent(), 62.5, 1e-9);
+}
+
+TEST(ReliabilityTest, TracksWorstMeasurement) {
+  const BitVector golden = BitVector::from_string("0000");
+  std::vector<BitVector> meas{BitVector::from_string("0000"),
+                              BitVector::from_string("1111")};
+  const auto result = compute_reliability(golden, meas);
+  EXPECT_DOUBLE_EQ(result.stats.max(), 1.0);
+  EXPECT_DOUBLE_EQ(result.stats.min(), 0.0);
+}
+
+TEST(ReliabilityTest, RejectsEmptyMeasurementSet) {
+  const BitVector golden(8);
+  const std::vector<BitVector> none;
+  EXPECT_THROW((void)compute_reliability(golden, none), std::invalid_argument);
+}
+
+TEST(PerBitFlipRateTest, IdentifiesUnstableBits) {
+  const BitVector golden = BitVector::from_string("0000");
+  std::vector<BitVector> meas{BitVector::from_string("1000"),
+                              BitVector::from_string("1000"),
+                              BitVector::from_string("1100"),
+                              BitVector::from_string("0000")};
+  const auto rate = per_bit_flip_rate(golden, meas);
+  ASSERT_EQ(rate.size(), 4U);
+  EXPECT_DOUBLE_EQ(rate[0], 0.75);
+  EXPECT_DOUBLE_EQ(rate[1], 0.25);
+  EXPECT_DOUBLE_EQ(rate[2], 0.0);
+  EXPECT_DOUBLE_EQ(rate[3], 0.0);
+}
+
+TEST(PerBitFlipRateTest, RejectsLengthMismatch) {
+  const BitVector golden(4);
+  std::vector<BitVector> meas{BitVector(5)};
+  EXPECT_THROW(per_bit_flip_rate(golden, meas), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,73 @@
+#include "metrics/uniformity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace aropuf {
+namespace {
+
+TEST(UniformityTest, CountsOnesFraction) {
+  EXPECT_DOUBLE_EQ(uniformity(BitVector::from_string("1100")), 0.5);
+  EXPECT_DOUBLE_EQ(uniformity(BitVector::from_string("1111")), 1.0);
+  EXPECT_DOUBLE_EQ(uniformity(BitVector::from_string("0000")), 0.0);
+}
+
+TEST(UniformityTest, RejectsEmptyResponse) {
+  EXPECT_THROW((void)uniformity(BitVector()), std::invalid_argument);
+}
+
+TEST(UniformityStatsTest, AveragesOverPopulation) {
+  const std::vector<BitVector> responses{BitVector::from_string("1100"),
+                                         BitVector::from_string("1110"),
+                                         BitVector::from_string("1000")};
+  const auto stats = uniformity_stats(responses);
+  EXPECT_EQ(stats.count(), 3U);
+  EXPECT_NEAR(stats.mean(), 0.5, 1e-12);
+}
+
+TEST(BitAliasingTest, PerPositionFractions) {
+  const std::vector<BitVector> responses{BitVector::from_string("10"),
+                                         BitVector::from_string("11"),
+                                         BitVector::from_string("10"),
+                                         BitVector::from_string("00")};
+  const auto aliasing = bit_aliasing(responses);
+  ASSERT_EQ(aliasing.size(), 2U);
+  EXPECT_DOUBLE_EQ(aliasing[0], 0.75);
+  EXPECT_DOUBLE_EQ(aliasing[1], 0.25);
+}
+
+TEST(BitAliasingTest, StatsSummarizeDeviation) {
+  const std::vector<BitVector> responses{BitVector::from_string("10"),
+                                         BitVector::from_string("10")};
+  const auto stats = bit_aliasing_stats(responses);
+  EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.5);
+}
+
+TEST(BitAliasingTest, RejectsMismatchedLengths) {
+  const std::vector<BitVector> responses{BitVector(4), BitVector(5)};
+  EXPECT_THROW(bit_aliasing(responses), std::invalid_argument);
+}
+
+TEST(AutocorrelationTest, PerfectAlternationIsAnticorrelated) {
+  const BitVector v = BitVector::from_string("10101010");
+  EXPECT_DOUBLE_EQ(autocorrelation(v, 1), -1.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(v, 2), 1.0);
+}
+
+TEST(AutocorrelationTest, ConstantSequenceFullyCorrelated) {
+  const BitVector v = BitVector::from_string("11111111");
+  EXPECT_DOUBLE_EQ(autocorrelation(v, 3), 1.0);
+}
+
+TEST(AutocorrelationTest, LagBoundsEnforced) {
+  const BitVector v(8);
+  EXPECT_THROW((void)autocorrelation(v, 0), std::invalid_argument);
+  EXPECT_THROW((void)autocorrelation(v, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

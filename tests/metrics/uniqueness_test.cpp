@@ -1,0 +1,67 @@
+#include "metrics/uniqueness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace aropuf {
+namespace {
+
+TEST(UniquenessTest, TwoIdenticalChipsHaveZeroHd) {
+  const std::vector<BitVector> responses{BitVector::from_string("1010"),
+                                         BitVector::from_string("1010")};
+  const auto result = compute_uniqueness(responses);
+  EXPECT_EQ(result.stats.count(), 1U);
+  EXPECT_DOUBLE_EQ(result.stats.mean(), 0.0);
+}
+
+TEST(UniquenessTest, ComplementaryChipsHaveFullHd) {
+  const std::vector<BitVector> responses{BitVector::from_string("0000"),
+                                         BitVector::from_string("1111")};
+  EXPECT_DOUBLE_EQ(compute_uniqueness(responses).stats.mean(), 1.0);
+}
+
+TEST(UniquenessTest, PairCountIsChooseTwo) {
+  std::vector<BitVector> responses(10, BitVector(8));
+  EXPECT_EQ(compute_uniqueness(responses).stats.count(), 45U);
+}
+
+TEST(UniquenessTest, KnownMixedExample) {
+  // HD(a,b)=1/4, HD(a,c)=3/4, HD(b,c)=4/4: mean = 2/3.
+  const std::vector<BitVector> responses{BitVector::from_string("0000"),
+                                         BitVector::from_string("0001"),
+                                         BitVector::from_string("1110")};
+  EXPECT_NEAR(compute_uniqueness(responses).stats.mean(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(UniquenessTest, RandomResponsesNearHalf) {
+  Xoshiro256 rng(4);
+  std::vector<BitVector> responses;
+  for (int c = 0; c < 30; ++c) {
+    BitVector r(512);
+    for (std::size_t i = 0; i < r.size(); ++i) r.set(i, rng.bernoulli(0.5));
+    responses.push_back(std::move(r));
+  }
+  const auto result = compute_uniqueness(responses);
+  EXPECT_NEAR(result.stats.mean(), 0.5, 0.02);
+  EXPECT_NEAR(result.mean_percent(), 50.0, 2.0);
+}
+
+TEST(UniquenessTest, HistogramAccumulatesAllPairs) {
+  std::vector<BitVector> responses(5, BitVector(16));
+  const auto result = compute_uniqueness(responses);
+  EXPECT_EQ(result.histogram.total(), 10U);
+}
+
+TEST(UniquenessTest, RejectsDegenerateInputs) {
+  std::vector<BitVector> one{BitVector(8)};
+  EXPECT_THROW(compute_uniqueness(one), std::invalid_argument);
+  std::vector<BitVector> mismatched{BitVector(8), BitVector(9)};
+  EXPECT_THROW(compute_uniqueness(mismatched), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

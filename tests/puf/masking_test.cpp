@@ -1,0 +1,118 @@
+#include "puf/masking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+class MaskingTest : public ::testing::Test {
+ protected:
+  RoPuf make_chip(std::uint64_t index = 0) const {
+    return RoPuf(tech_, PufConfig::aro(256), RngFabric(21).child("chip", index));
+  }
+
+  TechnologyParams tech_ = TechnologyParams::cmos90();
+};
+
+TEST_F(MaskingTest, ConfigFactories) {
+  const auto nominal = ScreeningConfig::nominal_only(7);
+  EXPECT_EQ(nominal.repeats, 7);
+  EXPECT_TRUE(nominal.corners.empty());
+  const auto full = ScreeningConfig::full_corners(tech_, 3);
+  EXPECT_EQ(full.repeats, 3);
+  EXPECT_EQ(full.corners.size(), 4U);
+  EXPECT_NO_THROW(full.validate());
+}
+
+TEST_F(MaskingTest, ConfigValidation) {
+  ScreeningConfig bad = ScreeningConfig::nominal_only(0);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ScreeningConfig::nominal_only(1);
+  bad.corners.push_back(OperatingPoint{0.0, 300.0});
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST_F(MaskingTest, ScreeningIsDeterministic) {
+  const RoPuf chip = make_chip();
+  const auto cfg = ScreeningConfig::nominal_only(5);
+  const StabilityMask a = screen_stability(chip, cfg);
+  const StabilityMask b = screen_stability(chip, cfg);
+  EXPECT_EQ(a.keep, b.keep);
+}
+
+TEST_F(MaskingTest, MostBitsSurviveNominalScreening) {
+  const RoPuf chip = make_chip();
+  const StabilityMask mask = screen_stability(chip, ScreeningConfig::nominal_only(5));
+  EXPECT_EQ(mask.keep.size(), chip.response_bits());
+  // Noise floor is ~1-2 %: the large majority of bits is stable.
+  EXPECT_GT(mask.stable_fraction(), 0.80);
+  EXPECT_LT(mask.stable_fraction(), 1.0 + 1e-12);
+}
+
+TEST_F(MaskingTest, CornerScreeningRemovesMoreBits) {
+  const RoPuf chip = make_chip();
+  const StabilityMask nominal = screen_stability(chip, ScreeningConfig::nominal_only(3));
+  const StabilityMask corners =
+      screen_stability(chip, ScreeningConfig::full_corners(tech_, 3));
+  EXPECT_LE(corners.stable_count(), nominal.stable_count());
+  EXPECT_GT(corners.stable_count(), 0U);
+}
+
+TEST_F(MaskingTest, MoreRepeatsNeverAddBitsBack) {
+  const RoPuf chip = make_chip();
+  const StabilityMask few = screen_stability(chip, ScreeningConfig::nominal_only(2));
+  ScreeningConfig more_cfg = ScreeningConfig::nominal_only(6);
+  const StabilityMask more = screen_stability(chip, more_cfg);
+  // The extra reads of `more` are a superset of `few`'s reads (same base
+  // index), so its mask can only lose bits.
+  for (std::size_t i = 0; i < few.keep.size(); ++i) {
+    if (more.keep.get(i)) {
+      EXPECT_TRUE(few.keep.get(i)) << "bit " << i;
+    }
+  }
+}
+
+TEST_F(MaskingTest, ApplyMaskCompacts) {
+  StabilityMask mask;
+  mask.keep = BitVector::from_string("10110");
+  const BitVector response = BitVector::from_string("11010");
+  const BitVector masked = apply_mask(response, mask);
+  EXPECT_EQ(masked.to_string(), "101");
+}
+
+TEST_F(MaskingTest, ApplyMaskRejectsLengthMismatch) {
+  StabilityMask mask;
+  mask.keep = BitVector(4);
+  EXPECT_THROW(apply_mask(BitVector(5), mask), std::invalid_argument);
+}
+
+TEST_F(MaskingTest, MaskedBitsAreMoreReliableUnderNoise) {
+  const RoPuf chip = make_chip();
+  const StabilityMask mask = screen_stability(chip, ScreeningConfig::nominal_only(8));
+  const auto op = chip.nominal_op();
+  const BitVector golden = chip.evaluate(op, 0);
+  double raw_errors = 0.0;
+  double masked_errors = 0.0;
+  constexpr int kReads = 20;
+  for (std::uint64_t e = 1; e <= kReads; ++e) {
+    const BitVector reading = chip.evaluate(op, e);
+    raw_errors += fractional_hamming_distance(golden, reading);
+    masked_errors +=
+        fractional_hamming_distance(apply_mask(golden, mask), apply_mask(reading, mask));
+  }
+  EXPECT_LT(masked_errors, raw_errors);
+}
+
+TEST_F(MaskingTest, MaskIsChipSpecific) {
+  const RoPuf a = make_chip(0);
+  const RoPuf b = make_chip(1);
+  const auto cfg = ScreeningConfig::nominal_only(5);
+  const StabilityMask ma = screen_stability(a, cfg);
+  const StabilityMask mb = screen_stability(b, cfg);
+  EXPECT_FALSE(ma.keep == mb.keep);
+}
+
+}  // namespace
+}  // namespace aropuf

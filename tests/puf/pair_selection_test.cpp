@@ -1,0 +1,128 @@
+#include "puf/pair_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+class PairSelectionTest : public ::testing::Test {
+ protected:
+  RoPuf make_chip(std::uint64_t index = 0) const {
+    return RoPuf(tech_, PufConfig::aro(256), RngFabric(33).child("chip", index));
+  }
+
+  TechnologyParams tech_ = TechnologyParams::cmos90();
+};
+
+TEST_F(PairSelectionTest, SelectionShapeMatchesGroups) {
+  const RoPuf chip = make_chip();
+  Xoshiro256 rng(1);
+  const auto sel = select_max_margin_pairs(chip, 4, chip.nominal_op(), rng);
+  EXPECT_EQ(sel.group_size, 4);
+  EXPECT_EQ(sel.pairs.size(), 64U);
+  EXPECT_EQ(sel.response_bits(), 64U);
+  for (std::size_t g = 0; g < sel.pairs.size(); ++g) {
+    const auto [a, b] = sel.pairs[g];
+    const int base = static_cast<int>(g) * 4;
+    EXPECT_GE(a, base);
+    EXPECT_LT(a, base + 4);
+    EXPECT_GT(b, a);
+    EXPECT_LT(b, base + 4);
+  }
+}
+
+TEST_F(PairSelectionTest, PicksTheWidestTrueMargin) {
+  // With enough repeats the measured choice must match the noiseless
+  // widest-margin pair in nearly every group.
+  const RoPuf chip = make_chip();
+  const auto op = chip.nominal_op();
+  Xoshiro256 rng(2);
+  const auto sel = select_max_margin_pairs(chip, 4, op, rng, /*repeats=*/9);
+  int matches = 0;
+  for (std::size_t g = 0; g < sel.pairs.size(); ++g) {
+    const int base = static_cast<int>(g) * 4;
+    std::pair<int, int> best{base, base + 1};
+    double best_margin = -1.0;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        const double margin =
+            std::abs(chip.oscillators()[static_cast<std::size_t>(base + i)].frequency(op) -
+                     chip.oscillators()[static_cast<std::size_t>(base + j)].frequency(op));
+        if (margin > best_margin) {
+          best_margin = margin;
+          best = {base + i, base + j};
+        }
+      }
+    }
+    if (sel.pairs[g] == best) ++matches;
+  }
+  EXPECT_GT(matches, 58);  // allow a couple of near-tie groups
+}
+
+TEST_F(PairSelectionTest, EvaluateIsStableAcrossReads) {
+  const RoPuf chip = make_chip();
+  const auto op = chip.nominal_op();
+  Xoshiro256 rng(3);
+  const auto sel = select_max_margin_pairs(chip, 4, op, rng);
+  const BitVector a = evaluate_with_pairs(chip, sel, op, rng);
+  const BitVector b = evaluate_with_pairs(chip, sel, op, rng);
+  // Max-margin bits are far more stable than the noise floor: expect zero
+  // or near-zero disagreement across reads.
+  EXPECT_LE(hamming_distance(a, b), 1U);
+}
+
+TEST_F(PairSelectionTest, WiderGroupsSurviveAgingBetter) {
+  RoPuf fixed_chip = make_chip(1);
+  RoPuf selected_chip = make_chip(1);
+  const auto op = fixed_chip.nominal_op();
+  Xoshiro256 rng(4);
+
+  // Baseline: fixed adjacent pairs = group size 2 (no freedom).
+  const auto fixed_sel = select_max_margin_pairs(fixed_chip, 2, op, rng);
+  const auto wide_sel = select_max_margin_pairs(selected_chip, 8, op, rng);
+
+  const BitVector fixed_golden = evaluate_with_pairs(fixed_chip, fixed_sel, op, rng);
+  const BitVector wide_golden = evaluate_with_pairs(selected_chip, wide_sel, op, rng);
+
+  fixed_chip.age_years(10.0);
+  selected_chip.age_years(10.0);
+
+  const BitVector fixed_aged = evaluate_with_pairs(fixed_chip, fixed_sel, op, rng);
+  const BitVector wide_aged = evaluate_with_pairs(selected_chip, wide_sel, op, rng);
+
+  const double fixed_ber = fractional_hamming_distance(fixed_golden, fixed_aged);
+  const double wide_ber = fractional_hamming_distance(wide_golden, wide_aged);
+  EXPECT_LT(wide_ber, fixed_ber);
+}
+
+TEST_F(PairSelectionTest, GroupSizeTwoEqualsAdjacentPairing) {
+  const RoPuf chip = make_chip();
+  Xoshiro256 rng(5);
+  const auto sel = select_max_margin_pairs(chip, 2, chip.nominal_op(), rng);
+  for (std::size_t g = 0; g < sel.pairs.size(); ++g) {
+    EXPECT_EQ(sel.pairs[g].first, static_cast<int>(2 * g));
+    EXPECT_EQ(sel.pairs[g].second, static_cast<int>(2 * g + 1));
+  }
+}
+
+TEST_F(PairSelectionTest, RejectsBadArguments) {
+  const RoPuf chip = make_chip();
+  Xoshiro256 rng(6);
+  EXPECT_THROW(select_max_margin_pairs(chip, 1, chip.nominal_op(), rng),
+               std::invalid_argument);
+  EXPECT_THROW(select_max_margin_pairs(chip, 5, chip.nominal_op(), rng),
+               std::invalid_argument);  // 256 % 5 != 0
+  EXPECT_THROW(select_max_margin_pairs(chip, 4, chip.nominal_op(), rng, 0),
+               std::invalid_argument);
+  SelectedPairs empty;
+  EXPECT_THROW(evaluate_with_pairs(chip, empty, chip.nominal_op(), rng),
+               std::invalid_argument);
+  SelectedPairs bad;
+  bad.pairs = {{0, 999}};
+  EXPECT_THROW(evaluate_with_pairs(chip, bad, chip.nominal_op(), rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,86 @@
+// Parameterized property sweep over PUF configurations: invariants that
+// must hold for every (pairing, stage count, array size) combination.
+#include <gtest/gtest.h>
+
+#include "metrics/uniqueness.hpp"
+#include "puf/ro_puf.hpp"
+
+namespace aropuf {
+namespace {
+
+struct ConfigCase {
+  PairingStrategy pairing;
+  int num_ros;
+  int stages;
+};
+
+class ResponsePropertyTest : public ::testing::TestWithParam<ConfigCase> {
+ protected:
+  static PufConfig config_for(const ConfigCase& c) {
+    PufConfig cfg;
+    cfg.design = PufDesign::kCustom;
+    cfg.label = "sweep";
+    cfg.pairing = c.pairing;
+    cfg.num_ros = c.num_ros;
+    cfg.stages = c.stages;
+    cfg.challenge_seed = 5;
+    cfg.validate();
+    return cfg;
+  }
+};
+
+TEST_P(ResponsePropertyTest, ResponseLengthMatchesPairing) {
+  const PufConfig cfg = config_for(GetParam());
+  const RoPuf chip(TechnologyParams::cmos90(), cfg, RngFabric(1).child("chip", 0));
+  EXPECT_EQ(chip.response_bits(), pairing_bits(cfg.pairing, cfg.num_ros));
+  EXPECT_EQ(chip.evaluate(chip.nominal_op(), 0).size(), chip.response_bits());
+  EXPECT_EQ(chip.oscillators().size(), static_cast<std::size_t>(cfg.num_ros));
+}
+
+TEST_P(ResponsePropertyTest, SameSiliconSameNoiselessResponse) {
+  const PufConfig cfg = config_for(GetParam());
+  const RoPuf a(TechnologyParams::cmos90(), cfg, RngFabric(2).child("chip", 7));
+  const RoPuf b(TechnologyParams::cmos90(), cfg, RngFabric(2).child("chip", 7));
+  EXPECT_EQ(a.noiseless_response(a.nominal_op()), b.noiseless_response(b.nominal_op()));
+}
+
+TEST_P(ResponsePropertyTest, ResponsesAreInformative) {
+  // Any healthy configuration yields inter-chip HD within a sane band — it
+  // must never collapse toward all-equal or all-complement.
+  const PufConfig cfg = config_for(GetParam());
+  const RngFabric fabric(3);
+  std::vector<BitVector> responses;
+  for (int c = 0; c < 8; ++c) {
+    const RoPuf chip(TechnologyParams::cmos90(), cfg, fabric.child("chip", static_cast<std::uint64_t>(c)));
+    responses.push_back(chip.evaluate(chip.nominal_op(), 0));
+  }
+  const double hd = compute_uniqueness(responses).stats.mean();
+  EXPECT_GT(hd, 0.30);
+  EXPECT_LT(hd, 0.70);
+}
+
+TEST_P(ResponsePropertyTest, AgingOnlyEverMovesBitsNotLength) {
+  const PufConfig cfg = config_for(GetParam());
+  RoPuf chip(TechnologyParams::cmos90(), cfg, RngFabric(4).child("chip", 0));
+  const auto op = chip.nominal_op();
+  const std::size_t bits = chip.evaluate(op, 0).size();
+  chip.age_years(10.0);
+  EXPECT_EQ(chip.evaluate(op, 1).size(), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, ResponsePropertyTest,
+    ::testing::Values(ConfigCase{PairingStrategy::kAdjacentDedicated, 64, 13},
+                      ConfigCase{PairingStrategy::kAdjacentDedicated, 256, 5},
+                      ConfigCase{PairingStrategy::kDistantDedicated, 64, 13},
+                      ConfigCase{PairingStrategy::kDistantDedicated, 128, 21},
+                      ConfigCase{PairingStrategy::kChainNeighbor, 64, 13},
+                      ConfigCase{PairingStrategy::kRandomChallenge, 64, 13},
+                      ConfigCase{PairingStrategy::kRandomChallenge, 128, 7}),
+    [](const auto& info) {
+      return std::string(1, "adcr"[static_cast<int>(info.param.pairing)]) +
+             std::to_string(info.param.num_ros) + "x" + std::to_string(info.param.stages);
+    });
+
+}  // namespace
+}  // namespace aropuf

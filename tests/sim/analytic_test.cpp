@@ -1,0 +1,113 @@
+// Cross-validation of the closed-form reliability model against both exact
+// numerical integration and the Monte Carlo simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/analytic.hpp"
+#include "sim/scenarios.hpp"
+
+namespace aropuf {
+namespace {
+
+TEST(AnalyticFlipTest, KnownValues) {
+  // sigma_a == sigma_0: atan(1)/pi = 1/4.
+  EXPECT_NEAR(analytic_flip_probability(1.0, 1.0), 0.25, 1e-12);
+  EXPECT_NEAR(analytic_flip_probability(0.0, 1.0), 0.0, 1e-12);
+  // Huge disturbance: approaches 1/2.
+  EXPECT_NEAR(analytic_flip_probability(1e6, 1.0), 0.5, 1e-5);
+}
+
+TEST(AnalyticFlipTest, MatchesMonteCarlo) {
+  Xoshiro256 rng(3);
+  for (const double ratio : {0.1, 0.5, 1.5}) {
+    int flips = 0;
+    constexpr int kTrials = 400000;
+    for (int i = 0; i < kTrials; ++i) {
+      const double d0 = rng.gaussian();
+      const double a = ratio * rng.gaussian();
+      if ((d0 > 0) != (d0 + a > 0)) ++flips;
+    }
+    const double mc = static_cast<double>(flips) / kTrials;
+    EXPECT_NEAR(mc, analytic_flip_probability(ratio, 1.0), 0.003) << "ratio " << ratio;
+  }
+}
+
+TEST(AnalyticHdTest, KnownValues) {
+  // No systematic bias: 50%.
+  EXPECT_NEAR(analytic_interchip_hd(0.0, 1.0), 0.5, 1e-12);
+  // Overwhelming shared bias: chips agree, HD -> 0.
+  EXPECT_LT(analytic_interchip_hd(100.0, 1.0), 0.05);
+  // Monotone decreasing in the bias.
+  EXPECT_GT(analytic_interchip_hd(0.2, 1.0), analytic_interchip_hd(0.5, 1.0));
+}
+
+TEST(AnalyticHdTest, MatchesMonteCarlo) {
+  Xoshiro256 rng(5);
+  const double a = 0.45;  // the conventional design's calibrated regime
+  long disagreements = 0;
+  constexpr int kTrials = 400000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double mu = a * rng.gaussian();
+    const bool c1 = mu + rng.gaussian() > 0;
+    const bool c2 = mu + rng.gaussian() > 0;
+    if (c1 != c2) ++disagreements;
+  }
+  const double mc = static_cast<double>(disagreements) / kTrials;
+  EXPECT_NEAR(mc, analytic_interchip_hd(a, 1.0), 0.003);
+}
+
+TEST(AnalyticMarginTest, ScalesWithMismatchAndStages) {
+  const auto tech = TechnologyParams::cmos90();
+  const double s13 = analytic_pair_margin_sigma(tech, 13);
+  EXPECT_NEAR(s13, tech.sigma_vth_local * std::sqrt(2.0 / 26.0), 1e-15);
+  // More stages average more devices: smaller margin sigma.
+  EXPECT_GT(s13, analytic_pair_margin_sigma(tech, 21));
+}
+
+TEST(AnalyticAgingTest, ConventionalExceedsAro) {
+  const auto tech = TechnologyParams::cmos90();
+  const double conv = analytic_aging_disturbance_sigma(
+      tech, 13, StressProfile::conventional_always_on(), 10.0);
+  const double aro =
+      analytic_aging_disturbance_sigma(tech, 13, StressProfile::aro_gated(20.0, 10e-3), 10.0);
+  EXPECT_GT(conv, 4.0 * aro);
+}
+
+TEST(AnalyticAgingTest, PredictsSimulatedFlipRatesToLeadingOrder) {
+  // The closed form ignores spatial/systematic margin boosts and noise, so
+  // agreement within a few percentage points (absolute) is the bar — the
+  // point is cross-validation of trend and magnitude, not replacement.
+  const auto tech = TechnologyParams::cmos90();
+  PopulationConfig pop;
+  pop.chips = 20;
+  pop.seed = 31;
+  const double checkpoints[] = {10.0};
+
+  const double conv_pred =
+      analytic_aging_flip_probability(tech, PufConfig::conventional(), 10.0) * 100.0;
+  const auto conv_mc = run_aging_series(pop, PufConfig::conventional(), checkpoints);
+  // The analytic form lacks the conventional design's spatial margin boost,
+  // so it overpredicts; require same decade and correct ordering.
+  EXPECT_GT(conv_pred, conv_mc.mean_flip_percent[0] * 0.8);
+  EXPECT_LT(conv_pred, conv_mc.mean_flip_percent[0] * 2.0);
+
+  const double aro_pred = analytic_aging_flip_probability(tech, PufConfig::aro(), 10.0) * 100.0;
+  const auto aro_mc = run_aging_series(pop, PufConfig::aro(), checkpoints);
+  EXPECT_GT(aro_pred, (aro_mc.mean_flip_percent[0] - 2.0) * 0.4);  // noise floor ~1%
+  EXPECT_LT(aro_pred, aro_mc.mean_flip_percent[0] * 2.0);
+}
+
+TEST(AnalyticAgingTest, RejectsBadInputs) {
+  const auto tech = TechnologyParams::cmos90();
+  EXPECT_THROW((void)analytic_flip_probability(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)analytic_flip_probability(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)analytic_pair_margin_sigma(tech, 1), std::invalid_argument);
+  EXPECT_THROW((void)
+      analytic_aging_disturbance_sigma(tech, 13, StressProfile::conventional_always_on(), -1.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

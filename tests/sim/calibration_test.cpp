@@ -1,0 +1,98 @@
+// Calibration tests: assert that the simulation reproduces the ARO-PUF
+// paper's headline numbers within the documented bands (DESIGN.md §5).
+//
+// These are the reproduction's acceptance tests.  They use moderate
+// populations, so the bands are generous enough to absorb Monte Carlo noise
+// while still distinguishing the paper's claims from a broken model.
+#include <gtest/gtest.h>
+
+#include "sim/scenarios.hpp"
+
+namespace aropuf {
+namespace {
+
+PopulationConfig paper_pop() {
+  PopulationConfig pop;
+  pop.chips = 30;
+  pop.seed = 2014;  // DATE 2014
+  return pop;
+}
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  PopulationConfig pop_ = paper_pop();
+};
+
+TEST_F(CalibrationTest, ConventionalTenYearFlipsNearPaper32Percent) {
+  const double checkpoints[] = {10.0};
+  const auto series = run_aging_series(pop_, PufConfig::conventional(), checkpoints);
+  EXPECT_GT(series.mean_flip_percent[0], 25.0);
+  EXPECT_LT(series.mean_flip_percent[0], 40.0);
+}
+
+TEST_F(CalibrationTest, AroTenYearFlipsNearPaper7_7Percent) {
+  const double checkpoints[] = {10.0};
+  const auto series = run_aging_series(pop_, PufConfig::aro(), checkpoints);
+  EXPECT_GT(series.mean_flip_percent[0], 4.0);
+  EXPECT_LT(series.mean_flip_percent[0], 12.0);
+}
+
+TEST_F(CalibrationTest, AroBeatsConventionalByPaperFactor) {
+  // Paper: 32 % vs 7.7 % — a ~4x gap.  Accept 2.5x .. 8x.
+  const double checkpoints[] = {10.0};
+  const auto conv = run_aging_series(pop_, PufConfig::conventional(), checkpoints);
+  const auto aro = run_aging_series(pop_, PufConfig::aro(), checkpoints);
+  const double factor = conv.mean_flip_percent[0] / aro.mean_flip_percent[0];
+  EXPECT_GT(factor, 2.5);
+  EXPECT_LT(factor, 8.0);
+}
+
+TEST_F(CalibrationTest, ConventionalInterChipHdNearPaper45Percent) {
+  const auto result = run_uniqueness(pop_, PufConfig::conventional());
+  EXPECT_GT(result.uniqueness.mean_percent(), 40.0);
+  EXPECT_LT(result.uniqueness.mean_percent(), 47.5);
+}
+
+TEST_F(CalibrationTest, AroInterChipHdNearPaper49_67Percent) {
+  const auto result = run_uniqueness(pop_, PufConfig::aro());
+  EXPECT_GT(result.uniqueness.mean_percent(), 48.5);
+  EXPECT_LT(result.uniqueness.mean_percent(), 51.5);
+}
+
+TEST_F(CalibrationTest, AroUniquenessBeatsConventional) {
+  const auto conv = run_uniqueness(pop_, PufConfig::conventional());
+  const auto aro = run_uniqueness(pop_, PufConfig::aro());
+  EXPECT_GT(aro.uniqueness.mean_percent(), conv.uniqueness.mean_percent());
+}
+
+TEST_F(CalibrationTest, FreshNoiseFloorIsPercentLevel) {
+  // Enrollment-temperature re-measurement: ~1-2 % intra-chip HD.
+  const double checkpoints[] = {0.0};
+  const auto series = run_aging_series(pop_, PufConfig::aro(), checkpoints);
+  EXPECT_LT(series.mean_flip_percent[0], 3.0);
+}
+
+TEST_F(CalibrationTest, ConventionalFrequencyDegradationBand) {
+  // 10 years of continuous stress: mid-single-digit to ~15 % frequency loss.
+  const double checkpoints[] = {10.0};
+  const auto series = run_frequency_degradation(pop_, PufConfig::conventional(), checkpoints);
+  EXPECT_GT(series.mean_freq_shift_percent[0], 3.0);
+  EXPECT_LT(series.mean_freq_shift_percent[0], 16.0);
+}
+
+TEST_F(CalibrationTest, AroFrequencyDegradationNegligible) {
+  const double checkpoints[] = {10.0};
+  const auto series = run_frequency_degradation(pop_, PufConfig::aro(), checkpoints);
+  EXPECT_LT(series.mean_freq_shift_percent[0], 2.0);
+}
+
+TEST_F(CalibrationTest, EccAreaRatioNearPaper24x) {
+  // The paper's ~24x for a 128-bit key at the provisioning regime; accept
+  // 12x .. 45x (the ratio is steep in the conventional design's tail BER).
+  const auto cmp = run_ecc_comparison_from_simulation(pop_, CodeSearchConstraints{});
+  EXPECT_GT(cmp.area_ratio(), 12.0);
+  EXPECT_LT(cmp.area_ratio(), 45.0);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,76 @@
+#include "sim/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(CsvWriterTest, WritesSimpleRows) {
+  const std::string path = temp_path("simple.csv");
+  {
+    CsvWriter w(path);
+    w.write_row({"years", "flips"});
+    w.write_row({"1", "26.5"});
+    w.write_row({"10", "32.7"});
+    EXPECT_EQ(w.rows_written(), 3U);
+  }
+  EXPECT_EQ(slurp(path), "years,flips\n1,26.5\n10,32.7\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, EscapedFieldsRoundTripInFile) {
+  const std::string path = temp_path("escaped.csv");
+  {
+    CsvWriter w(path);
+    w.write_row({"label", "value"});
+    w.write_row({"conventional, always-on", "32.7"});
+  }
+  EXPECT_EQ(slurp(path), "label,value\n\"conventional, always-on\",32.7\n");
+}
+
+TEST(CsvWriterTest, EnforcesConsistentWidth) {
+  CsvWriter w(temp_path("width.csv"));
+  w.write_row({"a", "b"});
+  EXPECT_THROW(w.write_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(w.write_row({}), std::invalid_argument);
+}
+
+TEST(CsvWriterTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/out.csv"), std::runtime_error);
+}
+
+TEST(CsvWriterTest, ForBenchHonorsEnvironment) {
+  unsetenv("ARO_CSV_DIR");
+  EXPECT_FALSE(CsvWriter::for_bench("e1").has_value());
+  setenv("ARO_CSV_DIR", ::testing::TempDir().c_str(), 1);
+  auto writer = CsvWriter::for_bench("e1");
+  ASSERT_TRUE(writer.has_value());
+  writer->write_row({"x"});
+  unsetenv("ARO_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace aropuf

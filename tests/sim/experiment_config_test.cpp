@@ -1,0 +1,108 @@
+#include "sim/experiment_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+TEST(TechnologyJsonTest, RoundTripsEveryField) {
+  TechnologyParams t = TechnologyParams::cmos65();
+  t.nbti_a *= 1.5;
+  t.counter_bits = 20;
+  const TechnologyParams back = technology_from_json(to_json(t));
+  EXPECT_EQ(back.name, t.name);
+  EXPECT_DOUBLE_EQ(back.vdd_nominal, t.vdd_nominal);
+  EXPECT_DOUBLE_EQ(back.nbti_a, t.nbti_a);
+  EXPECT_DOUBLE_EQ(back.sigma_vth_local, t.sigma_vth_local);
+  EXPECT_EQ(back.counter_bits, 20);
+  EXPECT_DOUBLE_EQ(back.delay_k, t.delay_k);
+  EXPECT_DOUBLE_EQ(back.layout_systematic_amplitude, t.layout_systematic_amplitude);
+}
+
+TEST(TechnologyJsonTest, NamedNodeIsCompleteConfig) {
+  const auto t = technology_from_json(JsonValue::parse(R"({"name": "cmos45"})"));
+  const auto reference = TechnologyParams::cmos45();
+  EXPECT_DOUBLE_EQ(t.vdd_nominal, reference.vdd_nominal);
+  EXPECT_DOUBLE_EQ(t.nbti_a, reference.nbti_a);
+}
+
+TEST(TechnologyJsonTest, OverridesApplyOnTopOfNode) {
+  const auto t = technology_from_json(
+      JsonValue::parse(R"({"name": "cmos90", "sigma_vth_local": 0.02})"));
+  EXPECT_DOUBLE_EQ(t.sigma_vth_local, 0.02);
+  EXPECT_DOUBLE_EQ(t.vdd_nominal, TechnologyParams::cmos90().vdd_nominal);
+}
+
+TEST(TechnologyJsonTest, LoadedConfigIsValidated) {
+  EXPECT_THROW(technology_from_json(JsonValue::parse(R"({"vth_n": 5.0})")),
+               std::invalid_argument);
+}
+
+TEST(StressProfileJsonTest, RoundTrip) {
+  const StressProfile p = StressProfile::aro_gated(20.0, 10e-3);
+  const StressProfile back = stress_profile_from_json(to_json(p));
+  EXPECT_EQ(back.name, p.name);
+  EXPECT_DOUBLE_EQ(back.oscillation_fraction, p.oscillation_fraction);
+  EXPECT_DOUBLE_EQ(back.nbti_duty, p.nbti_duty);
+  EXPECT_EQ(back.recovery_enabled, p.recovery_enabled);
+}
+
+TEST(PufConfigJsonTest, RoundTripBothDesigns) {
+  for (const auto& cfg : {PufConfig::conventional(512), PufConfig::aro(64)}) {
+    const PufConfig back = puf_config_from_json(to_json(cfg));
+    EXPECT_EQ(back.design, cfg.design);
+    EXPECT_EQ(back.label, cfg.label);
+    EXPECT_EQ(back.num_ros, cfg.num_ros);
+    EXPECT_EQ(back.pairing, cfg.pairing);
+    EXPECT_DOUBLE_EQ(back.lifetime_profile.oscillation_fraction,
+                     cfg.lifetime_profile.oscillation_fraction);
+  }
+}
+
+TEST(PufConfigJsonTest, DesignFactorySelectsDefaults) {
+  const auto c = puf_config_from_json(JsonValue::parse(R"({"design": "conventional RO-PUF"})"));
+  EXPECT_EQ(c.pairing, PairingStrategy::kDistantDedicated);
+  EXPECT_DOUBLE_EQ(c.lifetime_profile.oscillation_fraction, 1.0);
+}
+
+TEST(PufConfigJsonTest, UnknownPairingRejected) {
+  EXPECT_THROW(puf_config_from_json(JsonValue::parse(R"({"pairing": "zigzag"})")),
+               std::invalid_argument);
+}
+
+TEST(PopulationJsonTest, FileRoundTrip) {
+  PopulationConfig pop;
+  pop.tech = TechnologyParams::cmos65();
+  pop.chips = 17;
+  pop.seed = 424242;
+  const std::string path = std::string(::testing::TempDir()) + "/pop.json";
+  save_population_config(pop, path);
+  const PopulationConfig back = load_population_config(path);
+  EXPECT_EQ(back.chips, 17);
+  EXPECT_EQ(back.seed, 424242U);
+  EXPECT_EQ(back.tech.name, "cmos65");
+  EXPECT_DOUBLE_EQ(back.tech.vdd_nominal, pop.tech.vdd_nominal);
+}
+
+TEST(PopulationJsonTest, MissingFileThrows) {
+  EXPECT_THROW(load_population_config("/no/such/file.json"), std::runtime_error);
+}
+
+TEST(PopulationJsonTest, ConfigDrivesIdenticalResults) {
+  // A config that round-trips through disk must reproduce the experiment
+  // bit-exactly.
+  PopulationConfig pop;
+  pop.chips = 6;
+  pop.seed = 99;
+  const std::string path = std::string(::testing::TempDir()) + "/exp.json";
+  save_population_config(pop, path);
+  const PopulationConfig loaded = load_population_config(path);
+  const auto direct = run_uniqueness(pop, PufConfig::aro(64));
+  const auto via_file = run_uniqueness(loaded, PufConfig::aro(64));
+  EXPECT_DOUBLE_EQ(direct.uniqueness.stats.mean(), via_file.uniqueness.stats.mean());
+}
+
+}  // namespace
+}  // namespace aropuf

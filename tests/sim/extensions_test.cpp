@@ -1,0 +1,74 @@
+// Tests for the extension scenarios: burn-in enrollment and stability
+// masking studies.
+#include <gtest/gtest.h>
+
+#include "sim/scenarios.hpp"
+
+namespace aropuf {
+namespace {
+
+PopulationConfig small_pop() {
+  PopulationConfig pop;
+  pop.chips = 8;
+  pop.seed = 17;
+  return pop;
+}
+
+TEST(BurninTest, BurninReducesSubsequentFlips) {
+  // Enrolling after a month of accelerated stress skips the steepest part
+  // of the t^(1/6) curve: 10-year flips drop versus fresh enrollment.
+  const double checkpoints[] = {10.0};
+  const auto fresh = run_aging_series(small_pop(), PufConfig::conventional(128), checkpoints);
+  StressProfile burnin = StressProfile::conventional_always_on();
+  burnin.stress_temperature = celsius(125.0);  // accelerated burn-in oven
+  const auto burned = run_aging_series_with_burnin(
+      small_pop(), PufConfig::conventional(128), burnin, years(0.1), checkpoints);
+  EXPECT_LT(burned.mean_flip_percent[0], fresh.mean_flip_percent[0]);
+}
+
+TEST(BurninTest, ZeroBurninMatchesPlainSeries) {
+  const double checkpoints[] = {5.0};
+  const auto plain = run_aging_series(small_pop(), PufConfig::aro(128), checkpoints);
+  const auto zero = run_aging_series_with_burnin(
+      small_pop(), PufConfig::aro(128), StressProfile::conventional_always_on(), 0.0,
+      checkpoints);
+  EXPECT_DOUBLE_EQ(zero.mean_flip_percent[0], plain.mean_flip_percent[0]);
+}
+
+TEST(BurninTest, RejectsNegativeDuration) {
+  const double checkpoints[] = {1.0};
+  EXPECT_THROW(run_aging_series_with_burnin(small_pop(), PufConfig::aro(128),
+                                            StressProfile::conventional_always_on(), -1.0,
+                                            checkpoints),
+               std::invalid_argument);
+}
+
+TEST(MaskingStudyTest, MaskingLowersNoiseFloor) {
+  // At 0 years the only errors are measurement noise, which screening
+  // directly targets.
+  const auto result = run_masking_study(small_pop(), PufConfig::aro(256),
+                                        /*full_corners=*/false, /*repeats=*/6,
+                                        /*years=*/0.0);
+  EXPECT_GT(result.stable_fraction, 0.7);
+  EXPECT_LT(result.masked_ber, result.unmasked_ber);
+}
+
+TEST(MaskingStudyTest, MaskingHelpsButCannotSeeAging) {
+  const auto result = run_masking_study(small_pop(), PufConfig::conventional(256),
+                                        /*full_corners=*/false, /*repeats=*/6,
+                                        /*years=*/10.0);
+  // Helps somewhat (marginal pairs are also noise-prone)...
+  EXPECT_LT(result.masked_ber, result.unmasked_ber);
+  // ...but most of the 10-year damage is stochastic aging that enrollment-
+  // time screening fundamentally cannot predict.
+  EXPECT_GT(result.masked_ber, result.unmasked_ber * 0.4);
+}
+
+TEST(MaskingStudyTest, CornerScreeningKeepsFewerBits) {
+  const auto nominal = run_masking_study(small_pop(), PufConfig::aro(256), false, 3, 0.0);
+  const auto corners = run_masking_study(small_pop(), PufConfig::aro(256), true, 3, 0.0);
+  EXPECT_LE(corners.stable_fraction, nominal.stable_fraction);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,87 @@
+// Mission-profile scenario tests: multi-phase, multi-temperature lifetimes.
+#include <gtest/gtest.h>
+
+#include "sim/scenarios.hpp"
+
+namespace aropuf {
+namespace {
+
+PopulationConfig small_pop() {
+  PopulationConfig pop;
+  pop.chips = 8;
+  pop.seed = 23;
+  return pop;
+}
+
+TEST(MissionProfileTest, AutomotiveFactoryShape) {
+  const auto gated = MissionProfile::automotive(true);
+  const auto always_on = MissionProfile::automotive(false);
+  ASSERT_EQ(gated.cycle.size(), 2U);
+  EXPECT_NEAR(gated.cycle_duration(), 86400.0, 1.0);
+  // Engine-on phase is hot; parked phase is cool.
+  EXPECT_GT(gated.cycle[0].profile.stress_temperature,
+            gated.cycle[1].profile.stress_temperature);
+  // Always-on keeps oscillating while parked; gated does not.
+  EXPECT_DOUBLE_EQ(always_on.cycle[1].profile.oscillation_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(gated.cycle[1].profile.oscillation_fraction, 0.0);
+}
+
+TEST(MissionProfileTest, ValidationCatchesEmptyAndBadPhases) {
+  MissionProfile m;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = MissionProfile::automotive(true);
+  m.cycle[0].duration = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(MissionTest, FlipsGrowWithMissionYears) {
+  const double checkpoints[] = {2.0, 10.0};
+  const auto result = run_mission(small_pop(), PufConfig::conventional(128),
+                                  MissionProfile::automotive(false), checkpoints);
+  ASSERT_EQ(result.years.size(), 2U);
+  EXPECT_GT(result.mean_flip_percent[0], 1.0);
+  EXPECT_LT(result.mean_flip_percent[0], result.mean_flip_percent[1]);
+  EXPECT_GE(result.max_flip_percent[1], result.mean_flip_percent[1]);
+}
+
+TEST(MissionTest, GatedMissionAgesFarLess) {
+  const double checkpoints[] = {10.0};
+  const auto conv = run_mission(small_pop(), PufConfig::conventional(128),
+                                MissionProfile::automotive(false), checkpoints);
+  const auto aro = run_mission(small_pop(), PufConfig::aro(128),
+                               MissionProfile::automotive(true), checkpoints);
+  EXPECT_LT(aro.mean_flip_percent[0], conv.mean_flip_percent[0] * 0.6);
+}
+
+TEST(MissionTest, HotterMissionAgesFaster) {
+  // Same duty cycle, hotter engine phase: strictly more flips — exercises
+  // the nominal-equivalent temperature weighting.
+  MissionProfile mild = MissionProfile::automotive(false);
+  MissionProfile hot = MissionProfile::automotive(false);
+  hot.cycle[0].profile.stress_temperature = celsius(150.0);
+  const double checkpoints[] = {10.0};
+  const auto mild_result =
+      run_mission(small_pop(), PufConfig::conventional(128), mild, checkpoints);
+  const auto hot_result =
+      run_mission(small_pop(), PufConfig::conventional(128), hot, checkpoints);
+  EXPECT_GT(hot_result.mean_flip_percent[0], mild_result.mean_flip_percent[0]);
+}
+
+TEST(MissionTest, ConstantMissionMatchesPlainAgingSeries) {
+  // A one-phase mission with the standard profile must reproduce
+  // run_aging_series (same accumulation path, same checkpoints).
+  MissionProfile constant;
+  constant.name = "constant";
+  MissionPhase phase;
+  phase.profile = StressProfile::conventional_always_on();
+  phase.duration = 86400.0;
+  constant.cycle = {phase};
+  const double checkpoints[] = {5.0};
+  const auto mission =
+      run_mission(small_pop(), PufConfig::conventional(128), constant, checkpoints);
+  const auto plain = run_aging_series(small_pop(), PufConfig::conventional(128), checkpoints);
+  EXPECT_NEAR(mission.mean_flip_percent[0], plain.mean_flip_percent[0], 1e-9);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,116 @@
+#include "sim/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+PopulationConfig small_pop() {
+  PopulationConfig pop;
+  pop.chips = 8;
+  pop.seed = 7;
+  return pop;
+}
+
+TEST(ScenariosTest, FrequencyDegradationShape) {
+  const double checkpoints[] = {1.0, 5.0, 10.0};
+  const auto series =
+      run_frequency_degradation(small_pop(), PufConfig::conventional(64), checkpoints);
+  ASSERT_EQ(series.years.size(), 3U);
+  ASSERT_EQ(series.mean_freq_shift_percent.size(), 3U);
+  // Degradation is positive and monotone in time.
+  EXPECT_GT(series.mean_freq_shift_percent[0], 0.0);
+  EXPECT_LT(series.mean_freq_shift_percent[0], series.mean_freq_shift_percent[1]);
+  EXPECT_LT(series.mean_freq_shift_percent[1], series.mean_freq_shift_percent[2]);
+}
+
+TEST(ScenariosTest, AgingSeriesMonotoneAndOrdered) {
+  const double checkpoints[] = {2.0, 10.0};
+  const auto conv = run_aging_series(small_pop(), PufConfig::conventional(128), checkpoints);
+  const auto aro = run_aging_series(small_pop(), PufConfig::aro(128), checkpoints);
+  // More aging, more flips; ARO flips far less than conventional.
+  EXPECT_LT(conv.mean_flip_percent[0], conv.mean_flip_percent[1]);
+  EXPECT_LT(aro.mean_flip_percent[1], conv.mean_flip_percent[1] * 0.6);
+  EXPECT_GE(conv.max_flip_percent[1], conv.mean_flip_percent[1]);
+}
+
+TEST(ScenariosTest, CheckpointsMustBeSorted) {
+  const double bad[] = {5.0, 1.0};
+  EXPECT_THROW(run_aging_series(small_pop(), PufConfig::aro(64), bad), std::invalid_argument);
+  const double empty[] = {1.0};
+  EXPECT_NO_THROW(run_aging_series(small_pop(), PufConfig::aro(64),
+                                   std::span<const double>(empty, 1)));
+}
+
+TEST(ScenariosTest, UniquenessOutputsAllMetrics) {
+  const auto result = run_uniqueness(small_pop(), PufConfig::aro(128));
+  EXPECT_EQ(result.uniqueness.stats.count(), 28U);  // C(8,2)
+  EXPECT_GT(result.uniqueness.mean_percent(), 40.0);
+  EXPECT_LT(result.uniqueness.mean_percent(), 60.0);
+  EXPECT_GT(result.uniformity.mean(), 0.3);
+  EXPECT_LT(result.uniformity.mean(), 0.7);
+  EXPECT_EQ(result.aliasing.count(), 64U);  // bits
+}
+
+TEST(ScenariosTest, TemperatureSweepAnchoredAtNominal) {
+  const double temps[] = {25.0, 85.0};
+  const auto sweep = run_temperature_sweep(small_pop(), PufConfig::aro(128), temps);
+  ASSERT_EQ(sweep.size(), 2U);
+  // At the enrollment corner only measurement noise flips bits.
+  EXPECT_LT(sweep[0].mean_ber_percent, 4.0);
+  // Far from it, errors grow.
+  EXPECT_GT(sweep[1].mean_ber_percent, sweep[0].mean_ber_percent);
+  EXPECT_GE(sweep[1].max_ber_percent, sweep[1].mean_ber_percent);
+}
+
+TEST(ScenariosTest, VoltageSweepAnchoredAtNominal) {
+  // Supply sensitivity of the ratioed comparison is second-order: the -10%
+  // corner stays at the same percent-level noise floor as nominal (no strict
+  // ordering — the effect is within measurement-noise variation).
+  const double vdd[] = {1.2, 1.08};
+  const auto sweep = run_voltage_sweep(small_pop(), PufConfig::aro(128), vdd);
+  ASSERT_EQ(sweep.size(), 2U);
+  EXPECT_LT(sweep[0].mean_ber_percent, 4.0);
+  EXPECT_LT(sweep[1].mean_ber_percent, 6.0);
+  EXPECT_GT(sweep[1].mean_ber_percent, 0.2 * sweep[0].mean_ber_percent);
+}
+
+TEST(ScenariosTest, EolBerStatsAreCoherent) {
+  const auto stats = measure_eol_ber(small_pop(), PufConfig::conventional(128), 10.0);
+  EXPECT_GT(stats.mean, 0.1);
+  EXPECT_LT(stats.mean, 0.5);
+  EXPECT_GE(stats.max, stats.mean);
+  EXPECT_GT(stats.p90(), stats.mean);
+  EXPECT_GT(stats.p95(), stats.p90());
+}
+
+TEST(ScenariosTest, EccComparisonFavorsAro) {
+  const auto cmp = run_ecc_comparison(TechnologyParams::cmos90(), 0.35, 0.10,
+                                      CodeSearchConstraints{});
+  EXPECT_GT(cmp.area_ratio(), 3.0);
+  EXPECT_LT(cmp.aro.scheme.raw_bits(), cmp.conventional.scheme.raw_bits());
+}
+
+TEST(ScenariosTest, EccComparisonThrowsWhenInfeasible) {
+  CodeSearchConstraints cramped;
+  cramped.repetition_options = {1};
+  cramped.max_bch_t = 2;
+  EXPECT_THROW((void)run_ecc_comparison(TechnologyParams::cmos90(), 0.35, 0.10, cramped),
+               std::runtime_error);
+}
+
+TEST(ScenariosTest, ResultsAreSeedReproducible) {
+  const double checkpoints[] = {10.0};
+  const auto a = run_aging_series(small_pop(), PufConfig::aro(128), checkpoints);
+  const auto b = run_aging_series(small_pop(), PufConfig::aro(128), checkpoints);
+  EXPECT_DOUBLE_EQ(a.mean_flip_percent[0], b.mean_flip_percent[0]);
+  PopulationConfig other = small_pop();
+  other.seed = 8;
+  const auto c = run_aging_series(other, PufConfig::aro(128), checkpoints);
+  EXPECT_NE(a.mean_flip_percent[0], c.mean_flip_percent[0]);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,48 @@
+#include "variation/pelgrom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+TEST(PelgromTest, SigmaMatchesFormula) {
+  const PelgromModel m{4.5};
+  // 4.5 mV·um over a 0.3 x 0.1 um device: 4.5e-3 / sqrt(0.03).
+  EXPECT_NEAR(m.sigma_vth(0.3, 0.1), 4.5e-3 / std::sqrt(0.03), 1e-12);
+}
+
+TEST(PelgromTest, SigmaShrinksWithArea) {
+  const PelgromModel m{4.5};
+  EXPECT_GT(m.sigma_vth(0.12, 0.1), m.sigma_vth(0.48, 0.1));
+  // Quadrupling area halves sigma.
+  EXPECT_NEAR(m.sigma_vth(0.12, 0.1) / m.sigma_vth(0.48, 0.1), 2.0, 1e-9);
+}
+
+TEST(PelgromTest, MinimumSizeDeviceNearCalibrationAnchor) {
+  // 90 nm minimum device ~ W=0.12, L=0.1 um: sigma in the 10-20 mV decade.
+  const PelgromModel m{1.7};
+  const double sigma = m.sigma_vth(0.12, 0.1);
+  EXPECT_GT(sigma, 8e-3);
+  EXPECT_LT(sigma, 25e-3);
+}
+
+TEST(PelgromTest, UpsizingIsQuadratic) {
+  EXPECT_DOUBLE_EQ(PelgromModel::upsizing_for_sigma_reduction(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(PelgromModel::upsizing_for_sigma_reduction(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(PelgromModel::upsizing_for_sigma_reduction(3.0), 9.0);
+}
+
+TEST(PelgromTest, RejectsBadInputs) {
+  const PelgromModel m{4.5};
+  EXPECT_THROW((void)m.sigma_vth(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)m.sigma_vth(0.1, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)PelgromModel::upsizing_for_sigma_reduction(0.5), std::invalid_argument);
+  const PelgromModel bad{0.0};
+  EXPECT_THROW((void)bad.sigma_vth(0.1, 0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf

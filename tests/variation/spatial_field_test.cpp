@@ -1,0 +1,118 @@
+#include "variation/spatial_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/statistics.hpp"
+
+namespace aropuf {
+namespace {
+
+TEST(SpatialFieldTest, DeterministicForSameSeed) {
+  const SpatialField a(8e-3, 12.0, 42);
+  const SpatialField b(8e-3, 12.0, 42);
+  for (double x = 0.0; x < 20.0; x += 2.3) {
+    EXPECT_DOUBLE_EQ(a({x, x * 0.5}), b({x, x * 0.5}));
+  }
+}
+
+TEST(SpatialFieldTest, DifferentSeedsDiffer) {
+  const SpatialField a(8e-3, 12.0, 1);
+  const SpatialField b(8e-3, 12.0, 2);
+  int differ = 0;
+  for (double x = 0.0; x < 20.0; x += 1.0) {
+    if (a({x, 0.0}) != b({x, 0.0})) ++differ;
+  }
+  EXPECT_EQ(differ, 20);
+}
+
+TEST(SpatialFieldTest, ZeroSigmaIsIdenticallyZero) {
+  const SpatialField f(0.0, 12.0, 7);
+  EXPECT_DOUBLE_EQ(f({3.0, 4.0}), 0.0);
+}
+
+TEST(SpatialFieldTest, MarginalIsStandardizedToSigma) {
+  // Sample the field of many independent dies at a fixed point; the marginal
+  // across dies must be N(0, sigma^2).
+  const double sigma = 8e-3;
+  RunningStats stats;
+  for (std::uint64_t seed = 0; seed < 4000; ++seed) {
+    const SpatialField f(sigma, 12.0, seed);
+    stats.add(f({5.3, 7.1}));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, sigma * 0.05);
+  EXPECT_NEAR(stats.stddev(), sigma, sigma * 0.05);
+}
+
+TEST(SpatialFieldTest, NearbyPointsAreHighlyCorrelated) {
+  // Correlation estimated over dies: adjacent points (1 pitch apart, with
+  // correlation length 12) must correlate > 0.95.
+  double sum_ab = 0.0;
+  double sum_a2 = 0.0;
+  double sum_b2 = 0.0;
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    const SpatialField f(1.0, 12.0, seed);
+    const double a = f({4.0, 4.0});
+    const double b = f({5.0, 4.0});
+    sum_ab += a * b;
+    sum_a2 += a * a;
+    sum_b2 += b * b;
+  }
+  const double corr = sum_ab / std::sqrt(sum_a2 * sum_b2);
+  EXPECT_GT(corr, 0.95);
+}
+
+TEST(SpatialFieldTest, DistantPointsDecorrelate) {
+  double sum_ab = 0.0;
+  double sum_a2 = 0.0;
+  double sum_b2 = 0.0;
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    const SpatialField f(1.0, 3.0, seed);
+    const double a = f({0.0, 0.0});
+    const double b = f({30.0, 30.0});
+    sum_ab += a * b;
+    sum_a2 += a * a;
+    sum_b2 += b * b;
+  }
+  const double corr = sum_ab / std::sqrt(sum_a2 * sum_b2);
+  EXPECT_LT(std::fabs(corr), 0.1);
+}
+
+TEST(SpatialFieldTest, CorrelationFallsWithDistance) {
+  auto corr_at = [](double dist) {
+    double sum_ab = 0.0;
+    double sum_a2 = 0.0;
+    double sum_b2 = 0.0;
+    for (std::uint64_t seed = 0; seed < 1500; ++seed) {
+      const SpatialField f(1.0, 6.0, seed);
+      const double a = f({10.0, 10.0});
+      const double b = f({10.0 + dist, 10.0});
+      sum_ab += a * b;
+      sum_a2 += a * a;
+      sum_b2 += b * b;
+    }
+    return sum_ab / std::sqrt(sum_a2 * sum_b2);
+  };
+  const double c2 = corr_at(2.0);
+  const double c6 = corr_at(6.0);
+  const double c15 = corr_at(15.0);
+  EXPECT_GT(c2, c6);
+  EXPECT_GT(c6, c15);
+}
+
+TEST(SpatialFieldTest, SmoothAtSubPitchScale) {
+  const SpatialField f(8e-3, 12.0, 99);
+  const double v0 = f({5.0, 5.0});
+  const double v1 = f({5.01, 5.0});
+  EXPECT_NEAR(v0, v1, 8e-3 * 0.01);
+}
+
+TEST(SpatialFieldTest, RejectsBadParameters) {
+  EXPECT_THROW(SpatialField(-1.0, 12.0, 0), std::invalid_argument);
+  EXPECT_THROW(SpatialField(1.0, 0.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aropuf
