@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_masking"
+  "../bench/bench_e10_masking.pdb"
+  "CMakeFiles/bench_e10_masking.dir/bench_e10_masking.cpp.o"
+  "CMakeFiles/bench_e10_masking.dir/bench_e10_masking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_modeling_attack"
+  "../bench/bench_e11_modeling_attack.pdb"
+  "CMakeFiles/bench_e11_modeling_attack.dir/bench_e11_modeling_attack.cpp.o"
+  "CMakeFiles/bench_e11_modeling_attack.dir/bench_e11_modeling_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_modeling_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e13_enhancements"
+  "../bench/bench_e13_enhancements.pdb"
+  "CMakeFiles/bench_e13_enhancements.dir/bench_e13_enhancements.cpp.o"
+  "CMakeFiles/bench_e13_enhancements.dir/bench_e13_enhancements.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_enhancements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e14_mission"
+  "../bench/bench_e14_mission.pdb"
+  "CMakeFiles/bench_e14_mission.dir/bench_e14_mission.cpp.o"
+  "CMakeFiles/bench_e14_mission.dir/bench_e14_mission.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

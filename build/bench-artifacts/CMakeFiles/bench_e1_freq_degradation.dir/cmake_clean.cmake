@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_freq_degradation"
+  "../bench/bench_e1_freq_degradation.pdb"
+  "CMakeFiles/bench_e1_freq_degradation.dir/bench_e1_freq_degradation.cpp.o"
+  "CMakeFiles/bench_e1_freq_degradation.dir/bench_e1_freq_degradation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_freq_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

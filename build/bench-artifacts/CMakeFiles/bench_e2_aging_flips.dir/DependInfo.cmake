@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e2_aging_flips.cpp" "bench-artifacts/CMakeFiles/bench_e2_aging_flips.dir/bench_e2_aging_flips.cpp.o" "gcc" "bench-artifacts/CMakeFiles/bench_e2_aging_flips.dir/bench_e2_aging_flips.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/aropuf_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/aropuf_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aropuf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/aropuf_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/aropuf_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/aropuf_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/aropuf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/keygen/CMakeFiles/aropuf_keygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/aropuf_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aropuf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aropuf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_aging_flips"
+  "../bench/bench_e2_aging_flips.pdb"
+  "CMakeFiles/bench_e2_aging_flips.dir/bench_e2_aging_flips.cpp.o"
+  "CMakeFiles/bench_e2_aging_flips.dir/bench_e2_aging_flips.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_aging_flips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_uniqueness"
+  "../bench/bench_e3_uniqueness.pdb"
+  "CMakeFiles/bench_e3_uniqueness.dir/bench_e3_uniqueness.cpp.o"
+  "CMakeFiles/bench_e3_uniqueness.dir/bench_e3_uniqueness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

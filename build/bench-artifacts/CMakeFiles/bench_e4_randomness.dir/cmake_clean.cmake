@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_randomness"
+  "../bench/bench_e4_randomness.pdb"
+  "CMakeFiles/bench_e4_randomness.dir/bench_e4_randomness.cpp.o"
+  "CMakeFiles/bench_e4_randomness.dir/bench_e4_randomness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_randomness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_temperature"
+  "../bench/bench_e5_temperature.pdb"
+  "CMakeFiles/bench_e5_temperature.dir/bench_e5_temperature.cpp.o"
+  "CMakeFiles/bench_e5_temperature.dir/bench_e5_temperature.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

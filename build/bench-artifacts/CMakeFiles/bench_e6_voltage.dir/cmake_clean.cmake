@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_voltage"
+  "../bench/bench_e6_voltage.pdb"
+  "CMakeFiles/bench_e6_voltage.dir/bench_e6_voltage.cpp.o"
+  "CMakeFiles/bench_e6_voltage.dir/bench_e6_voltage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

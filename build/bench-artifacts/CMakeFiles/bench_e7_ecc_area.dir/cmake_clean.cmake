@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_ecc_area"
+  "../bench/bench_e7_ecc_area.pdb"
+  "CMakeFiles/bench_e7_ecc_area.dir/bench_e7_ecc_area.cpp.o"
+  "CMakeFiles/bench_e7_ecc_area.dir/bench_e7_ecc_area.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_ecc_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

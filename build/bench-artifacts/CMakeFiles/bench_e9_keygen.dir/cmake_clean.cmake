@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_keygen"
+  "../bench/bench_e9_keygen.pdb"
+  "CMakeFiles/bench_e9_keygen.dir/bench_e9_keygen.cpp.o"
+  "CMakeFiles/bench_e9_keygen.dir/bench_e9_keygen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_keygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_demo.dir/auth_demo.cpp.o"
+  "CMakeFiles/auth_demo.dir/auth_demo.cpp.o.d"
+  "auth_demo"
+  "auth_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_enrollment.dir/key_enrollment.cpp.o"
+  "CMakeFiles/key_enrollment.dir/key_enrollment.cpp.o.d"
+  "key_enrollment"
+  "key_enrollment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_enrollment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniqueness_study.dir/uniqueness_study.cpp.o"
+  "CMakeFiles/uniqueness_study.dir/uniqueness_study.cpp.o.d"
+  "uniqueness_study"
+  "uniqueness_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniqueness_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

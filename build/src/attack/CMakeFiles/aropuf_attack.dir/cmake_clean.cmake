@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_attack.dir/order_attack.cpp.o"
+  "CMakeFiles/aropuf_attack.dir/order_attack.cpp.o.d"
+  "libaropuf_attack.a"
+  "libaropuf_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auth/authenticator.cpp" "src/auth/CMakeFiles/aropuf_auth.dir/authenticator.cpp.o" "gcc" "src/auth/CMakeFiles/aropuf_auth.dir/authenticator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aropuf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/aropuf_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/aropuf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/aropuf_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/aropuf_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aropuf_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

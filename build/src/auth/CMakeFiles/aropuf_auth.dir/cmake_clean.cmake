@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_auth.dir/authenticator.cpp.o"
+  "CMakeFiles/aropuf_auth.dir/authenticator.cpp.o.d"
+  "libaropuf_auth.a"
+  "libaropuf_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

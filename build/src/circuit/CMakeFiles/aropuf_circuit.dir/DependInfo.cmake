@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/delay_model.cpp" "src/circuit/CMakeFiles/aropuf_circuit.dir/delay_model.cpp.o" "gcc" "src/circuit/CMakeFiles/aropuf_circuit.dir/delay_model.cpp.o.d"
+  "/root/repo/src/circuit/measurement.cpp" "src/circuit/CMakeFiles/aropuf_circuit.dir/measurement.cpp.o" "gcc" "src/circuit/CMakeFiles/aropuf_circuit.dir/measurement.cpp.o.d"
+  "/root/repo/src/circuit/ring_oscillator.cpp" "src/circuit/CMakeFiles/aropuf_circuit.dir/ring_oscillator.cpp.o" "gcc" "src/circuit/CMakeFiles/aropuf_circuit.dir/ring_oscillator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aropuf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aropuf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/aropuf_variation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

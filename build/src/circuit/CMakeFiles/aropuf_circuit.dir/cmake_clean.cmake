@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_circuit.dir/delay_model.cpp.o"
+  "CMakeFiles/aropuf_circuit.dir/delay_model.cpp.o.d"
+  "CMakeFiles/aropuf_circuit.dir/measurement.cpp.o"
+  "CMakeFiles/aropuf_circuit.dir/measurement.cpp.o.d"
+  "CMakeFiles/aropuf_circuit.dir/ring_oscillator.cpp.o"
+  "CMakeFiles/aropuf_circuit.dir/ring_oscillator.cpp.o.d"
+  "libaropuf_circuit.a"
+  "libaropuf_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

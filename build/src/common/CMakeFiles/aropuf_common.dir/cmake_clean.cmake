@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_common.dir/bitvector.cpp.o"
+  "CMakeFiles/aropuf_common.dir/bitvector.cpp.o.d"
+  "CMakeFiles/aropuf_common.dir/json.cpp.o"
+  "CMakeFiles/aropuf_common.dir/json.cpp.o.d"
+  "CMakeFiles/aropuf_common.dir/rng.cpp.o"
+  "CMakeFiles/aropuf_common.dir/rng.cpp.o.d"
+  "CMakeFiles/aropuf_common.dir/special_functions.cpp.o"
+  "CMakeFiles/aropuf_common.dir/special_functions.cpp.o.d"
+  "CMakeFiles/aropuf_common.dir/statistics.cpp.o"
+  "CMakeFiles/aropuf_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/aropuf_common.dir/table.cpp.o"
+  "CMakeFiles/aropuf_common.dir/table.cpp.o.d"
+  "libaropuf_common.a"
+  "libaropuf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/aging.cpp" "src/device/CMakeFiles/aropuf_device.dir/aging.cpp.o" "gcc" "src/device/CMakeFiles/aropuf_device.dir/aging.cpp.o.d"
+  "/root/repo/src/device/hci.cpp" "src/device/CMakeFiles/aropuf_device.dir/hci.cpp.o" "gcc" "src/device/CMakeFiles/aropuf_device.dir/hci.cpp.o.d"
+  "/root/repo/src/device/nbti.cpp" "src/device/CMakeFiles/aropuf_device.dir/nbti.cpp.o" "gcc" "src/device/CMakeFiles/aropuf_device.dir/nbti.cpp.o.d"
+  "/root/repo/src/device/stress.cpp" "src/device/CMakeFiles/aropuf_device.dir/stress.cpp.o" "gcc" "src/device/CMakeFiles/aropuf_device.dir/stress.cpp.o.d"
+  "/root/repo/src/device/technology.cpp" "src/device/CMakeFiles/aropuf_device.dir/technology.cpp.o" "gcc" "src/device/CMakeFiles/aropuf_device.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aropuf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_device.dir/aging.cpp.o"
+  "CMakeFiles/aropuf_device.dir/aging.cpp.o.d"
+  "CMakeFiles/aropuf_device.dir/hci.cpp.o"
+  "CMakeFiles/aropuf_device.dir/hci.cpp.o.d"
+  "CMakeFiles/aropuf_device.dir/nbti.cpp.o"
+  "CMakeFiles/aropuf_device.dir/nbti.cpp.o.d"
+  "CMakeFiles/aropuf_device.dir/stress.cpp.o"
+  "CMakeFiles/aropuf_device.dir/stress.cpp.o.d"
+  "CMakeFiles/aropuf_device.dir/technology.cpp.o"
+  "CMakeFiles/aropuf_device.dir/technology.cpp.o.d"
+  "libaropuf_device.a"
+  "libaropuf_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/area_model.cpp" "src/ecc/CMakeFiles/aropuf_ecc.dir/area_model.cpp.o" "gcc" "src/ecc/CMakeFiles/aropuf_ecc.dir/area_model.cpp.o.d"
+  "/root/repo/src/ecc/bch.cpp" "src/ecc/CMakeFiles/aropuf_ecc.dir/bch.cpp.o" "gcc" "src/ecc/CMakeFiles/aropuf_ecc.dir/bch.cpp.o.d"
+  "/root/repo/src/ecc/code_search.cpp" "src/ecc/CMakeFiles/aropuf_ecc.dir/code_search.cpp.o" "gcc" "src/ecc/CMakeFiles/aropuf_ecc.dir/code_search.cpp.o.d"
+  "/root/repo/src/ecc/concatenated.cpp" "src/ecc/CMakeFiles/aropuf_ecc.dir/concatenated.cpp.o" "gcc" "src/ecc/CMakeFiles/aropuf_ecc.dir/concatenated.cpp.o.d"
+  "/root/repo/src/ecc/gf2m.cpp" "src/ecc/CMakeFiles/aropuf_ecc.dir/gf2m.cpp.o" "gcc" "src/ecc/CMakeFiles/aropuf_ecc.dir/gf2m.cpp.o.d"
+  "/root/repo/src/ecc/golay.cpp" "src/ecc/CMakeFiles/aropuf_ecc.dir/golay.cpp.o" "gcc" "src/ecc/CMakeFiles/aropuf_ecc.dir/golay.cpp.o.d"
+  "/root/repo/src/ecc/repetition.cpp" "src/ecc/CMakeFiles/aropuf_ecc.dir/repetition.cpp.o" "gcc" "src/ecc/CMakeFiles/aropuf_ecc.dir/repetition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aropuf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aropuf_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_ecc.dir/area_model.cpp.o"
+  "CMakeFiles/aropuf_ecc.dir/area_model.cpp.o.d"
+  "CMakeFiles/aropuf_ecc.dir/bch.cpp.o"
+  "CMakeFiles/aropuf_ecc.dir/bch.cpp.o.d"
+  "CMakeFiles/aropuf_ecc.dir/code_search.cpp.o"
+  "CMakeFiles/aropuf_ecc.dir/code_search.cpp.o.d"
+  "CMakeFiles/aropuf_ecc.dir/concatenated.cpp.o"
+  "CMakeFiles/aropuf_ecc.dir/concatenated.cpp.o.d"
+  "CMakeFiles/aropuf_ecc.dir/gf2m.cpp.o"
+  "CMakeFiles/aropuf_ecc.dir/gf2m.cpp.o.d"
+  "CMakeFiles/aropuf_ecc.dir/golay.cpp.o"
+  "CMakeFiles/aropuf_ecc.dir/golay.cpp.o.d"
+  "CMakeFiles/aropuf_ecc.dir/repetition.cpp.o"
+  "CMakeFiles/aropuf_ecc.dir/repetition.cpp.o.d"
+  "libaropuf_ecc.a"
+  "libaropuf_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

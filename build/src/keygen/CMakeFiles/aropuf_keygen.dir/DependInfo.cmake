@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/keygen/debias.cpp" "src/keygen/CMakeFiles/aropuf_keygen.dir/debias.cpp.o" "gcc" "src/keygen/CMakeFiles/aropuf_keygen.dir/debias.cpp.o.d"
+  "/root/repo/src/keygen/fuzzy_extractor.cpp" "src/keygen/CMakeFiles/aropuf_keygen.dir/fuzzy_extractor.cpp.o" "gcc" "src/keygen/CMakeFiles/aropuf_keygen.dir/fuzzy_extractor.cpp.o.d"
+  "/root/repo/src/keygen/hmac.cpp" "src/keygen/CMakeFiles/aropuf_keygen.dir/hmac.cpp.o" "gcc" "src/keygen/CMakeFiles/aropuf_keygen.dir/hmac.cpp.o.d"
+  "/root/repo/src/keygen/sha256.cpp" "src/keygen/CMakeFiles/aropuf_keygen.dir/sha256.cpp.o" "gcc" "src/keygen/CMakeFiles/aropuf_keygen.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aropuf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/aropuf_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aropuf_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

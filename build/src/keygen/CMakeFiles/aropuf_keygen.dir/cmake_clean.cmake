@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_keygen.dir/debias.cpp.o"
+  "CMakeFiles/aropuf_keygen.dir/debias.cpp.o.d"
+  "CMakeFiles/aropuf_keygen.dir/fuzzy_extractor.cpp.o"
+  "CMakeFiles/aropuf_keygen.dir/fuzzy_extractor.cpp.o.d"
+  "CMakeFiles/aropuf_keygen.dir/hmac.cpp.o"
+  "CMakeFiles/aropuf_keygen.dir/hmac.cpp.o.d"
+  "CMakeFiles/aropuf_keygen.dir/sha256.cpp.o"
+  "CMakeFiles/aropuf_keygen.dir/sha256.cpp.o.d"
+  "libaropuf_keygen.a"
+  "libaropuf_keygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_keygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

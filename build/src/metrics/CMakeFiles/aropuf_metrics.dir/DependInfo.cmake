@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/entropy.cpp" "src/metrics/CMakeFiles/aropuf_metrics.dir/entropy.cpp.o" "gcc" "src/metrics/CMakeFiles/aropuf_metrics.dir/entropy.cpp.o.d"
+  "/root/repo/src/metrics/nist.cpp" "src/metrics/CMakeFiles/aropuf_metrics.dir/nist.cpp.o" "gcc" "src/metrics/CMakeFiles/aropuf_metrics.dir/nist.cpp.o.d"
+  "/root/repo/src/metrics/reliability.cpp" "src/metrics/CMakeFiles/aropuf_metrics.dir/reliability.cpp.o" "gcc" "src/metrics/CMakeFiles/aropuf_metrics.dir/reliability.cpp.o.d"
+  "/root/repo/src/metrics/uniformity.cpp" "src/metrics/CMakeFiles/aropuf_metrics.dir/uniformity.cpp.o" "gcc" "src/metrics/CMakeFiles/aropuf_metrics.dir/uniformity.cpp.o.d"
+  "/root/repo/src/metrics/uniqueness.cpp" "src/metrics/CMakeFiles/aropuf_metrics.dir/uniqueness.cpp.o" "gcc" "src/metrics/CMakeFiles/aropuf_metrics.dir/uniqueness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aropuf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

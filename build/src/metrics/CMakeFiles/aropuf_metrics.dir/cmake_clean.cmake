@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_metrics.dir/entropy.cpp.o"
+  "CMakeFiles/aropuf_metrics.dir/entropy.cpp.o.d"
+  "CMakeFiles/aropuf_metrics.dir/nist.cpp.o"
+  "CMakeFiles/aropuf_metrics.dir/nist.cpp.o.d"
+  "CMakeFiles/aropuf_metrics.dir/reliability.cpp.o"
+  "CMakeFiles/aropuf_metrics.dir/reliability.cpp.o.d"
+  "CMakeFiles/aropuf_metrics.dir/uniformity.cpp.o"
+  "CMakeFiles/aropuf_metrics.dir/uniformity.cpp.o.d"
+  "CMakeFiles/aropuf_metrics.dir/uniqueness.cpp.o"
+  "CMakeFiles/aropuf_metrics.dir/uniqueness.cpp.o.d"
+  "libaropuf_metrics.a"
+  "libaropuf_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/puf/masking.cpp" "src/puf/CMakeFiles/aropuf_puf.dir/masking.cpp.o" "gcc" "src/puf/CMakeFiles/aropuf_puf.dir/masking.cpp.o.d"
+  "/root/repo/src/puf/pair_selection.cpp" "src/puf/CMakeFiles/aropuf_puf.dir/pair_selection.cpp.o" "gcc" "src/puf/CMakeFiles/aropuf_puf.dir/pair_selection.cpp.o.d"
+  "/root/repo/src/puf/pairing.cpp" "src/puf/CMakeFiles/aropuf_puf.dir/pairing.cpp.o" "gcc" "src/puf/CMakeFiles/aropuf_puf.dir/pairing.cpp.o.d"
+  "/root/repo/src/puf/puf_config.cpp" "src/puf/CMakeFiles/aropuf_puf.dir/puf_config.cpp.o" "gcc" "src/puf/CMakeFiles/aropuf_puf.dir/puf_config.cpp.o.d"
+  "/root/repo/src/puf/ro_puf.cpp" "src/puf/CMakeFiles/aropuf_puf.dir/ro_puf.cpp.o" "gcc" "src/puf/CMakeFiles/aropuf_puf.dir/ro_puf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aropuf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aropuf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/aropuf_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/aropuf_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_puf.dir/masking.cpp.o"
+  "CMakeFiles/aropuf_puf.dir/masking.cpp.o.d"
+  "CMakeFiles/aropuf_puf.dir/pair_selection.cpp.o"
+  "CMakeFiles/aropuf_puf.dir/pair_selection.cpp.o.d"
+  "CMakeFiles/aropuf_puf.dir/pairing.cpp.o"
+  "CMakeFiles/aropuf_puf.dir/pairing.cpp.o.d"
+  "CMakeFiles/aropuf_puf.dir/puf_config.cpp.o"
+  "CMakeFiles/aropuf_puf.dir/puf_config.cpp.o.d"
+  "CMakeFiles/aropuf_puf.dir/ro_puf.cpp.o"
+  "CMakeFiles/aropuf_puf.dir/ro_puf.cpp.o.d"
+  "libaropuf_puf.a"
+  "libaropuf_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_sim.dir/analytic.cpp.o"
+  "CMakeFiles/aropuf_sim.dir/analytic.cpp.o.d"
+  "CMakeFiles/aropuf_sim.dir/csv.cpp.o"
+  "CMakeFiles/aropuf_sim.dir/csv.cpp.o.d"
+  "CMakeFiles/aropuf_sim.dir/experiment_config.cpp.o"
+  "CMakeFiles/aropuf_sim.dir/experiment_config.cpp.o.d"
+  "CMakeFiles/aropuf_sim.dir/scenarios.cpp.o"
+  "CMakeFiles/aropuf_sim.dir/scenarios.cpp.o.d"
+  "libaropuf_sim.a"
+  "libaropuf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

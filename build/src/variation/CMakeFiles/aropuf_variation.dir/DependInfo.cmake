@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variation/pelgrom.cpp" "src/variation/CMakeFiles/aropuf_variation.dir/pelgrom.cpp.o" "gcc" "src/variation/CMakeFiles/aropuf_variation.dir/pelgrom.cpp.o.d"
+  "/root/repo/src/variation/process_variation.cpp" "src/variation/CMakeFiles/aropuf_variation.dir/process_variation.cpp.o" "gcc" "src/variation/CMakeFiles/aropuf_variation.dir/process_variation.cpp.o.d"
+  "/root/repo/src/variation/spatial_field.cpp" "src/variation/CMakeFiles/aropuf_variation.dir/spatial_field.cpp.o" "gcc" "src/variation/CMakeFiles/aropuf_variation.dir/spatial_field.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aropuf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aropuf_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

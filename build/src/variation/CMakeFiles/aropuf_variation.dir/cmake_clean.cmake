@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_variation.dir/pelgrom.cpp.o"
+  "CMakeFiles/aropuf_variation.dir/pelgrom.cpp.o.d"
+  "CMakeFiles/aropuf_variation.dir/process_variation.cpp.o"
+  "CMakeFiles/aropuf_variation.dir/process_variation.cpp.o.d"
+  "CMakeFiles/aropuf_variation.dir/spatial_field.cpp.o"
+  "CMakeFiles/aropuf_variation.dir/spatial_field.cpp.o.d"
+  "libaropuf_variation.a"
+  "libaropuf_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_attack_tests.dir/order_attack_test.cpp.o"
+  "CMakeFiles/aropuf_attack_tests.dir/order_attack_test.cpp.o.d"
+  "aropuf_attack_tests"
+  "aropuf_attack_tests.pdb"
+  "aropuf_attack_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_attack_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_auth_tests.dir/authenticator_test.cpp.o"
+  "CMakeFiles/aropuf_auth_tests.dir/authenticator_test.cpp.o.d"
+  "aropuf_auth_tests"
+  "aropuf_auth_tests.pdb"
+  "aropuf_auth_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_auth_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_circuit_tests.dir/delay_model_test.cpp.o"
+  "CMakeFiles/aropuf_circuit_tests.dir/delay_model_test.cpp.o.d"
+  "CMakeFiles/aropuf_circuit_tests.dir/measurement_test.cpp.o"
+  "CMakeFiles/aropuf_circuit_tests.dir/measurement_test.cpp.o.d"
+  "CMakeFiles/aropuf_circuit_tests.dir/ring_oscillator_test.cpp.o"
+  "CMakeFiles/aropuf_circuit_tests.dir/ring_oscillator_test.cpp.o.d"
+  "aropuf_circuit_tests"
+  "aropuf_circuit_tests.pdb"
+  "aropuf_circuit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_circuit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_common_tests.dir/bitvector_test.cpp.o"
+  "CMakeFiles/aropuf_common_tests.dir/bitvector_test.cpp.o.d"
+  "CMakeFiles/aropuf_common_tests.dir/json_test.cpp.o"
+  "CMakeFiles/aropuf_common_tests.dir/json_test.cpp.o.d"
+  "CMakeFiles/aropuf_common_tests.dir/rng_test.cpp.o"
+  "CMakeFiles/aropuf_common_tests.dir/rng_test.cpp.o.d"
+  "CMakeFiles/aropuf_common_tests.dir/special_functions_test.cpp.o"
+  "CMakeFiles/aropuf_common_tests.dir/special_functions_test.cpp.o.d"
+  "CMakeFiles/aropuf_common_tests.dir/statistics_test.cpp.o"
+  "CMakeFiles/aropuf_common_tests.dir/statistics_test.cpp.o.d"
+  "CMakeFiles/aropuf_common_tests.dir/table_test.cpp.o"
+  "CMakeFiles/aropuf_common_tests.dir/table_test.cpp.o.d"
+  "aropuf_common_tests"
+  "aropuf_common_tests.pdb"
+  "aropuf_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_device_tests.dir/aging_test.cpp.o"
+  "CMakeFiles/aropuf_device_tests.dir/aging_test.cpp.o.d"
+  "CMakeFiles/aropuf_device_tests.dir/hci_test.cpp.o"
+  "CMakeFiles/aropuf_device_tests.dir/hci_test.cpp.o.d"
+  "CMakeFiles/aropuf_device_tests.dir/nbti_test.cpp.o"
+  "CMakeFiles/aropuf_device_tests.dir/nbti_test.cpp.o.d"
+  "CMakeFiles/aropuf_device_tests.dir/stress_test.cpp.o"
+  "CMakeFiles/aropuf_device_tests.dir/stress_test.cpp.o.d"
+  "CMakeFiles/aropuf_device_tests.dir/technology_test.cpp.o"
+  "CMakeFiles/aropuf_device_tests.dir/technology_test.cpp.o.d"
+  "CMakeFiles/aropuf_device_tests.dir/transistor_test.cpp.o"
+  "CMakeFiles/aropuf_device_tests.dir/transistor_test.cpp.o.d"
+  "aropuf_device_tests"
+  "aropuf_device_tests.pdb"
+  "aropuf_device_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_device_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ecc/area_model_test.cpp" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/area_model_test.cpp.o" "gcc" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/area_model_test.cpp.o.d"
+  "/root/repo/tests/ecc/bch_property_test.cpp" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/bch_property_test.cpp.o" "gcc" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/bch_property_test.cpp.o.d"
+  "/root/repo/tests/ecc/bch_test.cpp" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/bch_test.cpp.o" "gcc" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/bch_test.cpp.o.d"
+  "/root/repo/tests/ecc/code_search_test.cpp" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/code_search_test.cpp.o" "gcc" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/code_search_test.cpp.o.d"
+  "/root/repo/tests/ecc/concatenated_test.cpp" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/concatenated_test.cpp.o" "gcc" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/concatenated_test.cpp.o.d"
+  "/root/repo/tests/ecc/gf2m_test.cpp" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/gf2m_test.cpp.o" "gcc" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/gf2m_test.cpp.o.d"
+  "/root/repo/tests/ecc/golay_test.cpp" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/golay_test.cpp.o" "gcc" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/golay_test.cpp.o.d"
+  "/root/repo/tests/ecc/repetition_test.cpp" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/repetition_test.cpp.o" "gcc" "tests/ecc/CMakeFiles/aropuf_ecc_tests.dir/repetition_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/aropuf_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/aropuf_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aropuf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/aropuf_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/aropuf_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/aropuf_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/aropuf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/keygen/CMakeFiles/aropuf_keygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/aropuf_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aropuf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aropuf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

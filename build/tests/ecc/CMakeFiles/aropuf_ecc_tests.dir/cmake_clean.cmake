@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_ecc_tests.dir/area_model_test.cpp.o"
+  "CMakeFiles/aropuf_ecc_tests.dir/area_model_test.cpp.o.d"
+  "CMakeFiles/aropuf_ecc_tests.dir/bch_property_test.cpp.o"
+  "CMakeFiles/aropuf_ecc_tests.dir/bch_property_test.cpp.o.d"
+  "CMakeFiles/aropuf_ecc_tests.dir/bch_test.cpp.o"
+  "CMakeFiles/aropuf_ecc_tests.dir/bch_test.cpp.o.d"
+  "CMakeFiles/aropuf_ecc_tests.dir/code_search_test.cpp.o"
+  "CMakeFiles/aropuf_ecc_tests.dir/code_search_test.cpp.o.d"
+  "CMakeFiles/aropuf_ecc_tests.dir/concatenated_test.cpp.o"
+  "CMakeFiles/aropuf_ecc_tests.dir/concatenated_test.cpp.o.d"
+  "CMakeFiles/aropuf_ecc_tests.dir/gf2m_test.cpp.o"
+  "CMakeFiles/aropuf_ecc_tests.dir/gf2m_test.cpp.o.d"
+  "CMakeFiles/aropuf_ecc_tests.dir/golay_test.cpp.o"
+  "CMakeFiles/aropuf_ecc_tests.dir/golay_test.cpp.o.d"
+  "CMakeFiles/aropuf_ecc_tests.dir/repetition_test.cpp.o"
+  "CMakeFiles/aropuf_ecc_tests.dir/repetition_test.cpp.o.d"
+  "aropuf_ecc_tests"
+  "aropuf_ecc_tests.pdb"
+  "aropuf_ecc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_ecc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

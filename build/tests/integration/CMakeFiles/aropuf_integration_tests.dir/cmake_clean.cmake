@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_integration_tests.dir/determinism_test.cpp.o"
+  "CMakeFiles/aropuf_integration_tests.dir/determinism_test.cpp.o.d"
+  "CMakeFiles/aropuf_integration_tests.dir/end_to_end_test.cpp.o"
+  "CMakeFiles/aropuf_integration_tests.dir/end_to_end_test.cpp.o.d"
+  "CMakeFiles/aropuf_integration_tests.dir/failure_injection_test.cpp.o"
+  "CMakeFiles/aropuf_integration_tests.dir/failure_injection_test.cpp.o.d"
+  "aropuf_integration_tests"
+  "aropuf_integration_tests.pdb"
+  "aropuf_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

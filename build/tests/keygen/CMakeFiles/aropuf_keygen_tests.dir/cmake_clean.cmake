@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_keygen_tests.dir/debias_test.cpp.o"
+  "CMakeFiles/aropuf_keygen_tests.dir/debias_test.cpp.o.d"
+  "CMakeFiles/aropuf_keygen_tests.dir/fuzzy_extractor_test.cpp.o"
+  "CMakeFiles/aropuf_keygen_tests.dir/fuzzy_extractor_test.cpp.o.d"
+  "CMakeFiles/aropuf_keygen_tests.dir/hmac_test.cpp.o"
+  "CMakeFiles/aropuf_keygen_tests.dir/hmac_test.cpp.o.d"
+  "CMakeFiles/aropuf_keygen_tests.dir/refresh_test.cpp.o"
+  "CMakeFiles/aropuf_keygen_tests.dir/refresh_test.cpp.o.d"
+  "CMakeFiles/aropuf_keygen_tests.dir/sha256_test.cpp.o"
+  "CMakeFiles/aropuf_keygen_tests.dir/sha256_test.cpp.o.d"
+  "aropuf_keygen_tests"
+  "aropuf_keygen_tests.pdb"
+  "aropuf_keygen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_keygen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_metrics_tests.dir/entropy_test.cpp.o"
+  "CMakeFiles/aropuf_metrics_tests.dir/entropy_test.cpp.o.d"
+  "CMakeFiles/aropuf_metrics_tests.dir/nist_test.cpp.o"
+  "CMakeFiles/aropuf_metrics_tests.dir/nist_test.cpp.o.d"
+  "CMakeFiles/aropuf_metrics_tests.dir/reliability_test.cpp.o"
+  "CMakeFiles/aropuf_metrics_tests.dir/reliability_test.cpp.o.d"
+  "CMakeFiles/aropuf_metrics_tests.dir/uniformity_test.cpp.o"
+  "CMakeFiles/aropuf_metrics_tests.dir/uniformity_test.cpp.o.d"
+  "CMakeFiles/aropuf_metrics_tests.dir/uniqueness_test.cpp.o"
+  "CMakeFiles/aropuf_metrics_tests.dir/uniqueness_test.cpp.o.d"
+  "aropuf_metrics_tests"
+  "aropuf_metrics_tests.pdb"
+  "aropuf_metrics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_metrics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_puf_tests.dir/masking_test.cpp.o"
+  "CMakeFiles/aropuf_puf_tests.dir/masking_test.cpp.o.d"
+  "CMakeFiles/aropuf_puf_tests.dir/pair_selection_test.cpp.o"
+  "CMakeFiles/aropuf_puf_tests.dir/pair_selection_test.cpp.o.d"
+  "CMakeFiles/aropuf_puf_tests.dir/pairing_test.cpp.o"
+  "CMakeFiles/aropuf_puf_tests.dir/pairing_test.cpp.o.d"
+  "CMakeFiles/aropuf_puf_tests.dir/puf_config_test.cpp.o"
+  "CMakeFiles/aropuf_puf_tests.dir/puf_config_test.cpp.o.d"
+  "CMakeFiles/aropuf_puf_tests.dir/response_properties_test.cpp.o"
+  "CMakeFiles/aropuf_puf_tests.dir/response_properties_test.cpp.o.d"
+  "CMakeFiles/aropuf_puf_tests.dir/ro_puf_test.cpp.o"
+  "CMakeFiles/aropuf_puf_tests.dir/ro_puf_test.cpp.o.d"
+  "aropuf_puf_tests"
+  "aropuf_puf_tests.pdb"
+  "aropuf_puf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_puf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_sim_tests.dir/analytic_test.cpp.o"
+  "CMakeFiles/aropuf_sim_tests.dir/analytic_test.cpp.o.d"
+  "CMakeFiles/aropuf_sim_tests.dir/calibration_test.cpp.o"
+  "CMakeFiles/aropuf_sim_tests.dir/calibration_test.cpp.o.d"
+  "CMakeFiles/aropuf_sim_tests.dir/csv_test.cpp.o"
+  "CMakeFiles/aropuf_sim_tests.dir/csv_test.cpp.o.d"
+  "CMakeFiles/aropuf_sim_tests.dir/experiment_config_test.cpp.o"
+  "CMakeFiles/aropuf_sim_tests.dir/experiment_config_test.cpp.o.d"
+  "CMakeFiles/aropuf_sim_tests.dir/extensions_test.cpp.o"
+  "CMakeFiles/aropuf_sim_tests.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/aropuf_sim_tests.dir/mission_test.cpp.o"
+  "CMakeFiles/aropuf_sim_tests.dir/mission_test.cpp.o.d"
+  "CMakeFiles/aropuf_sim_tests.dir/scenarios_test.cpp.o"
+  "CMakeFiles/aropuf_sim_tests.dir/scenarios_test.cpp.o.d"
+  "aropuf_sim_tests"
+  "aropuf_sim_tests.pdb"
+  "aropuf_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aropuf_variation_tests.dir/pelgrom_test.cpp.o"
+  "CMakeFiles/aropuf_variation_tests.dir/pelgrom_test.cpp.o.d"
+  "CMakeFiles/aropuf_variation_tests.dir/process_variation_test.cpp.o"
+  "CMakeFiles/aropuf_variation_tests.dir/process_variation_test.cpp.o.d"
+  "CMakeFiles/aropuf_variation_tests.dir/spatial_field_test.cpp.o"
+  "CMakeFiles/aropuf_variation_tests.dir/spatial_field_test.cpp.o.d"
+  "aropuf_variation_tests"
+  "aropuf_variation_tests.pdb"
+  "aropuf_variation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aropuf_variation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
