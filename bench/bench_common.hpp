@@ -1,19 +1,67 @@
 // Shared setup for the experiment benches: the standard Monte Carlo
-// population used throughout EXPERIMENTS.md, and a banner helper.
+// population used throughout EXPERIMENTS.md, command-line knobs for the
+// parallel engine, and a banner helper.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "sim/parallel.hpp"
 #include "sim/scenarios.hpp"
 
 namespace aropuf::bench {
 
+/// Knobs shared by every experiment binary.
+struct Options {
+  int threads = 0;  ///< 0 = AROPUF_THREADS / hardware default
+  int chips = 0;    ///< 0 = the standard 40-chip population
+};
+
+inline Options& options() {
+  static Options opts;
+  return opts;
+}
+
+/// Parses --threads=N / --threads N (worker count for the Monte Carlo
+/// engine) and --chips=N / --chips N (population size override, used by the
+/// CI smoke run).  Unknown arguments are ignored so binaries stay drop-in.
+/// Results are deterministic for a given population regardless of --threads.
+inline void parse_args(int argc, char** argv) {
+  auto int_value = [&](int& i, const char* name) -> int {
+    const std::size_t name_len = std::strlen(name);
+    const char* arg = argv[i];
+    if (std::strncmp(arg, name, name_len) != 0) return 0;
+    const char* value = nullptr;
+    if (arg[name_len] == '=') {
+      value = arg + name_len + 1;
+    } else if (arg[name_len] == '\0' && i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      return 0;
+    }
+    const int parsed = std::atoi(value);
+    if (parsed < 1) {
+      std::fprintf(stderr, "ignoring %s: want a positive integer, got '%s'\n", name, value);
+      return 0;
+    }
+    return parsed;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const int v = int_value(i, "--threads")) options().threads = v;
+    else if (const int v = int_value(i, "--chips")) options().chips = v;
+  }
+  if (options().threads > 0) ParallelExecutor::set_global_thread_count(options().threads);
+}
+
 /// The reference population every E-bench uses (seed printed so results are
 /// traceable; see DESIGN.md §5 for the calibration behind the constants).
+/// --chips overrides the population size (the seed and per-chip streams are
+/// unchanged, so chips 0..N-1 are the same dies at any size).
 inline PopulationConfig standard_population() {
   PopulationConfig pop;
   pop.tech = TechnologyParams::cmos90();
-  pop.chips = 40;
+  pop.chips = options().chips > 0 ? options().chips : 40;
   pop.seed = 2014;
   return pop;
 }
@@ -23,8 +71,10 @@ inline void banner(const char* experiment, const char* paper_artifact) {
   std::printf("\n################################################################\n");
   std::printf("# %s\n", experiment);
   std::printf("# reproduces: %s\n", paper_artifact);
-  std::printf("# technology %s, %d chips, master seed %llu\n", pop.tech.name.c_str(),
-              pop.chips, static_cast<unsigned long long>(pop.seed));
+  std::printf("# technology %s, %d chips, master seed %llu, %d threads\n",
+              pop.tech.name.c_str(), pop.chips,
+              static_cast<unsigned long long>(pop.seed),
+              ParallelExecutor::global().thread_count());
   std::printf("################################################################\n");
 }
 

@@ -10,7 +10,8 @@
 #include "common/table.hpp"
 #include "ecc/code_search.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   using namespace aropuf;
   bench::banner("E10: stability screening (dark-bit masking)",
                 "extension — masked vs unmasked BER and ECC impact");

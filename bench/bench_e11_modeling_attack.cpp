@@ -11,7 +11,8 @@
 #include "common/table.hpp"
 #include "puf/ro_puf.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   using namespace aropuf;
   bench::banner("E11: sort-order modeling attack",
                 "extension — CRP learnability of RO comparisons");

@@ -9,7 +9,8 @@
 #include "bench_common.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   using namespace aropuf;
   bench::banner("E12: technology scaling (90/65/45 nm)",
                 "extension — headline metrics across nodes");

@@ -85,7 +85,8 @@ void authentication_study(const PopulationConfig& pop) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   bench::banner("E13: reliability enhancements (pair selection, auth refresh)",
                 "extension — composition with the ARO design");
   const PopulationConfig pop = bench::standard_population();

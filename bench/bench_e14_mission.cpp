@@ -10,7 +10,8 @@
 #include "common/table.hpp"
 #include "sim/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   using namespace aropuf;
   bench::banner("E14: automotive mission profile (15 years)",
                 "extension — mixed-temperature lifetime");

@@ -10,7 +10,8 @@
 #include "common/table.hpp"
 #include "sim/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   using namespace aropuf;
   bench::banner("E1: RO frequency degradation vs time",
                 "Fig. — mean RO frequency shift over 10 years of use");

@@ -9,7 +9,8 @@
 #include "common/table.hpp"
 #include "sim/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   using namespace aropuf;
   bench::banner("E2: bits flipped vs years of aging (headline)",
                 "Fig./Table — % flipped response bits after 1..10 years");

@@ -25,7 +25,8 @@ void print_histogram(const char* label, const aropuf::Histogram& h) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   using namespace aropuf;
   bench::banner("E3: uniqueness (inter-chip Hamming distance)",
                 "Fig. — inter-chip HD histograms; Table — mean HD");

@@ -27,7 +27,8 @@ aropuf::BitVector concatenated_responses(const aropuf::PopulationConfig& pop,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   using namespace aropuf;
   bench::banner("E4: randomness / uniformity",
                 "Table — uniformity, bit-aliasing, NIST-lite battery");

@@ -9,7 +9,8 @@
 #include "common/table.hpp"
 #include "sim/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   using namespace aropuf;
   bench::banner("E6: reliability vs supply voltage",
                 "Fig. — bit errors vs VDD (golden @ nominal)");

@@ -12,7 +12,8 @@
 #include "bench_common.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   using namespace aropuf;
   bench::banner("E7: ECC + PUF area for a 128-bit key (headline ~24x)",
                 "Table — ECC choice, raw bits, and total area per design");

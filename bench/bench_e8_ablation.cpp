@@ -28,7 +28,8 @@ aropuf::PufConfig variant(const std::string& label, aropuf::PairingStrategy pair
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   using namespace aropuf;
   bench::banner("E8: ablation of ARO mechanisms",
                 "design-choice analysis (gating / recovery / pairing)");

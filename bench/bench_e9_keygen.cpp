@@ -11,7 +11,8 @@
 #include "keygen/fuzzy_extractor.hpp"
 #include "puf/ro_puf.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  aropuf::bench::parse_args(argc, argv);
   using namespace aropuf;
   bench::banner("E9: end-to-end key reconstruction over the lifetime",
                 "extension — fuzzy extractor success rate vs years");

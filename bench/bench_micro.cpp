@@ -1,14 +1,21 @@
 // Micro-benchmarks (google-benchmark) for the simulation's hot kernels.
 //
 // These guard the throughput that makes the Monte Carlo studies cheap:
-// RO frequency evaluation, full-chip response evaluation, BCH decode, and
-// population uniqueness.
+// RO frequency evaluation, full-chip response evaluation, BCH decode,
+// population uniqueness, and the parallel Monte Carlo engine's scaling
+// (BM_AgingSeries200 at 1/2/8 threads is the serial-vs-parallel speedup
+// record for run_aging_series; target >= 4x at 8 threads on 8 cores).
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
 
 #include "ecc/bch.hpp"
 #include "keygen/sha256.hpp"
 #include "metrics/uniqueness.hpp"
 #include "puf/ro_puf.hpp"
+#include "sim/parallel.hpp"
+#include "sim/scenarios.hpp"
 
 namespace {
 
@@ -96,6 +103,40 @@ void BM_Sha256_1KiB(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256_1KiB);
 
+/// Per-thread-count state.range(0) run of the E2 engine at 200 chips and a
+/// 10-year checkpoint: the speedup benchmark the ISSUE/ROADMAP track.  The
+/// result is bit-identical at every thread count (see parallel.hpp), so the
+/// rows differ only in wall-clock time.
+void BM_AgingSeries200(benchmark::State& state) {
+  const int previous_threads = aropuf::ParallelExecutor::global().thread_count();
+  aropuf::ParallelExecutor::set_global_thread_count(static_cast<int>(state.range(0)));
+  PopulationConfig pop;
+  pop.tech = tech();
+  pop.chips = 200;
+  pop.seed = 2014;
+  const double checkpoints[] = {10.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_aging_series(pop, PufConfig::aro(), checkpoints));
+  }
+  aropuf::ParallelExecutor::set_global_thread_count(previous_threads);
+}
+BENCHMARK(BM_AgingSeries200)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_MakePopulation(benchmark::State& state) {
+  const PufConfig cfg = PufConfig::aro();
+  const RngFabric fabric(2014);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_population(tech(), cfg, static_cast<int>(state.range(0)), fabric));
+  }
+}
+BENCHMARK(BM_MakePopulation)->Arg(40)->Arg(200)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_UniquenessPopulation(benchmark::State& state) {
   Xoshiro256 rng(6);
   std::vector<BitVector> responses;
@@ -111,3 +152,31 @@ void BM_UniquenessPopulation(benchmark::State& state) {
 BENCHMARK(BM_UniquenessPopulation)->Arg(20)->Arg(100);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) so bench_micro accepts the same
+// --threads knob as the experiment binaries; the flag is consumed before
+// google-benchmark parses the rest.
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      value = arg + 10;
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      value = argv[++i];
+    }
+    if (value != nullptr) {
+      const int threads = std::atoi(value);
+      if (threads >= 1) aropuf::ParallelExecutor::set_global_thread_count(threads);
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "ecc/code_search.hpp"
 
 #include "common/check.hpp"
+#include "sim/parallel.hpp"
 
 namespace aropuf {
 
@@ -13,28 +14,37 @@ std::optional<CodeSearchResult> find_min_area_scheme(const TechnologyParams& tec
               "target failure must be in (0, 1)");
   const AreaModel area_model(tech);
 
-  std::optional<CodeSearchResult> best;
-  for (const int r : constraints.repetition_options) {
-    ARO_REQUIRE(r >= 1 && r % 2 == 1, "repetition options must be odd");
-    for (const int m : constraints.bch_m_options) {
-      for (int t = 1; t <= constraints.max_bch_t; ++t) {
-        ConcatenatedScheme scheme;
-        scheme.repetition = r;
-        scheme.bch_m = m;
-        scheme.bch_t = t;
-        scheme.key_bits = constraints.key_bits;
-        if (scheme.bch_k() < 1) break;  // t exhausted the code's redundancy
-        const double failure = scheme.key_failure_probability(raw_ber);
-        if (failure > constraints.target_key_failure) continue;
-        const AreaBreakdown area = area_model.estimate(scheme);
-        if (!best.has_value() || area.total_ge() < best->area.total_ge()) {
-          best = CodeSearchResult{scheme, area, failure};
+  // Each (repetition, m) cell of the grid is independent: walk its t range to
+  // the first scheme meeting the failure target (raising t further only adds
+  // area).  Cells evaluate in parallel; the min-area reduction then runs in
+  // grid order, so ties resolve to the same scheme a serial search returns.
+  const std::size_t m_count = constraints.bch_m_options.size();
+  const auto candidates = parallel_map_chips(
+      constraints.repetition_options.size() * m_count,
+      [&](std::size_t cell) -> std::optional<CodeSearchResult> {
+        const int r = constraints.repetition_options[cell / m_count];
+        const int m = constraints.bch_m_options[cell % m_count];
+        ARO_REQUIRE(r >= 1 && r % 2 == 1, "repetition options must be odd");
+        for (int t = 1; t <= constraints.max_bch_t; ++t) {
+          ConcatenatedScheme scheme;
+          scheme.repetition = r;
+          scheme.bch_m = m;
+          scheme.bch_t = t;
+          scheme.key_bits = constraints.key_bits;
+          if (scheme.bch_k() < 1) break;  // t exhausted the code's redundancy
+          const double failure = scheme.key_failure_probability(raw_ber);
+          if (failure > constraints.target_key_failure) continue;
+          const AreaBreakdown area = area_model.estimate(scheme);
+          return CodeSearchResult{scheme, area, failure};
         }
-        // Raising t further only adds area at this (r, m): raw bits grow
-        // with blocks and the decoder grows with t, while the target is
-        // already met.
-        break;
-      }
+        return std::nullopt;
+      });
+
+  std::optional<CodeSearchResult> best;
+  for (const auto& candidate : candidates) {
+    if (!candidate.has_value()) continue;
+    if (!best.has_value() || candidate->area.total_ge() < best->area.total_ge()) {
+      best = *candidate;
     }
   }
   return best;

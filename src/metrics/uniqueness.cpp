@@ -1,17 +1,31 @@
 #include "metrics/uniqueness.hpp"
 
 #include "common/check.hpp"
+#include "sim/parallel.hpp"
 
 namespace aropuf {
 
 UniquenessResult compute_uniqueness(std::span<const BitVector> responses) {
   ARO_REQUIRE(responses.size() >= 2, "uniqueness needs at least two chips");
-  UniquenessResult result;
   for (std::size_t i = 0; i < responses.size(); ++i) {
     ARO_REQUIRE(responses[i].size() == responses[0].size(),
                 "all responses must have equal length");
+  }
+  // Row i holds the HDs against all j > i.  Rows shrink with i, which the
+  // executor's chunked dynamic scheduling load-balances; the accumulators are
+  // then filled serially in (i, j) order so mean/variance stay bit-identical
+  // at any thread count.
+  const auto rows = parallel_map_chips(responses.size(), [&](std::size_t i) {
+    std::vector<double> row;
+    row.reserve(responses.size() - i - 1);
     for (std::size_t j = i + 1; j < responses.size(); ++j) {
-      const double hd = fractional_hamming_distance(responses[i], responses[j]);
+      row.push_back(fractional_hamming_distance(responses[i], responses[j]));
+    }
+    return row;
+  });
+  UniquenessResult result;
+  for (const auto& row : rows) {
+    for (const double hd : row) {
       result.stats.add(hd);
       result.histogram.add(hd);
     }

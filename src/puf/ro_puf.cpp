@@ -1,6 +1,9 @@
 #include "puf/ro_puf.hpp"
 
+#include <optional>
+
 #include "common/check.hpp"
+#include "sim/parallel.hpp"
 #include "variation/process_variation.hpp"
 
 namespace aropuf {
@@ -73,11 +76,16 @@ void RoPuf::reset_aging() {
 std::vector<RoPuf> make_population(const TechnologyParams& tech, const PufConfig& config,
                                    int count, const RngFabric& master_fabric) {
   ARO_REQUIRE(count >= 1, "population must have at least one chip");
+  // Dies are independent (chip i draws only from the "chip"/i child fabric),
+  // so construction parallelizes; staging through optionals sidesteps the
+  // missing default constructor while keeping chips in index order.
+  std::vector<std::optional<RoPuf>> staged(static_cast<std::size_t>(count));
+  parallel_for_chips(staged.size(), [&](std::size_t i) {
+    staged[i].emplace(tech, config, master_fabric.child("chip", static_cast<std::uint64_t>(i)));
+  });
   std::vector<RoPuf> chips;
-  chips.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    chips.emplace_back(tech, config, master_fabric.child("chip", static_cast<std::uint64_t>(i)));
-  }
+  chips.reserve(staged.size());
+  for (auto& chip : staged) chips.push_back(std::move(*chip));
   return chips;
 }
 

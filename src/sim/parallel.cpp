@@ -1,0 +1,198 @@
+#include "sim/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace aropuf {
+
+namespace {
+
+/// True while the current thread is executing inside a parallel_for task;
+/// nested calls detect this and run inline to avoid deadlocking the pool.
+thread_local bool tls_inside_task = false;
+
+int clamp_threads(int threads) {
+  if (threads < 1) threads = 1;
+  // More threads than indices never helps, but a generous ceiling keeps the
+  // knob honest on big machines while bounding accidental "AROPUF_THREADS=1e9".
+  constexpr int kMaxThreads = 256;
+  return threads > kMaxThreads ? kMaxThreads : threads;
+}
+
+}  // namespace
+
+int default_thread_count() {
+  if (const char* env = std::getenv("AROPUF_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return clamp_threads(static_cast<int>(parsed));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return clamp_threads(hw == 0 ? 1 : static_cast<int>(hw));
+}
+
+struct ParallelExecutor::Impl {
+  explicit Impl(int threads) : thread_count(clamp_threads(threads)) {
+    workers.reserve(static_cast<std::size_t>(thread_count - 1));
+    for (int t = 0; t < thread_count - 1; ++t) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stopping = true;
+    }
+    work_cv.notify_all();
+    for (auto& w : workers) w.join();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] { return stopping || generation != seen_generation; });
+        if (stopping) return;
+        seen_generation = generation;
+      }
+      run_chunks();
+      if (active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  /// Claims chunks from the shared cursor until the index space (or the job,
+  /// after an exception) is exhausted.  Runs on workers and the caller alike.
+  void run_chunks() {
+    tls_inside_task = true;
+    for (;;) {
+      if (job_failed.load(std::memory_order_acquire)) break;
+      const std::size_t begin = next_index.fetch_add(chunk_size, std::memory_order_relaxed);
+      if (begin >= job_n) break;
+      const std::size_t end = begin + chunk_size < job_n ? begin + chunk_size : job_n;
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*job_fn)(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(exception_mutex);
+          if (!job_exception) job_exception = std::current_exception();
+        }
+        job_failed.store(true, std::memory_order_release);
+        break;
+      }
+    }
+    tls_inside_task = false;
+  }
+
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (thread_count == 1 || tls_inside_task || n == 1) {
+      // Serial fallback: AROPUF_THREADS=1, nested call, or trivial span.
+      // Exceptions propagate naturally from the caller's own frame.
+      const bool was_inside = tls_inside_task;
+      tls_inside_task = true;
+      try {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+      } catch (...) {
+        tls_inside_task = was_inside;
+        throw;
+      }
+      tls_inside_task = was_inside;
+      return;
+    }
+
+    // One job at a time; a second caller thread queues behind this mutex.
+    std::lock_guard<std::mutex> job_lock(job_mutex);
+    job_fn = &fn;
+    job_n = n;
+    // ~4 chunks per thread balances scheduling overhead against tail latency
+    // from uneven per-index cost (aging a chip is much slower than hashing).
+    const std::size_t target_chunks = static_cast<std::size_t>(thread_count) * 4;
+    chunk_size = n / target_chunks > 0 ? n / target_chunks : 1;
+    next_index.store(0, std::memory_order_relaxed);
+    job_failed.store(false, std::memory_order_relaxed);
+    job_exception = nullptr;
+    active_workers.store(thread_count - 1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++generation;
+    }
+    work_cv.notify_all();
+
+    run_chunks();  // the calling thread pulls chunks too
+
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      done_cv.wait(lock, [&] { return active_workers.load(std::memory_order_acquire) == 0; });
+    }
+    job_fn = nullptr;
+    if (job_exception) std::rethrow_exception(job_exception);
+  }
+
+  const int thread_count;
+  std::vector<std::thread> workers;
+
+  // Job hand-off (guarded by `mutex` for the generation/stop signal).
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::uint64_t generation = 0;
+  bool stopping = false;
+  std::atomic<int> active_workers{0};
+
+  // Current job (valid while generation is live; serialized by job_mutex).
+  std::mutex job_mutex;
+  const std::function<void(std::size_t)>* job_fn = nullptr;
+  std::size_t job_n = 0;
+  std::size_t chunk_size = 1;
+  std::atomic<std::size_t> next_index{0};
+  std::atomic<bool> job_failed{false};
+  std::mutex exception_mutex;
+  std::exception_ptr job_exception;
+};
+
+ParallelExecutor::ParallelExecutor(int threads)
+    : impl_(std::make_unique<Impl>(threads > 0 ? threads : default_thread_count())) {}
+
+ParallelExecutor::~ParallelExecutor() = default;
+
+int ParallelExecutor::thread_count() const noexcept { return impl_->thread_count; }
+
+void ParallelExecutor::parallel_for(std::size_t n,
+                                    const std::function<void(std::size_t)>& fn) {
+  impl_->parallel_for(n, fn);
+}
+
+namespace {
+
+std::mutex g_global_mutex;
+std::unique_ptr<ParallelExecutor> g_global_executor;
+
+}  // namespace
+
+ParallelExecutor& ParallelExecutor::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_executor) g_global_executor = std::make_unique<ParallelExecutor>();
+  return *g_global_executor;
+}
+
+void ParallelExecutor::set_global_thread_count(int threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_executor = std::make_unique<ParallelExecutor>(threads);
+}
+
+void parallel_for_chips(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  ParallelExecutor::global().parallel_for(n, fn);
+}
+
+}  // namespace aropuf

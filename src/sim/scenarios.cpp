@@ -7,6 +7,7 @@
 #include "metrics/uniformity.hpp"
 #include "puf/masking.hpp"
 #include "puf/ro_puf.hpp"
+#include "sim/parallel.hpp"
 
 namespace aropuf {
 
@@ -21,6 +22,13 @@ std::vector<RoPuf> build_population(const PopulationConfig& pop, const PufConfig
 /// reads use distinct indices so their noise draws are independent.
 constexpr std::uint64_t kGoldenEval = 0;
 
+/// Enrolls every chip's golden response in parallel (each chip touches only
+/// its own slot and its own RNG streams).
+std::vector<BitVector> enroll_golden(const std::vector<RoPuf>& chips, OperatingPoint op) {
+  return parallel_map_chips(chips.size(),
+                            [&](std::size_t c) { return chips[c].evaluate(op, kGoldenEval); });
+}
+
 }  // namespace
 
 FrequencySeries run_frequency_degradation(const PopulationConfig& pop, const PufConfig& puf,
@@ -31,23 +39,32 @@ FrequencySeries run_frequency_degradation(const PopulationConfig& pop, const Puf
 
   FrequencySeries series;
   series.label = puf.label;
-  std::vector<std::vector<double>> fresh(chips.size());
-  for (std::size_t c = 0; c < chips.size(); ++c) {
-    for (const auto& ro : chips[c].oscillators()) {
-      fresh[c].push_back(ro.fresh_frequency(op));
-    }
-  }
+  const auto fresh = parallel_map_chips(chips.size(), [&](std::size_t c) {
+    std::vector<double> f;
+    f.reserve(chips[c].oscillators().size());
+    for (const auto& ro : chips[c].oscillators()) f.push_back(ro.fresh_frequency(op));
+    return f;
+  });
   double previous_years = 0.0;
   for (const double y : checkpoints) {
     ARO_REQUIRE(y >= previous_years, "checkpoints must be non-decreasing");
-    RunningStats shift;
-    for (std::size_t c = 0; c < chips.size(); ++c) {
+    // Each chip ages itself and reports its per-RO shifts; the reduction runs
+    // serially in (chip, RO) order so the mean is bit-identical to a serial
+    // run at any thread count.
+    const auto shifts = parallel_map_chips(chips.size(), [&](std::size_t c) {
       chips[c].age_years(y - previous_years);
       const auto& ros = chips[c].oscillators();
+      std::vector<double> s;
+      s.reserve(ros.size());
       for (std::size_t r = 0; r < ros.size(); ++r) {
         const double f_aged = ros[r].frequency(op);
-        shift.add((fresh[c][r] - f_aged) / fresh[c][r] * 100.0);
+        s.push_back((fresh[c][r] - f_aged) / fresh[c][r] * 100.0);
       }
+      return s;
+    });
+    RunningStats shift;
+    for (const auto& chip_shifts : shifts) {
+      for (const double s : chip_shifts) shift.add(s);
     }
     previous_years = y;
     series.years.push_back(y);
@@ -56,34 +73,46 @@ FrequencySeries run_frequency_degradation(const PopulationConfig& pop, const Puf
   return series;
 }
 
-AgingSeries run_aging_series(const PopulationConfig& pop, const PufConfig& puf,
-                             std::span<const double> checkpoints) {
-  ARO_REQUIRE(!checkpoints.empty(), "need at least one checkpoint");
-  auto chips = build_population(pop, puf);
-  const OperatingPoint op = nominal_operating_point(pop.tech);
+namespace {
 
-  std::vector<BitVector> golden;
-  golden.reserve(chips.size());
-  for (const auto& chip : chips) golden.push_back(chip.evaluate(op, kGoldenEval));
-
-  AgingSeries series;
-  series.label = puf.label;
+/// Shared E2-style checkpoint walk: ages every chip to each checkpoint in
+/// parallel, compares against its golden response, and reduces the per-chip
+/// flip percentages in chip order (bit-identical at any thread count).
+template <typename Series>
+void run_flip_checkpoints(std::vector<RoPuf>& chips, const std::vector<BitVector>& golden,
+                          OperatingPoint op, std::span<const double> checkpoints,
+                          Series& series) {
   double previous_years = 0.0;
   std::uint64_t eval_index = 1;
   for (const double y : checkpoints) {
     ARO_REQUIRE(y >= previous_years, "checkpoints must be non-decreasing");
-    RunningStats flips;
-    for (std::size_t c = 0; c < chips.size(); ++c) {
+    const auto flip_percent = parallel_map_chips(chips.size(), [&](std::size_t c) {
       chips[c].age_years(y - previous_years);
-      const BitVector aged = chips[c].evaluate(op, eval_index);
-      flips.add(fractional_hamming_distance(golden[c], aged) * 100.0);
-    }
+      return fractional_hamming_distance(golden[c], chips[c].evaluate(op, eval_index)) * 100.0;
+    });
+    RunningStats flips;
+    for (const double f : flip_percent) flips.add(f);
     previous_years = y;
     ++eval_index;
     series.years.push_back(y);
     series.mean_flip_percent.push_back(flips.mean());
     series.max_flip_percent.push_back(flips.max());
   }
+}
+
+}  // namespace
+
+AgingSeries run_aging_series(const PopulationConfig& pop, const PufConfig& puf,
+                             std::span<const double> checkpoints) {
+  ARO_REQUIRE(!checkpoints.empty(), "need at least one checkpoint");
+  auto chips = build_population(pop, puf);
+  const OperatingPoint op = nominal_operating_point(pop.tech);
+
+  const std::vector<BitVector> golden = enroll_golden(chips, op);
+
+  AgingSeries series;
+  series.label = puf.label;
+  run_flip_checkpoints(chips, golden, op, checkpoints, series);
   return series;
 }
 
@@ -96,31 +125,14 @@ AgingSeries run_aging_series_with_burnin(const PopulationConfig& pop, const PufC
   auto chips = build_population(pop, puf);
   const OperatingPoint op = nominal_operating_point(pop.tech);
 
-  std::vector<BitVector> golden;
-  golden.reserve(chips.size());
-  for (auto& chip : chips) {
-    chip.age(burnin_profile, burnin_duration);
-    golden.push_back(chip.evaluate(op, kGoldenEval));
-  }
+  const auto golden = parallel_map_chips(chips.size(), [&](std::size_t c) {
+    chips[c].age(burnin_profile, burnin_duration);
+    return chips[c].evaluate(op, kGoldenEval);
+  });
 
   AgingSeries series;
   series.label = puf.label + " +burn-in";
-  double previous_years = 0.0;
-  std::uint64_t eval_index = 1;
-  for (const double y : checkpoints) {
-    ARO_REQUIRE(y >= previous_years, "checkpoints must be non-decreasing");
-    RunningStats flips;
-    for (std::size_t c = 0; c < chips.size(); ++c) {
-      chips[c].age_years(y - previous_years);
-      flips.add(fractional_hamming_distance(golden[c], chips[c].evaluate(op, eval_index)) *
-                100.0);
-    }
-    previous_years = y;
-    ++eval_index;
-    series.years.push_back(y);
-    series.mean_flip_percent.push_back(flips.mean());
-    series.max_flip_percent.push_back(flips.max());
-  }
+  run_flip_checkpoints(chips, golden, op, checkpoints, series);
   return series;
 }
 
@@ -169,9 +181,7 @@ MissionResult run_mission(const PopulationConfig& pop, const PufConfig& puf,
   auto chips = build_population(pop, puf);
   const OperatingPoint op = nominal_operating_point(pop.tech);
 
-  std::vector<BitVector> golden;
-  golden.reserve(chips.size());
-  for (const auto& chip : chips) golden.push_back(chip.evaluate(op, kGoldenEval));
+  const std::vector<BitVector> golden = enroll_golden(chips, op);
 
   MissionResult result;
   result.label = puf.label + " @ " + mission.name;
@@ -187,14 +197,14 @@ MissionResult run_mission(const PopulationConfig& pop, const PufConfig& puf,
     ARO_REQUIRE(y >= previous_years, "checkpoints must be non-decreasing");
     const Seconds interval = years(y - previous_years);
     const double cycles_in_interval = interval / mission.cycle_duration();
-    RunningStats flips;
-    for (std::size_t c = 0; c < chips.size(); ++c) {
+    const auto flip_percent = parallel_map_chips(chips.size(), [&](std::size_t c) {
       for (const auto& phase : mission.cycle) {
         chips[c].age(phase.profile, phase.duration * cycles_in_interval);
       }
-      flips.add(fractional_hamming_distance(golden[c], chips[c].evaluate(op, eval_index)) *
-                100.0);
-    }
+      return fractional_hamming_distance(golden[c], chips[c].evaluate(op, eval_index)) * 100.0;
+    });
+    RunningStats flips;
+    for (const double f : flip_percent) flips.add(f);
     previous_years = y;
     ++eval_index;
     result.years.push_back(y);
@@ -214,20 +224,36 @@ MaskingStudyResult run_masking_study(const PopulationConfig& pop, const PufConfi
                                                                         screening_repeats)
                                         : ScreeningConfig::nominal_only(screening_repeats);
 
-  RunningStats stable;
-  RunningStats raw_ber;
-  RunningStats masked_ber;
-  for (auto& chip : chips) {
+  struct ChipOutcome {
+    double stable_fraction = 0.0;
+    double raw_ber = 0.0;
+    double masked_ber = 0.0;
+    bool has_masked = false;
+  };
+  const auto outcomes = parallel_map_chips(chips.size(), [&](std::size_t c) {
+    auto& chip = chips[c];
     const StabilityMask mask = screen_stability(chip, screening);
     const BitVector golden = chip.evaluate(op, kGoldenEval);
     chip.age_years(years);
     const BitVector aged = chip.evaluate(op, 1);
-    stable.add(mask.stable_fraction());
-    raw_ber.add(fractional_hamming_distance(golden, aged));
+    ChipOutcome out;
+    out.stable_fraction = mask.stable_fraction();
+    out.raw_ber = fractional_hamming_distance(golden, aged);
     if (mask.stable_count() > 0) {
-      masked_ber.add(fractional_hamming_distance(apply_mask(golden, mask),
-                                                 apply_mask(aged, mask)));
+      out.masked_ber =
+          fractional_hamming_distance(apply_mask(golden, mask), apply_mask(aged, mask));
+      out.has_masked = true;
     }
+    return out;
+  });
+
+  RunningStats stable;
+  RunningStats raw_ber;
+  RunningStats masked_ber;
+  for (const auto& out : outcomes) {
+    stable.add(out.stable_fraction);
+    raw_ber.add(out.raw_ber);
+    if (out.has_masked) masked_ber.add(out.masked_ber);
   }
   MaskingStudyResult result;
   result.stable_fraction = stable.mean();
@@ -240,9 +266,7 @@ UniquenessExperimentResult run_uniqueness(const PopulationConfig& pop, const Puf
   auto chips = build_population(pop, puf);
   const OperatingPoint op = nominal_operating_point(pop.tech);
 
-  std::vector<BitVector> responses;
-  responses.reserve(chips.size());
-  for (const auto& chip : chips) responses.push_back(chip.evaluate(op, kGoldenEval));
+  const std::vector<BitVector> responses = enroll_golden(chips, op);
 
   UniquenessExperimentResult result;
   result.label = puf.label;
@@ -261,9 +285,7 @@ std::vector<SweepPoint> run_environment_sweep(const PopulationConfig& pop, const
   auto chips = build_population(pop, puf);
   const OperatingPoint nominal = nominal_operating_point(pop.tech);
 
-  std::vector<BitVector> golden;
-  golden.reserve(chips.size());
-  for (const auto& chip : chips) golden.push_back(chip.evaluate(nominal, kGoldenEval));
+  const std::vector<BitVector> golden = enroll_golden(chips, nominal);
 
   std::vector<SweepPoint> sweep;
   sweep.reserve(points.size());
@@ -275,11 +297,12 @@ std::vector<SweepPoint> run_environment_sweep(const PopulationConfig& pop, const
     } else {
       op.vdd = value;
     }
-    RunningStats ber;
-    for (std::size_t c = 0; c < chips.size(); ++c) {
+    const auto ber_percent = parallel_map_chips(chips.size(), [&](std::size_t c) {
       const BitVector response = chips[c].evaluate(op, eval_index);
-      ber.add(fractional_hamming_distance(golden[c], response) * 100.0);
-    }
+      return fractional_hamming_distance(golden[c], response) * 100.0;
+    });
+    RunningStats ber;
+    for (const double b : ber_percent) ber.add(b);
     ++eval_index;
     sweep.push_back(SweepPoint{value, ber.mean(), ber.max()});
   }
@@ -303,13 +326,15 @@ BerStats measure_eol_ber(const PopulationConfig& pop, const PufConfig& puf,
   ARO_REQUIRE(years_of_use >= 0.0, "years must be non-negative");
   auto chips = build_population(pop, puf);
   const OperatingPoint op = nominal_operating_point(pop.tech);
-  RunningStats ber;
-  for (auto& chip : chips) {
+  const auto chip_ber = parallel_map_chips(chips.size(), [&](std::size_t c) {
+    auto& chip = chips[c];
     const BitVector golden = chip.evaluate(op, kGoldenEval);
     chip.age_years(years_of_use);
     const BitVector aged = chip.evaluate(op, 1);
-    ber.add(fractional_hamming_distance(golden, aged));
-  }
+    return fractional_hamming_distance(golden, aged);
+  });
+  RunningStats ber;
+  for (const double b : chip_ber) ber.add(b);
   return BerStats{ber.mean(), ber.stddev(), ber.max()};
 }
 

@@ -1,0 +1,201 @@
+// ParallelExecutor contract tests: full index coverage, bit-identical
+// scenario results at 1/2/8 threads (E2 aging + E3 uniqueness), exception
+// propagation out of worker tasks, the AROPUF_THREADS environment override,
+// and the single-thread inline fallback.
+#include "sim/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/scenarios.hpp"
+
+namespace aropuf {
+namespace {
+
+/// Restores the global executor to the environment default on scope exit so
+/// thread-count mutations never leak into other tests.
+struct GlobalThreadCountGuard {
+  ~GlobalThreadCountGuard() { ParallelExecutor::set_global_thread_count(0); }
+};
+
+/// setenv/unsetenv with restoration of the previous value.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, /*overwrite=*/1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+PopulationConfig small_population() {
+  PopulationConfig pop;
+  pop.chips = 12;
+  pop.seed = 77;
+  return pop;
+}
+
+TEST(ParallelExecutor, CoversEveryIndexExactlyOnce) {
+  ParallelExecutor executor(4);
+  std::vector<int> touched(1000, 0);  // slot i written only by task i
+  executor.parallel_for(touched.size(), [&](std::size_t i) { ++touched[i]; });
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 1000);
+  for (const int t : touched) EXPECT_EQ(t, 1);
+}
+
+TEST(ParallelExecutor, EmptyRangeIsANoOp) {
+  ParallelExecutor executor(4);
+  bool called = false;
+  executor.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelExecutor, AgingSeriesBitIdenticalAcrossThreadCounts) {
+  GlobalThreadCountGuard guard;
+  const PopulationConfig pop = small_population();
+  const double checkpoints[] = {2.0, 6.0, 10.0};
+
+  ParallelExecutor::set_global_thread_count(1);
+  const AgingSeries serial = run_aging_series(pop, PufConfig::aro(), checkpoints);
+  for (const int threads : {2, 8}) {
+    ParallelExecutor::set_global_thread_count(threads);
+    const AgingSeries parallel = run_aging_series(pop, PufConfig::aro(), checkpoints);
+    // Exact floating-point equality: the engine guarantees bit-identical
+    // results at any thread count, not merely statistical agreement.
+    EXPECT_EQ(serial.years, parallel.years) << threads << " threads";
+    EXPECT_EQ(serial.mean_flip_percent, parallel.mean_flip_percent) << threads << " threads";
+    EXPECT_EQ(serial.max_flip_percent, parallel.max_flip_percent) << threads << " threads";
+  }
+}
+
+TEST(ParallelExecutor, UniquenessBitIdenticalAcrossThreadCounts) {
+  GlobalThreadCountGuard guard;
+  const PopulationConfig pop = small_population();
+
+  ParallelExecutor::set_global_thread_count(1);
+  const UniquenessExperimentResult serial = run_uniqueness(pop, PufConfig::conventional());
+  for (const int threads : {2, 8}) {
+    ParallelExecutor::set_global_thread_count(threads);
+    const UniquenessExperimentResult parallel = run_uniqueness(pop, PufConfig::conventional());
+    EXPECT_EQ(serial.uniqueness.stats.count(), parallel.uniqueness.stats.count());
+    EXPECT_EQ(serial.uniqueness.stats.mean(), parallel.uniqueness.stats.mean());
+    EXPECT_EQ(serial.uniqueness.stats.variance(), parallel.uniqueness.stats.variance());
+    EXPECT_EQ(serial.uniqueness.stats.min(), parallel.uniqueness.stats.min());
+    EXPECT_EQ(serial.uniqueness.stats.max(), parallel.uniqueness.stats.max());
+    for (std::size_t b = 0; b < serial.uniqueness.histogram.bins(); ++b) {
+      EXPECT_EQ(serial.uniqueness.histogram.count(b), parallel.uniqueness.histogram.count(b));
+    }
+    EXPECT_EQ(serial.uniformity.mean(), parallel.uniformity.mean());
+    EXPECT_EQ(serial.aliasing.mean(), parallel.aliasing.mean());
+  }
+}
+
+TEST(ParallelExecutor, PropagatesWorkerExceptions) {
+  ParallelExecutor executor(4);
+  try {
+    executor.parallel_for(100, [](std::size_t i) {
+      if (i == 37) throw std::runtime_error("task 37 failed");
+    });
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 37 failed");
+  }
+  // The pool must stay usable after a failed job.
+  std::vector<int> touched(64, 0);
+  executor.parallel_for(touched.size(), [&](std::size_t i) { ++touched[i]; });
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 64);
+}
+
+TEST(ParallelExecutor, PropagatesOneOfManyExceptions) {
+  ParallelExecutor executor(8);
+  EXPECT_THROW(
+      executor.parallel_for(256, [](std::size_t) { throw std::invalid_argument("boom"); }),
+      std::invalid_argument);
+}
+
+TEST(ParallelExecutor, ThreadsEnvOverride) {
+  {
+    ScopedEnv env("AROPUF_THREADS", "1");
+    EXPECT_EQ(default_thread_count(), 1);
+    const ParallelExecutor executor;
+    EXPECT_EQ(executor.thread_count(), 1);
+  }
+  {
+    ScopedEnv env("AROPUF_THREADS", "7");
+    EXPECT_EQ(default_thread_count(), 7);
+  }
+  // Malformed or non-positive values fall back to the hardware default.
+  for (const char* bad : {"", "abc", "0", "-3", "2x"}) {
+    ScopedEnv env("AROPUF_THREADS", bad);
+    EXPECT_GE(default_thread_count(), 1) << "AROPUF_THREADS=" << bad;
+  }
+  {
+    ScopedEnv env("AROPUF_THREADS", nullptr);
+    EXPECT_GE(default_thread_count(), 1);
+  }
+}
+
+TEST(ParallelExecutor, SingleThreadRunsInlineOnCaller) {
+  ParallelExecutor executor(1);
+  EXPECT_EQ(executor.thread_count(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran_on(32);
+  executor.parallel_for(ran_on.size(),
+                        [&](std::size_t i) { ran_on[i] = std::this_thread::get_id(); });
+  for (const auto id : ran_on) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelExecutor, NestedCallsRunInlineWithoutDeadlock) {
+  ParallelExecutor executor(4);
+  std::vector<int> counts(16 * 16, 0);
+  executor.parallel_for(16, [&](std::size_t outer) {
+    // A nested parallel_for must not re-enter the pool (deadlock); it runs
+    // serially on the worker that owns `outer`.
+    ParallelExecutor::global().parallel_for(
+        16, [&](std::size_t inner) { ++counts[outer * 16 + inner]; });
+  });
+  for (const int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ParallelExecutor, SetGlobalThreadCount) {
+  GlobalThreadCountGuard guard;
+  ParallelExecutor::set_global_thread_count(3);
+  EXPECT_EQ(ParallelExecutor::global().thread_count(), 3);
+  ParallelExecutor::set_global_thread_count(0);  // back to the default
+  EXPECT_EQ(ParallelExecutor::global().thread_count(), default_thread_count());
+}
+
+TEST(ParallelMapChips, PreservesIndexOrder) {
+  const auto squares =
+      parallel_map_chips(100, [](std::size_t i) { return static_cast<double>(i * i); });
+  ASSERT_EQ(squares.size(), 100u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], static_cast<double>(i * i));
+  }
+}
+
+}  // namespace
+}  // namespace aropuf
