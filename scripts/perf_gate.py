@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over google-benchmark JSON output.
+
+CI runs bench_micro with --benchmark_format=json and feeds the result here;
+the gate compares against the checked-in bench/baseline.json and fails when
+any gated benchmark regressed by more than the threshold (default 30 %).
+
+Raw wall-clock times are useless across heterogeneous CI runners, so the
+baseline stores *normalized ratios*: each benchmark's time divided by the
+time of a CPU-bound normalizer benchmark (BM_Sha256_1KiB) from the same run.
+A runner that is 2x slower slows the benchmark AND the normalizer 2x, so the
+ratio — and therefore the gate — is machine-speed independent.  Only genuine
+relative slowdowns of the simulation kernels trip it.
+
+Usage:
+  perf_gate.py compare results.json     # exit 1 on any >threshold regression
+  perf_gate.py update results.json      # refresh bench/baseline.json in place
+  perf_gate.py self-test results.json   # canary: doctor one result 2x slower
+                                        # and assert the gate catches it
+
+Baseline refresh procedure (after an intentional perf change):
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+  AROPUF_THREADS=1 build/bench/bench_micro --benchmark_format=json \
+      --benchmark_filter='BM_(KernelFrequencies|AgingSeries200/1|ChipConstruction|ChipEvaluate|Sha256)' \
+      --benchmark_min_time=0.2 > results.json
+  python3 scripts/perf_gate.py update results.json
+then commit bench/baseline.json with a note on why the numbers moved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "bench" / "baseline.json"
+NORMALIZER = "BM_Sha256_1KiB"
+DEFAULT_THRESHOLD = 0.30
+
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times_ns(results_path: Path) -> dict[str, float]:
+    """name -> real_time in ns for every plain (non-aggregate) benchmark."""
+    with results_path.open() as fh:
+        data = json.load(fh)
+    times: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate" or "aggregate_name" in bench:
+            continue
+        if bench.get("error_occurred"):
+            continue  # e.g. the simd row skipping itself on a non-AVX2 CPU
+        name = bench["name"]
+        if name in times:
+            continue  # keep the first occurrence of repeated runs
+        times[name] = float(bench["real_time"]) * _UNIT_TO_NS[bench.get("time_unit", "ns")]
+    return times
+
+
+def normalized_ratios(times: dict[str, float]) -> dict[str, float]:
+    if NORMALIZER not in times:
+        sys.exit(f"error: normalizer benchmark {NORMALIZER!r} missing from results "
+                 "(it must run in the same bench_micro invocation)")
+    norm = times[NORMALIZER]
+    return {name: t / norm for name, t in times.items() if name != NORMALIZER}
+
+
+def load_baseline(baseline_path: Path) -> dict:
+    with baseline_path.open() as fh:
+        return json.load(fh)
+
+
+def compare(ratios: dict[str, float], baseline: dict, *, quiet: bool = False) -> list[str]:
+    """Returns the list of regression messages (empty == gate passes)."""
+    threshold = float(baseline.get("threshold", DEFAULT_THRESHOLD))
+    failures: list[str] = []
+    for name, base_ratio in sorted(baseline["benchmarks"].items()):
+        if name not in ratios:
+            failures.append(f"{name}: missing from results (gated benchmark not run)")
+            continue
+        ratio = ratios[name]
+        change = ratio / base_ratio - 1.0
+        status = "OK"
+        if change > threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: normalized ratio {ratio:.4g} vs baseline {base_ratio:.4g} "
+                f"({change:+.1%} > +{threshold:.0%} threshold)")
+        elif change < -threshold:
+            status = "faster (consider refreshing the baseline)"
+        if not quiet:
+            print(f"  {name}: {ratio:.4g} (baseline {base_ratio:.4g}, {change:+.1%}) {status}")
+    return failures
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    ratios = normalized_ratios(load_times_ns(args.results))
+    baseline = load_baseline(args.baseline)
+    print(f"perf gate: {args.results} vs {args.baseline} "
+          f"(threshold +{float(baseline.get('threshold', DEFAULT_THRESHOLD)):.0%}, "
+          f"normalizer {NORMALIZER})")
+    failures = compare(ratios, baseline)
+    if failures:
+        print("\nperf gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        print("\nIf the slowdown is intentional, refresh the baseline "
+              "(see scripts/perf_gate.py docstring) and commit bench/baseline.json.")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    ratios = normalized_ratios(load_times_ns(args.results))
+    try:
+        old = load_baseline(args.baseline)
+        threshold = float(old.get("threshold", DEFAULT_THRESHOLD))
+        gated = [name for name in old["benchmarks"] if name in ratios]
+        missing = sorted(set(old["benchmarks"]) - set(ratios))
+        if missing:
+            sys.exit("error: results are missing gated benchmarks "
+                     f"{missing}; run bench_micro with a filter covering all of them")
+    except FileNotFoundError:
+        threshold = DEFAULT_THRESHOLD
+        gated = sorted(ratios)
+    baseline = {
+        "normalizer": NORMALIZER,
+        "threshold": threshold,
+        "benchmarks": {name: round(ratios[name], 6) for name in sorted(gated)},
+    }
+    with args.baseline.open("w") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.baseline} ({len(gated)} gated benchmarks)")
+    return 0
+
+
+def cmd_self_test(args: argparse.Namespace) -> int:
+    """Canary: a synthetic 2x slowdown of one gated benchmark MUST fail."""
+    ratios = normalized_ratios(load_times_ns(args.results))
+    baseline = load_baseline(args.baseline)
+    gated = [name for name in baseline["benchmarks"] if name in ratios]
+    if not gated:
+        sys.exit("error: no gated benchmark present in results")
+    clean = compare(ratios, baseline, quiet=True)
+    if clean:
+        sys.exit("error: self-test needs a passing run to doctor, but the gate "
+                 f"already fails: {clean}")
+    victim = gated[0]
+    doctored = dict(ratios)
+    doctored[victim] *= 2.0
+    failures = compare(doctored, baseline, quiet=True)
+    if not failures:
+        sys.exit(f"error: gate did NOT flag a synthetic 2x slowdown of {victim} — "
+                 "the regression check is broken")
+    print(f"self-test passed: synthetic 2x slowdown of {victim} was flagged "
+          f"({len(failures)} failure(s)) and the undoctored run passes")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn in (("compare", cmd_compare), ("update", cmd_update),
+                     ("self-test", cmd_self_test)):
+        p = sub.add_parser(name)
+        p.add_argument("results", type=Path, help="google-benchmark JSON output")
+        p.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+        p.set_defaults(fn=fn)
+    args = parser.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+#include "circuit/delay_kernel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "device/technology.hpp"
+
+namespace aropuf {
+
+namespace {
+
+/// kSimd requests degrade to kBatched when the AVX2 kernel is absent, so the
+/// stored backend is always executable.
+DelayBackend clamp_to_available(DelayBackend backend) noexcept {
+  if (backend == DelayBackend::kSimd && !simd_available()) return DelayBackend::kBatched;
+  return backend;
+}
+
+/// AROPUF_KERNEL=reference|batched|simd, else the best available backend.
+DelayBackend backend_from_environment() noexcept {
+  if (const char* env = std::getenv("AROPUF_KERNEL")) {
+    if (std::strcmp(env, "reference") == 0) return DelayBackend::kReference;
+    if (std::strcmp(env, "batched") == 0) return DelayBackend::kBatched;
+    if (std::strcmp(env, "simd") == 0) return clamp_to_available(DelayBackend::kSimd);
+  }
+  return clamp_to_available(DelayBackend::kSimd);
+}
+
+std::atomic<DelayBackend>& backend_state() noexcept {
+  static std::atomic<DelayBackend> state{backend_from_environment()};
+  return state;
+}
+
+}  // namespace
+
+const char* to_string(DelayBackend backend) noexcept {
+  switch (backend) {
+    case DelayBackend::kReference: return "reference";
+    case DelayBackend::kBatched: return "batched";
+    case DelayBackend::kSimd: return "simd";
+  }
+  return "unknown";
+}
+
+DelayBackend delay_backend() noexcept { return backend_state().load(std::memory_order_relaxed); }
+
+DelayBackend set_delay_backend(DelayBackend backend) noexcept {
+  const DelayBackend effective = clamp_to_available(backend);
+  backend_state().store(effective, std::memory_order_relaxed);
+  return effective;
+}
+
+void reset_delay_backend() noexcept {
+  backend_state().store(backend_from_environment(), std::memory_order_relaxed);
+}
+
+bool simd_compiled() noexcept {
+#if defined(AROPUF_SIMD_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_available() noexcept {
+#if defined(AROPUF_SIMD_ENABLED)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+RoArraySoA RoArraySoA::from_oscillators(std::span<const RingOscillator> ros) {
+  RoArraySoA soa;
+  if (ros.empty()) return soa;
+  soa.num_ros = static_cast<int>(ros.size());
+  soa.stages = ros.front().num_stages();
+  const std::size_t n = soa.size();
+  soa.vth_p_fresh.reserve(n);
+  soa.tempco_p.reserve(n);
+  soa.nbti_sens.reserve(n);
+  soa.vth_n_fresh.reserve(n);
+  soa.tempco_n.reserve(n);
+  soa.hci_sens.reserve(n);
+  for (const RingOscillator& ro : ros) {
+    ARO_REQUIRE(ro.num_stages() == soa.stages,
+                "all ROs in a batched array must have the same stage count");
+    for (const RingOscillator::Stage& stage : ro.stages()) {
+      soa.vth_p_fresh.push_back(stage.pmos.vth_fresh);
+      soa.tempco_p.push_back(stage.pmos.vth_tempco);
+      soa.nbti_sens.push_back(stage.pmos.nbti_sensitivity);
+      soa.vth_n_fresh.push_back(stage.nmos.vth_fresh);
+      soa.tempco_n.push_back(stage.nmos.vth_tempco);
+      soa.hci_sens.push_back(stage.nmos.hci_sensitivity);
+    }
+  }
+  return soa;
+}
+
+namespace detail {
+
+void frequencies_batched(const RoArraySoA& soa, const TechnologyParams& tech, OperatingPoint op,
+                         std::span<const AgingShifts> shifts, std::span<double> frequencies) {
+  ARO_REQUIRE(op.vdd > 0.0, "vdd must be positive");
+  ARO_REQUIRE(op.temp > 0.0, "temperature must be in kelvin");
+  ARO_REQUIRE(shifts.size() == static_cast<std::size_t>(soa.num_ros),
+              "need one AgingShifts per RO");
+  ARO_REQUIRE(frequencies.size() == static_cast<std::size_t>(soa.num_ros),
+              "output span must have one slot per RO");
+  // Hoisted once per (tech, op): same association as the per-edge reference
+  // expression, so hoisting changes cost, not bits.
+  const double dtemp = op.temp - tech.temp_nominal;
+  const double scale = edge_scale(tech, op);
+  const double alpha = tech.alpha;
+  const double nand_half = tech.nand_delay_factor * 0.5;
+  const auto stages = static_cast<std::size_t>(soa.stages);
+  for (std::size_t ro = 0; ro < static_cast<std::size_t>(soa.num_ros); ++ro) {
+    const double nbti_shift = shifts[ro].nbti;
+    const double hci_shift = shifts[ro].hci;
+    const std::size_t base = ro * stages;
+    // Serial stage-order reduction: keeps floating-point accumulation order
+    // identical to the reference path (RingOscillator::frequency_with_shifts).
+    double half_period = 0.0;
+    for (std::size_t s = 0; s < stages; ++s) {
+      const std::size_t i = base + s;
+      const Volts vth_p =
+          effective_vth(soa.vth_p_fresh[i], soa.tempco_p[i], dtemp, soa.nbti_sens[i], nbti_shift);
+      const Volts vth_n =
+          effective_vth(soa.vth_n_fresh[i], soa.tempco_n[i], dtemp, soa.hci_sens[i], hci_shift);
+      const Seconds rise = alpha_power_edge_delay(scale, vth_p, op.vdd, alpha);
+      const Seconds fall = alpha_power_edge_delay(scale, vth_n, op.vdd, alpha);
+      const double topology_half = (s == 0) ? nand_half : 0.5;
+      half_period += topology_half * (rise + fall);
+    }
+    ARO_ASSERT(half_period > 0.0, "non-positive RO period");
+    frequencies[ro] = 1.0 / (2.0 * half_period);
+  }
+}
+
+}  // namespace detail
+
+void compute_frequencies(const RoArraySoA& soa, const TechnologyParams& tech, OperatingPoint op,
+                         std::span<const AgingShifts> shifts, std::span<double> frequencies) {
+#if defined(AROPUF_SIMD_ENABLED)
+  if (delay_backend() == DelayBackend::kSimd && simd_available()) {
+    detail::frequencies_avx2(soa, tech, op, shifts, frequencies);
+    return;
+  }
+#endif
+  detail::frequencies_batched(soa, tech, op, shifts, frequencies);
+}
+
+}  // namespace aropuf

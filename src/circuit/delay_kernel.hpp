@@ -1,0 +1,130 @@
+// Batched structure-of-arrays delay/aging kernel — the vectorizable hot path
+// under every E1–E14 Monte Carlo experiment.
+//
+// The reference path (RingOscillator::frequency) walks one RO at a time
+// through DelayModel, paying one mobility pow() per *edge* and touching
+// devices through the array-of-structs Stage layout.  This kernel evaluates
+// ALL ring oscillators of a chip in one pass over contiguous per-device
+// arrays (fresh Vth, temperature coefficient, aging sensitivity), with the
+// operating-point-dependent prefactor hoisted out of the loop — halving the
+// libm pow() count, the dominant cost — and a memory layout the compiler can
+// auto-vectorize.  An explicit AVX2 path (cmake option AROPUF_SIMD, runtime
+// CPU dispatch, scalar fallback) vectorizes the Vth/overdrive assembly.
+//
+// Bit-identity contract (enforced by tests/circuit/delay_kernel_test.cpp and
+// tests/sim/kernel_equivalence_test.cpp): every backend — reference, batched,
+// and SIMD — produces the SAME bits for every frequency, so pair comparisons
+// see the exact same values and every experiment result is independent of the
+// selected backend.  This holds by construction:
+//  * all three paths call the same inline per-element helpers
+//    (effective_vth, alpha_power_edge_delay) with the same association;
+//  * hoisted subexpressions (edge_scale, dtemp) preserve the historical
+//    association, so hoisting changes cost, not bits;
+//  * the per-RO stage reduction stays serial in stage order;
+//  * the AVX2 path uses only exactly-rounded element-wise operations
+//    (sub/mul/add/div/max) plus lane-wise scalar libm pow — and the build
+//    never enables FMA, so no path contracts a mul+add into a differently
+//    rounded fused op.
+//
+// Backend selection: AROPUF_KERNEL=reference|batched|simd environment
+// variable, or set_delay_backend() (benches/tests).  Default: simd when
+// compiled in and the CPU supports AVX2, else batched.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuit/operating_point.hpp"
+#include "circuit/ring_oscillator.hpp"
+#include "common/units.hpp"
+#include "device/aging.hpp"
+
+namespace aropuf {
+
+struct TechnologyParams;
+
+/// Which implementation evaluates RO frequencies (see file comment).
+enum class DelayBackend {
+  kReference,  ///< historical per-RO DelayModel walk (the comparison baseline)
+  kBatched,    ///< SoA one-pass kernel, compiler auto-vectorization
+  kSimd,       ///< explicit AVX2 kernel (falls back to kBatched if unavailable)
+};
+
+/// Human-readable backend name ("reference" / "batched" / "simd").
+[[nodiscard]] const char* to_string(DelayBackend backend) noexcept;
+
+/// The currently selected backend.  Resolution order: set_delay_backend()
+/// override, else the AROPUF_KERNEL environment variable, else the best
+/// available (simd when compiled + CPU-supported, otherwise batched).
+[[nodiscard]] DelayBackend delay_backend() noexcept;
+
+/// Selects the backend for subsequent frequency evaluations and returns the
+/// *effective* backend: requesting kSimd without AVX2 support degrades to
+/// kBatched.  Used by tests and the bench binaries; not intended to be
+/// called concurrently with running evaluations.
+DelayBackend set_delay_backend(DelayBackend backend) noexcept;
+
+/// Drops any set_delay_backend() override and re-resolves from the
+/// environment (AROPUF_KERNEL) / hardware default.
+void reset_delay_backend() noexcept;
+
+/// True when the AVX2 kernel was compiled in (cmake -DAROPUF_SIMD=ON and a
+/// compiler that accepts -mavx2).
+[[nodiscard]] bool simd_compiled() noexcept;
+
+/// True when the AVX2 kernel is compiled in AND this CPU executes AVX2.
+[[nodiscard]] bool simd_available() noexcept;
+
+/// Structure-of-arrays snapshot of every device parameter the delay kernel
+/// reads, flattened as index = ro * stages + stage.  Device parameters are
+/// immutable after construction (aging state lives per-RO in AgingShifts),
+/// so a chip builds this once and reuses it for every evaluation.
+struct RoArraySoA {
+  int num_ros = 0;
+  int stages = 0;
+
+  // PMOS (rising edge, carries the NBTI shift):
+  std::vector<double> vth_p_fresh;  ///< fresh |Vth_p| incl. process variation
+  std::vector<double> tempco_p;     ///< |Vth_p| tempco (V/K)
+  std::vector<double> nbti_sens;    ///< stochastic NBTI multiplier
+  // NMOS (falling edge, carries the HCI shift):
+  std::vector<double> vth_n_fresh;  ///< fresh |Vth_n| incl. process variation
+  std::vector<double> tempco_n;     ///< |Vth_n| tempco (V/K)
+  std::vector<double> hci_sens;     ///< stochastic HCI multiplier
+
+  /// Flattens `ros` (all with identical stage counts) into the SoA layout.
+  [[nodiscard]] static RoArraySoA from_oscillators(std::span<const RingOscillator> ros);
+
+  /// Total device pairs (= num_ros * stages).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(num_ros) * static_cast<std::size_t>(stages);
+  }
+};
+
+/// Evaluates the oscillation frequency of every RO in `soa` at `op` with the
+/// given per-RO aging shifts, writing `frequencies[ro]`.  Dispatches to the
+/// batched or SIMD implementation per delay_backend() (a kReference selection
+/// is honoured by the *callers* — RoPuf — which walk the per-RO path instead;
+/// this entry point itself then uses the batched implementation).
+///
+/// @param soa          device-parameter snapshot (see RoArraySoA)
+/// @param tech         technology the ROs were built from
+/// @param op           supply/temperature evaluation corner
+/// @param shifts       per-RO deterministic aging shifts, size == num_ros
+///                     (pass all-zero shifts for fresh-silicon frequencies)
+/// @param frequencies  output span, size == num_ros
+void compute_frequencies(const RoArraySoA& soa, const TechnologyParams& tech, OperatingPoint op,
+                         std::span<const AgingShifts> shifts, std::span<double> frequencies);
+
+namespace detail {
+/// Scalar/auto-vectorized batched implementation (always available).
+void frequencies_batched(const RoArraySoA& soa, const TechnologyParams& tech, OperatingPoint op,
+                         std::span<const AgingShifts> shifts, std::span<double> frequencies);
+#if defined(AROPUF_SIMD_ENABLED)
+/// Explicit AVX2 implementation (delay_kernel_avx2.cpp, compiled -mavx2).
+void frequencies_avx2(const RoArraySoA& soa, const TechnologyParams& tech, OperatingPoint op,
+                      std::span<const AgingShifts> shifts, std::span<double> frequencies);
+#endif
+}  // namespace detail
+
+}  // namespace aropuf

@@ -1,19 +1,9 @@
 #include "circuit/delay_model.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/check.hpp"
 #include "device/technology.hpp"
 
 namespace aropuf {
-
-namespace {
-// Below this gate overdrive the alpha-power model is outside its validity
-// region (near/sub-threshold); clamping keeps sweeps well-defined while
-// preserving monotonicity.
-constexpr double kMinOverdrive = 0.05;
-}  // namespace
 
 OperatingPoint nominal_operating_point(const TechnologyParams& tech) {
   return OperatingPoint{tech.vdd_nominal, tech.temp_nominal};
@@ -24,10 +14,7 @@ DelayModel::DelayModel(const TechnologyParams& tech) : tech_(&tech) { tech.valid
 Seconds DelayModel::edge_delay(Volts vth, OperatingPoint op) const {
   ARO_REQUIRE(op.vdd > 0.0, "vdd must be positive");
   ARO_REQUIRE(op.temp > 0.0, "temperature must be in kelvin");
-  const double overdrive = std::max(op.vdd - vth, kMinOverdrive);
-  const double mobility_factor =
-      std::pow(op.temp / tech_->temp_nominal, tech_->mobility_temp_exp);
-  return tech_->delay_k * mobility_factor * op.vdd / std::pow(overdrive, tech_->alpha);
+  return alpha_power_edge_delay(edge_scale(*tech_, op), vth, op.vdd, tech_->alpha);
 }
 
 Seconds DelayModel::stage_delay(const Transistor& pmos, const Transistor& nmos,

@@ -16,7 +16,10 @@ FrequencyCounter::FrequencyCounter(const TechnologyParams& tech, Seconds window)
 
 std::uint64_t FrequencyCounter::measure(const RingOscillator& ro, OperatingPoint op,
                                         Xoshiro256& noise_rng) const {
-  const Hertz f = ro.frequency(op);
+  return measure_frequency(ro.frequency(op), noise_rng);
+}
+
+std::uint64_t FrequencyCounter::measure_frequency(Hertz f, Xoshiro256& noise_rng) const {
   // Low-frequency noise shifts the whole window's effective frequency.
   const double f_noisy = f * (1.0 + tech_->noise_lowfreq_rel * noise_rng.gaussian());
   const double expected = f_noisy * window_;

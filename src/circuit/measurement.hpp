@@ -30,6 +30,13 @@ class FrequencyCounter {
   [[nodiscard]] std::uint64_t measure(const RingOscillator& ro, OperatingPoint op,
                                       Xoshiro256& noise_rng) const;
 
+  /// One noisy measurement given an already-computed oscillation frequency
+  /// `f` — the batched-kernel entry point (RoPuf evaluates all frequencies
+  /// in one delay-kernel pass, then feeds them through here).  Draws the
+  /// same two Gaussians in the same order as measure(ro, ...), so for
+  /// f == ro.frequency(op) the two overloads are bit-identical.
+  [[nodiscard]] std::uint64_t measure_frequency(Hertz f, Xoshiro256& noise_rng) const;
+
   /// Noise-free expected count for frequency `f` (before saturation).
   [[nodiscard]] double expected_count(Hertz f) const noexcept { return f * window_; }
 

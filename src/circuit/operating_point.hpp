@@ -5,9 +5,13 @@
 
 namespace aropuf {
 
+/// Environmental corner for one evaluation.  Every frequency/delay entry
+/// point (DelayModel, RingOscillator, the batched delay kernel, RoPuf)
+/// takes one of these; sweeping it is how the E5/E6 reliability studies
+/// move the environment.
 struct OperatingPoint {
-  Volts vdd = 1.2;
-  Kelvin temp = celsius(25.0);
+  Volts vdd = 1.2;             ///< supply voltage
+  Kelvin temp = celsius(25.0); ///< junction temperature
 };
 
 struct TechnologyParams;

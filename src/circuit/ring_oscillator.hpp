@@ -43,6 +43,15 @@ class RingOscillator {
   /// Oscillation cycles for HCI accrue at the RO's own (current) frequency.
   void apply_stress(const AgingModel& aging, const StressProfile& profile, Seconds duration);
 
+  /// Same, with the RO's oscillation frequency at the stress condition
+  /// supplied by the caller — the batched-aging entry point: RoPuf computes
+  /// all of a chip's frequencies in one delay-kernel pass, then advances
+  /// every RO's stress state with its own value.  Passing the frequency this
+  /// RO would compute itself makes the overload bit-identical to
+  /// apply_stress(aging, profile, duration).
+  void apply_stress(const AgingModel& aging, const StressProfile& profile, Seconds duration,
+                    Hertz f_osc);
+
   /// Discards all accumulated aging (used to replay alternative lifetimes of
   /// the same silicon in ablation studies).
   void reset_aging();

@@ -13,6 +13,25 @@ namespace aropuf {
 
 enum class DeviceType { kNmos, kPmos };
 
+/// Effective |Vth| of one device: fresh value, thermal shift, and the
+/// device's share of the deterministic aging magnitude.
+///
+/// This free function is the *single* definition of the per-device Vth
+/// composition: `Transistor::vth` (the per-RO reference path) and the
+/// batched delay kernel (`circuit/delay_kernel.hpp`) both call it, so the
+/// two paths execute the same floating-point operations in the same order
+/// and stay bit-identical (see DESIGN.md "Performance model").
+///
+/// @param vth_fresh    fresh |Vth| at the nominal temperature
+/// @param tempco       |Vth| reduction per kelvin above nominal
+/// @param dtemp        `t - t_nominal` in kelvin
+/// @param sensitivity  this device's stochastic aging multiplier
+/// @param shift        deterministic aging shift for the device's mechanism
+[[nodiscard]] inline Volts effective_vth(Volts vth_fresh, double tempco, Kelvin dtemp,
+                                         double sensitivity, Volts shift) noexcept {
+  return (vth_fresh - tempco * dtemp) + sensitivity * shift;
+}
+
 struct Transistor {
   DeviceType type = DeviceType::kNmos;
   /// Fresh |Vth| at the nominal temperature, including all process-variation
@@ -31,10 +50,9 @@ struct Transistor {
   /// PMOS, HCI to NMOS (dominant mechanisms at the 90 nm node).
   [[nodiscard]] Volts vth(Kelvin t, Kelvin t_nominal, Volts nbti_shift,
                           Volts hci_shift) const noexcept {
-    const double thermal = vth_fresh - vth_tempco * (t - t_nominal);
-    const double aging = (type == DeviceType::kPmos) ? nbti_sensitivity * nbti_shift
-                                                     : hci_sensitivity * hci_shift;
-    return thermal + aging;
+    return (type == DeviceType::kPmos)
+               ? effective_vth(vth_fresh, vth_tempco, t - t_nominal, nbti_sensitivity, nbti_shift)
+               : effective_vth(vth_fresh, vth_tempco, t - t_nominal, hci_sensitivity, hci_shift);
   }
 };
 

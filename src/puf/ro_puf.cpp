@@ -25,37 +25,64 @@ RoPuf::RoPuf(const TechnologyParams& tech, PufConfig config, RngFabric fabric)
     ros_.emplace_back(*tech_, config_.stages, pos, die, device_rng);
   }
   pairs_ = make_pairs(config_.pairing, config_.num_ros, config_.challenge_seed);
+  soa_ = RoArraySoA::from_oscillators(ros_);
+}
+
+std::vector<double> RoPuf::ro_frequencies(OperatingPoint op) const {
+  std::vector<double> freqs(ros_.size());
+  if (delay_backend() == DelayBackend::kReference) {
+    for (std::size_t i = 0; i < ros_.size(); ++i) freqs[i] = ros_[i].frequency(op);
+    return freqs;
+  }
+  std::vector<AgingShifts> shifts;
+  shifts.reserve(ros_.size());
+  for (const auto& ro : ros_) shifts.push_back(ro.aging_shifts());
+  compute_frequencies(soa_, *tech_, op, shifts, freqs);
+  return freqs;
+}
+
+std::vector<double> RoPuf::fresh_ro_frequencies(OperatingPoint op) const {
+  std::vector<double> freqs(ros_.size());
+  if (delay_backend() == DelayBackend::kReference) {
+    for (std::size_t i = 0; i < ros_.size(); ++i) freqs[i] = ros_[i].fresh_frequency(op);
+    return freqs;
+  }
+  const std::vector<AgingShifts> shifts(ros_.size());  // all-zero: fresh silicon
+  compute_frequencies(soa_, *tech_, op, shifts, freqs);
+  return freqs;
 }
 
 BitVector RoPuf::evaluate(OperatingPoint op, std::uint64_t eval_index) const {
+  const std::vector<double> freqs = ro_frequencies(op);
   BitVector response(pairs_.size());
   for (std::size_t b = 0; b < pairs_.size(); ++b) {
     Xoshiro256 noise_rng = fabric_.stream("noise", eval_index, b);
     const auto [ia, ib] = pairs_[b];
-    const std::uint64_t ca = counter_.measure(ros_[static_cast<std::size_t>(ia)], op, noise_rng);
-    const std::uint64_t cb = counter_.measure(ros_[static_cast<std::size_t>(ib)], op, noise_rng);
+    const std::uint64_t ca =
+        counter_.measure_frequency(freqs[static_cast<std::size_t>(ia)], noise_rng);
+    const std::uint64_t cb =
+        counter_.measure_frequency(freqs[static_cast<std::size_t>(ib)], noise_rng);
     response.set(b, compare_counts(ca, cb));
   }
   return response;
 }
 
 BitVector RoPuf::noiseless_response(OperatingPoint op) const {
+  const std::vector<double> freqs = ro_frequencies(op);
   BitVector response(pairs_.size());
   for (std::size_t b = 0; b < pairs_.size(); ++b) {
     const auto [ia, ib] = pairs_[b];
-    const Hertz fa = ros_[static_cast<std::size_t>(ia)].frequency(op);
-    const Hertz fb = ros_[static_cast<std::size_t>(ib)].frequency(op);
-    response.set(b, fa > fb);
+    response.set(b, freqs[static_cast<std::size_t>(ia)] > freqs[static_cast<std::size_t>(ib)]);
   }
   return response;
 }
 
 std::vector<double> RoPuf::pair_frequency_differences(OperatingPoint op) const {
+  const std::vector<double> freqs = ro_frequencies(op);
   std::vector<double> diffs;
   diffs.reserve(pairs_.size());
   for (const auto& [ia, ib] : pairs_) {
-    diffs.push_back(ros_[static_cast<std::size_t>(ia)].frequency(op) -
-                    ros_[static_cast<std::size_t>(ib)].frequency(op));
+    diffs.push_back(freqs[static_cast<std::size_t>(ia)] - freqs[static_cast<std::size_t>(ib)]);
   }
   return diffs;
 }
@@ -66,7 +93,18 @@ void RoPuf::age_years(double y) {
 }
 
 void RoPuf::age(const StressProfile& profile, Seconds duration) {
-  for (auto& ro : ros_) ro.apply_stress(aging_, profile, duration);
+  if (delay_backend() == DelayBackend::kReference) {
+    for (auto& ro : ros_) ro.apply_stress(aging_, profile, duration);
+    return;
+  }
+  // One batched kernel pass yields every RO's current frequency at the
+  // stress condition; each RO then advances with its own value — the same
+  // number apply_stress(aging, profile, duration) would compute itself.
+  const std::vector<double> freqs =
+      ro_frequencies(OperatingPoint{tech_->vdd_nominal, profile.stress_temperature});
+  for (std::size_t i = 0; i < ros_.size(); ++i) {
+    ros_[i].apply_stress(aging_, profile, duration, freqs[i]);
+  }
 }
 
 void RoPuf::reset_aging() {

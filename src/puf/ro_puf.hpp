@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "circuit/delay_kernel.hpp"
 #include "circuit/measurement.hpp"
 #include "circuit/operating_point.hpp"
 #include "circuit/ring_oscillator.hpp"
@@ -45,6 +46,16 @@ class RoPuf {
   /// for the E1 bench and the entropy study).
   [[nodiscard]] std::vector<double> pair_frequency_differences(OperatingPoint op) const;
 
+  /// Frequencies of all ROs at `op` including accumulated aging, evaluated
+  /// through the selected delay backend (one batched kernel pass, or the
+  /// per-RO reference walk under DelayBackend::kReference).  frequencies[i]
+  /// is bit-identical to oscillators()[i].frequency(op) on every backend.
+  [[nodiscard]] std::vector<double> ro_frequencies(OperatingPoint op) const;
+
+  /// Same with aging ignored (enrollment-time / fresh silicon);
+  /// frequencies[i] == oscillators()[i].fresh_frequency(op).
+  [[nodiscard]] std::vector<double> fresh_ro_frequencies(OperatingPoint op) const;
+
   /// Advances the device lifetime by `y` years under the configured profile.
   void age_years(double y);
 
@@ -72,6 +83,9 @@ class RoPuf {
   FrequencyCounter counter_;
   std::vector<RingOscillator> ros_;
   std::vector<std::pair<int, int>> pairs_;
+  /// SoA snapshot of the (immutable) device parameters for the batched delay
+  /// kernel; built once at construction, reused by every evaluation.
+  RoArraySoA soa_;
 };
 
 /// Builds a population of `count` chips of the same design, each with an

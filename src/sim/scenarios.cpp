@@ -39,12 +39,8 @@ FrequencySeries run_frequency_degradation(const PopulationConfig& pop, const Puf
 
   FrequencySeries series;
   series.label = puf.label;
-  const auto fresh = parallel_map_chips(chips.size(), [&](std::size_t c) {
-    std::vector<double> f;
-    f.reserve(chips[c].oscillators().size());
-    for (const auto& ro : chips[c].oscillators()) f.push_back(ro.fresh_frequency(op));
-    return f;
-  });
+  const auto fresh = parallel_map_chips(chips.size(),
+                                        [&](std::size_t c) { return chips[c].fresh_ro_frequencies(op); });
   double previous_years = 0.0;
   for (const double y : checkpoints) {
     ARO_REQUIRE(y >= previous_years, "checkpoints must be non-decreasing");
@@ -53,12 +49,9 @@ FrequencySeries run_frequency_degradation(const PopulationConfig& pop, const Puf
     // run at any thread count.
     const auto shifts = parallel_map_chips(chips.size(), [&](std::size_t c) {
       chips[c].age_years(y - previous_years);
-      const auto& ros = chips[c].oscillators();
-      std::vector<double> s;
-      s.reserve(ros.size());
-      for (std::size_t r = 0; r < ros.size(); ++r) {
-        const double f_aged = ros[r].frequency(op);
-        s.push_back((fresh[c][r] - f_aged) / fresh[c][r] * 100.0);
+      std::vector<double> s = chips[c].ro_frequencies(op);
+      for (std::size_t r = 0; r < s.size(); ++r) {
+        s[r] = (fresh[c][r] - s[r]) / fresh[c][r] * 100.0;
       }
       return s;
     });

@@ -44,9 +44,18 @@ class DieVariation {
     return rng.gaussian(0.0, tech_->sigma_vth_local);
   }
 
+  /// The three position-dependent (device-independent) components combined:
+  /// global + spatial + systematic.  All devices of one RO share a position,
+  /// so callers hoist this per RO and add local_sample() per device; the sum
+  /// keeps total_offset()'s left-to-right association, so the hoist is
+  /// bit-identical.
+  [[nodiscard]] Volts static_offset(Position p) const noexcept {
+    return global_ + spatial_offset(p) + systematic_offset(p);
+  }
+
   /// All four components combined for a device at `p`.
   [[nodiscard]] Volts total_offset(Position p, Xoshiro256& local_rng) const noexcept {
-    return global_ + spatial_offset(p) + systematic_offset(p) + local_sample(local_rng);
+    return static_offset(p) + local_sample(local_rng);
   }
 
  private:

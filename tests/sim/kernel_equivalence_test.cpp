@@ -1,0 +1,136 @@
+// End-to-end delay-backend equivalence: the E2 aging series and the E3
+// uniqueness study must produce bit-identical results whether frequencies
+// come from the per-RO reference walk, the batched SoA kernel, or the
+// explicit AVX2 kernel — backend selection changes speed only, never a
+// single reported number.  Also pins the RoPuf-level contract: responses,
+// pair differences, and raw frequency vectors agree across backends on one
+// chip through a full age/evaluate cycle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/delay_kernel.hpp"
+#include "puf/ro_puf.hpp"
+#include "sim/scenarios.hpp"
+
+namespace aropuf {
+namespace {
+
+/// Restores the backend to the environment/hardware default on scope exit.
+struct BackendGuard {
+  ~BackendGuard() { reset_delay_backend(); }
+};
+
+/// The backends this build can actually execute (kSimd only when available).
+std::vector<DelayBackend> executable_backends() {
+  std::vector<DelayBackend> backends{DelayBackend::kReference, DelayBackend::kBatched};
+  if (simd_available()) backends.push_back(DelayBackend::kSimd);
+  return backends;
+}
+
+PopulationConfig small_population() {
+  PopulationConfig pop;
+  pop.chips = 12;
+  pop.seed = 77;
+  return pop;
+}
+
+TEST(KernelEquivalence, AgingSeriesBitIdenticalAcrossBackends) {
+  BackendGuard guard;
+  const PopulationConfig pop = small_population();
+  const double checkpoints[] = {2.0, 6.0, 10.0};
+
+  set_delay_backend(DelayBackend::kReference);
+  const AgingSeries reference = run_aging_series(pop, PufConfig::aro(), checkpoints);
+  for (const DelayBackend backend : executable_backends()) {
+    set_delay_backend(backend);
+    const AgingSeries result = run_aging_series(pop, PufConfig::aro(), checkpoints);
+    // Exact floating-point equality: the kernels guarantee bit-identical
+    // frequencies, so every derived statistic matches exactly.
+    EXPECT_EQ(reference.years, result.years) << to_string(backend);
+    EXPECT_EQ(reference.mean_flip_percent, result.mean_flip_percent) << to_string(backend);
+    EXPECT_EQ(reference.max_flip_percent, result.max_flip_percent) << to_string(backend);
+  }
+}
+
+TEST(KernelEquivalence, UniquenessBitIdenticalAcrossBackends) {
+  BackendGuard guard;
+  const PopulationConfig pop = small_population();
+
+  set_delay_backend(DelayBackend::kReference);
+  const UniquenessExperimentResult reference = run_uniqueness(pop, PufConfig::conventional());
+  for (const DelayBackend backend : executable_backends()) {
+    set_delay_backend(backend);
+    const UniquenessExperimentResult result = run_uniqueness(pop, PufConfig::conventional());
+    EXPECT_EQ(reference.uniqueness.stats.count(), result.uniqueness.stats.count());
+    EXPECT_EQ(reference.uniqueness.stats.mean(), result.uniqueness.stats.mean());
+    EXPECT_EQ(reference.uniqueness.stats.variance(), result.uniqueness.stats.variance());
+    EXPECT_EQ(reference.uniqueness.stats.min(), result.uniqueness.stats.min());
+    EXPECT_EQ(reference.uniqueness.stats.max(), result.uniqueness.stats.max());
+    for (std::size_t b = 0; b < reference.uniqueness.histogram.bins(); ++b) {
+      EXPECT_EQ(reference.uniqueness.histogram.count(b), result.uniqueness.histogram.count(b));
+    }
+    EXPECT_EQ(reference.uniformity.mean(), result.uniformity.mean());
+    EXPECT_EQ(reference.aliasing.mean(), result.aliasing.mean());
+  }
+}
+
+TEST(KernelEquivalence, ChipLifecycleBitIdenticalAcrossBackends) {
+  BackendGuard guard;
+  const TechnologyParams tech = TechnologyParams::cmos90();
+  const OperatingPoint op{tech.vdd_nominal, celsius(45.0)};
+
+  // One full lifecycle per backend on identical silicon: fresh evaluation,
+  // 5 years of aging, aged evaluation.
+  struct Snapshot {
+    std::vector<double> fresh_freqs;
+    std::vector<double> aged_freqs;
+    std::vector<double> pair_diffs;
+    BitVector fresh_response{1};
+    BitVector aged_response{1};
+    BitVector noiseless{1};
+  };
+  std::vector<Snapshot> snapshots;
+  for (const DelayBackend backend : executable_backends()) {
+    set_delay_backend(backend);
+    RoPuf chip(tech, PufConfig::aro(), RngFabric(42).child("chip", 0));
+    Snapshot snap;
+    snap.fresh_freqs = chip.fresh_ro_frequencies(op);
+    snap.fresh_response = chip.evaluate(op);
+    chip.age_years(5.0);
+    snap.aged_freqs = chip.ro_frequencies(op);
+    snap.pair_diffs = chip.pair_frequency_differences(op);
+    snap.aged_response = chip.evaluate(op);
+    snap.noiseless = chip.noiseless_response(op);
+    snapshots.push_back(std::move(snap));
+  }
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[0].fresh_freqs, snapshots[i].fresh_freqs);
+    EXPECT_EQ(snapshots[0].aged_freqs, snapshots[i].aged_freqs);
+    EXPECT_EQ(snapshots[0].pair_diffs, snapshots[i].pair_diffs);
+    EXPECT_TRUE(snapshots[0].fresh_response == snapshots[i].fresh_response);
+    EXPECT_TRUE(snapshots[0].aged_response == snapshots[i].aged_response);
+    EXPECT_TRUE(snapshots[0].noiseless == snapshots[i].noiseless);
+  }
+}
+
+TEST(KernelEquivalence, FrequencyVectorsMatchPerRoAccessors) {
+  BackendGuard guard;
+  const TechnologyParams tech = TechnologyParams::cmos90();
+  RoPuf chip(tech, PufConfig::aro(), RngFabric(7).child("chip", 3));
+  chip.age_years(3.0);
+  const OperatingPoint op = chip.nominal_op();
+  for (const DelayBackend backend : executable_backends()) {
+    set_delay_backend(backend);
+    const std::vector<double> aged = chip.ro_frequencies(op);
+    const std::vector<double> fresh = chip.fresh_ro_frequencies(op);
+    ASSERT_EQ(aged.size(), chip.oscillators().size());
+    for (std::size_t i = 0; i < aged.size(); ++i) {
+      EXPECT_EQ(aged[i], chip.oscillators()[i].frequency(op)) << to_string(backend);
+      EXPECT_EQ(fresh[i], chip.oscillators()[i].fresh_frequency(op)) << to_string(backend);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aropuf
