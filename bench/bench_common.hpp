@@ -6,9 +6,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <string>
 
+#include "sim/csv.hpp"
 #include "sim/parallel.hpp"
 #include "sim/scenarios.hpp"
+#include "telemetry/manifest.hpp"
 
 namespace aropuf::bench {
 
@@ -64,6 +68,27 @@ inline PopulationConfig standard_population() {
   pop.chips = options().chips > 0 ? options().chips : 40;
   pop.seed = 2014;
   return pop;
+}
+
+/// End-of-run hook every bench main returns through: closes the CSV (if one
+/// was open), writes the run manifest (AROPUF_MANIFEST path if set, else
+/// next to the CSV in ARO_CSV_DIR), and flushes any active trace session.
+/// Non-zero when any output artifact failed to land — a silent half-written
+/// CSV must fail the job, not just print a table.
+inline int finish(const char* run_name, std::optional<CsvWriter>* csv = nullptr) {
+  bool ok = true;
+  if (csv != nullptr && csv->has_value()) ok = (*csv)->close() && ok;
+  const PopulationConfig pop = standard_population();
+  JsonValue::Object config;
+  config["chips"] = JsonValue(pop.chips);
+  config["seed"] = JsonValue(pop.seed);
+  config["technology"] = JsonValue(pop.tech.name);
+  std::string fallback;
+  if (const char* dir = std::getenv("ARO_CSV_DIR"); dir != nullptr && *dir != '\0') {
+    fallback = std::string(dir) + "/" + run_name + ".manifest.json";
+  }
+  ok = telemetry::finalize_run(run_name, JsonValue(std::move(config)), fallback) && ok;
+  return ok ? 0 : 1;
 }
 
 inline void banner(const char* experiment, const char* paper_artifact) {

@@ -49,5 +49,5 @@ int main(int argc, char** argv) {
                "aged BER (marginal pairs are both noisy and aging-fragile), but the\n"
                "bulk of the 10-year conventional damage is unscreenable stochastic\n"
                "aging — gating, not masking, is the aging fix.\n";
-  return 0;
+  return bench::finish("e10_masking");
 }

@@ -75,5 +75,5 @@ int main(int argc, char** argv) {
                "challenge space at >97% accuracy (errors trace to near-tie pairs whose\n"
                "noisy observations were discarded as contradictions).  RO-PUFs must be\n"
                "deployed for key generation with dedicated pairs — as the ARO-PUF is.\n";
-  return 0;
+  return bench::finish("e11_modeling_attack");
 }

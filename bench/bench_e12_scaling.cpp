@@ -40,5 +40,5 @@ int main(int argc, char** argv) {
                "bits at every node (faster BTI at smaller nodes is offset by larger\n"
                "mismatch margins), the gated ARO stays in the single digits, and the\n"
                "uniqueness ordering (ARO ~50% > conventional) is node-independent.\n";
-  return 0;
+  return bench::finish("e12_scaling");
 }

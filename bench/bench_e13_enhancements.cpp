@@ -97,5 +97,5 @@ int main(int argc, char** argv) {
                "as long as drift per period stays inside the threshold.  Neither\n"
                "substitutes for gating when helper updates are impossible (e.g. OTP\n"
                "helper storage) — the ARO design's case.\n";
-  return 0;
+  return bench::finish("e13_enhancements");
 }

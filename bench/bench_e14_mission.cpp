@@ -50,5 +50,5 @@ int main(int argc, char** argv) {
                "about as damaged as the constant-55C E2 regime — a third of its bits by\n"
                "year 15 — while the gated ARO stays in single digits for the whole\n"
                "automotive lifetime.\n";
-  return 0;
+  return bench::finish("e14_mission", &csv);
 }

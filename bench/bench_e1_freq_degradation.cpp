@@ -41,5 +41,5 @@ int main(int argc, char** argv) {
   std::cout << "\nshape check: conventional degrades ~" << Table::num(conv.mean_freq_shift_percent.back(), 1)
             << "% by year 10; ARO stays below " << Table::num(aro.mean_freq_shift_percent.back(), 2)
             << "% (enable gating removes nearly all stress time)\n";
-  return 0;
+  return bench::finish("e1_freq_degradation", &csv);
 }

@@ -44,5 +44,5 @@ int main(int argc, char** argv) {
   std::cout << "\npaper:    conventional 32.0%   ARO 7.7%   (10 years)\n";
   std::cout << "measured: conventional " << Table::num(conv.mean_flip_percent.back(), 1)
             << "%   ARO " << Table::num(aro.mean_flip_percent.back(), 1) << "%\n";
-  return 0;
+  return bench::finish("e2_aging_flips", &csv);
 }

@@ -52,5 +52,5 @@ int main(int argc, char** argv) {
   std::cout << "\npaper:    conventional ~45%   ARO 49.67%\n";
   std::cout << "measured: conventional " << Table::num(conv.uniqueness.mean_percent(), 2)
             << "%   ARO " << Table::num(aro.uniqueness.mean_percent(), 2) << "%\n";
-  return 0;
+  return bench::finish("e3_uniqueness");
 }

@@ -74,8 +74,8 @@ int main(int argc, char** argv) {
   // expected even from ideal randomness).
   constexpr int kPopulations = 8;
   for (const auto& design : {PufConfig::conventional(), PufConfig::aro()}) {
-    std::vector<int> passes(7, 0);
-    std::vector<double> min_p(7, 1.0);
+    std::vector<int> passes(8, 0);
+    std::vector<double> min_p(8, 1.0);
     std::vector<std::string> names;
     for (int s = 0; s < kPopulations; ++s) {
       PopulationConfig p = pop;
@@ -103,5 +103,5 @@ int main(int argc, char** argv) {
   std::cout << "\nshape check: ARO passes the battery across populations (adjacent\n"
                "pairing cancels layout systematics); conventional fails the frequency\n"
                "family on every population, matching its <50% inter-chip HD.\n";
-  return 0;
+  return bench::finish("e4_randomness");
 }

@@ -44,5 +44,5 @@ int main(int argc, char** argv) {
   std::cout << "\nshape check: V-shaped around the 25 C enrollment corner; both designs\n"
                "share the mechanism (tempco mismatch is not an aging effect), with the\n"
                "worst case at the 125 C extreme.\n";
-  return 0;
+  return bench::finish("e5_temperature", &csv);
 }

@@ -46,5 +46,5 @@ int main(int argc, char** argv) {
   std::cout << "\nshape check: errors grow away from the enrollment VDD and stay well\n"
                "below the temperature-induced errors of E5 (supply sensitivity of a\n"
                "ratioed comparison is second-order).\n";
-  return 0;
+  return bench::finish("e6_voltage", &csv);
 }

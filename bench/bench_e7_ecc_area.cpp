@@ -63,5 +63,5 @@ int main(int argc, char** argv) {
   std::cout << "measured: " << Table::num(cmp.area_ratio(), 1)
             << "x (key failure: conventional " << cmp.conventional.key_failure << ", ARO "
             << cmp.aro.key_failure << ")\n";
-  return 0;
+  return bench::finish("e7_ecc_area");
 }

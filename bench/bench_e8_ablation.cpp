@@ -88,5 +88,5 @@ int main(int argc, char** argv) {
                "rescues even the always-on design by spending the steep early t^(1/6)\n"
                "segment before enrollment — at the cost of a month of oven time and\n"
                "~9% of the fresh frequency.\n";
-  return 0;
+  return bench::finish("e8_ablation");
 }

@@ -79,5 +79,5 @@ int main(int argc, char** argv) {
                "conventional fleet collapses within a few years at ARO-sized ECC —\n"
                "the concrete version of the paper's area argument (matching\n"
                "conventional reliability needs the ~24x larger macro of E7).\n";
-  return 0;
+  return bench::finish("e9_keygen");
 }

@@ -17,6 +17,7 @@
 #include "common/table.hpp"
 #include "sim/experiment_config.hpp"
 #include "sim/scenarios.hpp"
+#include "telemetry/manifest.hpp"
 
 int main(int argc, char** argv) {
   using namespace aropuf;
@@ -69,5 +70,5 @@ int main(int argc, char** argv) {
                  Table::num(conv.mean_flip_percent[0], 2),
                  Table::num(conv.max_flip_percent[0], 2)});
   table.print(std::cout);
-  return 0;
+  return telemetry::finalize_run("aging_explorer", JsonValue(JsonValue::Object{})) ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 
 #include "auth/authenticator.hpp"
 #include "puf/ro_puf.hpp"
+#include "telemetry/manifest.hpp"
 
 int main() {
   using namespace aropuf;
@@ -52,5 +53,5 @@ int main() {
   }
   std::printf("\ngated aging keeps the ARO device inside the threshold for the whole\n"
               "deployment; the same policy locks a conventional chip out in years.\n");
-  return 0;
+  return telemetry::finalize_run("auth_demo", JsonValue(JsonValue::Object{})) ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include "ecc/code_search.hpp"
 #include "keygen/fuzzy_extractor.hpp"
 #include "puf/ro_puf.hpp"
+#include "telemetry/manifest.hpp"
 
 int main() {
   using namespace aropuf;
@@ -55,5 +56,5 @@ int main() {
   }
 
   std::printf("\nthe same key every time: the ECC absorbs aging + noise errors.\n");
-  return 0;
+  return telemetry::finalize_run("key_enrollment", JsonValue(JsonValue::Object{})) ? 0 : 1;
 }

@@ -8,10 +8,17 @@
 // RoPuf -> evaluate()/age_years().
 #include <cstdio>
 
+#include <optional>
+
 #include "puf/ro_puf.hpp"
+#include "telemetry/manifest.hpp"
 
 int main() {
   using namespace aropuf;
+  // Provenance for the run manifest; closed explicitly before finalize_run
+  // so the stage's timing actually lands in the manifest.
+  std::optional<telemetry::StageTimer> run_stage;
+  run_stage.emplace("quickstart");
 
   // 1. Pick a technology node (the paper's: 90 nm bulk CMOS, 1.2 V).
   const TechnologyParams tech = TechnologyParams::cmos90();
@@ -52,5 +59,14 @@ int main() {
               hamming_distance(aro_golden, aro_aged), aro_golden.size(),
               100.0 * fractional_hamming_distance(aro_golden, aro_aged));
   std::printf("\n(paper: ~32%% vs ~7.7%% on average over a population)\n");
-  return 0;
+
+  // 6. Land the observability artifacts: the run manifest (AROPUF_MANIFEST)
+  //    and the Chrome-trace file (AROPUF_TRACE).  A failed write is a failed
+  //    run — CI validates both files, so report it in the exit code.
+  run_stage.reset();
+  JsonValue::Object config;
+  config["seed"] = JsonValue(static_cast<std::uint64_t>(1));
+  config["technology"] = JsonValue(tech.name);
+  config["years_aged"] = JsonValue(10.0);
+  return telemetry::finalize_run("quickstart", JsonValue(std::move(config))) ? 0 : 1;
 }

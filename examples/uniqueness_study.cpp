@@ -11,6 +11,7 @@
 #include "metrics/uniformity.hpp"
 #include "metrics/uniqueness.hpp"
 #include "puf/ro_puf.hpp"
+#include "telemetry/manifest.hpp"
 
 namespace {
 
@@ -58,5 +59,8 @@ int main(int argc, char** argv) {
   study("ARO-PUF", aropuf::PufConfig::aro(), chips);
   std::printf("\nthe ARO-PUF's adjacent pairing cancels the layout systematics that\n"
               "pull the conventional design's inter-chip HD below 50%%.\n");
-  return 0;
+  return aropuf::telemetry::finalize_run("uniqueness_study",
+                                         aropuf::JsonValue(aropuf::JsonValue::Object{}))
+             ? 0
+             : 1;
 }

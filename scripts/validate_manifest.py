@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Schema validator for aropuf run manifests and Chrome-trace files.
+
+Run manifests (telemetry/manifest.hpp, DESIGN.md §8.4) are the
+machine-readable provenance record every bench/example can emit
+(AROPUF_MANIFEST=path, or ARO_CSV_DIR fallback).  CI runs a scenario with
+manifests and tracing enabled and validates both artifacts here, so a
+serialization regression fails the build instead of silently producing
+files Perfetto or the shard-merge driver cannot read.
+
+Usage:
+  validate_manifest.py manifest.json [more.json ...]   # manifest schema
+  validate_manifest.py --trace trace.json [...]        # Chrome-trace format
+
+Exit code 0 when every file validates, 1 otherwise (one line per problem).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "aropuf-run-manifest"
+SCHEMA_VERSION = 1
+
+# Key -> predicate over the parsed JSON value.  Every key is required:
+# build_manifest() fills defaults for facts no subsystem reported, so an
+# absent key always means a serialization bug, not a quiet run.
+MANIFEST_KEYS = {
+    "schema": lambda v: v == SCHEMA,
+    "schema_version": lambda v: v == SCHEMA_VERSION,
+    "run": lambda v: isinstance(v, str) and v != "",
+    "created_unix_ms": lambda v: isinstance(v, (int, float)) and v > 0,
+    "git_sha": lambda v: isinstance(v, str) and v != "",
+    "build": lambda v: isinstance(v, dict) and isinstance(v.get("type"), str)
+    and isinstance(v.get("simd_compiled"), bool),
+    "config": lambda v: isinstance(v, dict),
+    "threads": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "kernel_backend": lambda v: v in ("reference", "batched", "simd", "unknown"),
+    "stages": lambda v: isinstance(v, list),
+    "metrics": lambda v: isinstance(v, dict) and isinstance(v.get("counters"), dict)
+    and isinstance(v.get("gauges"), dict) and isinstance(v.get("histograms"), dict),
+}
+
+STAGE_KEYS = {
+    "name": lambda v: isinstance(v, str) and v != "",
+    "wall_ms": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "cpu_ms": lambda v: isinstance(v, (int, float)) and v >= 0,
+}
+
+# Required on every trace event, metadata ("M") records included — the
+# serializer deliberately stamps ts/tid on those too so this stays simple.
+TRACE_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def fail(path: Path, message: str) -> str:
+    return f"{path}: {message}"
+
+
+def validate_manifest(path: Path) -> list[str]:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [fail(path, f"unreadable or invalid JSON: {e}")]
+    if not isinstance(doc, dict):
+        return [fail(path, "top level must be a JSON object")]
+    problems = []
+    for key, ok in MANIFEST_KEYS.items():
+        if key not in doc:
+            problems.append(fail(path, f"missing required key '{key}'"))
+        elif not ok(doc[key]):
+            problems.append(fail(path, f"key '{key}' has invalid value {doc[key]!r}"))
+    for i, stage in enumerate(doc.get("stages", [])):
+        if not isinstance(stage, dict):
+            problems.append(fail(path, f"stages[{i}] is not an object"))
+            continue
+        for key, ok in STAGE_KEYS.items():
+            if key not in stage or not ok(stage[key]):
+                problems.append(fail(path, f"stages[{i}] key '{key}' missing or invalid"))
+    for name, value in doc.get("metrics", {}).get("counters", {}).items():
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(fail(path, f"counter '{name}' is not a non-negative number"))
+    return problems
+
+
+def validate_trace(path: Path) -> list[str]:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [fail(path, f"unreadable or invalid JSON: {e}")]
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return [fail(path, "expected an object with a 'traceEvents' array")]
+    problems = []
+    events = doc["traceEvents"]
+    if not events:
+        problems.append(fail(path, "traceEvents is empty"))
+    saw_complete = False
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(fail(path, f"traceEvents[{i}] is not an object"))
+            continue
+        for key in TRACE_EVENT_KEYS:
+            if key not in event:
+                problems.append(fail(path, f"traceEvents[{i}] missing '{key}'"))
+        ph = event.get("ph")
+        if ph == "X":
+            saw_complete = True
+            if not isinstance(event.get("dur"), (int, float)) or event["dur"] < 0:
+                problems.append(fail(path, f"traceEvents[{i}] 'X' event needs numeric 'dur'"))
+            if not isinstance(event.get("ts"), (int, float)) or event["ts"] < 0:
+                problems.append(fail(path, f"traceEvents[{i}] needs numeric 'ts'"))
+        elif ph not in ("M",):
+            problems.append(fail(path, f"traceEvents[{i}] unexpected ph {ph!r}"))
+    if events and not saw_complete:
+        problems.append(fail(path, "no complete ('X') span events"))
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    trace_mode = False
+    if args and args[0] == "--trace":
+        trace_mode = True
+        args = args[1:]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    validate = validate_trace if trace_mode else validate_manifest
+    problems = []
+    for name in args:
+        problems.extend(validate(Path(name)))
+    for p in problems:
+        print(p, file=sys.stderr)
+    if not problems:
+        kind = "trace" if trace_mode else "manifest"
+        print(f"{len(args)} {kind} file(s) OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,6 +6,9 @@
 
 #include "common/check.hpp"
 #include "device/technology.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace aropuf {
 
@@ -16,6 +19,14 @@ namespace {
 DelayBackend clamp_to_available(DelayBackend backend) noexcept {
   if (backend == DelayBackend::kSimd && !simd_available()) return DelayBackend::kBatched;
   return backend;
+}
+
+/// Provenance: run manifests must name the backend that *actually* computed
+/// the numbers, not the one that was requested.
+void announce_backend(DelayBackend backend) {
+  telemetry::set_runtime_field("kernel_backend", JsonValue(to_string(backend)));
+  ARO_LOG_DEBUG("kernel", "delay kernel backend selected",
+                {"backend", JsonValue(to_string(backend))});
 }
 
 /// AROPUF_KERNEL=reference|batched|simd, else the best available backend.
@@ -33,6 +44,19 @@ std::atomic<DelayBackend>& backend_state() noexcept {
   return state;
 }
 
+/// Batch-granular kernel instruments: two relaxed adds per compute call
+/// (never per RO — a batch covers a whole chip's array).
+struct KernelTelemetry {
+  telemetry::Counter& batches;
+  telemetry::Counter& ro_evals;
+
+  static KernelTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static KernelTelemetry t{reg.counter("kernel.batches"), reg.counter("kernel.ro_evals")};
+    return t;
+  }
+};
+
 }  // namespace
 
 const char* to_string(DelayBackend backend) noexcept {
@@ -49,11 +73,14 @@ DelayBackend delay_backend() noexcept { return backend_state().load(std::memory_
 DelayBackend set_delay_backend(DelayBackend backend) noexcept {
   const DelayBackend effective = clamp_to_available(backend);
   backend_state().store(effective, std::memory_order_relaxed);
+  announce_backend(effective);
   return effective;
 }
 
 void reset_delay_backend() noexcept {
-  backend_state().store(backend_from_environment(), std::memory_order_relaxed);
+  const DelayBackend effective = backend_from_environment();
+  backend_state().store(effective, std::memory_order_relaxed);
+  announce_backend(effective);
 }
 
 bool simd_compiled() noexcept {
@@ -143,6 +170,19 @@ void frequencies_batched(const RoArraySoA& soa, const TechnologyParams& tech, Op
 
 void compute_frequencies(const RoArraySoA& soa, const TechnologyParams& tech, OperatingPoint op,
                          std::span<const AgingShifts> shifts, std::span<double> frequencies) {
+  {
+    KernelTelemetry& telem = KernelTelemetry::get();
+    telem.batches.add(1);
+    telem.ro_evals.add(static_cast<std::uint64_t>(soa.num_ros));
+    // The manifest field must reflect the backend that ran, so register it
+    // the first time any batch executes (later set_delay_backend calls keep
+    // it current).
+    static const bool announced = [] {
+      announce_backend(delay_backend());
+      return true;
+    }();
+    (void)announced;
+  }
 #if defined(AROPUF_SIMD_ENABLED)
   if (delay_backend() == DelayBackend::kSimd && simd_available()) {
     detail::frequencies_avx2(soa, tech, op, shifts, frequencies);

@@ -6,6 +6,9 @@
 
 #include "common/check.hpp"
 #include "common/special_functions.hpp"
+#include "sim/parallel.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace aropuf {
 
@@ -211,11 +214,46 @@ NistTestResult nist_approximate_entropy(const BitVector& bits, std::size_t m) {
   return r;
 }
 
+NistTestResult nist_autocorrelation(const BitVector& bits, std::size_t max_lag) {
+  const std::size_t n = bits.size();
+  if (n < 100) return not_applicable("autocorrelation");
+  if (max_lag == 0) max_lag = n / 2;
+  if (max_lag > n / 2) max_lag = n / 2;
+  const telemetry::TraceScope span(
+      "nist_autocorrelation", "metrics",
+      {{"n", JsonValue(static_cast<std::uint64_t>(n))},
+       {"lags", JsonValue(static_cast<std::uint64_t>(max_lag))}});
+  telemetry::MetricsRegistry::global().counter("metrics.autocorr_lags").add(max_lag);
+  // The lag loop is the quadratic part (sum over n-d bits for every d); each
+  // lag touches only read-only bits and its own output slot, so it runs on
+  // the Monte Carlo engine.  p-values are pure per-lag functions of the
+  // integer statistic A(d), hence bit-identical at any thread count.
+  const std::vector<double> p_values =
+      parallel_map_chips(max_lag, [&](std::size_t lag_index) {
+        const std::size_t d = lag_index + 1;
+        std::uint64_t disagreements = 0;
+        for (std::size_t i = 0; i + d < n; ++i) {
+          disagreements += static_cast<std::uint64_t>(bits.get(i) != bits.get(i + d));
+        }
+        const double m = static_cast<double>(n - d);
+        const double z = (2.0 * static_cast<double>(disagreements) - m) / std::sqrt(m);
+        return std::erfc(std::fabs(z) / std::sqrt(2.0));
+      });
+  // Serial min in lag order; the Bonferroni factor keeps the overall alpha
+  // honest across max_lag dependent looks at the same sequence.
+  double min_p = 1.0;
+  for (const double p : p_values) min_p = std::min(min_p, p);
+  NistTestResult r;
+  r.name = "autocorrelation (lags=" + std::to_string(max_lag) + ")";
+  r.p_value = std::min(1.0, min_p * static_cast<double>(max_lag));
+  return r;
+}
+
 std::vector<NistTestResult> nist_battery(const BitVector& bits) {
   return {
       nist_monobit(bits),          nist_block_frequency(bits), nist_runs(bits),
       nist_longest_run(bits),      nist_serial(bits),          nist_cumulative_sums(bits),
-      nist_approximate_entropy(bits),
+      nist_approximate_entropy(bits), nist_autocorrelation(bits),
   };
 }
 

@@ -1,12 +1,13 @@
 // NIST SP 800-22-style randomness battery ("NIST-lite").
 //
-// Seven of the statistical tests from the suite, enough to exercise the
-// paper's randomness claim on concatenated PUF responses.  Each test
-// produces a p-value; the conventional pass threshold is p >= 0.01.
+// Eight statistical tests, enough to exercise the paper's randomness claim
+// on concatenated PUF responses.  Each test produces a p-value; the
+// conventional pass threshold is p >= 0.01.
 //
 // Implemented tests:
 //   frequency (monobit), block frequency, runs, longest-run-of-ones,
-//   serial (m = 3), cumulative sums (forward), approximate entropy (m = 2).
+//   serial (m = 3), cumulative sums (forward), approximate entropy (m = 2),
+//   autocorrelation (multi-lag, Bonferroni-corrected).
 #pragma once
 
 #include <string>
@@ -30,6 +31,16 @@ struct NistTestResult {
 [[nodiscard]] NistTestResult nist_serial(const BitVector& bits, std::size_t m = 3);
 [[nodiscard]] NistTestResult nist_cumulative_sums(const BitVector& bits);
 [[nodiscard]] NistTestResult nist_approximate_entropy(const BitVector& bits, std::size_t m = 2);
+
+/// Multi-lag autocorrelation (AIS-31 style).  For each lag d in [1, max_lag]
+/// the statistic A(d) = sum_i bit(i) xor bit(i+d) over i in [0, n-d) is
+/// Binomial(n-d, 1/2) under H0; each lag's two-sided normal p-value is
+/// Bonferroni-corrected and the minimum is reported, so any single periodic
+/// structure fails the test.  max_lag = 0 selects n/2 (the full quadratic
+/// battery).  Lags are evaluated on the Monte Carlo engine; results are
+/// bit-identical at any thread count (each lag is independent and the
+/// reduction runs serially in lag order).
+[[nodiscard]] NistTestResult nist_autocorrelation(const BitVector& bits, std::size_t max_lag = 0);
 
 /// Runs the whole battery.
 [[nodiscard]] std::vector<NistTestResult> nist_battery(const BitVector& bits);

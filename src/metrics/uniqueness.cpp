@@ -1,34 +1,49 @@
 #include "metrics/uniqueness.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "sim/parallel.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace aropuf {
 
 UniquenessResult compute_uniqueness(std::span<const BitVector> responses) {
-  ARO_REQUIRE(responses.size() >= 2, "uniqueness needs at least two chips");
-  for (std::size_t i = 0; i < responses.size(); ++i) {
+  const std::size_t n = responses.size();
+  ARO_REQUIRE(n >= 2, "uniqueness needs at least two chips");
+  for (std::size_t i = 0; i < n; ++i) {
     ARO_REQUIRE(responses[i].size() == responses[0].size(),
                 "all responses must have equal length");
   }
-  // Row i holds the HDs against all j > i.  Rows shrink with i, which the
-  // executor's chunked dynamic scheduling load-balances; the accumulators are
-  // then filled serially in (i, j) order so mean/variance stay bit-identical
-  // at any thread count.
-  const auto rows = parallel_map_chips(responses.size(), [&](std::size_t i) {
-    std::vector<double> row;
-    row.reserve(responses.size() - i - 1);
-    for (std::size_t j = i + 1; j < responses.size(); ++j) {
-      row.push_back(fractional_hamming_distance(responses[i], responses[j]));
-    }
-    return row;
+  // The pair space is flattened so every parallel index does exactly one HD:
+  // row-based splitting made the engine's chunks shrink with i (row i has
+  // n-1-i pairs), leaving the last chunks nearly empty.  Pair k maps back to
+  // (i, j) through the row-offset table; k-order equals (i, j) lexicographic
+  // order, so the serial reduction below accumulates in exactly the order the
+  // old row loop did — bit-identical at any thread count, and to history.
+  const std::size_t pairs = n * (n - 1) / 2;
+  const telemetry::TraceScope span("compute_uniqueness", "metrics",
+                                   {{"chips", JsonValue(static_cast<std::uint64_t>(n))},
+                                    {"pairs", JsonValue(static_cast<std::uint64_t>(pairs))}});
+  telemetry::MetricsRegistry::global().counter("metrics.pair_hds").add(pairs);
+  std::vector<std::size_t> row_offset(n);  // index of row i's first pair
+  for (std::size_t i = 0, k = 0; i < n; ++i) {
+    row_offset[i] = k;
+    k += n - 1 - i;
+  }
+  const std::vector<double> hds = parallel_map_chips(pairs, [&](std::size_t k) {
+    const auto row = static_cast<std::size_t>(
+        std::distance(row_offset.begin(),
+                      std::upper_bound(row_offset.begin(), row_offset.end(), k)) -
+        1);
+    const std::size_t col = row + 1 + (k - row_offset[row]);
+    return fractional_hamming_distance(responses[row], responses[col]);
   });
   UniquenessResult result;
-  for (const auto& row : rows) {
-    for (const double hd : row) {
-      result.stats.add(hd);
-      result.histogram.add(hd);
-    }
+  for (const double hd : hds) {
+    result.stats.add(hd);
+    result.histogram.add(hd);
   }
   return result;
 }

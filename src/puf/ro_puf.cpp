@@ -4,9 +4,20 @@
 
 #include "common/check.hpp"
 #include "sim/parallel.hpp"
+#include "telemetry/metrics.hpp"
 #include "variation/process_variation.hpp"
 
 namespace aropuf {
+
+namespace {
+
+/// One relaxed add per full-array evaluation (never per bit or per RO).
+telemetry::Counter& evaluations_counter() {
+  static telemetry::Counter& c = telemetry::MetricsRegistry::global().counter("puf.evaluations");
+  return c;
+}
+
+}  // namespace
 
 RoPuf::RoPuf(const TechnologyParams& tech, PufConfig config, RngFabric fabric)
     : tech_(std::make_shared<TechnologyParams>(tech)),
@@ -53,6 +64,7 @@ std::vector<double> RoPuf::fresh_ro_frequencies(OperatingPoint op) const {
 }
 
 BitVector RoPuf::evaluate(OperatingPoint op, std::uint64_t eval_index) const {
+  evaluations_counter().add(1);
   const std::vector<double> freqs = ro_frequencies(op);
   BitVector response(pairs_.size());
   for (std::size_t b = 0; b < pairs_.size(); ++b) {

@@ -1,16 +1,21 @@
 #include "sim/csv.hpp"
 
 #include <cstdlib>
-#include <stdexcept>
 
 #include "common/check.hpp"
+#include "telemetry/log.hpp"
 
 namespace aropuf {
 
-CsvWriter::CsvWriter(const std::string& path) : out_(path, std::ios::trunc) {
-  if (!out_.is_open()) {
-    throw std::runtime_error("cannot open CSV output file: " + path);
-  }
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path, std::ios::trunc) {
+  if (!out_.is_open()) note_failure("cannot open CSV output file");
+}
+
+void CsvWriter::note_failure(const char* what) {
+  if (failed_) return;  // log the first failure only; the flag stays latched
+  failed_ = true;
+  ARO_LOG_ERROR("csv", what, {"path", JsonValue(path_)},
+                {"rows_written", JsonValue(static_cast<std::uint64_t>(rows_))});
 }
 
 std::string CsvWriter::escape(const std::string& field) {
@@ -38,7 +43,18 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
     out_ << escape(fields[i]);
   }
   out_ << '\n';
+  if (!out_) note_failure("CSV row write failed");
   ++rows_;
+}
+
+bool CsvWriter::close() {
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_) note_failure("CSV flush failed");
+    out_.close();
+    if (out_.fail()) note_failure("CSV close failed");
+  }
+  return !failed_;
 }
 
 std::optional<CsvWriter> CsvWriter::for_bench(const std::string& name) {

@@ -15,12 +15,22 @@ namespace aropuf {
 
 class CsvWriter {
  public:
-  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  /// Opens (truncates) `path`.  An open failure is logged at error level and
+  /// latches ok() to false instead of throwing, so drivers surface it as a
+  /// non-zero exit through close() rather than an abort.
   explicit CsvWriter(const std::string& path);
 
   /// Writes one row; every call must carry the same number of fields as the
-  /// first row written.
+  /// first row written.  A stream failure (disk full, closed descriptor) is
+  /// logged at error level once and latches ok() to false — the run keeps
+  /// going, but close() reports the loss so drivers can exit non-zero.
   void write_row(const std::vector<std::string>& fields);
+
+  /// Flushes and returns whether every row landed on disk.  Idempotent.
+  bool close();
+
+  /// False once any write or flush has failed.
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
 
   [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
 
@@ -32,9 +42,13 @@ class CsvWriter {
   [[nodiscard]] static std::optional<CsvWriter> for_bench(const std::string& name);
 
  private:
+  void note_failure(const char* what);
+
+  std::string path_;
   std::ofstream out_;
   std::size_t rows_ = 0;
   std::size_t columns_ = 0;
+  bool failed_ = false;
 };
 
 }  // namespace aropuf

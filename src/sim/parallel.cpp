@@ -7,6 +7,11 @@
 #include <mutex>
 #include <thread>
 
+#include "telemetry/log.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace aropuf {
 
 namespace {
@@ -14,6 +19,30 @@ namespace {
 /// True while the current thread is executing inside a parallel_for task;
 /// nested calls detect this and run inline to avoid deadlocking the pool.
 thread_local bool tls_inside_task = false;
+
+/// Engine instruments, resolved once (registry lookups take a lock; the
+/// references are stable for the life of the process).  Counters are relaxed
+/// atomics; the histograms shard per worker thread, so recording a chunk
+/// time or queue wait never contends.
+struct PoolTelemetry {
+  telemetry::Counter& jobs;
+  telemetry::Counter& chunks;
+  telemetry::Counter& indices;
+  telemetry::ShardedHistogram& chunk_ms;
+  telemetry::ShardedHistogram& queue_wait_us;
+
+  static PoolTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static PoolTelemetry t{
+        reg.counter("parallel.jobs"),
+        reg.counter("parallel.chunks"),
+        reg.counter("parallel.indices"),
+        reg.histogram("parallel.chunk_ms", 0.0, 50.0, 50),
+        reg.histogram("parallel.queue_wait_us", 0.0, 1000.0, 50),
+    };
+    return t;
+  }
+};
 
 int clamp_threads(int threads) {
   if (threads < 1) threads = 1;
@@ -63,6 +92,12 @@ struct ParallelExecutor::Impl {
         if (stopping) return;
         seen_generation = generation;
       }
+      // Dispatch latency: time from job submission to this worker picking it
+      // up.  A fat tail here means workers are parked too deep (or the OS is
+      // oversubscribed), not that the work itself is slow.
+      const std::uint64_t submitted = job_submit_us.load(std::memory_order_acquire);
+      PoolTelemetry::get().queue_wait_us.record(
+          static_cast<double>(telemetry::steady_now_us() - submitted));
       run_chunks();
       if (active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(mutex);
@@ -75,11 +110,18 @@ struct ParallelExecutor::Impl {
   /// after an exception) is exhausted.  Runs on workers and the caller alike.
   void run_chunks() {
     tls_inside_task = true;
+    PoolTelemetry& telem = PoolTelemetry::get();
     for (;;) {
       if (job_failed.load(std::memory_order_acquire)) break;
       const std::size_t begin = next_index.fetch_add(chunk_size, std::memory_order_relaxed);
       if (begin >= job_n) break;
       const std::size_t end = begin + chunk_size < job_n ? begin + chunk_size : job_n;
+      telem.chunks.add(1);
+      const std::uint64_t chunk_start_us = telemetry::steady_now_us();
+      const telemetry::TraceScope span(
+          "chunk", "parallel",
+          {{"begin", JsonValue(static_cast<std::uint64_t>(begin))},
+           {"end", JsonValue(static_cast<std::uint64_t>(end))}});
       try {
         for (std::size_t i = begin; i < end; ++i) (*job_fn)(i);
       } catch (...) {
@@ -90,12 +132,20 @@ struct ParallelExecutor::Impl {
         job_failed.store(true, std::memory_order_release);
         break;
       }
+      telem.chunk_ms.record(
+          static_cast<double>(telemetry::steady_now_us() - chunk_start_us) / 1000.0);
     }
     tls_inside_task = false;
   }
 
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
+    // Nested (inline) calls are not separate jobs; count only top-level ones.
+    if (!tls_inside_task) {
+      PoolTelemetry& telem = PoolTelemetry::get();
+      telem.jobs.add(1);
+      telem.indices.add(n);
+    }
     if (thread_count == 1 || tls_inside_task || n == 1) {
       // Serial fallback: AROPUF_THREADS=1, nested call, or trivial span.
       // Exceptions propagate naturally from the caller's own frame.
@@ -113,6 +163,10 @@ struct ParallelExecutor::Impl {
 
     // One job at a time; a second caller thread queues behind this mutex.
     std::lock_guard<std::mutex> job_lock(job_mutex);
+    const telemetry::TraceScope job_span(
+        "parallel_for", "parallel",
+        {{"n", JsonValue(static_cast<std::uint64_t>(n))},
+         {"threads", JsonValue(thread_count)}});
     job_fn = &fn;
     job_n = n;
     // ~4 chunks per thread balances scheduling overhead against tail latency
@@ -122,6 +176,7 @@ struct ParallelExecutor::Impl {
     next_index.store(0, std::memory_order_relaxed);
     job_failed.store(false, std::memory_order_relaxed);
     job_exception = nullptr;
+    job_submit_us.store(telemetry::steady_now_us(), std::memory_order_release);
     active_workers.store(thread_count - 1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex);
@@ -155,6 +210,7 @@ struct ParallelExecutor::Impl {
   const std::function<void(std::size_t)>* job_fn = nullptr;
   std::size_t job_n = 0;
   std::size_t chunk_size = 1;
+  std::atomic<std::uint64_t> job_submit_us{0};
   std::atomic<std::size_t> next_index{0};
   std::atomic<bool> job_failed{false};
   std::mutex exception_mutex;
@@ -180,15 +236,30 @@ std::unique_ptr<ParallelExecutor> g_global_executor;
 
 }  // namespace
 
+namespace {
+
+/// The global pool's size is provenance: manifests record it, and the log
+/// line answers "how many workers actually ran" without attaching a tracer.
+void announce_global_pool(int threads) {
+  telemetry::set_runtime_field("threads", JsonValue(threads));
+  ARO_LOG_DEBUG("parallel", "global executor ready", {"threads", JsonValue(threads)});
+}
+
+}  // namespace
+
 ParallelExecutor& ParallelExecutor::global() {
   std::lock_guard<std::mutex> lock(g_global_mutex);
-  if (!g_global_executor) g_global_executor = std::make_unique<ParallelExecutor>();
+  if (!g_global_executor) {
+    g_global_executor = std::make_unique<ParallelExecutor>();
+    announce_global_pool(g_global_executor->thread_count());
+  }
   return *g_global_executor;
 }
 
 void ParallelExecutor::set_global_thread_count(int threads) {
   std::lock_guard<std::mutex> lock(g_global_mutex);
   g_global_executor = std::make_unique<ParallelExecutor>(threads);
+  announce_global_pool(g_global_executor->thread_count());
 }
 
 void parallel_for_chips(std::size_t n, const std::function<void(std::size_t)>& fn) {

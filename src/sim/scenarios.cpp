@@ -8,12 +8,19 @@
 #include "puf/masking.hpp"
 #include "puf/ro_puf.hpp"
 #include "sim/parallel.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace aropuf {
 
 namespace {
 
 std::vector<RoPuf> build_population(const PopulationConfig& pop, const PufConfig& puf) {
+  const telemetry::TraceScope span("build_population", "scenario",
+                                   {{"chips", JsonValue(pop.chips)}});
+  telemetry::MetricsRegistry::global().counter("sim.chips_simulated").add(
+      static_cast<std::uint64_t>(pop.chips));
   const RngFabric fabric(pop.seed);
   return make_population(pop.tech, puf, pop.chips, fabric);
 }
@@ -25,6 +32,8 @@ constexpr std::uint64_t kGoldenEval = 0;
 /// Enrolls every chip's golden response in parallel (each chip touches only
 /// its own slot and its own RNG streams).
 std::vector<BitVector> enroll_golden(const std::vector<RoPuf>& chips, OperatingPoint op) {
+  const telemetry::TraceScope span("enroll_golden", "scenario",
+                                   {{"chips", JsonValue(static_cast<std::uint64_t>(chips.size()))}});
   return parallel_map_chips(chips.size(),
                             [&](std::size_t c) { return chips[c].evaluate(op, kGoldenEval); });
 }
@@ -34,6 +43,7 @@ std::vector<BitVector> enroll_golden(const std::vector<RoPuf>& chips, OperatingP
 FrequencySeries run_frequency_degradation(const PopulationConfig& pop, const PufConfig& puf,
                                           std::span<const double> checkpoints) {
   ARO_REQUIRE(!checkpoints.empty(), "need at least one checkpoint");
+  const telemetry::StageTimer stage("E1.frequency_degradation[" + puf.label + "]");
   auto chips = build_population(pop, puf);
   const OperatingPoint op = nominal_operating_point(pop.tech);
 
@@ -44,6 +54,7 @@ FrequencySeries run_frequency_degradation(const PopulationConfig& pop, const Puf
   double previous_years = 0.0;
   for (const double y : checkpoints) {
     ARO_REQUIRE(y >= previous_years, "checkpoints must be non-decreasing");
+    const telemetry::TraceScope span("checkpoint", "scenario", {{"years", JsonValue(y)}});
     // Each chip ages itself and reports its per-RO shifts; the reduction runs
     // serially in (chip, RO) order so the mean is bit-identical to a serial
     // run at any thread count.
@@ -79,6 +90,7 @@ void run_flip_checkpoints(std::vector<RoPuf>& chips, const std::vector<BitVector
   std::uint64_t eval_index = 1;
   for (const double y : checkpoints) {
     ARO_REQUIRE(y >= previous_years, "checkpoints must be non-decreasing");
+    const telemetry::TraceScope span("checkpoint", "scenario", {{"years", JsonValue(y)}});
     const auto flip_percent = parallel_map_chips(chips.size(), [&](std::size_t c) {
       chips[c].age_years(y - previous_years);
       return fractional_hamming_distance(golden[c], chips[c].evaluate(op, eval_index)) * 100.0;
@@ -98,6 +110,7 @@ void run_flip_checkpoints(std::vector<RoPuf>& chips, const std::vector<BitVector
 AgingSeries run_aging_series(const PopulationConfig& pop, const PufConfig& puf,
                              std::span<const double> checkpoints) {
   ARO_REQUIRE(!checkpoints.empty(), "need at least one checkpoint");
+  const telemetry::StageTimer stage("E2.aging_series[" + puf.label + "]");
   auto chips = build_population(pop, puf);
   const OperatingPoint op = nominal_operating_point(pop.tech);
 
@@ -115,6 +128,7 @@ AgingSeries run_aging_series_with_burnin(const PopulationConfig& pop, const PufC
                                          std::span<const double> checkpoints) {
   ARO_REQUIRE(!checkpoints.empty(), "need at least one checkpoint");
   ARO_REQUIRE(burnin_duration >= 0.0, "burn-in duration must be non-negative");
+  const telemetry::StageTimer stage("E8.aging_series_burnin[" + puf.label + "]");
   auto chips = build_population(pop, puf);
   const OperatingPoint op = nominal_operating_point(pop.tech);
 
@@ -171,6 +185,7 @@ MissionResult run_mission(const PopulationConfig& pop, const PufConfig& puf,
                           std::span<const double> year_checkpoints) {
   mission.validate();
   ARO_REQUIRE(!year_checkpoints.empty(), "need at least one checkpoint");
+  const telemetry::StageTimer stage("E14.mission[" + mission.name + "]");
   auto chips = build_population(pop, puf);
   const OperatingPoint op = nominal_operating_point(pop.tech);
 
@@ -188,6 +203,7 @@ MissionResult run_mission(const PopulationConfig& pop, const PufConfig& puf,
   std::uint64_t eval_index = 1;
   for (const double y : year_checkpoints) {
     ARO_REQUIRE(y >= previous_years, "checkpoints must be non-decreasing");
+    const telemetry::TraceScope span("checkpoint", "scenario", {{"years", JsonValue(y)}});
     const Seconds interval = years(y - previous_years);
     const double cycles_in_interval = interval / mission.cycle_duration();
     const auto flip_percent = parallel_map_chips(chips.size(), [&](std::size_t c) {
@@ -210,6 +226,7 @@ MissionResult run_mission(const PopulationConfig& pop, const PufConfig& puf,
 MaskingStudyResult run_masking_study(const PopulationConfig& pop, const PufConfig& puf,
                                      bool full_corners, int screening_repeats, double years) {
   ARO_REQUIRE(years >= 0.0, "years must be non-negative");
+  const telemetry::StageTimer stage("E10.masking_study[" + puf.label + "]");
   auto chips = build_population(pop, puf);
   const OperatingPoint op = nominal_operating_point(pop.tech);
   const ScreeningConfig screening = full_corners
@@ -256,6 +273,7 @@ MaskingStudyResult run_masking_study(const PopulationConfig& pop, const PufConfi
 }
 
 UniquenessExperimentResult run_uniqueness(const PopulationConfig& pop, const PufConfig& puf) {
+  const telemetry::StageTimer stage("E3.uniqueness[" + puf.label + "]");
   auto chips = build_population(pop, puf);
   const OperatingPoint op = nominal_operating_point(pop.tech);
 
@@ -275,6 +293,9 @@ std::vector<SweepPoint> run_environment_sweep(const PopulationConfig& pop, const
                                               std::span<const double> points,
                                               bool sweep_temperature) {
   ARO_REQUIRE(!points.empty(), "need at least one sweep point");
+  const telemetry::StageTimer stage(
+      std::string(sweep_temperature ? "E5.temperature_sweep[" : "E6.voltage_sweep[") +
+      puf.label + "]");
   auto chips = build_population(pop, puf);
   const OperatingPoint nominal = nominal_operating_point(pop.tech);
 
@@ -284,6 +305,7 @@ std::vector<SweepPoint> run_environment_sweep(const PopulationConfig& pop, const
   sweep.reserve(points.size());
   std::uint64_t eval_index = 1;
   for (const double value : points) {
+    const telemetry::TraceScope span("sweep_point", "scenario", {{"value", JsonValue(value)}});
     OperatingPoint op = nominal;
     if (sweep_temperature) {
       op.temp = celsius(value);
@@ -317,6 +339,7 @@ std::vector<SweepPoint> run_voltage_sweep(const PopulationConfig& pop, const Puf
 BerStats measure_eol_ber(const PopulationConfig& pop, const PufConfig& puf,
                          double years_of_use) {
   ARO_REQUIRE(years_of_use >= 0.0, "years must be non-negative");
+  const telemetry::StageTimer stage("eol_ber[" + puf.label + "]");
   auto chips = build_population(pop, puf);
   const OperatingPoint op = nominal_operating_point(pop.tech);
   const auto chip_ber = parallel_map_chips(chips.size(), [&](std::size_t c) {
@@ -333,6 +356,7 @@ BerStats measure_eol_ber(const PopulationConfig& pop, const PufConfig& puf,
 
 EccComparison run_ecc_comparison(const TechnologyParams& tech, double conventional_ber,
                                  double aro_ber, const CodeSearchConstraints& constraints) {
+  const telemetry::StageTimer stage("E7.ecc_comparison");
   EccComparison cmp;
   cmp.conventional_ber = conventional_ber;
   cmp.aro_ber = aro_ber;

@@ -1,0 +1,162 @@
+#include "telemetry/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace aropuf::telemetry {
+
+namespace {
+
+/// Milliseconds since the first log-state touch; monotonic, so lines order
+/// consistently even if the wall clock steps.
+double elapsed_ms() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double, std::milli>(clock::now() - start).count();
+}
+
+void stderr_sink(std::string_view line) {
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+LogFormat parse_log_format(const char* text, LogFormat fallback) noexcept {
+  if (text == nullptr) return fallback;
+  const std::string_view sv(text);
+  if (sv == "json") return LogFormat::kJson;
+  if (sv == "text") return LogFormat::kText;
+  return fallback;
+}
+
+struct LogState {
+  std::atomic<int> level;
+  std::atomic<int> format;
+  std::atomic<LogSink> sink;
+  std::mutex emit_mutex;
+
+  LogState()
+      : level(static_cast<int>(level_from_environment())),
+        format(static_cast<int>(format_from_environment())),
+        sink(&stderr_sink) {
+    elapsed_ms();  // pin the epoch at first touch
+  }
+
+  static LogLevel level_from_environment() noexcept {
+    const char* env = std::getenv("AROPUF_LOG");
+    return env ? parse_log_level(env, LogLevel::kWarn) : LogLevel::kWarn;
+  }
+
+  static LogFormat format_from_environment() noexcept {
+    return parse_log_format(std::getenv("AROPUF_LOG_FORMAT"), LogFormat::kText);
+  }
+};
+
+LogState& state() {
+  static LogState s;
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) noexcept {
+  if (text == "trace") return LogLevel::kTrace;
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off" || text == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(state().level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  state().level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogFormat log_format() noexcept {
+  return static_cast<LogFormat>(state().format.load(std::memory_order_relaxed));
+}
+
+void set_log_format(LogFormat format) noexcept {
+  state().format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+void reset_log_from_environment() {
+  set_log_level(LogState::level_from_environment());
+  set_log_format(LogState::format_from_environment());
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= state().level.load(std::memory_order_relaxed) &&
+         level != LogLevel::kOff;
+}
+
+void set_log_sink(LogSink sink) noexcept {
+  state().sink.store(sink != nullptr ? sink : &stderr_sink, std::memory_order_relaxed);
+}
+
+std::string format_log_line(LogFormat format, LogLevel level, std::string_view component,
+                            std::string_view message, std::initializer_list<LogField> fields) {
+  if (format == LogFormat::kJson) {
+    JsonValue::Object record;
+    record["elapsed_ms"] = JsonValue(elapsed_ms());
+    record["level"] = JsonValue(to_string(level));
+    record["component"] = JsonValue(std::string(component));
+    record["message"] = JsonValue(std::string(message));
+    if (fields.size() > 0) {
+      JsonValue::Object fobj;
+      for (const auto& [key, value] : fields) fobj[std::string(key)] = value;
+      record["fields"] = JsonValue(std::move(fobj));
+    }
+    return JsonValue(std::move(record)).dump();
+  }
+  std::string line;
+  line.reserve(64 + message.size());
+  char head[48];
+  std::snprintf(head, sizeof(head), "%12.3f %-5s ", elapsed_ms(), to_string(level));
+  line += head;
+  line += '[';
+  line += component;
+  line += "] ";
+  line += message;
+  for (const auto& [key, value] : fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    // dump() renders numbers bare and strings JSON-quoted/escaped, which is
+    // exactly the key=value convention we want.
+    line += value.dump();
+  }
+  return line;
+}
+
+void log_message(LogLevel level, std::string_view component, std::string_view message,
+                 std::initializer_list<LogField> fields) {
+  if (!log_enabled(level)) return;
+  const std::string line = format_log_line(log_format(), level, component, message, fields);
+  LogState& s = state();
+  const LogSink sink = s.sink.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(s.emit_mutex);
+  sink(line);
+}
+
+}  // namespace aropuf::telemetry

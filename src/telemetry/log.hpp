@@ -1,0 +1,109 @@
+// Structured, leveled logging for the aropuf library.
+//
+// Zero dependencies beyond common/json (field values are JsonValue, which
+// already knows how to escape itself).  Design constraints, in order:
+//
+//  1. Tier-1 hot loops must pay nothing when a level is compiled out: the
+//     ARO_LOG_* macros guard on AROPUF_LOG_COMPILE_LEVEL with `if constexpr`,
+//     so a compiled-out call site emits no code at all.
+//  2. A compiled-in but runtime-disabled call site costs one relaxed atomic
+//     load (the level check) — no formatting, no allocation.
+//  3. Emission is thread-safe: records are formatted off-lock and written to
+//     the sink under a mutex, so concurrent workers never interleave lines.
+//
+// Runtime configuration comes from the environment:
+//   AROPUF_LOG        = trace|debug|info|warn|error|off   (default: warn)
+//   AROPUF_LOG_FORMAT = text|json                         (default: text)
+// Programmatic set_log_level/set_log_format override the environment until
+// reset_log_from_environment() re-reads it.  Text lines go to stderr by
+// default (stdout carries the experiment tables); tests capture the stream
+// with set_log_sink.
+#pragma once
+
+#include <initializer_list>
+#include <string_view>
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace aropuf::telemetry {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+enum class LogFormat : int { kText = 0, kJson = 1 };
+
+/// One key=value pair attached to a log record.  JsonValue gives us typed
+/// values (string/number/bool) and correct JSON escaping for free.
+using LogField = std::pair<std::string_view, JsonValue>;
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// Parses "trace".."error"/"off"; returns fallback on anything else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text, LogLevel fallback) noexcept;
+
+/// Current runtime threshold (records below it are dropped).
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+[[nodiscard]] LogFormat log_format() noexcept;
+void set_log_format(LogFormat format) noexcept;
+
+/// Re-reads AROPUF_LOG / AROPUF_LOG_FORMAT, discarding programmatic
+/// overrides.  Unset or unparsable values fall back to warn / text.
+void reset_log_from_environment();
+
+/// One relaxed atomic load; the macros call this before formatting anything.
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+/// Sink for complete, newline-free record lines.  nullptr restores the
+/// default stderr sink.  Used by tests to capture output.
+using LogSink = void (*)(std::string_view line);
+void set_log_sink(LogSink sink) noexcept;
+
+/// Formats and emits one record (level/component/message plus fields).
+/// Callers normally go through the ARO_LOG_* macros, which add the runtime
+/// level check and the compile-out guard.
+void log_message(LogLevel level, std::string_view component, std::string_view message,
+                 std::initializer_list<LogField> fields = {});
+
+/// Renders a record without emitting it (the formatting backend of
+/// log_message; exposed so tests can pin the wire format).
+[[nodiscard]] std::string format_log_line(LogFormat format, LogLevel level,
+                                          std::string_view component, std::string_view message,
+                                          std::initializer_list<LogField> fields);
+
+}  // namespace aropuf::telemetry
+
+/// Records at levels below this constant are removed at compile time.
+/// 0 keeps everything; building with -DAROPUF_LOG_COMPILE_LEVEL=5 strips
+/// every ARO_LOG_* call site from the binary.
+#ifndef AROPUF_LOG_COMPILE_LEVEL
+#define AROPUF_LOG_COMPILE_LEVEL 0
+#endif
+
+#define ARO_LOG_AT(level_int, level_enum, component, message, ...)                      \
+  do {                                                                                  \
+    if constexpr ((level_int) >= AROPUF_LOG_COMPILE_LEVEL) {                            \
+      if (::aropuf::telemetry::log_enabled(level_enum)) {                               \
+        ::aropuf::telemetry::log_message(level_enum, component, message, {__VA_ARGS__}); \
+      }                                                                                 \
+    }                                                                                   \
+  } while (false)
+
+#define ARO_LOG_TRACE(component, message, ...) \
+  ARO_LOG_AT(0, ::aropuf::telemetry::LogLevel::kTrace, component, message __VA_OPT__(, ) __VA_ARGS__)
+#define ARO_LOG_DEBUG(component, message, ...) \
+  ARO_LOG_AT(1, ::aropuf::telemetry::LogLevel::kDebug, component, message __VA_OPT__(, ) __VA_ARGS__)
+#define ARO_LOG_INFO(component, message, ...) \
+  ARO_LOG_AT(2, ::aropuf::telemetry::LogLevel::kInfo, component, message __VA_OPT__(, ) __VA_ARGS__)
+#define ARO_LOG_WARN(component, message, ...) \
+  ARO_LOG_AT(3, ::aropuf::telemetry::LogLevel::kWarn, component, message __VA_OPT__(, ) __VA_ARGS__)
+#define ARO_LOG_ERROR(component, message, ...) \
+  ARO_LOG_AT(4, ::aropuf::telemetry::LogLevel::kError, component, message __VA_OPT__(, ) __VA_ARGS__)

@@ -1,0 +1,150 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace aropuf::telemetry {
+
+namespace {
+
+std::uint64_t next_histogram_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+/// One thread's private accumulation state.  Owned by the histogram; the
+/// recording thread holds only a cached pointer keyed by the histogram's
+/// process-unique id, so a stale cache entry (histogram destroyed) is never
+/// consulted again — ids are not reused.
+struct ShardedHistogram::Shard {
+  explicit Shard(std::size_t bins) : counts(bins) {}
+
+  RunningStats stats;
+  std::vector<std::uint64_t> counts;
+
+  void record(double x, double lo, double hi) noexcept {
+    stats.add(x);
+    const std::size_t n = counts.size();
+    std::size_t bin = 0;
+    if (x >= hi) {
+      bin = n - 1;
+    } else if (x > lo) {
+      bin = static_cast<std::size_t>((x - lo) / (hi - lo) * static_cast<double>(n));
+      if (bin >= n) bin = n - 1;
+    }
+    ++counts[bin];
+  }
+
+  void reset() noexcept {
+    stats = RunningStats{};
+    std::fill(counts.begin(), counts.end(), 0);
+  }
+};
+
+ShardedHistogram::ShardedHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins > 0 ? bins : 1), id_(next_histogram_id()) {}
+
+ShardedHistogram::~ShardedHistogram() = default;
+
+ShardedHistogram::Shard& ShardedHistogram::local_shard() noexcept {
+  // Cache key is the histogram id, not the pointer: pointers can be reused
+  // after destruction, ids cannot.
+  thread_local std::unordered_map<std::uint64_t, Shard*> cache;
+  if (Shard*& cached = cache[id_]; cached != nullptr) return *cached;
+  auto shard = std::make_unique<Shard>(bins_);
+  Shard* raw = shard.get();
+  {
+    std::lock_guard<std::mutex> lock(shards_mutex_);
+    shards_.push_back(std::move(shard));
+  }
+  cache[id_] = raw;
+  return *raw;
+}
+
+void ShardedHistogram::record(double x) noexcept { local_shard().record(x, lo_, hi_); }
+
+HistogramSnapshot ShardedHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.lo = lo_;
+  snap.hi = hi_;
+  snap.bins.assign(bins_, 0);
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  for (const auto& shard : shards_) {
+    snap.stats.merge(shard->stats);
+    for (std::size_t b = 0; b < bins_; ++b) snap.bins[b] += shard->counts[b];
+  }
+  return snap;
+}
+
+void ShardedHistogram::reset() noexcept {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  for (const auto& shard : shards_) shard->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+ShardedHistogram& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                                             std::size_t bins) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<ShardedHistogram>(lo, hi, bins);
+  return *slot;
+}
+
+JsonValue MetricsRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue::Object counters;
+  for (const auto& [name, c] : counters_) counters[name] = JsonValue(c->value());
+  JsonValue::Object gauges;
+  for (const auto& [name, g] : gauges_) gauges[name] = JsonValue(g->value());
+  JsonValue::Object histograms;
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot snap = h->snapshot();
+    JsonValue::Object obj;
+    obj["count"] = JsonValue(static_cast<std::uint64_t>(snap.stats.count()));
+    obj["mean"] = JsonValue(snap.stats.mean());
+    obj["stddev"] = JsonValue(snap.stats.stddev());
+    obj["min"] = JsonValue(snap.stats.count() > 0 ? snap.stats.min() : 0.0);
+    obj["max"] = JsonValue(snap.stats.count() > 0 ? snap.stats.max() : 0.0);
+    obj["lo"] = JsonValue(snap.lo);
+    obj["hi"] = JsonValue(snap.hi);
+    JsonValue::Array bins;
+    bins.reserve(snap.bins.size());
+    for (const std::uint64_t b : snap.bins) bins.emplace_back(b);
+    obj["bins"] = JsonValue(std::move(bins));
+    histograms[name] = JsonValue(std::move(obj));
+  }
+  JsonValue::Object root;
+  root["counters"] = JsonValue(std::move(counters));
+  root["gauges"] = JsonValue(std::move(gauges));
+  root["histograms"] = JsonValue(std::move(histograms));
+  return JsonValue(std::move(root));
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : counters_) entry.second->reset();
+  for (const auto& entry : gauges_) entry.second->reset();
+  for (const auto& entry : histograms_) entry.second->reset();
+}
+
+}  // namespace aropuf::telemetry

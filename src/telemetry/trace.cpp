@@ -1,0 +1,178 @@
+#include "telemetry/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/log.hpp"
+
+namespace aropuf::telemetry {
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  int tid = 0;
+  JsonValue::Object args;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::mutex mutex;
+  std::string path;
+  std::vector<TraceEvent> events;
+
+  TraceState() {
+    if (const char* env = std::getenv("AROPUF_TRACE"); env != nullptr && *env != '\0') {
+      path = env;
+      events.reserve(1024);
+      enabled.store(true, std::memory_order_release);
+      // Write whatever was collected even if the program never calls
+      // flush_trace() itself (bench binaries get tracing "for free").
+      std::atexit([] { flush_trace(); });
+    }
+  }
+};
+
+TraceState& state() {
+  static TraceState s;
+  return s;
+}
+
+int next_thread_id() noexcept {
+  static std::atomic<int> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+JsonValue events_to_json(const std::vector<TraceEvent>& events) {
+  JsonValue::Array trace_events;
+  trace_events.reserve(events.size() + 1);
+  {
+    // Process-name metadata record; carries ts/tid too so consumers (and the
+    // CI validator) can require those fields on every event.
+    JsonValue::Object meta;
+    meta["name"] = JsonValue("process_name");
+    meta["ph"] = JsonValue("M");
+    meta["ts"] = JsonValue(std::uint64_t{0});
+    meta["pid"] = JsonValue(1);
+    meta["tid"] = JsonValue(0);
+    JsonValue::Object meta_args;
+    meta_args["name"] = JsonValue("aropuf");
+    meta["args"] = JsonValue(std::move(meta_args));
+    trace_events.emplace_back(std::move(meta));
+  }
+  for (const TraceEvent& e : events) {
+    JsonValue::Object obj;
+    obj["name"] = JsonValue(e.name);
+    obj["cat"] = JsonValue(e.category);
+    obj["ph"] = JsonValue("X");
+    obj["ts"] = JsonValue(e.ts_us);
+    obj["dur"] = JsonValue(e.dur_us);
+    obj["pid"] = JsonValue(1);
+    obj["tid"] = JsonValue(e.tid);
+    if (!e.args.empty()) obj["args"] = JsonValue(e.args);
+    trace_events.emplace_back(std::move(obj));
+  }
+  JsonValue::Object root;
+  root["traceEvents"] = JsonValue(std::move(trace_events));
+  root["displayTimeUnit"] = JsonValue("ms");
+  return JsonValue(std::move(root));
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept { return state().enabled.load(std::memory_order_relaxed); }
+
+std::uint64_t steady_now_us() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - start).count());
+}
+
+int trace_thread_id() noexcept {
+  thread_local const int tid = next_thread_id();
+  return tid;
+}
+
+void start_trace(const std::string& path) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.path = path;
+  s.events.clear();
+  s.events.reserve(1024);
+  s.enabled.store(true, std::memory_order_release);
+}
+
+std::size_t trace_event_count() noexcept {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.events.size();
+}
+
+bool flush_trace() {
+  TraceState& s = state();
+  std::vector<TraceEvent> events;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.enabled.load(std::memory_order_relaxed)) return true;
+    s.enabled.store(false, std::memory_order_release);
+    events.swap(s.events);
+    path.swap(s.path);
+  }
+  const std::string json = events_to_json(events).dump(/*indent=*/0);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    ARO_LOG_ERROR("trace", "cannot open trace output file", {"path", JsonValue(path)});
+    return false;
+  }
+  out << json << '\n';
+  out.flush();
+  if (!out) {
+    ARO_LOG_ERROR("trace", "trace write failed", {"path", JsonValue(path)},
+                  {"events", JsonValue(static_cast<std::uint64_t>(events.size()))});
+    return false;
+  }
+  ARO_LOG_INFO("trace", "trace written", {"path", JsonValue(path)},
+               {"events", JsonValue(static_cast<std::uint64_t>(events.size()))});
+  return true;
+}
+
+TraceScope::TraceScope(std::string_view name, std::string_view category)
+    : TraceScope(name, category, {}) {}
+
+TraceScope::TraceScope(std::string_view name, std::string_view category,
+                       std::initializer_list<TraceArg> args) {
+  if (!trace_enabled()) return;
+  active_ = true;
+  start_us_ = steady_now_us();
+  name_.assign(name);
+  category_.assign(category);
+  for (const auto& [key, value] : args) args_[std::string(key)] = value;
+}
+
+TraceScope::~TraceScope() {
+  if (!active_) return;
+  const std::uint64_t end_us = steady_now_us();
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  // The session may have flushed while the span was open; drop it then.
+  if (!s.enabled.load(std::memory_order_relaxed)) return;
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.category = std::move(category_);
+  e.ts_us = start_us_;
+  e.dur_us = end_us - start_us_;
+  e.tid = trace_thread_id();
+  e.args = std::move(args_);
+  s.events.push_back(std::move(e));
+}
+
+}  // namespace aropuf::telemetry

@@ -1,0 +1,70 @@
+// Span-based tracing that serializes to Chrome trace_event JSON.
+//
+// A trace session buffers "complete" events (ph = "X": name, start, duration,
+// thread id) and writes them as {"traceEvents": [...]} on flush — the format
+// chrome://tracing and https://ui.perfetto.dev load directly, which turns a
+// 10k-chip aging series into a per-thread flame chart.
+//
+// Sessions start either from the environment (AROPUF_TRACE=out.json, written
+// automatically at process exit) or programmatically with start_trace().
+// When no session is active a TraceScope costs one relaxed atomic load; when
+// active, ending a span appends to a mutex-guarded buffer — spans here are
+// coarse (experiment stages, parallel_for chunks), never per-RO.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace aropuf::telemetry {
+
+/// One relaxed atomic load; instrumentation guards on this before building
+/// span names or args.
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Starts buffering spans; they are written to `path` by flush_trace() (or at
+/// process exit).  Restarting an active session discards buffered spans.
+void start_trace(const std::string& path);
+
+/// Writes the buffered spans as Chrome trace JSON and ends the session.
+/// Returns false (and logs at error level) when the file cannot be written.
+/// No-op returning true when no session is active.
+bool flush_trace();
+
+/// Number of spans currently buffered (tests and sanity checks).
+[[nodiscard]] std::size_t trace_event_count() noexcept;
+
+/// Stable small integer identifying the calling thread in trace output
+/// (assigned on first use; the main thread is usually 0).
+[[nodiscard]] int trace_thread_id() noexcept;
+
+/// Microseconds on the steady clock since process start — the trace time
+/// base, also used by the engine's queue-wait instrumentation.
+[[nodiscard]] std::uint64_t steady_now_us() noexcept;
+
+using TraceArg = std::pair<std::string_view, JsonValue>;
+
+/// RAII span: records a complete event covering construction → destruction.
+/// Construction is a no-op (no string copies) when tracing is disabled.
+class TraceScope {
+ public:
+  explicit TraceScope(std::string_view name, std::string_view category = "aropuf");
+  TraceScope(std::string_view name, std::string_view category,
+             std::initializer_list<TraceArg> args);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool active_ = false;
+  std::uint64_t start_us_ = 0;
+  std::string name_;
+  std::string category_;
+  JsonValue::Object args_;
+};
+
+}  // namespace aropuf::telemetry

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "sim/parallel.hpp"
 
 namespace aropuf {
 namespace {
@@ -104,14 +108,46 @@ TEST(NistApproximateEntropyTest, PassesRandomFailsRepetitive) {
   EXPECT_FALSE(nist_approximate_entropy(repetitive).pass());
 }
 
-TEST(NistBatteryTest, RunsAllSevenTests) {
+TEST(NistAutocorrelationTest, PassesRandomFailsPeriodic) {
+  EXPECT_TRUE(nist_autocorrelation(random_bits(4096, 19)).pass());
+  // Period-7 structure: lag 7 disagrees on zero positions.
+  BitVector periodic(4096);
+  for (std::size_t i = 0; i < periodic.size(); ++i) periodic.set(i, i % 7 == 0);
+  EXPECT_FALSE(nist_autocorrelation(periodic).pass());
+}
+
+TEST(NistAutocorrelationTest, ShortSequenceNotApplicable) {
+  EXPECT_FALSE(nist_autocorrelation(BitVector(50)).applicable);
+}
+
+TEST(NistAutocorrelationTest, LagCountDefaultsToHalfLength) {
+  const auto r = nist_autocorrelation(random_bits(1000, 21));
+  EXPECT_EQ(r.name, "autocorrelation (lags=500)");
+}
+
+// The lag battery runs on the Monte Carlo engine; the p-value must be
+// bit-identical at any thread count.
+TEST(NistAutocorrelationTest, BitIdenticalAcrossThreadCounts) {
+  const BitVector bits = random_bits(4096, 23);
+  ParallelExecutor::set_global_thread_count(1);
+  const auto serial = nist_autocorrelation(bits);
+  for (const int threads : {2, 8}) {
+    ParallelExecutor::set_global_thread_count(threads);
+    const auto parallel = nist_autocorrelation(bits);
+    EXPECT_DOUBLE_EQ(parallel.p_value, serial.p_value) << threads;
+    EXPECT_EQ(parallel.name, serial.name) << threads;
+  }
+  ParallelExecutor::set_global_thread_count(0);
+}
+
+TEST(NistBatteryTest, RunsAllEightTests) {
   const auto results = nist_battery(random_bits(4096, 15));
-  EXPECT_EQ(results.size(), 7U);
+  EXPECT_EQ(results.size(), 8U);
   int passed = 0;
   for (const auto& r : results) {
     if (r.pass()) ++passed;
   }
-  EXPECT_GE(passed, 6);  // a true random sequence passes essentially all
+  EXPECT_GE(passed, 7);  // a true random sequence passes essentially all
 }
 
 TEST(NistBatteryTest, PValuesAreProbabilities) {
@@ -122,23 +158,27 @@ TEST(NistBatteryTest, PValuesAreProbabilities) {
 }
 
 // p-value uniformity property: over many random sequences, each test should
-// reject at close to its alpha level.
-class NistFalsePositiveRateTest : public ::testing::TestWithParam<int> {};
-
-TEST_P(NistFalsePositiveRateTest, RejectionRateNearAlpha) {
-  const int test_index = GetParam();
-  int rejects = 0;
+// reject at close to its alpha level.  One battery per trial, checked for
+// every test at once (the autocorrelation member scans n/2 lags, so battery
+// runs are no longer cheap enough to repeat per test index).
+TEST(NistFalsePositiveRateTest, RejectionRateNearAlpha) {
   constexpr int kTrials = 200;
+  std::vector<int> rejects(8, 0);
+  std::vector<std::string> names(8);
   for (int trial = 0; trial < kTrials; ++trial) {
     const auto results =
         nist_battery(random_bits(2048, 1000 + static_cast<std::uint64_t>(trial)));
-    if (!results[static_cast<std::size_t>(test_index)].pass(0.01)) ++rejects;
+    ASSERT_EQ(results.size(), rejects.size());
+    for (std::size_t t = 0; t < results.size(); ++t) {
+      names[t] = results[t].name;
+      if (!results[t].pass(0.01)) ++rejects[t];
+    }
   }
   // alpha = 1 %: expect <= ~5 % rejections allowing Monte Carlo slack.
-  EXPECT_LE(rejects, 10) << "test index " << test_index;
+  for (std::size_t t = 0; t < rejects.size(); ++t) {
+    EXPECT_LE(rejects[t], 10) << names[t];
+  }
 }
-
-INSTANTIATE_TEST_SUITE_P(AllTests, NistFalsePositiveRateTest, ::testing::Range(0, 7));
 
 }  // namespace
 }  // namespace aropuf

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sim/parallel.hpp"
 
 namespace aropuf {
 namespace {
@@ -54,6 +55,31 @@ TEST(UniquenessTest, HistogramAccumulatesAllPairs) {
   std::vector<BitVector> responses(5, BitVector(16));
   const auto result = compute_uniqueness(responses);
   EXPECT_EQ(result.histogram.total(), 10U);
+}
+
+// The flattened pair loop runs on the Monte Carlo engine; mean/variance/
+// min/max must be bit-identical at any thread count (same accumulation
+// order as the serial (i, j) loop).
+TEST(UniquenessTest, BitIdenticalAcrossThreadCounts) {
+  Xoshiro256 rng(99);
+  std::vector<BitVector> responses;
+  for (int c = 0; c < 23; ++c) {  // odd count: uneven final chunk
+    BitVector r(256);
+    for (std::size_t i = 0; i < r.size(); ++i) r.set(i, rng.bernoulli(0.5));
+    responses.push_back(std::move(r));
+  }
+  ParallelExecutor::set_global_thread_count(1);
+  const auto serial = compute_uniqueness(responses);
+  for (const int threads : {2, 8}) {
+    ParallelExecutor::set_global_thread_count(threads);
+    const auto parallel = compute_uniqueness(responses);
+    EXPECT_EQ(parallel.stats.count(), serial.stats.count()) << threads;
+    EXPECT_DOUBLE_EQ(parallel.stats.mean(), serial.stats.mean()) << threads;
+    EXPECT_DOUBLE_EQ(parallel.stats.variance(), serial.stats.variance()) << threads;
+    EXPECT_DOUBLE_EQ(parallel.stats.min(), serial.stats.min()) << threads;
+    EXPECT_DOUBLE_EQ(parallel.stats.max(), serial.stats.max()) << threads;
+  }
+  ParallelExecutor::set_global_thread_count(0);
 }
 
 TEST(UniquenessTest, RejectsDegenerateInputs) {

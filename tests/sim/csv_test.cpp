@@ -58,8 +58,11 @@ TEST(CsvWriterTest, EnforcesConsistentWidth) {
   EXPECT_THROW(w.write_row({}), std::invalid_argument);
 }
 
-TEST(CsvWriterTest, UnwritablePathThrows) {
-  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/out.csv"), std::runtime_error);
+TEST(CsvWriterTest, UnwritablePathLatchesFailureInsteadOfThrowing) {
+  CsvWriter w("/nonexistent-dir-xyz/out.csv");
+  EXPECT_FALSE(w.ok());
+  w.write_row({"still", "safe"});  // must not crash on the dead stream
+  EXPECT_FALSE(w.close());
 }
 
 TEST(CsvWriterTest, ForBenchHonorsEnvironment) {

@@ -1,0 +1,125 @@
+#include "telemetry/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace aropuf::telemetry {
+namespace {
+
+// Captured lines for the test sink (LogSink is a plain function pointer, so
+// the buffer has to be static).
+std::vector<std::string>& captured() {
+  static std::vector<std::string> lines;
+  return lines;
+}
+
+void capture_sink(std::string_view line) { captured().emplace_back(line); }
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    captured().clear();
+    set_log_sink(&capture_sink);
+    set_log_format(LogFormat::kText);
+    set_log_level(LogLevel::kTrace);
+  }
+
+  void TearDown() override {
+    set_log_sink(nullptr);
+    unsetenv("AROPUF_LOG");
+    unsetenv("AROPUF_LOG_FORMAT");
+    reset_log_from_environment();
+  }
+};
+
+TEST_F(LogTest, LevelFilteringDropsRecordsBelowThreshold) {
+  set_log_level(LogLevel::kInfo);
+  ARO_LOG_DEBUG("test", "dropped");
+  ARO_LOG_TRACE("test", "dropped too");
+  EXPECT_TRUE(captured().empty());
+  ARO_LOG_INFO("test", "kept");
+  ARO_LOG_ERROR("test", "kept too");
+  ASSERT_EQ(captured().size(), 2U);
+  EXPECT_NE(captured()[0].find("kept"), std::string::npos);
+}
+
+TEST_F(LogTest, OffDisablesEverything) {
+  set_log_level(LogLevel::kOff);
+  ARO_LOG_ERROR("test", "dropped");
+  EXPECT_TRUE(captured().empty());
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, TextFormatCarriesComponentMessageAndFields) {
+  ARO_LOG_WARN("engine", "queue is deep", {"depth", JsonValue(42)},
+               {"name", JsonValue("worker")});
+  ASSERT_EQ(captured().size(), 1U);
+  const std::string& line = captured()[0];
+  EXPECT_NE(line.find("warn"), std::string::npos);
+  EXPECT_NE(line.find("[engine]"), std::string::npos);
+  EXPECT_NE(line.find("queue is deep"), std::string::npos);
+  EXPECT_NE(line.find("depth=42"), std::string::npos);
+  EXPECT_NE(line.find("name=\"worker\""), std::string::npos);
+}
+
+TEST_F(LogTest, JsonFormatIsParsableAndEscaped) {
+  set_log_format(LogFormat::kJson);
+  ARO_LOG_ERROR("csv", "write \"failed\"\nhard",
+                {"path", JsonValue("/tmp/has \"quotes\".csv")});
+  ASSERT_EQ(captured().size(), 1U);
+  // Embedded quotes and the newline must be escaped: the record is one line
+  // that parses back to the original strings.
+  EXPECT_EQ(captured()[0].find('\n'), std::string::npos);
+  const JsonValue record = JsonValue::parse(captured()[0]);
+  ASSERT_TRUE(record.is_object());
+  EXPECT_EQ(record.as_object().at("level").as_string(), "error");
+  EXPECT_EQ(record.as_object().at("component").as_string(), "csv");
+  EXPECT_EQ(record.as_object().at("message").as_string(), "write \"failed\"\nhard");
+  const auto& fields = record.as_object().at("fields").as_object();
+  EXPECT_EQ(fields.at("path").as_string(), "/tmp/has \"quotes\".csv");
+}
+
+TEST_F(LogTest, FormatLogLinePinsTheWireFormat) {
+  const std::string line =
+      format_log_line(LogFormat::kJson, LogLevel::kInfo, "c", "m", {{"k", JsonValue(true)}});
+  const JsonValue record = JsonValue::parse(line);
+  EXPECT_TRUE(record.as_object().at("fields").as_object().at("k").as_bool());
+  EXPECT_TRUE(record.as_object().contains("elapsed_ms"));
+}
+
+TEST_F(LogTest, ParseLogLevelAcceptsAllNamesAndFallsBack) {
+  EXPECT_EQ(parse_log_level("trace", LogLevel::kOff), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off", LogLevel::kTrace), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus", LogLevel::kWarn), LogLevel::kWarn);
+}
+
+TEST_F(LogTest, EnvironmentConfiguresLevelAndFormat) {
+  setenv("AROPUF_LOG", "debug", 1);
+  setenv("AROPUF_LOG_FORMAT", "json", 1);
+  reset_log_from_environment();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  EXPECT_EQ(log_format(), LogFormat::kJson);
+
+  // Programmatic overrides win until the environment is re-read.
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  reset_log_from_environment();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+
+  // Unset (or garbage) falls back to warn / text.
+  unsetenv("AROPUF_LOG");
+  setenv("AROPUF_LOG_FORMAT", "xml", 1);
+  reset_log_from_environment();
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  EXPECT_EQ(log_format(), LogFormat::kText);
+}
+
+}  // namespace
+}  // namespace aropuf::telemetry

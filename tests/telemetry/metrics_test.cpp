@@ -1,0 +1,131 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace aropuf::telemetry {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0U);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42U);
+  c.reset();
+  EXPECT_EQ(c.value(), 0U);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+}
+
+TEST(ShardedHistogramTest, SnapshotMatchesSerialStats) {
+  ShardedHistogram h(0.0, 10.0, 10);
+  RunningStats expected;
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i) / 10.0;
+    h.record(x);
+    expected.add(x);
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.stats.count(), expected.count());
+  EXPECT_DOUBLE_EQ(snap.stats.mean(), expected.mean());
+  EXPECT_DOUBLE_EQ(snap.stats.min(), expected.min());
+  EXPECT_DOUBLE_EQ(snap.stats.max(), expected.max());
+  ASSERT_EQ(snap.bins.size(), 10U);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : snap.bins) total += b;
+  EXPECT_EQ(total, 100U);
+}
+
+TEST(ShardedHistogramTest, OutOfRangeSamplesClampToEdgeBins) {
+  ShardedHistogram h(0.0, 1.0, 4);
+  h.record(-100.0);
+  h.record(100.0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.bins.front(), 1U);
+  EXPECT_EQ(snap.bins.back(), 1U);
+  EXPECT_EQ(snap.stats.count(), 2U);
+}
+
+// Per-thread shards: concurrent recording must lose nothing, and the merged
+// moments must equal the single-threaded reference (RunningStats::merge is
+// exact for count/sum-style moments given the same sample multiset).
+TEST(ShardedHistogramTest, ConcurrentRecordingMergesDeterministically) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  ShardedHistogram h(0.0, 1.0, 20);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>((t * kPerThread + i) % 1000) / 1000.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.stats.count(), static_cast<std::size_t>(kThreads * kPerThread));
+  // Every thread records the same multiset {0, 1/1000, ..., 999/1000} x10,
+  // so the mean is the mean of 0..999 over 1000.
+  EXPECT_NEAR(snap.stats.mean(), 0.4995, 1e-9);
+  EXPECT_DOUBLE_EQ(snap.stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.stats.max(), 0.999);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : snap.bins) total += b;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  auto& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("test.registry.counter");
+  Counter& b = reg.counter("test.registry.counter");
+  EXPECT_EQ(&a, &b);
+  ShardedHistogram& h1 = reg.histogram("test.registry.hist", 0.0, 1.0, 4);
+  // Later callers get the same instrument regardless of shape.
+  ShardedHistogram& h2 = reg.histogram("test.registry.hist", -5.0, 5.0, 99);
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesInPlaceKeepingReferencesValid) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("test.reset.counter");
+  ShardedHistogram& h = reg.histogram("test.reset.hist", 0.0, 1.0, 4);
+  c.add(7);
+  h.record(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0U);
+  EXPECT_EQ(h.snapshot().stats.count(), 0U);
+  // The references still work after reset.
+  c.add(1);
+  EXPECT_EQ(c.value(), 1U);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonHasCanonicalShape) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test.snapshot.counter").add(3);
+  reg.gauge("test.snapshot.gauge").set(2.5);
+  reg.histogram("test.snapshot.hist", 0.0, 1.0, 2).record(0.25);
+  const JsonValue snap = reg.snapshot_json();
+  ASSERT_TRUE(snap.is_object());
+  const auto& root = snap.as_object();
+  EXPECT_EQ(root.at("counters").as_object().at("test.snapshot.counter").as_number(), 3.0);
+  EXPECT_EQ(root.at("gauges").as_object().at("test.snapshot.gauge").as_number(), 2.5);
+  const auto& hist = root.at("histograms").as_object().at("test.snapshot.hist").as_object();
+  EXPECT_EQ(hist.at("count").as_number(), 1.0);
+  EXPECT_EQ(hist.at("lo").as_number(), 0.0);
+  EXPECT_EQ(hist.at("hi").as_number(), 1.0);
+  EXPECT_EQ(hist.at("bins").as_array().size(), 2U);
+  // Round-trips through the in-repo parser (manifests embed this document).
+  EXPECT_EQ(JsonValue::parse(snap.dump()).dump(), snap.dump());
+}
+
+}  // namespace
+}  // namespace aropuf::telemetry

@@ -1,0 +1,117 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace aropuf::telemetry {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TraceTest, DisabledSessionIsFreeAndFlushIsNoop) {
+  ASSERT_TRUE(flush_trace());  // end any leftover session first
+  EXPECT_FALSE(trace_enabled());
+  {
+    const TraceScope span("ignored", "test");
+  }
+  EXPECT_EQ(trace_event_count(), 0U);
+  EXPECT_TRUE(flush_trace());
+}
+
+TEST(TraceTest, SpansSerializeToValidChromeTraceJson) {
+  const std::string path = ::testing::TempDir() + "aropuf_trace_test.json";
+  start_trace(path);
+  ASSERT_TRUE(trace_enabled());
+  {
+    const TraceScope outer("outer", "test", {{"chips", JsonValue(40)}});
+    const TraceScope inner("inner", "test");
+  }
+  EXPECT_EQ(trace_event_count(), 2U);
+  ASSERT_TRUE(flush_trace());
+  EXPECT_FALSE(trace_enabled());
+
+  const JsonValue doc = JsonValue::parse(read_file(path));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.as_object().at("displayTimeUnit").as_string(), "ms");
+  const auto& events = doc.as_object().at("traceEvents").as_array();
+  // Metadata event + the two spans.
+  ASSERT_EQ(events.size(), 3U);
+  bool saw_outer = false;
+  for (const JsonValue& event : events) {
+    const auto& e = event.as_object();
+    // The validator (scripts/validate_manifest.py --trace) requires these on
+    // every event, metadata included.
+    EXPECT_TRUE(e.contains("ph"));
+    EXPECT_TRUE(e.contains("ts"));
+    EXPECT_TRUE(e.contains("tid"));
+    EXPECT_TRUE(e.contains("pid"));
+    EXPECT_TRUE(e.contains("name"));
+    if (e.at("name").as_string() == "outer") {
+      saw_outer = true;
+      EXPECT_EQ(e.at("ph").as_string(), "X");
+      EXPECT_EQ(e.at("cat").as_string(), "test");
+      EXPECT_TRUE(e.contains("dur"));
+      EXPECT_EQ(e.at("args").as_object().at("chips").as_number(), 40.0);
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, SpansRecordTheirThreadIds) {
+  const std::string path = ::testing::TempDir() + "aropuf_trace_threads.json";
+  start_trace(path);
+  {
+    const TraceScope main_span("on-main", "test");
+  }
+  std::thread worker([] { const TraceScope span("on-worker", "test"); });
+  worker.join();
+  ASSERT_TRUE(flush_trace());
+
+  const JsonValue doc = JsonValue::parse(read_file(path));
+  double main_tid = -1.0;
+  double worker_tid = -1.0;
+  for (const JsonValue& event : doc.as_object().at("traceEvents").as_array()) {
+    const auto& e = event.as_object();
+    if (e.at("name").as_string() == "on-main") main_tid = e.at("tid").as_number();
+    if (e.at("name").as_string() == "on-worker") worker_tid = e.at("tid").as_number();
+  }
+  EXPECT_GE(main_tid, 0.0);
+  EXPECT_GE(worker_tid, 0.0);
+  EXPECT_NE(main_tid, worker_tid);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, FlushToUnwritablePathFails) {
+  start_trace("/nonexistent-dir/trace.json");
+  {
+    const TraceScope span("span", "test");
+  }
+  EXPECT_FALSE(flush_trace());
+  EXPECT_FALSE(trace_enabled());  // the session still ends
+}
+
+TEST(TraceTest, RestartDiscardsBufferedSpans) {
+  const std::string path = ::testing::TempDir() + "aropuf_trace_restart.json";
+  start_trace(path);
+  {
+    const TraceScope span("first", "test");
+  }
+  EXPECT_EQ(trace_event_count(), 1U);
+  start_trace(path);
+  EXPECT_EQ(trace_event_count(), 0U);
+  ASSERT_TRUE(flush_trace());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aropuf::telemetry
