@@ -8,9 +8,18 @@ manifests and tracing enabled and validates both artifacts here, so a
 serialization regression fails the build instead of silently producing
 files Perfetto or the shard-merge driver cannot read.
 
+Aggregated manifests (telemetry/aggregate.hpp, written by tools/aropuf_shard)
+and progress heartbeat JSONL files (telemetry/progress.hpp) validate here
+too, and --diff-stats enforces the sharding acceptance bar: the sections
+that must be invariant under shard decomposition (config, results, study)
+must match byte-for-byte between two aggregate manifests.
+
 Usage:
   validate_manifest.py manifest.json [more.json ...]   # manifest schema
   validate_manifest.py --trace trace.json [...]        # Chrome-trace format
+  validate_manifest.py --aggregate merged.json [...]   # aggregate schema
+  validate_manifest.py --progress progress.jsonl [...] # heartbeat JSONL
+  validate_manifest.py --diff-stats a.json b.json      # bit-identity check
 
 Exit code 0 when every file validates, 1 otherwise (one line per problem).
 """
@@ -23,6 +32,8 @@ from pathlib import Path
 
 SCHEMA = "aropuf-run-manifest"
 SCHEMA_VERSION = 1
+AGGREGATE_SCHEMA = "aropuf-aggregate-manifest"
+AGGREGATE_SCHEMA_VERSION = 1
 
 # Key -> predicate over the parsed JSON value.  Every key is required:
 # build_manifest() fills defaults for facts no subsystem reported, so an
@@ -84,6 +95,177 @@ def validate_manifest(path: Path) -> list[str]:
     return problems
 
 
+# Aggregate manifest root keys (telemetry/aggregate.cpp aggregate_shards()).
+AGGREGATE_KEYS = {
+    "schema": lambda v: v == AGGREGATE_SCHEMA,
+    "schema_version": lambda v: v == AGGREGATE_SCHEMA_VERSION,
+    "run": lambda v: isinstance(v, str) and v != "",
+    "created_unix_ms": lambda v: isinstance(v, (int, float)) and v > 0,
+    "chips": lambda v: isinstance(v, (int, float)) and v >= 2,
+    "shard_count": lambda v: isinstance(v, (int, float)) and v >= 1,
+    "config": lambda v: isinstance(v, dict),
+    "git_sha": lambda v: isinstance(v, str) and v != "",
+    "build": lambda v: isinstance(v, dict),
+    "shards": lambda v: isinstance(v, list) and v,
+    "stages": lambda v: isinstance(v, list),
+    "metrics": lambda v: isinstance(v, dict) and isinstance(v.get("counters"), dict)
+    and isinstance(v.get("gauges"), dict) and isinstance(v.get("histograms"), dict),
+    "results": lambda v: isinstance(v, dict) and isinstance(v.get("samples"), dict)
+    and isinstance(v.get("tallies"), dict),
+    "conflicts": lambda v: isinstance(v, list),
+}
+
+SHARD_ROW_KEYS = ("index", "chip_lo", "chip_hi", "manifest", "git_sha", "threads",
+                  "kernel_backend", "wall_ms")
+
+HEARTBEAT_KEYS = {
+    "ts_unix_ms": lambda v: isinstance(v, (int, float)) and v > 0,
+    "shard": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "stage": lambda v: isinstance(v, str) and v != "",
+    "done": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "total": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "elapsed_ms": lambda v: isinstance(v, (int, float)) and v >= 0,
+}
+
+# Sections of an aggregate manifest that must be byte-identical for any shard
+# decomposition of the same study (the PR's bit-identity acceptance bar).
+# Shard-count-dependent sections (shards, stages, metrics, timing) are
+# deliberately excluded.
+INVARIANT_SECTIONS = ("config", "results", "study")
+
+
+def validate_aggregate(path: Path) -> list[str]:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [fail(path, f"unreadable or invalid JSON: {e}")]
+    if not isinstance(doc, dict):
+        return [fail(path, "top level must be a JSON object")]
+    problems = []
+    for key, ok in AGGREGATE_KEYS.items():
+        if key not in doc:
+            problems.append(fail(path, f"missing required key '{key}'"))
+        elif not ok(doc[key]):
+            problems.append(fail(path, f"key '{key}' has invalid value"))
+
+    # Shard rows must carry their coordinates and exactly tile [0, chips).
+    ranges = []
+    for i, row in enumerate(doc.get("shards", [])):
+        if not isinstance(row, dict):
+            problems.append(fail(path, f"shards[{i}] is not an object"))
+            continue
+        for key in SHARD_ROW_KEYS:
+            if key not in row:
+                problems.append(fail(path, f"shards[{i}] missing '{key}'"))
+        if isinstance(row.get("chip_lo"), (int, float)) and isinstance(
+                row.get("chip_hi"), (int, float)):
+            ranges.append((row["chip_lo"], row["chip_hi"]))
+    if ranges and isinstance(doc.get("chips"), (int, float)):
+        cursor = 0
+        for lo, hi in sorted(ranges):
+            if lo != cursor:
+                problems.append(fail(path, f"shard chip ranges leave a gap at {cursor}"))
+                break
+            cursor = hi
+        else:
+            if cursor != doc["chips"]:
+                problems.append(
+                    fail(path, f"shard ranges cover [0, {cursor}) but chips = {doc['chips']}"))
+    if isinstance(doc.get("shards"), list) and isinstance(doc.get("shard_count"), (int, float)):
+        if len(doc["shards"]) != doc["shard_count"]:
+            problems.append(fail(path, "shards[] length disagrees with shard_count"))
+
+    # Gauges carry their merge policy and every shard's reading; the resolved
+    # value must be one of the per-shard readings (never an average).
+    for name, gauge in doc.get("metrics", {}).get("gauges", {}).items():
+        if not isinstance(gauge, dict):
+            problems.append(fail(path, f"gauge '{name}' is not an object"))
+            continue
+        if gauge.get("policy") not in ("max", "last"):
+            problems.append(fail(path, f"gauge '{name}' has unknown policy"))
+        per_shard = gauge.get("per_shard")
+        if not isinstance(per_shard, dict) or not per_shard:
+            problems.append(fail(path, f"gauge '{name}' missing per_shard readings"))
+        elif gauge.get("value") not in per_shard.values():
+            problems.append(fail(path, f"gauge '{name}' value is not any shard's reading"))
+
+    # Results: series offsets were already tiled by the C++ merger, but the
+    # summary stats must at least be self-consistent.
+    for kind in ("samples", "tallies"):
+        for name, series in doc.get("results", {}).get(kind, {}).items():
+            if not isinstance(series, dict):
+                problems.append(fail(path, f"{kind} '{name}' is not an object"))
+                continue
+            for key in ("count", "mean", "stddev", "min", "max", "histogram"):
+                if key not in series:
+                    problems.append(fail(path, f"{kind} '{name}' missing '{key}'"))
+            hist = series.get("histogram")
+            if isinstance(hist, dict) and isinstance(hist.get("bins"), list):
+                binned = sum(b for b in hist["bins"] if isinstance(b, (int, float)))
+                if isinstance(series.get("count"), (int, float)) and binned != series["count"]:
+                    problems.append(
+                        fail(path, f"{kind} '{name}' histogram bins sum to {binned}, "
+                                   f"count is {series['count']}"))
+    return problems
+
+
+def validate_progress(path: Path) -> list[str]:
+    try:
+        text = path.read_text()
+    except OSError as e:
+        return [fail(path, f"unreadable: {e}")]
+    problems = []
+    beats = 0
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        try:
+            beat = json.loads(line)
+        except json.JSONDecodeError:
+            problems.append(fail(path, f"line {i + 1} is not valid JSON"))
+            continue
+        if not isinstance(beat, dict):
+            problems.append(fail(path, f"line {i + 1} is not an object"))
+            continue
+        beats += 1
+        for key, ok in HEARTBEAT_KEYS.items():
+            if key not in beat:
+                problems.append(fail(path, f"line {i + 1} missing '{key}'"))
+            elif not ok(beat[key]):
+                problems.append(fail(path, f"line {i + 1} key '{key}' invalid"))
+        if isinstance(beat.get("done"), (int, float)) and isinstance(
+                beat.get("total"), (int, float)) and beat["done"] > beat["total"]:
+            problems.append(fail(path, f"line {i + 1} has done > total"))
+    if beats == 0:
+        problems.append(fail(path, "no heartbeat lines"))
+    return problems
+
+
+def diff_stats(path_a: Path, path_b: Path) -> list[str]:
+    docs = []
+    for path in (path_a, path_b):
+        try:
+            docs.append(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError) as e:
+            return [fail(path, f"unreadable or invalid JSON: {e}")]
+    problems = []
+    for section in INVARIANT_SECTIONS:
+        a = docs[0].get(section)
+        b = docs[1].get(section)
+        if (a is None) != (b is None):
+            problems.append(f"section '{section}' present in only one manifest")
+            continue
+        if a is None:
+            continue
+        # Canonical dumps compare numbers by their exact JSON token (repr of
+        # the parsed float), so equality here is bit-identity of the doubles.
+        if json.dumps(a, sort_keys=True) != json.dumps(b, sort_keys=True):
+            problems.append(
+                f"section '{section}' differs between {path_a} and {path_b} "
+                "(shard decomposition changed the statistics)")
+    return problems
+
+
 def validate_trace(path: Path) -> list[str]:
     try:
         doc = json.loads(path.read_text())
@@ -119,22 +301,41 @@ def validate_trace(path: Path) -> list[str]:
 
 def main(argv: list[str]) -> int:
     args = argv[1:]
-    trace_mode = False
-    if args and args[0] == "--trace":
-        trace_mode = True
+    mode = "manifest"
+    modes = {
+        "--trace": "trace",
+        "--aggregate": "aggregate",
+        "--progress": "progress",
+        "--diff-stats": "diff-stats",
+    }
+    if args and args[0] in modes:
+        mode = modes[args[0]]
         args = args[1:]
-    if not args:
+    if not args or (mode == "diff-stats" and len(args) != 2):
         print(__doc__.strip(), file=sys.stderr)
         return 1
-    validate = validate_trace if trace_mode else validate_manifest
+
+    if mode == "diff-stats":
+        problems = diff_stats(Path(args[0]), Path(args[1]))
+        for p in problems:
+            print(p, file=sys.stderr)
+        if not problems:
+            print(f"invariant sections {INVARIANT_SECTIONS} are identical")
+        return 1 if problems else 0
+
+    validate = {
+        "manifest": validate_manifest,
+        "trace": validate_trace,
+        "aggregate": validate_aggregate,
+        "progress": validate_progress,
+    }[mode]
     problems = []
     for name in args:
         problems.extend(validate(Path(name)))
     for p in problems:
         print(p, file=sys.stderr)
     if not problems:
-        kind = "trace" if trace_mode else "manifest"
-        print(f"{len(args)} {kind} file(s) OK")
+        print(f"{len(args)} {mode} file(s) OK")
     return 1 if problems else 0
 
 

@@ -22,6 +22,17 @@ class RunningStats {
   /// Merges another accumulator into this one (parallel reduction).
   void merge(const RunningStats& other) noexcept;
 
+  /// Reconstructs an accumulator from serialized moments (the shard-merge
+  /// path: manifests carry n/mean/m2/min/max, the aggregator rebuilds the
+  /// accumulator and merges with merge()).  `m2` is the raw sum of squared
+  /// deviations, i.e. variance() * (n - 1) — exact round trip, unlike
+  /// reconstructing from stddev.
+  [[nodiscard]] static RunningStats from_moments(std::size_t n, double mean, double m2,
+                                                 double min, double max) noexcept;
+
+  /// Raw second central moment (serialization counterpart of from_moments).
+  [[nodiscard]] double m2() const noexcept { return m2_; }
+
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
   /// Unbiased sample variance (0 for fewer than two samples).

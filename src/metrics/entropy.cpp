@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
 #include "metrics/uniformity.hpp"
+#include "sim/parallel.hpp"
 
 namespace aropuf {
 
@@ -40,9 +42,14 @@ double collision_min_entropy(std::span<const BitVector> responses, int word_bits
   // correlated source collides more often than 2^-w.
   const std::size_t word_count = responses[0].size() / static_cast<std::size_t>(word_bits);
   ARO_REQUIRE(word_count >= 1, "responses shorter than one word");
-  std::size_t pairs = 0;
-  std::size_t collisions = 0;
-  for (std::size_t w = 0; w < word_count; ++w) {
+  // Word positions are independent, so each parallel index returns its own
+  // exact integer (pairs, collisions) tally; the serial integer sum below is
+  // associative, keeping the estimate bit-identical at any thread count.
+  struct WordTally {
+    std::size_t pairs = 0;
+    std::size_t collisions = 0;
+  };
+  const auto tallies = parallel_map_chips(word_count, [&](std::size_t w) {
     std::unordered_map<std::uint32_t, std::size_t> counts;
     for (const auto& r : responses) {
       std::uint32_t word = 0;
@@ -53,9 +60,17 @@ double collision_min_entropy(std::span<const BitVector> responses, int word_bits
       }
       ++counts[word];
     }
+    WordTally tally;
     const std::size_t n = responses.size();
-    pairs += n * (n - 1) / 2;
-    for (const auto& [word, c] : counts) collisions += c * (c - 1) / 2;
+    tally.pairs = n * (n - 1) / 2;
+    for (const auto& [word, c] : counts) tally.collisions += c * (c - 1) / 2;
+    return tally;
+  });
+  std::size_t pairs = 0;
+  std::size_t collisions = 0;
+  for (const WordTally& t : tallies) {
+    pairs += t.pairs;
+    collisions += t.collisions;
   }
   ARO_ASSERT(pairs > 0, "no word pairs counted");
   const double rate = std::max(static_cast<double>(collisions) / static_cast<double>(pairs),
@@ -68,26 +83,47 @@ double collision_min_entropy(std::span<const BitVector> responses, int word_bits
 
 double markov_min_entropy(std::span<const BitVector> responses) {
   ARO_REQUIRE(!responses.empty(), "Markov estimate needs responses");
-  // Pool transition counts over all responses.
+  for (const auto& r : responses) {
+    ARO_REQUIRE(r.size() >= 2, "Markov estimate needs >= 2 bits per response");
+  }
+  // Pool transition counts over all responses: per-chip counts are exact
+  // integers, so summing them in chip order reproduces the serial tallies
+  // bit-for-bit regardless of thread count.
+  struct TransitionTally {
+    std::uint64_t n0 = 0;
+    std::uint64_t n1 = 0;
+    std::uint64_t t01 = 0;
+    std::uint64_t t11 = 0;
+    std::uint64_t samples = 0;
+  };
+  const auto tallies = parallel_map_chips(responses.size(), [&](std::size_t c) {
+    const BitVector& r = responses[c];
+    TransitionTally tally;
+    for (std::size_t i = 0; i + 1 < r.size(); ++i) {
+      const bool a = r.get(i);
+      const bool b = r.get(i + 1);
+      if (a) {
+        ++tally.n1;
+        if (b) ++tally.t11;
+      } else {
+        ++tally.n0;
+        if (b) ++tally.t01;
+      }
+      ++tally.samples;
+    }
+    return tally;
+  });
   double n0 = 0.0;
   double n1 = 0.0;
   double t01 = 0.0;
   double t11 = 0.0;
   std::size_t samples = 0;
-  for (const auto& r : responses) {
-    ARO_REQUIRE(r.size() >= 2, "Markov estimate needs >= 2 bits per response");
-    for (std::size_t i = 0; i + 1 < r.size(); ++i) {
-      const bool a = r.get(i);
-      const bool b = r.get(i + 1);
-      if (a) {
-        n1 += 1.0;
-        if (b) t11 += 1.0;
-      } else {
-        n0 += 1.0;
-        if (b) t01 += 1.0;
-      }
-      ++samples;
-    }
+  for (const TransitionTally& t : tallies) {
+    n0 += static_cast<double>(t.n0);
+    n1 += static_cast<double>(t.n1);
+    t01 += static_cast<double>(t.t01);
+    t11 += static_cast<double>(t.t11);
+    samples += t.samples;
   }
   const double p1 = (n1 + t01) > 0.0 ? (n1 / (n0 + n1)) : 0.5;
   const double p01 = n0 > 0.0 ? t01 / n0 : 0.5;

@@ -1,6 +1,7 @@
 #include "metrics/uniformity.hpp"
 
 #include "common/check.hpp"
+#include "sim/parallel.hpp"
 
 namespace aropuf {
 
@@ -18,14 +19,21 @@ RunningStats uniformity_stats(std::span<const BitVector> responses) {
 
 std::vector<double> bit_aliasing(std::span<const BitVector> responses) {
   ARO_REQUIRE(!responses.empty(), "bit aliasing needs at least one response");
-  std::vector<double> ones(responses[0].size(), 0.0);
   for (const auto& r : responses) {
     ARO_REQUIRE(r.size() == responses[0].size(), "response length mismatch");
-    for (std::size_t i = 0; i < r.size(); ++i) {
-      if (r.get(i)) ones[i] += 1.0;
-    }
   }
-  for (auto& o : ones) o /= static_cast<double>(responses.size());
+  // Bit positions are independent, so the chip loop parallelizes over them.
+  // Each position's ones count is an exact integer (chip counts are far below
+  // 2^53), so the result is bit-identical to the serial version at any
+  // thread count.
+  std::vector<double> ones(responses[0].size(), 0.0);
+  parallel_for_chips(ones.size(), [&](std::size_t i) {
+    std::size_t count = 0;
+    for (const auto& r : responses) {
+      if (r.get(i)) ++count;
+    }
+    ones[i] = static_cast<double>(count) / static_cast<double>(responses.size());
+  });
   return ones;
 }
 

@@ -1,0 +1,108 @@
+// Sharded E2+E3 population study: the workload behind tools/aropuf_shard.
+//
+// A statistical study over a large chip population (Wilde-style RO-PUF
+// security analysis at 10k chips) splits into S seed-range shards, each run
+// by an independent worker process.  This module defines what one shard
+// computes and — critically — how the per-shard payloads recombine without
+// losing bit-identity with a single-process run:
+//
+//  * Per-chip quantities (E2 flip percentages per aging checkpoint, E3
+//    uniformity) ship as SampleSeries: the raw per-chip doubles, tagged with
+//    the shard's global chip offset.  The aggregator concatenates them in
+//    chip order and re-reduces serially — the identical floating-point
+//    accumulation a single process performs.  JSON round-trips doubles
+//    exactly (%.17g), so no precision is lost in transit.
+//
+//  * Pairwise quantities (E3 inter-chip Hamming distance over all
+//    k(k-1)/2 pairs) would be prohibitively large as raw samples, so they
+//    ship as PairTally: exact integer sufficient statistics (count, sum of
+//    bit-HDs, sum of squares, min, max, integer histogram bins) over a range
+//    of the flattened pair space.  Integer sums are associative, so any
+//    shard decomposition merges to exactly the single-process tally.
+//
+// Chips are identified by their global index: chip i is always the die drawn
+// from RngFabric(seed).child("chip", i), so shard boundaries never change
+// which silicon is simulated (the same guarantee make_population gives).
+// Every shard builds all N golden responses for the pair study (O(N) work)
+// but only owns the pair range it tallies (the O(N^2) part that matters).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "sim/scenarios.hpp"
+
+namespace aropuf {
+
+inline constexpr int kShardStudySchemaVersion = 1;
+
+/// Configuration of the whole study (identical across shards; echoed into
+/// every shard manifest so the aggregator can detect mismatches).
+struct ShardStudyConfig {
+  PopulationConfig pop;                              ///< chips = TOTAL population
+  std::vector<double> checkpoints = {1.0, 2.0, 5.0, 10.0};  ///< aging years (E2)
+};
+
+/// Per-chip doubles for chips [offset, offset + values.size()) of `total`.
+struct SampleSeries {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t total = 0;
+  double hist_lo = 0.0;
+  double hist_hi = 1.0;
+  std::size_t hist_bins = 50;
+  std::vector<double> values;
+};
+
+/// Exact integer tally over pair-space indices [offset, offset + count).
+/// Raw values are integers in [0, denom] (bit Hamming distances); derived
+/// statistics divide by `denom` to land in fractional-HD units.
+struct PairTally {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t total = 0;  ///< size of the full pair space
+  std::uint64_t denom = 1;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t sum_sq = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> bins;  ///< histogram over value/denom in [0, 1]
+};
+
+struct ShardStudyResult {
+  std::size_t chip_lo = 0;
+  std::size_t chip_hi = 0;
+  std::vector<SampleSeries> samples;
+  std::vector<PairTally> tallies;
+};
+
+/// Progress hook: (stage label, work units done, work units total).
+using StudyProgressFn = std::function<void(const std::string&, std::int64_t, std::int64_t)>;
+
+/// Balanced contiguous split of `count` items over `shards`: returns shard
+/// `index`'s [lo, hi).  Ranges of all shards exactly tile [0, count).
+[[nodiscard]] std::pair<std::size_t, std::size_t> shard_range(std::size_t count,
+                                                              std::size_t index,
+                                                              std::size_t shards);
+
+/// Runs shard `index` of `count` shards: both designs' E2 aging series over
+/// the shard's chip range plus the E3 uniqueness tally over the shard's pair
+/// range.  Results are bit-identical for any (count, threads) decomposition
+/// once aggregated.  `progress` (optional) is invoked at milestones.
+[[nodiscard]] ShardStudyResult run_shard_study(const ShardStudyConfig& cfg, std::size_t index,
+                                               std::size_t count,
+                                               const StudyProgressFn& progress = {});
+
+/// The study payload embedded in a shard manifest under "results".
+[[nodiscard]] JsonValue study_results_to_json(const ShardStudyResult& result);
+
+/// Config echo for shard manifests: identical across shards by construction,
+/// so any difference the aggregator sees is a real provenance conflict.
+[[nodiscard]] JsonValue study_config_json(const ShardStudyConfig& cfg);
+
+}  // namespace aropuf

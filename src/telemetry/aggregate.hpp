@@ -1,0 +1,102 @@
+// Shard-manifest aggregation: N per-process run manifests → one merged run.
+//
+// The sharded-run orchestrator (tools/aropuf_shard.cpp) splits a chip
+// population into seed-range shards, each worker writes an ordinary run
+// manifest (telemetry/manifest.hpp) extended with a "shard" descriptor and a
+// "results" payload, and this module merges those manifests exactly:
+//
+//  * counters      — summed (exact: counts are integers);
+//  * gauges        — resolved by documented policy ("max" by default, "last"
+//                    for names ending ".last") with every shard's reading
+//                    retained under "per_shard" — never averaged;
+//  * histograms    — RunningStats rebuilt from each shard's serialized
+//                    moments (count/mean/m2/min/max round-trip exactly) and
+//                    merged with RunningStats::merge in shard-index order;
+//                    bin counts summed;
+//  * stages        — wall/CPU time rolled up per stage name (sum + max);
+//  * results       — the study payload, merged *bit-identically*:
+//                    - sample series (per-chip doubles) concatenate in global
+//                      chip order and are re-reduced serially, so the merged
+//                      RunningStats equals a single-process reduction;
+//                    - tallies (integer sufficient statistics over pair
+//                      spaces) are summed, which is exact by construction.
+//
+// Merging is deterministic and independent of the order manifests are given
+// in: shards are sorted by their self-reported shard index first.  Provenance
+// mismatches across shards (config echo, git sha, build type, kernel backend,
+// schema version, run name) are detected and reported as structured
+// AggregateConflicts, embedded in the merged document under "conflicts".
+//
+// The merged document uses its own schema ("aropuf-aggregate-manifest") so
+// scripts/validate_manifest.py --aggregate can validate it independently of
+// per-shard manifests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace aropuf::telemetry {
+
+inline constexpr const char* kAggregateSchema = "aropuf-aggregate-manifest";
+inline constexpr int kAggregateSchemaVersion = 1;
+
+/// One loaded shard manifest plus the shard coordinates it self-reports.
+struct ShardManifest {
+  std::string path;          ///< file it was loaded from ("<memory>" for tests)
+  int shard_index = 0;       ///< doc["shard"]["index"]
+  int shard_count = 1;       ///< doc["shard"]["count"]
+  std::int64_t chip_lo = 0;  ///< first global chip index owned by this shard
+  std::int64_t chip_hi = 0;  ///< one past the last owned chip
+  JsonValue doc;             ///< the full manifest document
+};
+
+/// Parses and structurally validates one shard manifest file.  Throws
+/// std::runtime_error with a path-prefixed message on unreadable files,
+/// malformed/truncated JSON, wrong schema, or a missing "shard" descriptor.
+[[nodiscard]] ShardManifest load_shard_manifest(const std::string& path);
+
+/// Wraps an in-memory manifest document (tests, the in-process worker path).
+/// Performs the same structural validation as load_shard_manifest.
+[[nodiscard]] ShardManifest wrap_shard_manifest(JsonValue doc,
+                                                const std::string& path = "<memory>");
+
+/// Non-throwing validity probe used by the orchestrator's --resume mode: true
+/// when `path` holds a well-formed shard manifest for shard `expect_index` of
+/// `expect_count` with a matching run name.  On failure, `*why` (when given)
+/// receives a one-line reason.
+[[nodiscard]] bool shard_manifest_is_valid(const std::string& path, const std::string& expect_run,
+                                           int expect_index, int expect_count,
+                                           std::string* why = nullptr);
+
+/// One provenance mismatch across shards: which field disagreed and each
+/// shard's serialized value.
+struct AggregateConflict {
+  std::string field;                   ///< e.g. "git_sha", "config", "kernel_backend"
+  std::map<int, std::string> values;   ///< shard index -> value (compact JSON)
+};
+
+struct AggregateResult {
+  JsonValue manifest;                       ///< the merged aggregate document
+  std::vector<AggregateConflict> conflicts; ///< also embedded under "conflicts"
+};
+
+/// Gauge resolution policy for a metric name (see Gauge docs in metrics.hpp).
+enum class GaugePolicy { kMax, kLast };
+[[nodiscard]] GaugePolicy gauge_merge_policy(const std::string& name);
+
+/// Merges shard manifests into one aggregate document.  Throws
+/// std::runtime_error when the set is structurally unmergeable: empty input,
+/// duplicate shard indices, disagreeing shard counts, or chip ranges that do
+/// not exactly tile [0, chips).  Provenance disagreements are NOT exceptions:
+/// they come back as conflicts (callers decide whether to fail the run).
+[[nodiscard]] AggregateResult aggregate_shards(std::vector<ShardManifest> shards);
+
+/// Serializes the merged document to `path` (pretty-printed).  Returns false
+/// and logs at error level when the file cannot be written.
+bool write_aggregate_manifest(const std::string& path, const JsonValue& manifest);
+
+}  // namespace aropuf::telemetry

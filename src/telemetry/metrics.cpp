@@ -123,6 +123,7 @@ JsonValue MetricsRegistry::snapshot_json() const {
     obj["count"] = JsonValue(static_cast<std::uint64_t>(snap.stats.count()));
     obj["mean"] = JsonValue(snap.stats.mean());
     obj["stddev"] = JsonValue(snap.stats.stddev());
+    obj["m2"] = JsonValue(snap.stats.m2());
     obj["min"] = JsonValue(snap.stats.count() > 0 ? snap.stats.min() : 0.0);
     obj["max"] = JsonValue(snap.stats.count() > 0 ? snap.stats.max() : 0.0);
     obj["lo"] = JsonValue(snap.lo);
@@ -137,6 +138,7 @@ JsonValue MetricsRegistry::snapshot_json() const {
   root["counters"] = JsonValue(std::move(counters));
   root["gauges"] = JsonValue(std::move(gauges));
   root["histograms"] = JsonValue(std::move(histograms));
+  if (const int shard = shard_index(); shard >= 0) root["shard"] = JsonValue(shard);
   return JsonValue(std::move(root));
 }
 

@@ -41,6 +41,15 @@ class Counter {
 };
 
 /// Last-write-wins instantaneous value.
+///
+/// Cross-process merge semantics (the sharded-run aggregator in
+/// telemetry/aggregate.hpp): a gauge is a point-in-time fact, so summing or
+/// averaging values from different shards is meaningless.  The aggregator
+/// resolves gauges per the documented policy — "max" by default, "last"
+/// (value from the highest shard index) for names ending in ".last" — and
+/// always retains every shard's value alongside the resolved one, keyed by
+/// the shard index the manifest self-reports.  A merged manifest therefore
+/// never silently averages (or drops) per-shard gauge readings.
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
@@ -105,8 +114,20 @@ class MetricsRegistry {
                                             std::size_t bins);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, mean,
-  /// stddev, min, max, lo, hi, bins[]}}} — embedded in run manifests.
+  /// stddev, m2, min, max, lo, hi, bins[]}}} — embedded in run manifests.
+  /// When a shard index has been declared (set_shard_index), the snapshot
+  /// also carries {"shard": k} so the shard-merge aggregator can attribute
+  /// every gauge reading to its producing process.  `m2` is the raw Welford
+  /// second moment: it round-trips exactly (stddev does not), which is what
+  /// lets the aggregator merge histogram stats via RunningStats::merge.
   [[nodiscard]] JsonValue snapshot_json() const;
+
+  /// Declares which shard of a multi-process run this process is (>= 0).
+  /// Unset (-1) by default; single-process runs never call this.
+  void set_shard_index(int shard) noexcept { shard_index_.store(shard, std::memory_order_relaxed); }
+  [[nodiscard]] int shard_index() const noexcept {
+    return shard_index_.load(std::memory_order_relaxed);
+  }
 
   /// Zeroes every instrument in place.  References stay valid.
   void reset();
@@ -117,6 +138,7 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mutex_;
+  std::atomic<int> shard_index_{-1};
   // std::map keeps snapshot output sorted by name (canonical manifests).
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

@@ -1,0 +1,77 @@
+// Cross-process progress heartbeats for sharded runs.
+//
+// Each shard worker appends one JSON line per milestone to a shared progress
+// file; the orchestrator tails the file and renders a terminal HUD (or plain
+// log lines when stdout is not a TTY).  The format is append-only JSONL so
+// concurrent writers need no coordination beyond O_APPEND semantics: every
+// heartbeat is a single short write, well under any practical atomic-append
+// limit, and the reader tolerates a torn or malformed line by skipping it.
+//
+// Heartbeat line schema (validated by scripts/validate_manifest.py
+// --progress):
+//   {"ts_unix_ms": ..., "shard": k, "stage": "e2.aro", "done": u,
+//    "total": U, "elapsed_ms": ...}
+// `done`/`total` count abstract work units (the study defines them); `stage`
+// is a short dotted label; "done" and "failed" are reserved terminal stages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace aropuf::telemetry {
+
+struct Heartbeat {
+  std::int64_t ts_unix_ms = 0;  ///< wall-clock stamp of the beat
+  int shard = 0;                ///< shard index of the reporting worker
+  std::string stage;            ///< current milestone ("done"/"failed" terminal)
+  std::int64_t done = 0;        ///< work units completed so far
+  std::int64_t total = 0;       ///< work units this shard owns in total
+  double elapsed_ms = 0.0;      ///< worker-local elapsed wall time
+};
+
+[[nodiscard]] JsonValue heartbeat_to_json(const Heartbeat& beat);
+/// Throws std::invalid_argument / std::runtime_error on schema mismatch.
+[[nodiscard]] Heartbeat heartbeat_from_json(const JsonValue& line);
+
+/// Appends heartbeats for one shard.  Each beat reopens the file in append
+/// mode and writes one line — slow-path simplicity that keeps concurrent
+/// shard writers safe without shared state.
+class ProgressWriter {
+ public:
+  /// An empty path disables the writer (beat() becomes a cheap no-op).
+  ProgressWriter(std::string path, int shard);
+
+  /// Appends one heartbeat line.  Returns false when the write failed (the
+  /// run itself is unaffected: progress is advisory, results are not).
+  bool beat(const std::string& stage, std::int64_t done, std::int64_t total);
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+ private:
+  std::string path_;
+  int shard_;
+  std::int64_t start_unix_ms_;
+};
+
+/// Incremental reader: each poll() returns the complete, well-formed
+/// heartbeat lines appended since the previous poll.  A trailing partial
+/// line (a writer mid-append) is buffered until its newline arrives;
+/// malformed complete lines are counted and skipped.
+class ProgressReader {
+ public:
+  explicit ProgressReader(std::string path);
+
+  [[nodiscard]] std::vector<Heartbeat> poll();
+  [[nodiscard]] std::size_t malformed_lines() const noexcept { return malformed_; }
+
+ private:
+  std::string path_;
+  std::int64_t offset_ = 0;
+  std::string partial_;
+  std::size_t malformed_ = 0;
+};
+
+}  // namespace aropuf::telemetry

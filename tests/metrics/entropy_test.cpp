@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sim/parallel.hpp"
 
 namespace aropuf {
 namespace {
@@ -105,6 +106,27 @@ TEST(MinEntropyEstimateTest, RejectsDegenerateInput) {
   EXPECT_THROW((void)mcv_min_entropy(one), std::invalid_argument);
   std::vector<BitVector> empty;
   EXPECT_THROW((void)markov_min_entropy(empty), std::invalid_argument);
+}
+
+// The estimators parallelize over bit positions / words / chips; their
+// partial tallies are exact integers, so every estimate must be bit-identical
+// at any thread count.
+TEST(MinEntropyEstimateTest, EstimatesAreThreadCountInvariant) {
+  const auto pop = population(120, 192, 0.55, 11);
+  struct Guard {
+    ~Guard() { ParallelExecutor::set_global_thread_count(0); }
+  } guard;
+
+  ParallelExecutor::set_global_thread_count(1);
+  const double mcv = mcv_min_entropy(pop);
+  const double coll = collision_min_entropy(pop);
+  const double markov = markov_min_entropy(pop);
+  for (const int threads : {2, 8}) {
+    ParallelExecutor::set_global_thread_count(threads);
+    EXPECT_EQ(mcv_min_entropy(pop), mcv) << "threads=" << threads;
+    EXPECT_EQ(collision_min_entropy(pop), coll) << "threads=" << threads;
+    EXPECT_EQ(markov_min_entropy(pop), markov) << "threads=" << threads;
+  }
 }
 
 }  // namespace

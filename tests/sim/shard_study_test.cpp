@@ -1,0 +1,137 @@
+#include "sim/shard_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/parallel.hpp"
+#include "telemetry/aggregate.hpp"
+#include "telemetry/manifest.hpp"
+
+namespace aropuf {
+namespace {
+
+struct GlobalThreadCountGuard {
+  ~GlobalThreadCountGuard() { ParallelExecutor::set_global_thread_count(0); }
+};
+
+ShardStudyConfig small_config() {
+  ShardStudyConfig cfg;
+  cfg.pop.chips = 6;
+  cfg.pop.seed = 77;
+  cfg.checkpoints = {1.0, 5.0};
+  return cfg;
+}
+
+/// Wraps one shard's study result in the minimal manifest the aggregator
+/// accepts, mirroring what a worker process writes.
+telemetry::ShardManifest to_manifest(const ShardStudyConfig& cfg, std::size_t index,
+                                     std::size_t count, const ShardStudyResult& result) {
+  JsonValue::Object doc;
+  doc["schema"] = JsonValue(telemetry::kManifestSchema);
+  doc["schema_version"] = JsonValue(telemetry::kManifestSchemaVersion);
+  doc["run"] = JsonValue("study_test");
+  doc["config"] = study_config_json(cfg);
+  JsonValue::Object shard;
+  shard["index"] = JsonValue(static_cast<std::uint64_t>(index));
+  shard["count"] = JsonValue(static_cast<std::uint64_t>(count));
+  shard["chip_lo"] = JsonValue(static_cast<std::uint64_t>(result.chip_lo));
+  shard["chip_hi"] = JsonValue(static_cast<std::uint64_t>(result.chip_hi));
+  doc["shard"] = JsonValue(std::move(shard));
+  doc["results"] = study_results_to_json(result);
+  return telemetry::wrap_shard_manifest(JsonValue(std::move(doc)),
+                                        "shard-" + std::to_string(index));
+}
+
+TEST(ShardRangeTest, TilesExactlyAndBalances) {
+  for (const std::size_t count : {1u, 7u, 40u, 101u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 8u}) {
+      std::size_t cursor = 0;
+      for (std::size_t k = 0; k < shards; ++k) {
+        const auto [lo, hi] = shard_range(count, k, shards);
+        EXPECT_EQ(lo, cursor);
+        EXPECT_GE(hi, lo);
+        // Balanced: no shard owns more than one item over the minimum.
+        EXPECT_LE(hi - lo, count / shards + 1);
+        cursor = hi;
+      }
+      EXPECT_EQ(cursor, count);
+    }
+  }
+  EXPECT_THROW((void)shard_range(10, 3, 3), std::exception);  // index out of range
+}
+
+// The PR's acceptance bar: merging any shard decomposition must reproduce the
+// single-process statistics bit-for-bit, not approximately.
+TEST(ShardStudyTest, FourShardAggregateEqualsSingleShardAggregate) {
+  const ShardStudyConfig cfg = small_config();
+
+  std::vector<telemetry::ShardManifest> four;
+  for (std::size_t k = 0; k < 4; ++k) {
+    four.push_back(to_manifest(cfg, k, 4, run_shard_study(cfg, k, 4)));
+  }
+  const telemetry::AggregateResult merged_four = telemetry::aggregate_shards(std::move(four));
+
+  std::vector<telemetry::ShardManifest> one;
+  one.push_back(to_manifest(cfg, 0, 1, run_shard_study(cfg, 0, 1)));
+  const telemetry::AggregateResult merged_one = telemetry::aggregate_shards(std::move(one));
+
+  EXPECT_TRUE(merged_four.conflicts.empty());
+  EXPECT_TRUE(merged_one.conflicts.empty());
+  // dump() serializes doubles at %.17g, so string equality is bit equality.
+  EXPECT_EQ(merged_four.manifest.at("results").dump(),
+            merged_one.manifest.at("results").dump());
+}
+
+TEST(ShardStudyTest, ResultsAreThreadCountInvariant) {
+  const ShardStudyConfig cfg = small_config();
+  const GlobalThreadCountGuard guard;
+
+  ParallelExecutor::set_global_thread_count(1);
+  const std::string baseline = study_results_to_json(run_shard_study(cfg, 1, 3)).dump();
+  for (const int threads : {2, 8}) {
+    ParallelExecutor::set_global_thread_count(threads);
+    EXPECT_EQ(study_results_to_json(run_shard_study(cfg, 1, 3)).dump(), baseline)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ShardStudyTest, ProgressCallbackReportsMonotonicCompletion) {
+  const ShardStudyConfig cfg = small_config();
+  std::int64_t last_done = 0;
+  std::int64_t final_total = 0;
+  std::size_t calls = 0;
+  (void)run_shard_study(cfg, 0, 2,
+                        [&](const std::string& stage, std::int64_t done, std::int64_t total) {
+                          EXPECT_FALSE(stage.empty());
+                          EXPECT_GE(done, last_done);
+                          EXPECT_LE(done, total);
+                          last_done = done;
+                          final_total = total;
+                          ++calls;
+                        });
+  EXPECT_GT(calls, 0u);
+  EXPECT_EQ(last_done, final_total);
+}
+
+TEST(ShardStudyTest, ConfigEchoIsIdenticalAcrossShards) {
+  const ShardStudyConfig cfg = small_config();
+  EXPECT_EQ(study_config_json(cfg).dump(), study_config_json(cfg).dump());
+  ShardStudyConfig other = cfg;
+  other.pop.seed = 78;
+  EXPECT_NE(study_config_json(cfg).dump(), study_config_json(other).dump());
+}
+
+TEST(ShardStudyTest, RejectsDegenerateInputs) {
+  ShardStudyConfig cfg = small_config();
+  cfg.pop.chips = 1;
+  EXPECT_THROW((void)run_shard_study(cfg, 0, 1), std::exception);
+  cfg = small_config();
+  cfg.checkpoints.clear();
+  EXPECT_THROW((void)run_shard_study(cfg, 0, 1), std::exception);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -1,0 +1,358 @@
+#include "telemetry/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/statistics.hpp"
+#include "telemetry/manifest.hpp"
+
+namespace aropuf::telemetry {
+namespace {
+
+/// Minimal well-formed shard manifest: the structural fields validate_shard
+/// requires plus empty metric/result sections tests fill in as needed.
+JsonValue make_shard_doc(int index, int count, std::int64_t chip_lo, std::int64_t chip_hi) {
+  JsonValue::Object doc;
+  doc["schema"] = JsonValue(kManifestSchema);
+  doc["schema_version"] = JsonValue(kManifestSchemaVersion);
+  doc["run"] = JsonValue("test_run");
+  doc["git_sha"] = JsonValue("abc123");
+  doc["kernel_backend"] = JsonValue("batched");
+  doc["threads"] = JsonValue(1);
+  JsonValue::Object config;
+  config["chips"] = JsonValue(static_cast<std::uint64_t>(chip_hi > chip_lo ? 8 : 0));
+  config["seed"] = JsonValue(2014);
+  doc["config"] = JsonValue(std::move(config));
+  JsonValue::Object build;
+  build["type"] = JsonValue("Release");
+  doc["build"] = JsonValue(std::move(build));
+  JsonValue::Object shard;
+  shard["index"] = JsonValue(index);
+  shard["count"] = JsonValue(count);
+  shard["chip_lo"] = JsonValue(static_cast<std::uint64_t>(chip_lo));
+  shard["chip_hi"] = JsonValue(static_cast<std::uint64_t>(chip_hi));
+  doc["shard"] = JsonValue(std::move(shard));
+  JsonValue::Object metrics;
+  metrics["counters"] = JsonValue(JsonValue::Object{});
+  metrics["gauges"] = JsonValue(JsonValue::Object{});
+  metrics["histograms"] = JsonValue(JsonValue::Object{});
+  metrics["shard"] = JsonValue(index);
+  doc["metrics"] = JsonValue(std::move(metrics));
+  doc["stages"] = JsonValue(JsonValue::Array{});
+  JsonValue::Object results;
+  results["samples"] = JsonValue(JsonValue::Object{});
+  results["tallies"] = JsonValue(JsonValue::Object{});
+  doc["results"] = JsonValue(std::move(results));
+  return JsonValue(std::move(doc));
+}
+
+void add_sample_series(JsonValue& doc, const std::string& name, std::int64_t offset,
+                       std::int64_t total, const std::vector<double>& values) {
+  JsonValue::Object series;
+  series["offset"] = JsonValue(static_cast<std::uint64_t>(offset));
+  series["total"] = JsonValue(static_cast<std::uint64_t>(total));
+  series["hist_lo"] = JsonValue(0.0);
+  series["hist_hi"] = JsonValue(1.0);
+  series["hist_bins"] = JsonValue(10);
+  JsonValue::Array arr;
+  for (const double v : values) arr.emplace_back(v);
+  series["values"] = JsonValue(std::move(arr));
+  doc.as_object()["results"].as_object()["samples"].as_object()[name] =
+      JsonValue(std::move(series));
+}
+
+void add_tally(JsonValue& doc, const std::string& name, std::int64_t offset, std::int64_t total,
+               const std::vector<std::uint64_t>& raw_values, std::uint64_t denom) {
+  JsonValue::Object tally;
+  tally["offset"] = JsonValue(static_cast<std::uint64_t>(offset));
+  tally["total"] = JsonValue(static_cast<std::uint64_t>(total));
+  tally["denom"] = JsonValue(denom);
+  std::uint64_t sum = 0;
+  std::uint64_t sum_sq = 0;
+  std::uint64_t min = raw_values.empty() ? 0 : raw_values.front();
+  std::uint64_t max = min;
+  for (const std::uint64_t v : raw_values) {
+    sum += v;
+    sum_sq += v * v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  tally["count"] = JsonValue(static_cast<std::uint64_t>(raw_values.size()));
+  tally["sum"] = JsonValue(sum);
+  tally["sum_sq"] = JsonValue(sum_sq);
+  tally["min"] = JsonValue(min);
+  tally["max"] = JsonValue(max);
+  tally["hist_lo"] = JsonValue(0.0);
+  tally["hist_hi"] = JsonValue(1.0);
+  JsonValue::Array bins;
+  for (int b = 0; b < 4; ++b) bins.emplace_back(0);
+  tally["bins"] = JsonValue(std::move(bins));
+  doc.as_object()["results"].as_object()["tallies"].as_object()[name] =
+      JsonValue(std::move(tally));
+}
+
+void set_metric(JsonValue& doc, const char* kind, const std::string& name, JsonValue value) {
+  doc.as_object()["metrics"].as_object()[kind].as_object()[name] = std::move(value);
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "aropuf_aggregate_" + name;
+}
+
+TEST(AggregateTest, MergeIsIndependentOfManifestOrder) {
+  std::vector<ShardManifest> forward;
+  std::vector<ShardManifest> shuffled;
+  const std::vector<std::vector<double>> chunks = {{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}};
+  for (int k = 0; k < 3; ++k) {
+    JsonValue doc = make_shard_doc(k, 3, 2 * k, 2 * k + 2);
+    add_sample_series(doc, "series", 2 * k, 6, chunks[static_cast<std::size_t>(k)]);
+    forward.push_back(wrap_shard_manifest(doc));
+    shuffled.push_back(wrap_shard_manifest(std::move(doc)));
+  }
+  std::swap(shuffled[0], shuffled[2]);
+  std::swap(shuffled[1], shuffled[2]);
+
+  const AggregateResult a = aggregate_shards(std::move(forward));
+  const AggregateResult b = aggregate_shards(std::move(shuffled));
+  // created_unix_ms differs between the two calls; everything else must not.
+  for (const char* key : {"results", "shards", "metrics", "config", "conflicts"}) {
+    EXPECT_EQ(a.manifest.at(key).dump(), b.manifest.at(key).dump()) << key;
+  }
+}
+
+TEST(AggregateTest, SampleMergeEqualsSerialReduction) {
+  const std::vector<double> all = {0.11, 0.92, 0.37, 0.58, 0.21, 0.76, 0.49};
+  std::vector<ShardManifest> shards;
+  // Uneven split: [0,3), [3,4), [4,7).
+  const std::vector<std::pair<int, int>> ranges = {{0, 3}, {3, 4}, {4, 7}};
+  for (int k = 0; k < 3; ++k) {
+    const auto [lo, hi] = ranges[static_cast<std::size_t>(k)];
+    JsonValue doc = make_shard_doc(k, 3, lo, hi);
+    add_sample_series(doc, "s", lo, static_cast<std::int64_t>(all.size()),
+                      {all.begin() + lo, all.begin() + hi});
+    shards.push_back(wrap_shard_manifest(std::move(doc)));
+  }
+  const AggregateResult merged = aggregate_shards(std::move(shards));
+
+  RunningStats serial;
+  for (const double v : all) serial.add(v);
+  const JsonValue& s = merged.manifest.at("results").at("samples").at("s");
+  // Bit-identical, not approximately equal: the merge re-runs the exact
+  // serial accumulation a single process would perform.
+  EXPECT_EQ(s.at("mean").as_number(), serial.mean());
+  EXPECT_EQ(s.at("m2").as_number(), serial.m2());
+  EXPECT_EQ(s.at("min").as_number(), serial.min());
+  EXPECT_EQ(s.at("max").as_number(), serial.max());
+  EXPECT_EQ(static_cast<std::size_t>(s.at("count").as_number()), all.size());
+}
+
+TEST(AggregateTest, SampleSeriesWithGapThrows) {
+  std::vector<ShardManifest> shards;
+  JsonValue a = make_shard_doc(0, 2, 0, 2);
+  add_sample_series(a, "s", 0, 5, {0.1, 0.2});
+  JsonValue b = make_shard_doc(1, 2, 2, 5);
+  add_sample_series(b, "s", 3, 5, {0.3, 0.4});  // gap: sample 2 missing
+  shards.push_back(wrap_shard_manifest(std::move(a)));
+  shards.push_back(wrap_shard_manifest(std::move(b)));
+  EXPECT_THROW(aggregate_shards(std::move(shards)), std::runtime_error);
+}
+
+TEST(AggregateTest, TallyMergeIsExact) {
+  const std::vector<std::uint64_t> lo_half = {3, 7, 5};
+  const std::vector<std::uint64_t> hi_half = {2, 9};
+  std::vector<ShardManifest> shards;
+  JsonValue a = make_shard_doc(0, 2, 0, 4);
+  add_tally(a, "t", 0, 5, lo_half, /*denom=*/16);
+  JsonValue b = make_shard_doc(1, 2, 4, 8);
+  add_tally(b, "t", 3, 5, hi_half, /*denom=*/16);
+  shards.push_back(wrap_shard_manifest(std::move(a)));
+  shards.push_back(wrap_shard_manifest(std::move(b)));
+  const AggregateResult merged = aggregate_shards(std::move(shards));
+
+  const JsonValue& t = merged.manifest.at("results").at("tallies").at("t");
+  EXPECT_EQ(t.at("count").as_number(), 5.0);
+  EXPECT_EQ(t.at("sum").as_number(), 26.0);
+  EXPECT_EQ(t.at("sum_sq").as_number(), 168.0);
+  EXPECT_EQ(t.at("min").as_number(), 2.0 / 16.0);
+  EXPECT_EQ(t.at("max").as_number(), 9.0 / 16.0);
+  EXPECT_EQ(t.at("mean").as_number(), (26.0 / 5.0) / 16.0);
+}
+
+TEST(AggregateTest, EmptyTallyPieceDoesNotPolluteMinMax) {
+  std::vector<ShardManifest> shards;
+  JsonValue a = make_shard_doc(0, 2, 0, 4);
+  add_tally(a, "t", 0, 3, {5, 6, 7}, /*denom=*/8);
+  JsonValue b = make_shard_doc(1, 2, 4, 8);
+  add_tally(b, "t", 3, 3, {}, /*denom=*/8);  // empty pair range
+  shards.push_back(wrap_shard_manifest(std::move(a)));
+  shards.push_back(wrap_shard_manifest(std::move(b)));
+  const AggregateResult merged = aggregate_shards(std::move(shards));
+  const JsonValue& t = merged.manifest.at("results").at("tallies").at("t");
+  EXPECT_EQ(t.at("min").as_number(), 5.0 / 8.0);  // not dragged to 0 by the empty piece
+  EXPECT_EQ(t.at("max").as_number(), 7.0 / 8.0);
+}
+
+TEST(AggregateTest, CountersSumAcrossShards) {
+  std::vector<ShardManifest> shards;
+  for (int k = 0; k < 2; ++k) {
+    JsonValue doc = make_shard_doc(k, 2, 4 * k, 4 * k + 4);
+    set_metric(doc, "counters", "study.pair_hds", JsonValue(100 + k));
+    shards.push_back(wrap_shard_manifest(std::move(doc)));
+  }
+  const AggregateResult merged = aggregate_shards(std::move(shards));
+  EXPECT_EQ(merged.manifest.at("metrics").at("counters").at("study.pair_hds").as_number(), 201.0);
+}
+
+TEST(AggregateTest, GaugesResolveByPolicyAndRetainPerShardValues) {
+  std::vector<ShardManifest> shards;
+  const double values[3] = {5.0, 11.0, 7.0};
+  for (int k = 0; k < 3; ++k) {
+    JsonValue doc = make_shard_doc(k, 3, 2 * k, 2 * k + 2);
+    set_metric(doc, "gauges", "queue.depth", JsonValue(values[k]));
+    set_metric(doc, "gauges", "phase.last", JsonValue(static_cast<double>(k * 10)));
+    shards.push_back(wrap_shard_manifest(std::move(doc)));
+  }
+  const AggregateResult merged = aggregate_shards(std::move(shards));
+  const JsonValue& gauges = merged.manifest.at("metrics").at("gauges");
+
+  const JsonValue& depth = gauges.at("queue.depth");
+  EXPECT_EQ(depth.at("policy").as_string(), "max");
+  EXPECT_EQ(depth.at("value").as_number(), 11.0);  // max, never the average (7.67)
+  EXPECT_EQ(depth.at("per_shard").at("0").as_number(), 5.0);
+  EXPECT_EQ(depth.at("per_shard").at("1").as_number(), 11.0);
+  EXPECT_EQ(depth.at("per_shard").at("2").as_number(), 7.0);
+
+  const JsonValue& phase = gauges.at("phase.last");
+  EXPECT_EQ(phase.at("policy").as_string(), "last");
+  EXPECT_EQ(phase.at("value").as_number(), 20.0);  // highest shard index wins
+}
+
+TEST(AggregateTest, ProvenanceMismatchBecomesConflictNotException) {
+  std::vector<ShardManifest> shards;
+  for (int k = 0; k < 2; ++k) {
+    JsonValue doc = make_shard_doc(k, 2, 4 * k, 4 * k + 4);
+    if (k == 1) {
+      doc.as_object()["git_sha"] = JsonValue("fff999");
+      doc.as_object()["config"].as_object()["seed"] = JsonValue(9999);
+    }
+    shards.push_back(wrap_shard_manifest(std::move(doc)));
+  }
+  const AggregateResult merged = aggregate_shards(std::move(shards));
+  std::vector<std::string> fields;
+  for (const AggregateConflict& c : merged.conflicts) fields.push_back(c.field);
+  EXPECT_NE(std::find(fields.begin(), fields.end(), "git_sha"), fields.end());
+  EXPECT_NE(std::find(fields.begin(), fields.end(), "config"), fields.end());
+  // Every shard's value is recorded so the operator can see who diverged.
+  for (const AggregateConflict& c : merged.conflicts) {
+    EXPECT_EQ(c.values.size(), 2u) << c.field;
+  }
+  // Conflicts are also embedded in the document itself.
+  EXPECT_FALSE(merged.manifest.at("conflicts").as_array().empty());
+}
+
+TEST(AggregateTest, StructuralErrorsThrow) {
+  {  // duplicate shard index
+    std::vector<ShardManifest> shards;
+    shards.push_back(wrap_shard_manifest(make_shard_doc(0, 2, 0, 4)));
+    shards.push_back(wrap_shard_manifest(make_shard_doc(0, 2, 4, 8)));
+    EXPECT_THROW(aggregate_shards(std::move(shards)), std::runtime_error);
+  }
+  {  // disagreeing shard counts
+    std::vector<ShardManifest> shards;
+    shards.push_back(wrap_shard_manifest(make_shard_doc(0, 2, 0, 4)));
+    shards.push_back(wrap_shard_manifest(make_shard_doc(1, 3, 4, 8)));
+    EXPECT_THROW(aggregate_shards(std::move(shards)), std::runtime_error);
+  }
+  {  // missing shard (count says 3, only 2 present)
+    std::vector<ShardManifest> shards;
+    shards.push_back(wrap_shard_manifest(make_shard_doc(0, 3, 0, 4)));
+    shards.push_back(wrap_shard_manifest(make_shard_doc(1, 3, 4, 8)));
+    EXPECT_THROW(aggregate_shards(std::move(shards)), std::runtime_error);
+  }
+  {  // chip ranges with a gap
+    std::vector<ShardManifest> shards;
+    shards.push_back(wrap_shard_manifest(make_shard_doc(0, 2, 0, 3)));
+    shards.push_back(wrap_shard_manifest(make_shard_doc(1, 2, 4, 8)));
+    EXPECT_THROW(aggregate_shards(std::move(shards)), std::runtime_error);
+  }
+  EXPECT_THROW(aggregate_shards({}), std::runtime_error);
+}
+
+TEST(AggregateTest, MalformedManifestFilesAreRejectedWithPathContext) {
+  const std::string missing = temp_path("missing.json");
+  EXPECT_THROW(load_shard_manifest(missing), std::runtime_error);
+
+  const std::string truncated = temp_path("truncated.json");
+  {
+    std::ofstream out(truncated, std::ios::trunc);
+    out << R"({"schema": "aropuf-run-manifest", "schema_version": 1, "run": "x", "shard")";
+  }
+  try {
+    (void)load_shard_manifest(truncated);
+    FAIL() << "truncated manifest should not parse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(truncated), std::string::npos)
+        << "error should name the offending file: " << e.what();
+  }
+
+  const std::string wrong_schema = temp_path("wrong_schema.json");
+  {
+    std::ofstream out(wrong_schema, std::ios::trunc);
+    out << R"({"schema": "something-else", "schema_version": 1, "run": "x"})";
+  }
+  EXPECT_THROW(load_shard_manifest(wrong_schema), std::runtime_error);
+
+  // Wrapping an in-memory doc without the shard descriptor fails the same way.
+  JsonValue no_shard = make_shard_doc(0, 1, 0, 4);
+  no_shard.as_object().erase("shard");
+  EXPECT_THROW(wrap_shard_manifest(std::move(no_shard)), std::runtime_error);
+}
+
+TEST(AggregateTest, ResumeValidityProbe) {
+  const std::string good = temp_path("resume_good.json");
+  {
+    std::ofstream out(good, std::ios::trunc);
+    out << make_shard_doc(1, 3, 2, 4).dump(2);
+  }
+  std::string why;
+  EXPECT_TRUE(shard_manifest_is_valid(good, "test_run", 1, 3, &why)) << why;
+  EXPECT_FALSE(shard_manifest_is_valid(good, "test_run", 0, 3, &why));
+  EXPECT_FALSE(why.empty());
+  EXPECT_FALSE(shard_manifest_is_valid(good, "test_run", 1, 4, nullptr));
+  EXPECT_FALSE(shard_manifest_is_valid(good, "other_run", 1, 3, nullptr));
+  EXPECT_FALSE(shard_manifest_is_valid(temp_path("resume_missing.json"), "test_run", 1, 3,
+                                       &why));
+}
+
+TEST(AggregateTest, GaugePolicySelection) {
+  EXPECT_EQ(gauge_merge_policy("threads"), GaugePolicy::kMax);
+  EXPECT_EQ(gauge_merge_policy("phase.last"), GaugePolicy::kLast);
+  EXPECT_EQ(gauge_merge_policy("last"), GaugePolicy::kMax);  // suffix, not substring
+  EXPECT_EQ(gauge_merge_policy(""), GaugePolicy::kMax);
+}
+
+TEST(AggregateTest, WriteAggregateManifestRoundTrips) {
+  std::vector<ShardManifest> shards;
+  JsonValue doc = make_shard_doc(0, 1, 0, 8);
+  add_sample_series(doc, "s", 0, 2, {0.25, 0.75});
+  shards.push_back(wrap_shard_manifest(std::move(doc)));
+  const AggregateResult merged = aggregate_shards(std::move(shards));
+
+  const std::string path = temp_path("roundtrip.json");
+  ASSERT_TRUE(write_aggregate_manifest(path, merged.manifest));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue parsed = JsonValue::parse(buffer.str());
+  EXPECT_EQ(parsed.string_or("schema", ""), kAggregateSchema);
+  EXPECT_EQ(parsed.at("results").dump(), merged.manifest.at("results").dump());
+}
+
+}  // namespace
+}  // namespace aropuf::telemetry

@@ -1,0 +1,132 @@
+#include "telemetry/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace aropuf::telemetry {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "aropuf_progress_" + name;
+}
+
+void truncate_file(const std::string& path) { std::ofstream(path, std::ios::trunc); }
+
+TEST(HeartbeatTest, JsonRoundTrip) {
+  Heartbeat beat;
+  beat.ts_unix_ms = 1722945600123;
+  beat.shard = 3;
+  beat.stage = "e2.aro.y10";
+  beat.done = 7;
+  beat.total = 22;
+  beat.elapsed_ms = 451.25;
+  const Heartbeat back = heartbeat_from_json(heartbeat_to_json(beat));
+  EXPECT_EQ(back.ts_unix_ms, beat.ts_unix_ms);
+  EXPECT_EQ(back.shard, beat.shard);
+  EXPECT_EQ(back.stage, beat.stage);
+  EXPECT_EQ(back.done, beat.done);
+  EXPECT_EQ(back.total, beat.total);
+  EXPECT_EQ(back.elapsed_ms, beat.elapsed_ms);
+}
+
+TEST(HeartbeatTest, RejectsOutOfRangeFields) {
+  Heartbeat beat;
+  beat.stage = "x";
+  beat.done = 5;
+  beat.total = 3;  // done > total
+  EXPECT_THROW((void)heartbeat_from_json(heartbeat_to_json(beat)), std::exception);
+  beat.done = 1;
+  beat.total = 3;
+  beat.shard = -2;
+  EXPECT_THROW((void)heartbeat_from_json(heartbeat_to_json(beat)), std::exception);
+}
+
+TEST(ProgressTest, WriterAppendsReaderPolls) {
+  const std::string path = temp_path("basic.jsonl");
+  truncate_file(path);
+  ProgressWriter w0(path, 0);
+  ProgressWriter w1(path, 1);
+  ProgressReader reader(path);
+
+  EXPECT_TRUE(w0.beat("start", 0, 4));
+  EXPECT_TRUE(w1.beat("start", 0, 4));
+  auto beats = reader.poll();
+  ASSERT_EQ(beats.size(), 2u);
+  EXPECT_EQ(beats[0].shard, 0);
+  EXPECT_EQ(beats[1].shard, 1);
+
+  // Incremental: a second poll only sees what was appended in between.
+  EXPECT_TRUE(w0.beat("e2", 2, 4));
+  beats = reader.poll();
+  ASSERT_EQ(beats.size(), 1u);
+  EXPECT_EQ(beats[0].stage, "e2");
+  EXPECT_EQ(beats[0].done, 2);
+  EXPECT_TRUE(reader.poll().empty());
+}
+
+TEST(ProgressTest, PartialTrailingLineIsBufferedUntilComplete) {
+  const std::string path = temp_path("partial.jsonl");
+  truncate_file(path);
+  ProgressWriter writer(path, 0);
+  ASSERT_TRUE(writer.beat("one", 1, 2));
+
+  // Simulate a writer caught mid-append: a complete line plus a torn one.
+  const std::string torn = R"({"ts_unix_ms": 1, "shard": 0, "stage": "tw)";
+  {
+    std::ofstream out(path, std::ios::app);
+    out << torn;
+  }
+  ProgressReader reader(path);
+  auto beats = reader.poll();
+  ASSERT_EQ(beats.size(), 1u);
+  EXPECT_EQ(beats[0].stage, "one");
+  EXPECT_EQ(reader.malformed_lines(), 0u);
+
+  // The rest of the line arrives; the buffered prefix completes cleanly.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << R"(o", "done": 2, "total": 2, "elapsed_ms": 5})" << "\n";
+  }
+  beats = reader.poll();
+  ASSERT_EQ(beats.size(), 1u);
+  EXPECT_EQ(beats[0].stage, "two");
+  EXPECT_EQ(reader.malformed_lines(), 0u);
+}
+
+TEST(ProgressTest, MalformedCompleteLinesAreCountedAndSkipped) {
+  const std::string path = temp_path("malformed.jsonl");
+  truncate_file(path);
+  ProgressWriter writer(path, 2);
+  ASSERT_TRUE(writer.beat("good", 0, 1));
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "this is not json\n";
+    out << R"({"valid_json": "but not a heartbeat"})" << "\n";
+  }
+  ASSERT_TRUE(writer.beat("good2", 1, 1));
+
+  ProgressReader reader(path);
+  const auto beats = reader.poll();
+  ASSERT_EQ(beats.size(), 2u);
+  EXPECT_EQ(beats[0].stage, "good");
+  EXPECT_EQ(beats[1].stage, "good2");
+  EXPECT_EQ(reader.malformed_lines(), 2u);
+}
+
+TEST(ProgressTest, DisabledWriterIsANoOp) {
+  ProgressWriter writer("", 0);
+  EXPECT_FALSE(writer.enabled());
+  EXPECT_TRUE(writer.beat("anything", 0, 0));  // no-op beats never fail the run
+}
+
+TEST(ProgressTest, ReaderOnMissingFileReturnsNothing) {
+  ProgressReader reader(temp_path("never_written.jsonl"));
+  EXPECT_TRUE(reader.poll().empty());
+  EXPECT_EQ(reader.malformed_lines(), 0u);
+}
+
+}  // namespace
+}  // namespace aropuf::telemetry

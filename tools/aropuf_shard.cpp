@@ -1,0 +1,848 @@
+// aropuf_shard: sharded-run orchestrator for the E2+E3 population study.
+//
+// One binary, two modes:
+//
+//  * orchestrator (default) — splits the chip population into --shards
+//    seed-range shards and runs each as a child worker process (self-exec
+//    with --worker --shard k/N), bounded by --jobs.  Workers write ordinary
+//    run manifests extended with a "shard" descriptor and a "results"
+//    payload; the orchestrator merges them (telemetry/aggregate.hpp) into
+//    one aggregate manifest and derives the ECC/area study from the merged
+//    statistics.  Failed or timed-out shards are retried (--retries);
+//    --resume skips shards whose manifest already validates.  Live progress
+//    arrives over an append-only JSONL heartbeat file and renders as a
+//    terminal HUD (plain log lines when stdout is not a TTY).
+//
+//  * worker (--worker, spawned internally) — runs one shard of the study
+//    and writes its manifest + heartbeats.  Workers take every parameter on
+//    the command line, never from inherited environment, so a shard's
+//    manifest is reproducible from its argv alone.
+//
+// Process spawning is POSIX (fork/exec); on platforms without it the
+// orchestrator falls back to --no-fork, which runs shards sequentially
+// in-process (telemetry state is reset between shards so each "virtual
+// worker" still produces an honest per-shard manifest).
+//
+// Exit codes: 0 success; 1 shard failure, unreadable manifests, provenance
+// conflicts, or write errors; 2 usage error; 3 --check-single mismatch
+// (shard-merged statistics differ from the single-process run — a
+// determinism regression, never acceptable).
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "sim/parallel.hpp"
+#include "sim/scenarios.hpp"
+#include "sim/shard_study.hpp"
+#include "telemetry/aggregate.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/progress.hpp"
+
+#if !defined(_WIN32)
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define AROPUF_HAVE_FORK 1
+#else
+#include <direct.h>
+#endif
+
+namespace {
+
+using namespace aropuf;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  // Study parameters (shared orchestrator/worker; echoed into worker argv).
+  int chips = 40;
+  std::uint64_t seed = 2014;
+  std::vector<double> checkpoints = {1.0, 2.0, 5.0, 10.0};
+  std::string run = "shard_study";
+  int threads = 0;  ///< per-worker thread count; 0 = library default
+
+  // Orchestrator parameters.
+  int shards = 4;
+  int jobs = 0;  ///< 0 = min(shards, hardware_concurrency)
+  std::string out_dir = "shard-run";
+  bool resume = false;
+  double timeout_s = 0.0;  ///< 0 = no timeout
+  int retries = 1;
+  bool no_fork = false;
+  bool check_single = false;
+  bool quiet = false;
+
+  // Worker parameters (internal).
+  bool worker = false;
+  int shard_index = 0;
+  std::string manifest_path;
+  std::string progress_path;
+};
+
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: aropuf_shard [options]\n"
+               "  --chips N          total chip population (default 40)\n"
+               "  --seed S           master RNG seed (default 2014)\n"
+               "  --checkpoints CSV  aging years, non-decreasing (default 1,2,5,10)\n"
+               "  --shards K         number of shards (default 4)\n"
+               "  --jobs J           concurrent workers (default min(K, cores))\n"
+               "  --threads T        threads per worker (default: library default)\n"
+               "  --out DIR          output directory (default shard-run)\n"
+               "  --run NAME         run name in manifests (default shard_study)\n"
+               "  --resume           skip shards whose manifest already validates\n"
+               "  --timeout SEC      kill a worker after SEC seconds (default: none)\n"
+               "  --retries R        retries per failed shard (default 1)\n"
+               "  --no-fork          run shards sequentially in this process\n"
+               "  --check-single     verify merged results == single-process run\n"
+               "  --quiet            plain log lines even on a TTY\n");
+}
+
+bool parse_checkpoints(const std::string& csv, std::vector<double>* out) {
+  std::vector<double> years;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) return false;
+    char* end = nullptr;
+    const double y = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || y < 0.0) return false;
+    years.push_back(y);
+  }
+  if (years.empty() || !std::is_sorted(years.begin(), years.end())) return false;
+  *out = std::move(years);
+  return true;
+}
+
+/// Parses "k/N" (worker shard coordinates).
+bool parse_shard_spec(const std::string& spec, int* index, int* count) {
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string::npos) return false;
+  char* end = nullptr;
+  const long k = std::strtol(spec.substr(0, slash).c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  const long n = std::strtol(spec.substr(slash + 1).c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  if (n < 1 || k < 0 || k >= n) return false;
+  *index = static_cast<int>(k);
+  *count = static_cast<int>(n);
+  return true;
+}
+
+/// Returns 0 on success, 2 on usage error (with a message on stderr).
+int parse_args(int argc, char** argv, Options* opt) {
+  const auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "aropuf_shard: %s requires a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto int_value = [&](int* out, int lo) {
+      const char* v = need_value(i);
+      if (v == nullptr) return false;
+      ++i;
+      const int parsed = std::atoi(v);
+      if (parsed < lo) {
+        std::fprintf(stderr, "aropuf_shard: bad value for %s: %s\n", arg.c_str(), v);
+        return false;
+      }
+      *out = parsed;
+      return true;
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      std::exit(0);
+    } else if (arg == "--chips") {
+      if (!int_value(&opt->chips, 2)) return 2;
+    } else if (arg == "--seed") {
+      const char* v = need_value(i);
+      if (v == nullptr) return 2;
+      ++i;
+      opt->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--checkpoints") {
+      const char* v = need_value(i);
+      if (v == nullptr) return 2;
+      ++i;
+      if (!parse_checkpoints(v, &opt->checkpoints)) {
+        std::fprintf(stderr, "aropuf_shard: bad --checkpoints '%s'\n", v);
+        return 2;
+      }
+    } else if (arg == "--shards") {
+      if (!int_value(&opt->shards, 1)) return 2;
+    } else if (arg == "--jobs") {
+      if (!int_value(&opt->jobs, 1)) return 2;
+    } else if (arg == "--threads") {
+      if (!int_value(&opt->threads, 1)) return 2;
+    } else if (arg == "--out") {
+      const char* v = need_value(i);
+      if (v == nullptr) return 2;
+      ++i;
+      opt->out_dir = v;
+    } else if (arg == "--run") {
+      const char* v = need_value(i);
+      if (v == nullptr) return 2;
+      ++i;
+      opt->run = v;
+    } else if (arg == "--resume") {
+      opt->resume = true;
+    } else if (arg == "--timeout") {
+      const char* v = need_value(i);
+      if (v == nullptr) return 2;
+      ++i;
+      opt->timeout_s = std::strtod(v, nullptr);
+    } else if (arg == "--retries") {
+      if (!int_value(&opt->retries, 0)) return 2;
+    } else if (arg == "--no-fork") {
+      opt->no_fork = true;
+    } else if (arg == "--check-single") {
+      opt->check_single = true;
+    } else if (arg == "--quiet") {
+      opt->quiet = true;
+    } else if (arg == "--worker") {
+      opt->worker = true;
+    } else if (arg == "--shard") {
+      const char* v = need_value(i);
+      if (v == nullptr) return 2;
+      ++i;
+      if (!parse_shard_spec(v, &opt->shard_index, &opt->shards)) {
+        std::fprintf(stderr, "aropuf_shard: bad --shard spec '%s' (want k/N)\n", v);
+        return 2;
+      }
+    } else if (arg == "--manifest") {
+      const char* v = need_value(i);
+      if (v == nullptr) return 2;
+      ++i;
+      opt->manifest_path = v;
+    } else if (arg == "--progress") {
+      const char* v = need_value(i);
+      if (v == nullptr) return 2;
+      ++i;
+      opt->progress_path = v;
+    } else {
+      std::fprintf(stderr, "aropuf_shard: unknown option %s\n", arg.c_str());
+      print_usage(stderr);
+      return 2;
+    }
+  }
+  if (opt->worker && opt->manifest_path.empty()) {
+    std::fprintf(stderr, "aropuf_shard: --worker requires --manifest\n");
+    return 2;
+  }
+  return 0;
+}
+
+ShardStudyConfig study_config(const Options& opt) {
+  ShardStudyConfig cfg;
+  cfg.pop.chips = opt.chips;
+  cfg.pop.seed = opt.seed;
+  cfg.checkpoints = opt.checkpoints;
+  return cfg;
+}
+
+JsonValue shard_descriptor(const ShardStudyConfig& cfg, int index, int count) {
+  const auto [lo, hi] =
+      shard_range(static_cast<std::size_t>(cfg.pop.chips), static_cast<std::size_t>(index),
+                  static_cast<std::size_t>(count));
+  JsonValue::Object shard;
+  shard["index"] = JsonValue(index);
+  shard["count"] = JsonValue(count);
+  shard["chip_lo"] = JsonValue(static_cast<std::uint64_t>(lo));
+  shard["chip_hi"] = JsonValue(static_cast<std::uint64_t>(hi));
+  return JsonValue(std::move(shard));
+}
+
+// --- worker -----------------------------------------------------------------
+
+/// Runs one shard of the study and writes its manifest.  Also the body of
+/// each "virtual worker" in --no-fork mode, which is why telemetry state is
+/// set (not assumed fresh) here and reset by the caller between shards.
+int run_worker_shard(const Options& opt, int index) {
+  const ShardStudyConfig cfg = study_config(opt);
+  if (opt.threads > 0) ParallelExecutor::set_global_thread_count(opt.threads);
+  telemetry::MetricsRegistry::global().set_shard_index(index);
+
+  telemetry::ProgressWriter progress(opt.progress_path, index);
+  progress.beat("start", 0, 0);
+  try {
+    const ShardStudyResult result = run_shard_study(
+        cfg, static_cast<std::size_t>(index), static_cast<std::size_t>(opt.shards),
+        [&](const std::string& stage, std::int64_t done, std::int64_t total) {
+          progress.beat(stage, done, total);
+        });
+    telemetry::set_runtime_field("shard", shard_descriptor(cfg, index, opt.shards));
+    telemetry::set_runtime_field("results", study_results_to_json(result));
+    const bool ok =
+        telemetry::write_manifest(opt.manifest_path, opt.run, study_config_json(cfg));
+    progress.beat(ok ? "done" : "failed", 1, 1);
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "aropuf_shard: shard %d failed: %s\n", index, e.what());
+    progress.beat("failed", 0, 0);
+    return 1;
+  }
+}
+
+// --- orchestrator -----------------------------------------------------------
+
+struct ShardState {
+  enum class Phase { kPending, kRunning, kDone, kFailed, kSkipped };
+  Phase phase = Phase::kPending;
+  std::string manifest;
+  int attempts = 0;
+  long pid = -1;
+  Clock::time_point started{};
+  double wall_s = 0.0;
+  // Latest heartbeat.
+  std::string stage = "-";
+  std::int64_t done = 0;
+  std::int64_t total = 0;
+};
+
+const char* phase_name(ShardState::Phase p) {
+  switch (p) {
+    case ShardState::Phase::kPending: return "pending";
+    case ShardState::Phase::kRunning: return "running";
+    case ShardState::Phase::kDone: return "done";
+    case ShardState::Phase::kFailed: return "failed";
+    case ShardState::Phase::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+bool make_output_dir(const std::string& path) {
+#if defined(_WIN32)
+  return _mkdir(path.c_str()) == 0 || errno == EEXIST;
+#else
+  return ::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST;
+#endif
+}
+
+bool stdout_is_tty() {
+#if defined(AROPUF_HAVE_FORK)
+  return ::isatty(STDOUT_FILENO) != 0;
+#else
+  return false;
+#endif
+}
+
+/// Terminal HUD: one line per shard plus a summary, redrawn in place.  When
+/// the terminal is not a TTY (CI logs), falls back to printing one plain
+/// line per state/stage transition instead.
+class Hud {
+ public:
+  Hud(bool fancy, std::size_t shard_count) : fancy_(fancy), last_logged_(shard_count) {}
+
+  void render(const std::vector<ShardState>& shards, const Clock::time_point& t0) {
+    if (fancy_) {
+      render_fancy(shards, t0);
+    } else {
+      render_plain(shards);
+    }
+  }
+
+  void finish() {
+    // Leave the final HUD frame in the scrollback.
+    if (fancy_) std::fflush(stdout);
+  }
+
+ private:
+  static std::string progress_bar(std::int64_t done, std::int64_t total, int width) {
+    const double frac =
+        total > 0 ? static_cast<double>(done) / static_cast<double>(total) : 0.0;
+    const int fill = static_cast<int>(frac * width + 0.5);
+    std::string bar = "[";
+    for (int i = 0; i < width; ++i) bar += i < fill ? '#' : '.';
+    bar += ']';
+    return bar;
+  }
+
+  void render_fancy(const std::vector<ShardState>& shards, const Clock::time_point& t0) {
+    std::string frame;
+    std::int64_t done_sum = 0;
+    std::int64_t total_sum = 0;
+    std::size_t finished = 0;
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      const ShardState& s = shards[k];
+      char line[160];
+      std::snprintf(line, sizeof line, "  shard %-3zu %-8s %s %5lld/%-5lld %s", k,
+                    phase_name(s.phase), progress_bar(s.done, s.total, 24).c_str(),
+                    static_cast<long long>(s.done), static_cast<long long>(s.total),
+                    s.stage.c_str());
+      frame += line;
+      frame += '\n';
+      done_sum += s.done;
+      total_sum += s.total;
+      if (s.phase == ShardState::Phase::kDone || s.phase == ShardState::Phase::kSkipped) {
+        ++finished;
+      }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    const double frac =
+        total_sum > 0 ? static_cast<double>(done_sum) / static_cast<double>(total_sum) : 0.0;
+    const double eta = frac > 0.01 ? elapsed * (1.0 - frac) / frac : -1.0;
+    char summary[160];
+    if (eta >= 0.0) {
+      std::snprintf(summary, sizeof summary,
+                    "  %zu/%zu shards finished | %.0f%% | elapsed %.1fs | eta %.1fs\n",
+                    finished, shards.size(), frac * 100.0, elapsed, eta);
+    } else {
+      std::snprintf(summary, sizeof summary,
+                    "  %zu/%zu shards finished | %.0f%% | elapsed %.1fs\n", finished,
+                    shards.size(), frac * 100.0, elapsed);
+    }
+    frame += summary;
+
+    const std::size_t lines = shards.size() + 1;
+    if (drawn_) std::printf("\x1b[%zuF", lines);  // cursor to frame start
+    // Clear each line before rewriting so shrinking text leaves no residue.
+    std::istringstream in(frame);
+    std::string line;
+    while (std::getline(in, line)) std::printf("\x1b[2K%s\n", line.c_str());
+    std::fflush(stdout);
+    drawn_ = true;
+  }
+
+  void render_plain(const std::vector<ShardState>& shards) {
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      const ShardState& s = shards[k];
+      const std::string key = std::string(phase_name(s.phase)) + "|" + s.stage + "|" +
+                              std::to_string(s.done) + "/" + std::to_string(s.total);
+      if (key == last_logged_[k]) continue;
+      last_logged_[k] = key;
+      std::printf("shard %zu: %s %s (%lld/%lld)\n", k, phase_name(s.phase), s.stage.c_str(),
+                  static_cast<long long>(s.done), static_cast<long long>(s.total));
+      std::fflush(stdout);
+    }
+  }
+
+  bool fancy_;
+  bool drawn_ = false;
+  std::vector<std::string> last_logged_;
+};
+
+std::string shard_manifest_path(const Options& opt, int index) {
+  return opt.out_dir + "/shard-" + std::to_string(index) + ".manifest.json";
+}
+
+#if defined(AROPUF_HAVE_FORK)
+/// Spawns one worker as a child process: self-exec with --worker.  Returns
+/// the pid, or -1 with a message on stderr.
+long spawn_worker(const std::string& exe, const Options& opt, int index) {
+  std::vector<std::string> args = {
+      exe,
+      "--worker",
+      "--shard",
+      std::to_string(index) + "/" + std::to_string(opt.shards),
+      "--chips",
+      std::to_string(opt.chips),
+      "--seed",
+      std::to_string(opt.seed),
+      "--run",
+      opt.run,
+      "--manifest",
+      shard_manifest_path(opt, index),
+      "--progress",
+      opt.progress_path,
+  };
+  {
+    std::string csv;
+    for (std::size_t i = 0; i < opt.checkpoints.size(); ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%g", opt.checkpoints[i]);
+      if (i > 0) csv += ',';
+      csv += buf;
+    }
+    args.push_back("--checkpoints");
+    args.push_back(csv);
+  }
+  if (opt.threads > 0) {
+    args.push_back("--threads");
+    args.push_back(std::to_string(opt.threads));
+  }
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "aropuf_shard: fork failed: %s\n", std::strerror(errno));
+    return -1;
+  }
+  if (pid == 0) {
+    ::execv(exe.c_str(), argv.data());
+    std::fprintf(stderr, "aropuf_shard: exec %s failed: %s\n", exe.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// Resolves the path this binary can be re-exec'd from.
+std::string self_executable(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+#endif  // AROPUF_HAVE_FORK
+
+void apply_heartbeats(telemetry::ProgressReader& reader, std::vector<ShardState>* shards) {
+  for (const telemetry::Heartbeat& beat : reader.poll()) {
+    if (beat.shard < 0 || static_cast<std::size_t>(beat.shard) >= shards->size()) continue;
+    ShardState& s = (*shards)[static_cast<std::size_t>(beat.shard)];
+    s.stage = beat.stage;
+    // "start"/terminal beats carry 0/0 or 1/1 — keep the last real totals so
+    // the HUD's aggregate fraction stays meaningful.
+    if (beat.total > 0 || (beat.done == 0 && s.total == 0)) {
+      s.done = beat.done;
+      s.total = beat.total;
+    }
+    if (beat.stage == "done" && s.total > 0) s.done = s.total;
+  }
+}
+
+/// Builds the derived study section (headline numbers + the ECC/area
+/// comparison at each design's p90 provisioning BER) from the merged
+/// results.  Purely a function of the merged statistics, so it is identical
+/// for every shard decomposition.
+JsonValue build_study_section(const JsonValue& merged, const ShardStudyConfig& cfg) {
+  JsonValue::Object study;
+  const double final_year = cfg.checkpoints.back();
+  char year_buf[32];
+  std::snprintf(year_buf, sizeof year_buf, "%g", final_year);
+  study["final_year"] = JsonValue(final_year);
+
+  const JsonValue& samples = merged.at("results").at("samples");
+  const JsonValue& tallies = merged.at("results").at("tallies");
+
+  double p90_ber[2] = {0.0, 0.0};
+  const char* design_keys[2] = {"conventional", "aro"};
+  JsonValue::Object designs;
+  for (int d = 0; d < 2; ++d) {
+    const std::string key = design_keys[d];
+    JsonValue::Object entry;
+    const std::string e2_name = "e2." + key + ".flip_percent.y" + year_buf;
+    if (samples.contains(e2_name)) {
+      const JsonValue& s = samples.at(e2_name);
+      BerStats ber;
+      ber.mean = s.number_or("mean", 0.0) / 100.0;
+      ber.stddev = s.number_or("stddev", 0.0) / 100.0;
+      ber.max = s.number_or("max", 0.0) / 100.0;
+      p90_ber[d] = std::max(0.0, ber.p90());
+      entry["eol_flip_percent_mean"] = JsonValue(s.number_or("mean", 0.0));
+      entry["eol_flip_percent_max"] = JsonValue(s.number_or("max", 0.0));
+      entry["eol_ber_p90"] = JsonValue(p90_ber[d]);
+    }
+    const std::string e3_name = "e3." + key + ".pair_hd";
+    if (tallies.contains(e3_name)) {
+      const JsonValue& t = tallies.at(e3_name);
+      entry["uniqueness_percent"] = JsonValue(t.number_or("mean", 0.0) * 100.0);
+      entry["uniqueness_stddev_percent"] = JsonValue(t.number_or("stddev", 0.0) * 100.0);
+    }
+    const std::string uniform_name = "e3." + key + ".uniformity";
+    if (samples.contains(uniform_name)) {
+      entry["uniformity_mean"] = JsonValue(samples.at(uniform_name).number_or("mean", 0.0));
+    }
+    designs[key] = JsonValue(std::move(entry));
+  }
+  study["designs"] = JsonValue(std::move(designs));
+
+  // ECC/area comparison at the merged p90 BERs (paper's E7 on study data).
+  JsonValue::Object ecc;
+  try {
+    const CodeSearchConstraints constraints;
+    const EccComparison cmp =
+        run_ecc_comparison(cfg.pop.tech, p90_ber[0], p90_ber[1], constraints);
+    const auto scheme_json = [](const CodeSearchResult& r) {
+      JsonValue::Object s;
+      s["repetition"] = JsonValue(r.scheme.repetition);
+      s["bch_m"] = JsonValue(r.scheme.bch_m);
+      s["bch_t"] = JsonValue(r.scheme.bch_t);
+      s["raw_bits"] = JsonValue(static_cast<std::uint64_t>(r.scheme.raw_bits()));
+      s["area_ge"] = JsonValue(r.area.total_ge());
+      s["key_failure"] = JsonValue(r.key_failure);
+      return JsonValue(std::move(s));
+    };
+    ecc["status"] = JsonValue("ok");
+    ecc["conventional"] = scheme_json(cmp.conventional);
+    ecc["aro"] = scheme_json(cmp.aro);
+    ecc["area_ratio"] = JsonValue(cmp.area_ratio());
+  } catch (const std::exception& e) {
+    ecc["status"] = JsonValue("failed");
+    ecc["error"] = JsonValue(std::string(e.what()));
+  }
+  study["ecc"] = JsonValue(std::move(ecc));
+  return JsonValue(std::move(study));
+}
+
+/// --check-single: re-runs the full population as one in-process shard and
+/// compares the decomposition-invariant sections.  Returns true on match.
+bool check_against_single(const Options& opt, const JsonValue& merged) {
+  std::printf("check-single: running the full population in-process...\n");
+  std::fflush(stdout);
+  const ShardStudyConfig cfg = study_config(opt);
+
+  telemetry::reset_run_record();
+  telemetry::MetricsRegistry::global().reset();
+  telemetry::MetricsRegistry::global().set_shard_index(0);
+  const ShardStudyResult result = run_shard_study(cfg, 0, 1);
+  telemetry::set_runtime_field("shard", shard_descriptor(cfg, 0, 1));
+  telemetry::set_runtime_field("results", study_results_to_json(result));
+  JsonValue doc = telemetry::build_manifest(opt.run, study_config_json(cfg));
+
+  const telemetry::AggregateResult single =
+      telemetry::aggregate_shards({telemetry::wrap_shard_manifest(std::move(doc), "<single>")});
+
+  bool ok = true;
+  for (const char* section : {"results", "config"}) {
+    const std::string a = merged.at(section).dump();
+    const std::string b = single.manifest.at(section).dump();
+    if (a != b) {
+      ok = false;
+      std::fprintf(stderr,
+                   "check-single: section '%s' differs between the sharded and the "
+                   "single-process run\n",
+                   section);
+      // Locate the first divergence so the failure is actionable.
+      std::size_t at = 0;
+      while (at < a.size() && at < b.size() && a[at] == b[at]) ++at;
+      const std::size_t lo = at > 60 ? at - 60 : 0;
+      std::fprintf(stderr, "  first divergence at byte %zu:\n    sharded: ...%.120s\n    single:  ...%.120s\n",
+                   at, a.substr(lo, 120).c_str(), b.substr(lo, 120).c_str());
+    }
+  }
+  if (ok) std::printf("check-single: merged statistics are bit-identical\n");
+  return ok;
+}
+
+int run_orchestrator(const Options& opt_in, const char* argv0) {
+  Options opt = opt_in;
+#if !defined(AROPUF_HAVE_FORK)
+  opt.no_fork = true;  // no process spawning on this platform
+  (void)argv0;
+#endif
+  if (opt.jobs <= 0) {
+    opt.jobs = std::max(1, std::min<int>(opt.shards, static_cast<int>(
+                                                         std::thread::hardware_concurrency())));
+  }
+  if (!make_output_dir(opt.out_dir)) {
+    std::fprintf(stderr, "aropuf_shard: cannot create output directory %s\n",
+                 opt.out_dir.c_str());
+    return 1;
+  }
+  opt.progress_path = opt.out_dir + "/progress.jsonl";
+  {
+    // Fresh progress log per run; workers append from here on.
+    std::FILE* f = std::fopen(opt.progress_path.c_str(), "w");
+    if (f != nullptr) std::fclose(f);
+  }
+
+  const ShardStudyConfig cfg = study_config(opt);
+  std::vector<ShardState> shards(static_cast<std::size_t>(opt.shards));
+  std::deque<int> pending;
+  for (int k = 0; k < opt.shards; ++k) {
+    ShardState& s = shards[static_cast<std::size_t>(k)];
+    s.manifest = shard_manifest_path(opt, k);
+    std::string why;
+    if (opt.resume &&
+        telemetry::shard_manifest_is_valid(s.manifest, opt.run, k, opt.shards, &why)) {
+      s.phase = ShardState::Phase::kSkipped;
+      s.stage = "resumed";
+      std::printf("shard %d: valid manifest found, skipping (resume)\n", k);
+    } else {
+      if (opt.resume && !why.empty()) {
+        std::printf("shard %d: re-running (%s)\n", k, why.c_str());
+      }
+      pending.push_back(k);
+    }
+  }
+
+  telemetry::ProgressReader reader(opt.progress_path);
+  Hud hud(stdout_is_tty() && !opt.quiet, shards.size());
+  const Clock::time_point t0 = Clock::now();
+
+  if (opt.no_fork) {
+    // Sequential in-process fallback: each shard still produces its own
+    // honest manifest because telemetry state is reset in between.
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      ShardState& s = shards[k];
+      if (s.phase == ShardState::Phase::kSkipped) continue;
+      s.phase = ShardState::Phase::kRunning;
+      telemetry::reset_run_record();
+      telemetry::MetricsRegistry::global().reset();
+      Options worker = opt;
+      worker.manifest_path = s.manifest;
+      const int rc = run_worker_shard(worker, static_cast<int>(k));
+      apply_heartbeats(reader, &shards);
+      s.phase = rc == 0 ? ShardState::Phase::kDone : ShardState::Phase::kFailed;
+      hud.render(shards, t0);
+    }
+    telemetry::reset_run_record();
+    telemetry::MetricsRegistry::global().reset();
+  } else {
+#if defined(AROPUF_HAVE_FORK)
+    const std::string exe = self_executable(argv0);
+    int running = 0;
+    std::size_t unfinished = 0;
+    for (const ShardState& s : shards) {
+      if (s.phase == ShardState::Phase::kPending) ++unfinished;
+    }
+    while (unfinished > 0) {
+      while (running < opt.jobs && !pending.empty()) {
+        const int k = pending.front();
+        pending.pop_front();
+        ShardState& s = shards[static_cast<std::size_t>(k)];
+        s.pid = spawn_worker(exe, opt, k);
+        if (s.pid < 0) {
+          s.phase = ShardState::Phase::kFailed;
+          --unfinished;
+          continue;
+        }
+        s.phase = ShardState::Phase::kRunning;
+        s.started = Clock::now();
+        ++s.attempts;
+        ++running;
+      }
+
+      // Reap any exited workers without blocking.
+      int status = 0;
+      pid_t reaped;
+      while ((reaped = ::waitpid(-1, &status, WNOHANG)) > 0) {
+        for (std::size_t k = 0; k < shards.size(); ++k) {
+          ShardState& s = shards[k];
+          if (s.pid != reaped) continue;
+          s.pid = -1;
+          s.wall_s = std::chrono::duration<double>(Clock::now() - s.started).count();
+          --running;
+          const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+          if (ok) {
+            s.phase = ShardState::Phase::kDone;
+            --unfinished;
+          } else if (s.attempts <= opt.retries) {
+            std::printf("shard %zu: attempt %d failed, retrying\n", k, s.attempts);
+            s.phase = ShardState::Phase::kPending;
+            s.stage = "retrying";
+            pending.push_back(static_cast<int>(k));
+          } else {
+            std::fprintf(stderr, "shard %zu: failed after %d attempts\n", k, s.attempts);
+            s.phase = ShardState::Phase::kFailed;
+            --unfinished;
+          }
+          break;
+        }
+      }
+
+      // Enforce per-shard timeouts.
+      if (opt.timeout_s > 0.0) {
+        for (std::size_t k = 0; k < shards.size(); ++k) {
+          ShardState& s = shards[k];
+          if (s.phase != ShardState::Phase::kRunning || s.pid < 0) continue;
+          const double elapsed =
+              std::chrono::duration<double>(Clock::now() - s.started).count();
+          if (elapsed > opt.timeout_s) {
+            std::fprintf(stderr, "shard %zu: timed out after %.1fs, killing pid %ld\n", k,
+                         elapsed, s.pid);
+            ::kill(static_cast<pid_t>(s.pid), SIGKILL);
+            // The kill surfaces as a non-zero exit on the next reap, which
+            // routes through the normal retry/fail path above.
+          }
+        }
+      }
+
+      apply_heartbeats(reader, &shards);
+      hud.render(shards, t0);
+      struct timespec ts{0, 100 * 1000 * 1000};  // 100 ms
+      ::nanosleep(&ts, nullptr);
+    }
+#endif  // AROPUF_HAVE_FORK
+  }
+
+  apply_heartbeats(reader, &shards);
+  hud.render(shards, t0);
+  hud.finish();
+  if (reader.malformed_lines() > 0) {
+    std::fprintf(stderr, "aropuf_shard: skipped %zu malformed progress lines\n",
+                 reader.malformed_lines());
+  }
+
+  bool any_failed = false;
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    if (shards[k].phase == ShardState::Phase::kFailed) {
+      std::fprintf(stderr, "aropuf_shard: shard %zu failed; no aggregate written\n", k);
+      any_failed = true;
+    }
+  }
+  if (any_failed) return 1;
+
+  // --- merge ---------------------------------------------------------------
+  std::vector<telemetry::ShardManifest> manifests;
+  manifests.reserve(shards.size());
+  try {
+    for (const ShardState& s : shards) {
+      manifests.push_back(telemetry::load_shard_manifest(s.manifest));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "aropuf_shard: %s\n", e.what());
+    return 1;
+  }
+
+  telemetry::AggregateResult merged;
+  try {
+    merged = telemetry::aggregate_shards(std::move(manifests));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "aropuf_shard: aggregation failed: %s\n", e.what());
+    return 1;
+  }
+
+  merged.manifest.as_object()["study"] = build_study_section(merged.manifest, cfg);
+
+  const std::string merged_path = opt.out_dir + "/merged.manifest.json";
+  if (!telemetry::write_aggregate_manifest(merged_path, merged.manifest)) return 1;
+  std::printf("aropuf_shard: merged manifest written to %s\n", merged_path.c_str());
+
+  if (!merged.conflicts.empty()) {
+    for (const telemetry::AggregateConflict& c : merged.conflicts) {
+      std::fprintf(stderr, "aropuf_shard: provenance conflict on '%s' across shards:\n",
+                   c.field.c_str());
+      for (const auto& [shard, value] : c.values) {
+        std::fprintf(stderr, "    shard %d: %s\n", shard, value.c_str());
+      }
+    }
+    return 1;
+  }
+
+  if (opt.check_single && !check_against_single(opt, merged.manifest)) return 3;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (const int rc = parse_args(argc, argv, &opt); rc != 0) return rc;
+  if (opt.worker) return run_worker_shard(opt, opt.shard_index);
+  return run_orchestrator(opt, argv[0]);
+}
