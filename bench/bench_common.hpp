@@ -5,10 +5,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <optional>
 #include <string>
 
+#include "common/cli.hpp"
 #include "sim/csv.hpp"
 #include "sim/parallel.hpp"
 #include "sim/scenarios.hpp"
@@ -32,28 +32,22 @@ inline Options& options() {
 /// CI smoke run).  Unknown arguments are ignored so binaries stay drop-in.
 /// Results are deterministic for a given population regardless of --threads.
 inline void parse_args(int argc, char** argv) {
-  auto int_value = [&](int& i, const char* name) -> int {
-    const std::size_t name_len = std::strlen(name);
-    const char* arg = argv[i];
-    if (std::strncmp(arg, name, name_len) != 0) return 0;
-    const char* value = nullptr;
-    if (arg[name_len] == '=') {
-      value = arg + name_len + 1;
-    } else if (arg[name_len] == '\0' && i + 1 < argc) {
-      value = argv[++i];
-    } else {
-      return 0;
-    }
-    const int parsed = std::atoi(value);
-    if (parsed < 1) {
-      std::fprintf(stderr, "ignoring %s: want a positive integer, got '%s'\n", name, value);
-      return 0;
-    }
-    return parsed;
-  };
-  for (int i = 1; i < argc; ++i) {
-    if (const int v = int_value(i, "--threads")) options().threads = v;
-    else if (const int v = int_value(i, "--chips")) options().chips = v;
+  cli::Parser parser(argc > 0 ? argv[0] : "bench",
+                     "ARO-PUF experiment bench (see EXPERIMENTS.md)");
+  parser
+      .opt_int("--threads", &options().threads, "N",
+               "Monte Carlo worker threads (default: AROPUF_THREADS or hardware)", 1)
+      .opt_int("--chips", &options().chips, "N",
+               "population size override (default: the standard 40-chip run)", 1)
+      .allow_unknown()
+      .with_env_help();
+  switch (parser.parse(argc, argv)) {
+    case cli::ParseStatus::kHelp:
+      std::exit(0);
+    case cli::ParseStatus::kError:
+      std::exit(2);
+    case cli::ParseStatus::kOk:
+      break;
   }
   if (options().threads > 0) ParallelExecutor::set_global_thread_count(options().threads);
 }
@@ -84,7 +78,7 @@ inline int finish(const char* run_name, std::optional<CsvWriter>* csv = nullptr)
   config["seed"] = JsonValue(pop.seed);
   config["technology"] = JsonValue(pop.tech.name);
   std::string fallback;
-  if (const char* dir = std::getenv("ARO_CSV_DIR"); dir != nullptr && *dir != '\0') {
+  if (const char* dir = cli::env_value("ARO_CSV_DIR")) {
     fallback = std::string(dir) + "/" + run_name + ".manifest.json";
   }
   ok = telemetry::finalize_run(run_name, JsonValue(std::move(config)), fallback) && ok;

@@ -33,7 +33,10 @@ from pathlib import Path
 SCHEMA = "aropuf-run-manifest"
 SCHEMA_VERSION = 1
 AGGREGATE_SCHEMA = "aropuf-aggregate-manifest"
-AGGREGATE_SCHEMA_VERSION = 1
+# v1: no raw_series marker, no embedded values.  v2 (AggregateBuilder): adds
+# the top-level "raw_series" marker and, when it says "kept", the concatenated
+# per-chip values inside every merged sample series.
+AGGREGATE_SCHEMA_VERSIONS = (1, 2)
 
 # Key -> predicate over the parsed JSON value.  Every key is required:
 # build_manifest() fills defaults for facts no subsystem reported, so an
@@ -98,7 +101,7 @@ def validate_manifest(path: Path) -> list[str]:
 # Aggregate manifest root keys (telemetry/aggregate.cpp aggregate_shards()).
 AGGREGATE_KEYS = {
     "schema": lambda v: v == AGGREGATE_SCHEMA,
-    "schema_version": lambda v: v == AGGREGATE_SCHEMA_VERSION,
+    "schema_version": lambda v: v in AGGREGATE_SCHEMA_VERSIONS,
     "run": lambda v: isinstance(v, str) and v != "",
     "created_unix_ms": lambda v: isinstance(v, (int, float)) and v > 0,
     "chips": lambda v: isinstance(v, (int, float)) and v >= 2,
@@ -189,6 +192,34 @@ def validate_aggregate(path: Path) -> list[str]:
         elif gauge.get("value") not in per_shard.values():
             problems.append(fail(path, f"gauge '{name}' value is not any shard's reading"))
 
+    # v2 carries the raw-series disposition marker, and the marker must agree
+    # with what the sample series actually contain: "kept" means every series
+    # embeds its concatenated values (one per counted sample), "dropped" means
+    # none do.  A manifest that says one thing and does the other is lying
+    # about its own memory footprint.
+    raw_series = doc.get("raw_series")
+    if doc.get("schema_version") == 2:
+        if raw_series not in ("kept", "dropped"):
+            problems.append(fail(path, f"raw_series must be 'kept' or 'dropped', got {raw_series!r}"))
+    elif "raw_series" in doc:
+        problems.append(fail(path, "schema_version 1 must not carry a raw_series marker"))
+    if raw_series in ("kept", "dropped"):
+        for name, series in doc.get("results", {}).get("samples", {}).items():
+            if not isinstance(series, dict):
+                continue
+            values = series.get("values")
+            if raw_series == "kept":
+                if not isinstance(values, list):
+                    problems.append(
+                        fail(path, f"samples '{name}': raw_series is 'kept' but no values array"))
+                elif isinstance(series.get("count"), (int, float)) and len(values) != series["count"]:
+                    problems.append(
+                        fail(path, f"samples '{name}' embeds {len(values)} values, "
+                                   f"count is {series['count']}"))
+            elif "values" in series:
+                problems.append(
+                    fail(path, f"samples '{name}': raw_series is 'dropped' but values present"))
+
     # Results: series offsets were already tiled by the C++ merger, but the
     # summary stats must at least be self-consistent.
     for kind in ("samples", "tallies"):
@@ -241,11 +272,30 @@ def validate_progress(path: Path) -> list[str]:
     return problems
 
 
+def strip_raw_values(doc: dict) -> dict:
+    """Drops the embedded per-chip value arrays from results.samples.
+
+    diff-stats compares the *statistics* for invariance, and a kept-policy
+    aggregate must compare equal to a dropped-policy one over the same study:
+    the values arrays are a payload difference by design, not a statistics
+    difference.
+    """
+    if not isinstance(doc, dict):
+        return doc
+    results = doc.get("results")
+    samples = results.get("samples") if isinstance(results, dict) else None
+    if isinstance(samples, dict):
+        for series in samples.values():
+            if isinstance(series, dict):
+                series.pop("values", None)
+    return doc
+
+
 def diff_stats(path_a: Path, path_b: Path) -> list[str]:
     docs = []
     for path in (path_a, path_b):
         try:
-            docs.append(json.loads(path.read_text()))
+            docs.append(strip_raw_values(json.loads(path.read_text())))
         except (OSError, json.JSONDecodeError) as e:
             return [fail(path, f"unreadable or invalid JSON: {e}")]
     problems = []

@@ -1,10 +1,10 @@
 #include "circuit/delay_kernel.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 
 #include "common/check.hpp"
+#include "common/cli.hpp"
 #include "device/technology.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/manifest.hpp"
@@ -31,7 +31,7 @@ void announce_backend(DelayBackend backend) {
 
 /// AROPUF_KERNEL=reference|batched|simd, else the best available backend.
 DelayBackend backend_from_environment() noexcept {
-  if (const char* env = std::getenv("AROPUF_KERNEL")) {
+  if (const char* env = cli::env_value("AROPUF_KERNEL")) {
     if (std::strcmp(env, "reference") == 0) return DelayBackend::kReference;
     if (std::strcmp(env, "batched") == 0) return DelayBackend::kBatched;
     if (std::strcmp(env, "simd") == 0) return clamp_to_available(DelayBackend::kSimd);

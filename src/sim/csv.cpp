@@ -1,8 +1,7 @@
 #include "sim/csv.hpp"
 
-#include <cstdlib>
-
 #include "common/check.hpp"
+#include "common/cli.hpp"
 #include "telemetry/log.hpp"
 
 namespace aropuf {
@@ -58,8 +57,8 @@ bool CsvWriter::close() {
 }
 
 std::optional<CsvWriter> CsvWriter::for_bench(const std::string& name) {
-  const char* dir = std::getenv("ARO_CSV_DIR");
-  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  const char* dir = cli::env_value("ARO_CSV_DIR");
+  if (dir == nullptr) return std::nullopt;
   return CsvWriter(std::string(dir) + "/" + name + ".csv");
 }
 

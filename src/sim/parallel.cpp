@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/cli.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/manifest.hpp"
 #include "telemetry/metrics.hpp"
@@ -55,7 +56,7 @@ int clamp_threads(int threads) {
 }  // namespace
 
 int default_thread_count() {
-  if (const char* env = std::getenv("AROPUF_THREADS")) {
+  if (const char* env = cli::env_value("AROPUF_THREADS")) {
     char* end = nullptr;
     const long parsed = std::strtol(env, &end, 10);
     if (end != env && *end == '\0' && parsed >= 1) {

@@ -4,9 +4,14 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
 
 #include "common/statistics.hpp"
 #include "telemetry/log.hpp"
@@ -295,79 +300,17 @@ void require_exact_tiling(const std::string& what,
   }
 }
 
-/// Merges per-chip sample series: concatenates values in global chip order
-/// and re-reduces serially — bit-identical to a single-process reduction.
-JsonValue merge_samples(const std::vector<ShardManifest>& shards) {
-  struct Piece {
-    std::int64_t offset;
-    const JsonValue* series;
-  };
-  struct SeriesMerge {
-    std::int64_t total = 0;
-    double hist_lo = 0.0, hist_hi = 1.0;
-    std::int64_t hist_bins = 0;
-    std::vector<Piece> pieces;
-  };
-  std::map<std::string, SeriesMerge> merges;
-  for (const ShardManifest& s : shards) {
-    const JsonValue* samples = results_section(s, "samples");
-    if (samples == nullptr) continue;
-    for (const auto& [name, series] : samples->as_object()) {
-      if (!series.is_object() || !series.contains("values")) {
-        throw std::runtime_error(s.path + ": sample series '" + name + "' malformed");
-      }
-      SeriesMerge& m = merges[name];
-      if (m.pieces.empty()) {
-        m.total = static_cast<std::int64_t>(series.number_or("total", 0.0));
-        m.hist_lo = series.number_or("hist_lo", 0.0);
-        m.hist_hi = series.number_or("hist_hi", 1.0);
-        m.hist_bins = static_cast<std::int64_t>(series.number_or("hist_bins", 50.0));
-      } else if (static_cast<std::int64_t>(series.number_or("total", 0.0)) != m.total) {
-        throw std::runtime_error(s.path + ": sample series '" + name +
-                                 "' disagrees on total sample count");
-      }
-      m.pieces.push_back(
-          Piece{static_cast<std::int64_t>(series.number_or("offset", 0.0)), &series});
-    }
-  }
-  JsonValue::Object out;
-  for (auto& [name, m] : merges) {
-    std::sort(m.pieces.begin(), m.pieces.end(),
-              [](const Piece& a, const Piece& b) { return a.offset < b.offset; });
-    std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
-    RunningStats stats;
-    Histogram hist(m.hist_lo, m.hist_hi, static_cast<std::size_t>(std::max<std::int64_t>(
-                                             m.hist_bins, 1)));
-    for (const Piece& piece : m.pieces) {
-      const JsonValue::Array& values = piece.series->at("values").as_array();
-      ranges.emplace_back(piece.offset, piece.offset + static_cast<std::int64_t>(values.size()));
-      for (const JsonValue& v : values) {
-        const double x = v.as_number();
-        stats.add(x);
-        hist.add(x);
-      }
-    }
-    require_exact_tiling("sample series '" + name + "'", std::move(ranges), m.total);
-    JsonValue::Object obj;
-    obj["count"] = JsonValue(static_cast<std::uint64_t>(stats.count()));
-    obj["mean"] = JsonValue(stats.mean());
-    obj["stddev"] = JsonValue(stats.stddev());
-    obj["m2"] = JsonValue(stats.m2());
-    obj["min"] = JsonValue(stats.count() > 0 ? stats.min() : 0.0);
-    obj["max"] = JsonValue(stats.count() > 0 ? stats.max() : 0.0);
-    JsonValue::Object hobj;
-    hobj["lo"] = JsonValue(m.hist_lo);
-    hobj["hi"] = JsonValue(m.hist_hi);
-    JsonValue::Array bins;
-    for (std::size_t b = 0; b < hist.bins(); ++b) {
-      bins.emplace_back(static_cast<std::uint64_t>(hist.count(b)));
-    }
-    hobj["bins"] = JsonValue(std::move(bins));
-    obj["histogram"] = JsonValue(std::move(hobj));
-    out[name] = JsonValue(std::move(obj));
-  }
-  return JsonValue(std::move(out));
-}
+/// One shard's slice of a sample series, decoded and validated, ready to
+/// fold.  Produced during the validation phase of AggregateBuilder::add() so
+/// the commit phase cannot fail.
+struct IncomingPiece {
+  std::string name;
+  std::int64_t offset = 0;
+  std::int64_t total = 0;
+  double hist_lo = 0.0, hist_hi = 1.0;
+  std::int64_t hist_bins = 0;
+  std::vector<double> values;
+};
 
 /// Merges integer tallies: all moments are exact integer sums, so the merge
 /// is order-independent and bit-identical to a single-process tally.
@@ -514,30 +457,173 @@ bool shard_manifest_is_valid(const std::string& path, const std::string& expect_
   }
 }
 
-AggregateResult aggregate_shards(std::vector<ShardManifest> shards) {
-  if (shards.empty()) throw std::runtime_error("aggregate_shards: no shard manifests given");
-  // Canonical order first: every downstream merge walks shards in index
-  // order, so the output is independent of the order manifests were listed.
+/// Builder state.  `shards` holds every folded manifest with its raw sample
+/// values stripped (the metadata-only residue the finalize-time merges need);
+/// `series` holds the live per-series folds.
+struct AggregateBuilder::Impl {
+  /// Incremental reduction of one sample series.  `cursor` is the next global
+  /// chip index to reduce; `pending` is the out-of-order window keyed by
+  /// piece offset.  A multimap so a duplicate offset (an overlap bug in the
+  /// inputs) is parked rather than silently overwritten — finalize() then
+  /// reports it through the same tiling check the batch path used.
+  struct SeriesFold {
+    std::int64_t total = 0;
+    double hist_lo = 0.0, hist_hi = 1.0;
+    std::int64_t hist_bins = 0;
+    std::int64_t cursor = 0;
+    RunningStats stats;
+    std::optional<Histogram> hist;
+    std::multimap<std::int64_t, std::vector<double>> pending;
+    std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+    std::vector<double> kept;  ///< populated under RawSeriesPolicy::kKeep only
+  };
+
+  RawSeriesPolicy policy = RawSeriesPolicy::kKeep;
+  bool finalized = false;
+  std::set<int> seen;
+  std::vector<ShardManifest> shards;
+  std::map<std::string, SeriesFold> series;
+  std::size_t buffered = 0;
+  std::size_t peak_buffered = 0;
+  std::size_t reduced = 0;
+};
+
+AggregateBuilder::AggregateBuilder(RawSeriesPolicy policy) : impl_(std::make_unique<Impl>()) {
+  impl_->policy = policy;
+}
+AggregateBuilder::~AggregateBuilder() = default;
+AggregateBuilder::AggregateBuilder(AggregateBuilder&&) noexcept = default;
+AggregateBuilder& AggregateBuilder::operator=(AggregateBuilder&&) noexcept = default;
+
+RawSeriesPolicy AggregateBuilder::policy() const { return impl_->policy; }
+int AggregateBuilder::shards_added() const { return static_cast<int>(impl_->shards.size()); }
+int AggregateBuilder::expected_shards() const {
+  return impl_->shards.empty() ? 0 : impl_->shards.front().shard_count;
+}
+std::size_t AggregateBuilder::buffered_values() const { return impl_->buffered; }
+std::size_t AggregateBuilder::peak_buffered_values() const { return impl_->peak_buffered; }
+std::size_t AggregateBuilder::reduced_values() const { return impl_->reduced; }
+
+void AggregateBuilder::add(ShardManifest&& shard) {
+  Impl& im = *impl_;
+  if (im.finalized) throw std::logic_error("AggregateBuilder: add() after finalize()");
+
+  // ---- validation phase: no builder state is touched until it all passes,
+  // so a throw here leaves every prior fold intact. ----
+  if (!im.shards.empty() && shard.shard_count != im.shards.front().shard_count) {
+    fail(shard.path, "shard count disagrees with the other manifests");
+  }
+  if (im.seen.count(shard.shard_index) != 0) {
+    fail(shard.path, "duplicate shard index " + std::to_string(shard.shard_index));
+  }
+  std::vector<IncomingPiece> pieces;
+  if (const JsonValue* samples = results_section(shard, "samples")) {
+    for (const auto& [name, series] : samples->as_object()) {
+      if (!series.is_object() || !series.contains("values") ||
+          !series.at("values").is_array()) {
+        fail(shard.path, "sample series '" + name + "' malformed");
+      }
+      IncomingPiece p;
+      p.name = name;
+      p.offset = static_cast<std::int64_t>(series.number_or("offset", 0.0));
+      p.total = static_cast<std::int64_t>(series.number_or("total", 0.0));
+      p.hist_lo = series.number_or("hist_lo", 0.0);
+      p.hist_hi = series.number_or("hist_hi", 1.0);
+      p.hist_bins = static_cast<std::int64_t>(series.number_or("hist_bins", 50.0));
+      const JsonValue::Array& values = series.at("values").as_array();
+      p.values.reserve(values.size());
+      for (const JsonValue& v : values) {
+        if (!v.is_number()) fail(shard.path, "sample series '" + name + "' malformed");
+        p.values.push_back(v.as_number());
+      }
+      const auto it = im.series.find(name);
+      if (it != im.series.end()) {
+        const Impl::SeriesFold& f = it->second;
+        if (p.total != f.total) {
+          fail(shard.path, "sample series '" + name + "' disagrees on total sample count");
+        }
+        if (p.hist_lo != f.hist_lo || p.hist_hi != f.hist_hi || p.hist_bins != f.hist_bins) {
+          fail(shard.path, "sample series '" + name + "' disagrees on histogram shape");
+        }
+      }
+      pieces.push_back(std::move(p));
+    }
+  }
+  // Tallies merge at finalize() from the retained docs; reject structural
+  // junk here so a malformed shard never enters the fold at all.
+  if (const JsonValue* tallies = results_section(shard, "tallies")) {
+    for (const auto& [name, t] : tallies->as_object()) {
+      if (!t.is_object() || !t.contains("bins") || !t.at("bins").is_array()) {
+        fail(shard.path, "tally '" + name + "' malformed");
+      }
+    }
+  }
+
+  // ---- commit phase: cannot fail. ----
+  im.seen.insert(shard.shard_index);
+  for (IncomingPiece& p : pieces) {
+    Impl::SeriesFold& f = im.series[p.name];
+    if (f.ranges.empty()) {
+      f.total = p.total;
+      f.hist_lo = p.hist_lo;
+      f.hist_hi = p.hist_hi;
+      f.hist_bins = p.hist_bins;
+      f.hist.emplace(p.hist_lo, p.hist_hi,
+                     static_cast<std::size_t>(std::max<std::int64_t>(p.hist_bins, 1)));
+    }
+    f.ranges.emplace_back(p.offset, p.offset + static_cast<std::int64_t>(p.values.size()));
+    im.buffered += p.values.size();
+    f.pending.emplace(p.offset, std::move(p.values));
+    im.peak_buffered = std::max(im.peak_buffered, im.buffered);
+    // Drain: reduce strictly in global chip order, exactly the operation
+    // sequence of a single-process reduction, regardless of arrival order.
+    while (!f.pending.empty() && f.pending.begin()->first == f.cursor) {
+      std::vector<double> chunk = std::move(f.pending.begin()->second);
+      f.pending.erase(f.pending.begin());
+      for (const double x : chunk) {
+        f.stats.add(x);
+        f.hist->add(x);
+      }
+      if (im.policy == RawSeriesPolicy::kKeep) {
+        f.kept.insert(f.kept.end(), chunk.begin(), chunk.end());
+      }
+      f.cursor += static_cast<std::int64_t>(chunk.size());
+      im.buffered -= chunk.size();
+      im.reduced += chunk.size();
+    }  // under kDropAfterCheck the chunk dies here — peak stays O(window)
+  }
+  // Retain only the metadata residue of the manifest: raw sample values have
+  // been folded, so the doc's samples section is emptied before storage.
+  if (shard.doc.contains("results") && shard.doc.at("results").is_object() &&
+      shard.doc.at("results").contains("samples")) {
+    shard.doc.as_object().at("results").as_object()["samples"] =
+        JsonValue(JsonValue::Object{});
+  }
+  im.shards.push_back(std::move(shard));
+}
+
+AggregateResult AggregateBuilder::finalize() {
+  Impl& im = *impl_;
+  if (im.finalized) throw std::logic_error("AggregateBuilder: finalize() called twice");
+  if (im.shards.empty()) {
+    throw std::runtime_error("aggregate: no shard manifests were added");
+  }
+  im.finalized = true;
+  std::vector<ShardManifest>& shards = im.shards;
+  // Canonical order: every finalize-time merge walks shards in index order,
+  // so the output is independent of arrival order.
   std::sort(shards.begin(), shards.end(), [](const ShardManifest& a, const ShardManifest& b) {
     return a.shard_index < b.shard_index;
   });
   const int shard_count = shards.front().shard_count;
-  std::set<int> seen;
   std::vector<std::pair<std::int64_t, std::int64_t>> chip_ranges;
   std::int64_t chips = 0;
   for (const ShardManifest& s : shards) {
-    if (s.shard_count != shard_count) {
-      throw std::runtime_error(s.path + ": shard count disagrees with the other manifests");
-    }
-    if (!seen.insert(s.shard_index).second) {
-      throw std::runtime_error(s.path + ": duplicate shard index " +
-                               std::to_string(s.shard_index));
-    }
     chip_ranges.emplace_back(s.chip_lo, s.chip_hi);
     chips = std::max(chips, s.chip_hi);
   }
   if (static_cast<int>(shards.size()) != shard_count) {
-    throw std::runtime_error("aggregate_shards: have " + std::to_string(shards.size()) +
+    throw std::runtime_error("aggregate: have " + std::to_string(shards.size()) +
                              " manifests but shards declare a count of " +
                              std::to_string(shard_count));
   }
@@ -611,17 +697,60 @@ AggregateResult aggregate_shards(std::vector<ShardManifest> shards) {
     root["metrics"] = JsonValue(std::move(metrics));
   }
   {
+    JsonValue::Object samples_out;
+    for (auto& [name, f] : im.series) {
+      if (f.cursor != f.total || !f.pending.empty()) {
+        // Incomplete fold: the ranges must have a gap, an overlap, or a short
+        // total — report it through the same check (and message) as ever.
+        require_exact_tiling("sample series '" + name + "'", f.ranges, f.total);
+        ARO_ASSERT(false, "sample series fold incomplete despite exact tiling");
+      }
+      JsonValue::Object obj;
+      obj["count"] = JsonValue(static_cast<std::uint64_t>(f.stats.count()));
+      obj["mean"] = JsonValue(f.stats.mean());
+      obj["stddev"] = JsonValue(f.stats.stddev());
+      obj["m2"] = JsonValue(f.stats.m2());
+      obj["min"] = JsonValue(f.stats.count() > 0 ? f.stats.min() : 0.0);
+      obj["max"] = JsonValue(f.stats.count() > 0 ? f.stats.max() : 0.0);
+      JsonValue::Object hobj;
+      hobj["lo"] = JsonValue(f.hist_lo);
+      hobj["hi"] = JsonValue(f.hist_hi);
+      JsonValue::Array bins;
+      for (std::size_t b = 0; b < f.hist->bins(); ++b) {
+        bins.emplace_back(static_cast<std::uint64_t>(f.hist->count(b)));
+      }
+      hobj["bins"] = JsonValue(std::move(bins));
+      obj["histogram"] = JsonValue(std::move(hobj));
+      if (im.policy == RawSeriesPolicy::kKeep) {
+        JsonValue::Array values;
+        values.reserve(f.kept.size());
+        for (const double x : f.kept) values.emplace_back(x);
+        obj["values"] = JsonValue(std::move(values));
+        f.kept.clear();
+        f.kept.shrink_to_fit();
+      }
+      samples_out[name] = JsonValue(std::move(obj));
+    }
     JsonValue::Object results;
-    results["samples"] = merge_samples(shards);
+    results["samples"] = JsonValue(std::move(samples_out));
     results["tallies"] = merge_tallies(shards);
     root["results"] = JsonValue(std::move(results));
   }
+  root["raw_series"] =
+      JsonValue(im.policy == RawSeriesPolicy::kKeep ? "kept" : "dropped");
   root["conflicts"] = conflicts_to_json(conflicts);
 
   AggregateResult result;
   result.manifest = JsonValue(std::move(root));
   result.conflicts = std::move(conflicts);
   return result;
+}
+
+AggregateResult aggregate_shards(std::vector<ShardManifest> shards, RawSeriesPolicy policy) {
+  if (shards.empty()) throw std::runtime_error("aggregate_shards: no shard manifests given");
+  AggregateBuilder builder(policy);
+  for (ShardManifest& shard : shards) builder.add(std::move(shard));
+  return builder.finalize();
 }
 
 bool write_aggregate_manifest(const std::string& path, const JsonValue& manifest) {

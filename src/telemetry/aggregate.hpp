@@ -21,11 +21,22 @@
 //                    - tallies (integer sufficient statistics over pair
 //                      spaces) are summed, which is exact by construction.
 //
+// Merging is *incremental*: AggregateBuilder::add() folds one shard manifest
+// at a time, in any arrival order, and finalize() emits the merged document.
+// Sample-series values are re-reduced strictly in global chip order — the
+// builder keeps a per-series cursor and buffers only the out-of-order window
+// (pieces that arrived ahead of the cursor), so the floating-point operation
+// sequence is identical for every arrival order and identical to a
+// single-process reduction.  Peak raw-series residency is therefore
+// O(largest shard + out-of-order window), not O(population); with
+// RawSeriesPolicy::kDropAfterCheck the reduced values are freed immediately
+// and the aggregate omits them (marked "raw_series": "dropped").
+//
 // Merging is deterministic and independent of the order manifests are given
-// in: shards are sorted by their self-reported shard index first.  Provenance
-// mismatches across shards (config echo, git sha, build type, kernel backend,
-// schema version, run name) are detected and reported as structured
-// AggregateConflicts, embedded in the merged document under "conflicts".
+// in.  Provenance mismatches across shards (config echo, git sha, build type,
+// kernel backend, schema version, run name) are detected and reported as
+// structured AggregateConflicts, embedded in the merged document under
+// "conflicts".
 //
 // The merged document uses its own schema ("aropuf-aggregate-manifest") so
 // scripts/validate_manifest.py --aggregate can validate it independently of
@@ -34,6 +45,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,7 +54,10 @@
 namespace aropuf::telemetry {
 
 inline constexpr const char* kAggregateSchema = "aropuf-aggregate-manifest";
-inline constexpr int kAggregateSchemaVersion = 1;
+/// v2: adds the top-level "raw_series" marker ("kept" | "dropped") and, under
+/// the kKeep policy, the concatenated per-chip values inside each merged
+/// sample series.  v1 documents had neither.
+inline constexpr int kAggregateSchemaVersion = 2;
 
 /// One loaded shard manifest plus the shard coordinates it self-reports.
 struct ShardManifest {
@@ -88,12 +103,66 @@ struct AggregateResult {
 enum class GaugePolicy { kMax, kLast };
 [[nodiscard]] GaugePolicy gauge_merge_policy(const std::string& name);
 
-/// Merges shard manifests into one aggregate document.  Throws
-/// std::runtime_error when the set is structurally unmergeable: empty input,
-/// duplicate shard indices, disagreeing shard counts, or chip ranges that do
-/// not exactly tile [0, chips).  Provenance disagreements are NOT exceptions:
-/// they come back as conflicts (callers decide whether to fail the run).
-[[nodiscard]] AggregateResult aggregate_shards(std::vector<ShardManifest> shards);
+/// What happens to raw per-chip sample values after the fold has reduced
+/// them into RunningStats/Histogram form.
+enum class RawSeriesPolicy {
+  kKeep,            ///< concatenated values are embedded in the aggregate ("raw_series": "kept")
+  kDropAfterCheck,  ///< values are freed once reduced; the aggregate omits them ("raw_series": "dropped")
+};
+
+/// Incremental shard-manifest fold.  add() accepts shards in any arrival
+/// order; finalize() emits the aggregate.  The result is bit-identical to
+/// aggregate_shards() on the same set for every arrival order.
+///
+/// add() is transactional: it fully validates the incoming shard (structure,
+/// schema, duplicate index, shard-count and series-shape agreement with the
+/// shards already folded) before mutating any state, and throws
+/// std::runtime_error prefixed with the offending shard's path on failure —
+/// prior folds stay intact, so an orchestrator can retry or replace the bad
+/// shard and keep going.  Cross-shard completeness (chip ranges tiling
+/// [0, chips), all declared shards present) can only be judged once the set
+/// is closed and is checked by finalize().
+class AggregateBuilder {
+ public:
+  explicit AggregateBuilder(RawSeriesPolicy policy = RawSeriesPolicy::kKeep);
+  ~AggregateBuilder();
+  AggregateBuilder(AggregateBuilder&&) noexcept;
+  AggregateBuilder& operator=(AggregateBuilder&&) noexcept;
+
+  /// Folds one shard.  Raw sample values at the per-series cursor are reduced
+  /// immediately (and freed under kDropAfterCheck); values that arrived ahead
+  /// of the cursor wait in the out-of-order window until the gap fills.
+  void add(ShardManifest&& shard);
+
+  /// Closes the set, verifies completeness, and emits the aggregate document.
+  /// Throws std::runtime_error on an empty/incomplete set; std::logic_error
+  /// if called twice.
+  [[nodiscard]] AggregateResult finalize();
+
+  [[nodiscard]] RawSeriesPolicy policy() const;
+  [[nodiscard]] int shards_added() const;
+  /// Declared shard count, from the first shard added (0 before that).
+  [[nodiscard]] int expected_shards() const;
+  /// Raw sample values currently parked in the out-of-order window.
+  [[nodiscard]] std::size_t buffered_values() const;
+  /// High-water mark of the window — the bounded-memory claim, measurable.
+  [[nodiscard]] std::size_t peak_buffered_values() const;
+  /// Raw sample values reduced into statistics so far.
+  [[nodiscard]] std::size_t reduced_values() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Merges shard manifests into one aggregate document — a thin wrapper that
+/// feeds every shard through an AggregateBuilder.  Throws std::runtime_error
+/// when the set is structurally unmergeable: empty input, duplicate shard
+/// indices, disagreeing shard counts, or chip ranges that do not exactly tile
+/// [0, chips).  Provenance disagreements are NOT exceptions: they come back
+/// as conflicts (callers decide whether to fail the run).
+[[nodiscard]] AggregateResult aggregate_shards(std::vector<ShardManifest> shards,
+                                               RawSeriesPolicy policy = RawSeriesPolicy::kKeep);
 
 /// Serializes the merged document to `path` (pretty-printed).  Returns false
 /// and logs at error level when the file cannot be written.

@@ -3,9 +3,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
 #include <string>
+
+#include "common/cli.hpp"
 
 namespace aropuf::telemetry {
 
@@ -46,12 +47,12 @@ struct LogState {
   }
 
   static LogLevel level_from_environment() noexcept {
-    const char* env = std::getenv("AROPUF_LOG");
+    const char* env = cli::env_value("AROPUF_LOG");
     return env ? parse_log_level(env, LogLevel::kWarn) : LogLevel::kWarn;
   }
 
   static LogFormat format_from_environment() noexcept {
-    return parse_log_format(std::getenv("AROPUF_LOG_FORMAT"), LogFormat::kText);
+    return parse_log_format(cli::env_value("AROPUF_LOG_FORMAT"), LogFormat::kText);
   }
 };
 

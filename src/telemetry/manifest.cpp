@@ -1,12 +1,12 @@
 #include "telemetry/manifest.hpp"
 
 #include <chrono>
-#include <cstdlib>
 #include <ctime>
 #include <fstream>
 #include <mutex>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -157,8 +157,8 @@ bool write_manifest(const std::string& path, const std::string& run_name, JsonVa
 }
 
 std::string manifest_path_from_env() {
-  const char* env = std::getenv("AROPUF_MANIFEST");
-  return (env != nullptr && *env != '\0') ? std::string(env) : std::string();
+  const char* env = cli::env_value("AROPUF_MANIFEST");
+  return env != nullptr ? std::string(env) : std::string();
 }
 
 bool finalize_run(const std::string& run_name, JsonValue config,

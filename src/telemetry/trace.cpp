@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "telemetry/log.hpp"
 
 namespace aropuf::telemetry {
@@ -29,7 +29,7 @@ struct TraceState {
   std::vector<TraceEvent> events;
 
   TraceState() {
-    if (const char* env = std::getenv("AROPUF_TRACE"); env != nullptr && *env != '\0') {
+    if (const char* env = cli::env_value("AROPUF_TRACE")) {
       path = env;
       events.reserve(1024);
       enabled.store(true, std::memory_order_release);

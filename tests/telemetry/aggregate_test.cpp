@@ -337,6 +337,158 @@ TEST(AggregateTest, GaugePolicySelection) {
   EXPECT_EQ(gauge_merge_policy(""), GaugePolicy::kMax);
 }
 
+/// Four uneven shards with a sample series, a tally, and metrics — enough
+/// surface to catch any fold-order dependence in the incremental path.
+std::vector<ShardManifest> builder_fixture() {
+  const std::vector<double> all = {0.11, 0.92, 0.37, 0.58, 0.21, 0.76, 0.49, 0.63};
+  const std::vector<std::pair<int, int>> ranges = {{0, 3}, {3, 4}, {4, 6}, {6, 8}};
+  std::vector<ShardManifest> shards;
+  for (int k = 0; k < 4; ++k) {
+    const auto [lo, hi] = ranges[static_cast<std::size_t>(k)];
+    JsonValue doc = make_shard_doc(k, 4, lo, hi);
+    add_sample_series(doc, "s", lo, static_cast<std::int64_t>(all.size()),
+                      {all.begin() + lo, all.begin() + hi});
+    add_tally(doc, "t", 2 * k, 8,
+              {static_cast<std::uint64_t>(k + 1), static_cast<std::uint64_t>(k + 5)},
+              /*denom=*/16);
+    set_metric(doc, "counters", "study.pair_hds", JsonValue(10 * (k + 1)));
+    set_metric(doc, "gauges", "queue.depth", JsonValue(static_cast<double>(k)));
+    shards.push_back(wrap_shard_manifest(std::move(doc)));
+  }
+  return shards;
+}
+
+TEST(AggregateBuilderTest, ShuffledFoldOrderIsBitIdenticalToBatch) {
+  for (const RawSeriesPolicy policy :
+       {RawSeriesPolicy::kKeep, RawSeriesPolicy::kDropAfterCheck}) {
+    const AggregateResult batch = aggregate_shards(builder_fixture(), policy);
+
+    std::vector<ShardManifest> shuffled = builder_fixture();
+    // Worst-case arrival: strictly reversed, so every piece but the last
+    // waits in the out-of-order window.
+    std::reverse(shuffled.begin(), shuffled.end());
+    AggregateBuilder builder(policy);
+    for (ShardManifest& shard : shuffled) builder.add(std::move(shard));
+    const AggregateResult streamed = builder.finalize();
+
+    // created_unix_ms differs between the two finalizations; every derived
+    // section must not — same doubles, same serialization, byte for byte.
+    for (const char* key : {"results", "shards", "metrics", "config", "conflicts",
+                            "raw_series"}) {
+      EXPECT_EQ(batch.manifest.at(key).dump(), streamed.manifest.at(key).dump())
+          << key << " under policy "
+          << (policy == RawSeriesPolicy::kKeep ? "keep" : "drop_after_check");
+    }
+  }
+}
+
+TEST(AggregateBuilderTest, RawSeriesPolicyControlsEmbeddedValuesAndMarker) {
+  const AggregateResult kept = aggregate_shards(builder_fixture(), RawSeriesPolicy::kKeep);
+  EXPECT_EQ(kept.manifest.at("raw_series").as_string(), "kept");
+  EXPECT_EQ(kept.manifest.at("schema_version").as_number(), kAggregateSchemaVersion);
+  const JsonValue& kept_s = kept.manifest.at("results").at("samples").at("s");
+  ASSERT_TRUE(kept_s.contains("values"));
+  EXPECT_EQ(kept_s.at("values").as_array().size(),
+            static_cast<std::size_t>(kept_s.at("count").as_number()));
+  // Values are concatenated in global chip order, not arrival order.
+  EXPECT_EQ(kept_s.at("values").as_array().front().as_number(), 0.11);
+  EXPECT_EQ(kept_s.at("values").as_array().back().as_number(), 0.63);
+
+  const AggregateResult dropped =
+      aggregate_shards(builder_fixture(), RawSeriesPolicy::kDropAfterCheck);
+  EXPECT_EQ(dropped.manifest.at("raw_series").as_string(), "dropped");
+  EXPECT_FALSE(dropped.manifest.at("results").at("samples").at("s").contains("values"));
+  // Dropping raw values must not change a single statistic.
+  JsonValue stripped = kept.manifest.at("results");
+  stripped.as_object()["samples"].as_object()["s"].as_object().erase("values");
+  EXPECT_EQ(stripped.dump(), dropped.manifest.at("results").dump());
+}
+
+TEST(AggregateBuilderTest, WindowPeakIsBoundedByOutOfOrderExtent) {
+  {  // In-order arrival: each piece drains immediately, so the window's
+     // high-water mark is the largest single piece — the bounded-memory claim.
+    AggregateBuilder builder(RawSeriesPolicy::kDropAfterCheck);
+    for (ShardManifest& shard : builder_fixture()) builder.add(std::move(shard));
+    EXPECT_EQ(builder.peak_buffered_values(), 3u);  // largest piece is 3 values
+    EXPECT_EQ(builder.buffered_values(), 0u);       // everything drained
+    EXPECT_EQ(builder.reduced_values(), 8u);
+    EXPECT_EQ(builder.shards_added(), 4);
+    EXPECT_EQ(builder.expected_shards(), 4);
+    (void)builder.finalize();
+  }
+  {  // Fully reversed arrival is the worst case: nothing drains until the
+     // offset-0 piece lands, so the peak is the whole series.
+    std::vector<ShardManifest> reversed = builder_fixture();
+    std::reverse(reversed.begin(), reversed.end());
+    AggregateBuilder builder(RawSeriesPolicy::kDropAfterCheck);
+    for (ShardManifest& shard : reversed) builder.add(std::move(shard));
+    EXPECT_EQ(builder.peak_buffered_values(), 8u);
+    EXPECT_EQ(builder.buffered_values(), 0u);
+    (void)builder.finalize();
+  }
+}
+
+TEST(AggregateBuilderTest, FailedAddReportsPathAndLeavesPriorFoldsIntact) {
+  AggregateBuilder builder(RawSeriesPolicy::kKeep);
+  std::vector<ShardManifest> shards = builder_fixture();
+  builder.add(std::move(shards[0]));
+  builder.add(std::move(shards[1]));
+
+  // A structurally broken shard 2: its series values are not numbers.
+  JsonValue bad = make_shard_doc(2, 4, 4, 6);
+  add_sample_series(bad, "s", 4, 8, {});
+  bad.as_object()["results"].as_object()["samples"].as_object()["s"]
+      .as_object()["values"].as_array().emplace_back("not-a-number");
+  try {
+    builder.add(wrap_shard_manifest(std::move(bad), "/runs/shard2.manifest.json"));
+    FAIL() << "malformed mid-stream shard should not fold";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/runs/shard2.manifest.json"), std::string::npos)
+        << "error should name the offending manifest: " << e.what();
+  }
+
+  // add() is transactional: the failed fold left no residue, so the real
+  // shard 2 still folds and the set completes.
+  EXPECT_EQ(builder.shards_added(), 2);
+  builder.add(std::move(shards[2]));
+  builder.add(std::move(shards[3]));
+  const AggregateResult merged = builder.finalize();
+  EXPECT_EQ(merged.manifest.at("results").dump(),
+            aggregate_shards(builder_fixture()).manifest.at("results").dump());
+}
+
+TEST(AggregateBuilderTest, DuplicateIndexAndCountDisagreementRejectedAtAdd) {
+  AggregateBuilder builder;
+  std::vector<ShardManifest> shards = builder_fixture();
+  builder.add(std::move(shards[0]));
+  EXPECT_THROW(builder.add(wrap_shard_manifest(make_shard_doc(0, 4, 0, 3))),
+               std::runtime_error);  // duplicate index
+  EXPECT_THROW(builder.add(wrap_shard_manifest(make_shard_doc(1, 5, 3, 4))),
+               std::runtime_error);  // disagreeing shard count
+  EXPECT_EQ(builder.shards_added(), 1);
+}
+
+TEST(AggregateBuilderTest, LifecycleMisuseThrowsLogicError) {
+  {
+    AggregateBuilder builder;
+    EXPECT_THROW((void)builder.finalize(), std::runtime_error);  // empty set
+  }
+  AggregateBuilder builder;
+  for (ShardManifest& shard : builder_fixture()) builder.add(std::move(shard));
+  (void)builder.finalize();
+  EXPECT_THROW((void)builder.finalize(), std::logic_error);
+  std::vector<ShardManifest> more = builder_fixture();
+  EXPECT_THROW(builder.add(std::move(more[0])), std::logic_error);
+}
+
+TEST(AggregateBuilderTest, IncompleteSetFailsFinalizeNotAdd) {
+  AggregateBuilder builder;
+  std::vector<ShardManifest> shards = builder_fixture();
+  builder.add(std::move(shards[0]));
+  builder.add(std::move(shards[2]));  // shard 1's chips never arrive
+  EXPECT_THROW((void)builder.finalize(), std::runtime_error);
+}
+
 TEST(AggregateTest, WriteAggregateManifestRoundTrips) {
   std::vector<ShardManifest> shards;
   JsonValue doc = make_shard_doc(0, 1, 0, 8);

@@ -21,11 +21,13 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/json.hpp"
 
 namespace {
 
 using aropuf::JsonValue;
+namespace cli = aropuf::cli;
 
 struct Options {
   std::string manifest_path;
@@ -33,48 +35,36 @@ struct Options {
   std::string md_path;
 };
 
-void print_usage(std::FILE* to) {
-  std::fprintf(to,
-               "usage: aropuf_report --manifest merged.json [--html out.html] [--md out.md]\n"
-               "At least one of --html / --md is required.\n");
-}
-
 int parse_args(int argc, char** argv, Options* opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "aropuf_report: %s requires a value\n", arg.c_str());
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (arg == "--help" || arg == "-h") {
-      print_usage(stdout);
+  cli::Parser parser("aropuf_report",
+                     "renders a merged aggregate manifest as an HTML and/or Markdown report");
+  parser
+      .opt_string("--manifest", &opt->manifest_path, "PATH",
+                  "aggregate manifest to render (required)")
+      .opt_string("--html", &opt->html_path, "PATH", "HTML output path")
+      .opt_string("--md", &opt->md_path, "PATH", "Markdown output path");
+  switch (parser.parse(argc, argv)) {
+    case cli::ParseStatus::kHelp:
       std::exit(0);
-    } else if (arg == "--manifest") {
-      const char* v = value();
-      if (v == nullptr) return 2;
-      opt->manifest_path = v;
-    } else if (arg == "--html") {
-      const char* v = value();
-      if (v == nullptr) return 2;
-      opt->html_path = v;
-    } else if (arg == "--md") {
-      const char* v = value();
-      if (v == nullptr) return 2;
-      opt->md_path = v;
-    } else {
-      std::fprintf(stderr, "aropuf_report: unknown option %s\n", arg.c_str());
-      print_usage(stderr);
+    case cli::ParseStatus::kError:
       return 2;
-    }
+    case cli::ParseStatus::kOk:
+      break;
   }
   if (opt->manifest_path.empty() || (opt->html_path.empty() && opt->md_path.empty())) {
-    print_usage(stderr);
+    std::fprintf(stderr,
+                 "aropuf_report: --manifest and at least one of --html / --md are required\n");
+    parser.print_usage(stderr);
     return 2;
   }
   return 0;
+}
+
+/// "kept" / "dropped" from a v2 aggregate; v1 documents predate the marker
+/// (and never embedded raw values), so they render as "n/a (schema v1)".
+std::string raw_series_label(const JsonValue& doc) {
+  const std::string marker = doc.string_or("raw_series", "");
+  return marker.empty() ? "n/a (schema v1)" : marker;
 }
 
 std::string escape_html(const std::string& s) {
@@ -248,6 +238,8 @@ std::string render_html(const JsonValue& doc) {
   out << "<tr><th>shards</th><td>" << fmt_g(doc.number_or("shard_count", 0.0)) << "</td></tr>\n";
   out << "<tr><th>git sha</th><td><code>" << escape_html(doc.string_or("git_sha", "?"))
       << "</code></td></tr>\n";
+  out << "<tr><th>raw series</th><td>" << escape_html(raw_series_label(doc))
+      << "</td></tr>\n";
   out << "</table>\n";
 
   out << "<h2>Headline results</h2>\n<table>\n"
@@ -330,7 +322,8 @@ std::string render_markdown(const JsonValue& doc) {
   out << "- run: `" << doc.string_or("run", "?") << "`\n";
   out << "- chips: " << fmt_g(doc.number_or("chips", 0.0)) << " across "
       << fmt_g(doc.number_or("shard_count", 0.0)) << " shards\n";
-  out << "- git sha: `" << doc.string_or("git_sha", "?") << "`\n\n";
+  out << "- git sha: `" << doc.string_or("git_sha", "?") << "`\n";
+  out << "- raw series: " << raw_series_label(doc) << "\n\n";
 
   out << "## Headline results\n\n";
   out << "| metric | conventional | ARO | notes |\n|---|---|---|---|\n";

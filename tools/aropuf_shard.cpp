@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/json.hpp"
 #include "sim/parallel.hpp"
 #include "sim/scenarios.hpp"
@@ -85,6 +86,8 @@ struct Options {
   bool no_fork = false;
   bool check_single = false;
   bool quiet = false;
+  bool stream = false;    ///< fold each shard manifest as its worker lands
+  bool drop_raw = false;  ///< free raw per-chip series once reduced
 
   // Worker parameters (internal).
   bool worker = false;
@@ -92,25 +95,6 @@ struct Options {
   std::string manifest_path;
   std::string progress_path;
 };
-
-void print_usage(std::FILE* to) {
-  std::fprintf(to,
-               "usage: aropuf_shard [options]\n"
-               "  --chips N          total chip population (default 40)\n"
-               "  --seed S           master RNG seed (default 2014)\n"
-               "  --checkpoints CSV  aging years, non-decreasing (default 1,2,5,10)\n"
-               "  --shards K         number of shards (default 4)\n"
-               "  --jobs J           concurrent workers (default min(K, cores))\n"
-               "  --threads T        threads per worker (default: library default)\n"
-               "  --out DIR          output directory (default shard-run)\n"
-               "  --run NAME         run name in manifests (default shard_study)\n"
-               "  --resume           skip shards whose manifest already validates\n"
-               "  --timeout SEC      kill a worker after SEC seconds (default: none)\n"
-               "  --retries R        retries per failed shard (default 1)\n"
-               "  --no-fork          run shards sequentially in this process\n"
-               "  --check-single     verify merged results == single-process run\n"
-               "  --quiet            plain log lines even on a TTY\n");
-}
 
 bool parse_checkpoints(const std::string& csv, std::vector<double>* out) {
   std::vector<double> years;
@@ -145,101 +129,50 @@ bool parse_shard_spec(const std::string& spec, int* index, int* count) {
 
 /// Returns 0 on success, 2 on usage error (with a message on stderr).
 int parse_args(int argc, char** argv, Options* opt) {
-  const auto need_value = [&](int i) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "aropuf_shard: %s requires a value\n", argv[i]);
-      return nullptr;
-    }
-    return argv[i + 1];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto int_value = [&](int* out, int lo) {
-      const char* v = need_value(i);
-      if (v == nullptr) return false;
-      ++i;
-      const int parsed = std::atoi(v);
-      if (parsed < lo) {
-        std::fprintf(stderr, "aropuf_shard: bad value for %s: %s\n", arg.c_str(), v);
-        return false;
-      }
-      *out = parsed;
-      return true;
-    };
-    if (arg == "--help" || arg == "-h") {
-      print_usage(stdout);
+  cli::Parser parser("aropuf_shard",
+                     "sharded-run orchestrator for the E2+E3 population study");
+  parser
+      .opt_int("--chips", &opt->chips, "N", "total chip population (default 40)", 2)
+      .opt_uint64("--seed", &opt->seed, "S", "master RNG seed (default 2014)")
+      .opt_custom("--checkpoints", "CSV", "aging years, non-decreasing (default 1,2,5,10)",
+                  [opt](const std::string& v) { return parse_checkpoints(v, &opt->checkpoints); })
+      .opt_int("--shards", &opt->shards, "K", "number of shards (default 4)", 1)
+      .opt_int("--jobs", &opt->jobs, "J", "concurrent workers (default min(K, cores))", 1)
+      .opt_int("--threads", &opt->threads, "T", "threads per worker (default: library default)",
+               1)
+      .opt_string("--out", &opt->out_dir, "DIR", "output directory (default shard-run)")
+      .opt_string("--run", &opt->run, "NAME", "run name in manifests (default shard_study)")
+      .flag("--resume", &opt->resume, "skip shards whose manifest already validates")
+      .opt_double("--timeout", &opt->timeout_s, "SEC",
+                  "kill a worker after SEC seconds (default: none)", 0.0)
+      .opt_int("--retries", &opt->retries, "R", "retries per failed shard (default 1)", 0)
+      .flag("--stream", &opt->stream, "fold each shard manifest as its worker lands")
+      .flag("--drop-raw", &opt->drop_raw,
+            "drop raw per-chip series once reduced (aggregate omits them)")
+      .flag("--no-fork", &opt->no_fork, "run shards sequentially in this process")
+      .flag("--check-single", &opt->check_single, "verify merged results == single-process run")
+      .flag("--quiet", &opt->quiet, "plain log lines even on a TTY")
+      .with_env_help();
+  // Worker-mode plumbing, spawned internally: parsed but kept out of --help.
+  parser.flag("--worker", &opt->worker, "run one shard (internal)").hidden();
+  parser
+      .opt_custom("--shard", "K/N", "worker shard coordinates (internal)",
+                  [opt](const std::string& v) {
+                    return parse_shard_spec(v, &opt->shard_index, &opt->shards);
+                  })
+      .hidden();
+  parser.opt_string("--manifest", &opt->manifest_path, "PATH", "worker manifest path (internal)")
+      .hidden();
+  parser.opt_string("--progress", &opt->progress_path, "PATH", "heartbeat JSONL path (internal)")
+      .hidden();
+
+  switch (parser.parse(argc, argv)) {
+    case cli::ParseStatus::kHelp:
       std::exit(0);
-    } else if (arg == "--chips") {
-      if (!int_value(&opt->chips, 2)) return 2;
-    } else if (arg == "--seed") {
-      const char* v = need_value(i);
-      if (v == nullptr) return 2;
-      ++i;
-      opt->seed = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--checkpoints") {
-      const char* v = need_value(i);
-      if (v == nullptr) return 2;
-      ++i;
-      if (!parse_checkpoints(v, &opt->checkpoints)) {
-        std::fprintf(stderr, "aropuf_shard: bad --checkpoints '%s'\n", v);
-        return 2;
-      }
-    } else if (arg == "--shards") {
-      if (!int_value(&opt->shards, 1)) return 2;
-    } else if (arg == "--jobs") {
-      if (!int_value(&opt->jobs, 1)) return 2;
-    } else if (arg == "--threads") {
-      if (!int_value(&opt->threads, 1)) return 2;
-    } else if (arg == "--out") {
-      const char* v = need_value(i);
-      if (v == nullptr) return 2;
-      ++i;
-      opt->out_dir = v;
-    } else if (arg == "--run") {
-      const char* v = need_value(i);
-      if (v == nullptr) return 2;
-      ++i;
-      opt->run = v;
-    } else if (arg == "--resume") {
-      opt->resume = true;
-    } else if (arg == "--timeout") {
-      const char* v = need_value(i);
-      if (v == nullptr) return 2;
-      ++i;
-      opt->timeout_s = std::strtod(v, nullptr);
-    } else if (arg == "--retries") {
-      if (!int_value(&opt->retries, 0)) return 2;
-    } else if (arg == "--no-fork") {
-      opt->no_fork = true;
-    } else if (arg == "--check-single") {
-      opt->check_single = true;
-    } else if (arg == "--quiet") {
-      opt->quiet = true;
-    } else if (arg == "--worker") {
-      opt->worker = true;
-    } else if (arg == "--shard") {
-      const char* v = need_value(i);
-      if (v == nullptr) return 2;
-      ++i;
-      if (!parse_shard_spec(v, &opt->shard_index, &opt->shards)) {
-        std::fprintf(stderr, "aropuf_shard: bad --shard spec '%s' (want k/N)\n", v);
-        return 2;
-      }
-    } else if (arg == "--manifest") {
-      const char* v = need_value(i);
-      if (v == nullptr) return 2;
-      ++i;
-      opt->manifest_path = v;
-    } else if (arg == "--progress") {
-      const char* v = need_value(i);
-      if (v == nullptr) return 2;
-      ++i;
-      opt->progress_path = v;
-    } else {
-      std::fprintf(stderr, "aropuf_shard: unknown option %s\n", arg.c_str());
-      print_usage(stderr);
+    case cli::ParseStatus::kError:
       return 2;
-    }
+    case cli::ParseStatus::kOk:
+      break;
   }
   if (opt->worker && opt->manifest_path.empty()) {
     std::fprintf(stderr, "aropuf_shard: --worker requires --manifest\n");
@@ -513,6 +446,9 @@ void apply_heartbeats(telemetry::ProgressReader& reader, std::vector<ShardState>
   for (const telemetry::Heartbeat& beat : reader.poll()) {
     if (beat.shard < 0 || static_cast<std::size_t>(beat.shard) >= shards->size()) continue;
     ShardState& s = (*shards)[static_cast<std::size_t>(beat.shard)];
+    // "folded" is set by the orchestrator in --stream mode after the worker's
+    // terminal beat; a late-polled "done" must not clobber it in the HUD.
+    if (s.stage == "folded") continue;
     s.stage = beat.stage;
     // "start"/terminal beats carry 0/0 or 1/1 — keep the last real totals so
     // the HUD's aggregate fraction stays meaningful.
@@ -599,8 +535,12 @@ JsonValue build_study_section(const JsonValue& merged, const ShardStudyConfig& c
 }
 
 /// --check-single: re-runs the full population as one in-process shard and
-/// compares the decomposition-invariant sections.  Returns true on match.
-bool check_against_single(const Options& opt, const JsonValue& merged) {
+/// compares the decomposition-invariant sections.  The single-process
+/// aggregate is built under the same RawSeriesPolicy as the merged one so the
+/// comparison stays byte-for-byte (kKeep embeds values on both sides; kDrop
+/// omits them on both sides).  Returns true on match.
+bool check_against_single(const Options& opt, const JsonValue& merged,
+                          telemetry::RawSeriesPolicy policy) {
   std::printf("check-single: running the full population in-process...\n");
   std::fflush(stdout);
   const ShardStudyConfig cfg = study_config(opt);
@@ -613,8 +553,10 @@ bool check_against_single(const Options& opt, const JsonValue& merged) {
   telemetry::set_runtime_field("results", study_results_to_json(result));
   JsonValue doc = telemetry::build_manifest(opt.run, study_config_json(cfg));
 
+  std::vector<telemetry::ShardManifest> single_set;
+  single_set.push_back(telemetry::wrap_shard_manifest(std::move(doc), "<single>"));
   const telemetry::AggregateResult single =
-      telemetry::aggregate_shards({telemetry::wrap_shard_manifest(std::move(doc), "<single>")});
+      telemetry::aggregate_shards(std::move(single_set), policy);
 
   bool ok = true;
   for (const char* section : {"results", "config"}) {
@@ -661,7 +603,26 @@ int run_orchestrator(const Options& opt_in, const char* argv0) {
   }
 
   const ShardStudyConfig cfg = study_config(opt);
+  const telemetry::RawSeriesPolicy policy = opt.drop_raw
+                                                ? telemetry::RawSeriesPolicy::kDropAfterCheck
+                                                : telemetry::RawSeriesPolicy::kKeep;
   std::vector<ShardState> shards(static_cast<std::size_t>(opt.shards));
+  std::optional<telemetry::AggregateBuilder> builder;
+  if (opt.stream) builder.emplace(policy);
+  // Folds shard k's manifest into the streaming builder as soon as its worker
+  // lands.  add() is transactional, so a failed fold leaves the builder
+  // intact and the shard can be re-run and folded again via the retry path.
+  const auto fold_shard = [&](std::size_t k) -> bool {
+    ShardState& s = shards[k];
+    try {
+      builder->add(telemetry::load_shard_manifest(s.manifest));
+      s.stage = "folded";
+      return true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "aropuf_shard: fold of shard %zu failed: %s\n", k, e.what());
+      return false;
+    }
+  };
   std::deque<int> pending;
   for (int k = 0; k < opt.shards; ++k) {
     ShardState& s = shards[static_cast<std::size_t>(k)];
@@ -669,8 +630,13 @@ int run_orchestrator(const Options& opt_in, const char* argv0) {
     std::string why;
     if (opt.resume &&
         telemetry::shard_manifest_is_valid(s.manifest, opt.run, k, opt.shards, &why)) {
+      if (builder && !fold_shard(static_cast<std::size_t>(k))) {
+        std::printf("shard %d: re-running (existing manifest would not fold)\n", k);
+        pending.push_back(k);
+        continue;
+      }
       s.phase = ShardState::Phase::kSkipped;
-      s.stage = "resumed";
+      s.stage = builder ? "resumed+folded" : "resumed";
       std::printf("shard %d: valid manifest found, skipping (resume)\n", k);
     } else {
       if (opt.resume && !why.empty()) {
@@ -697,7 +663,9 @@ int run_orchestrator(const Options& opt_in, const char* argv0) {
       worker.manifest_path = s.manifest;
       const int rc = run_worker_shard(worker, static_cast<int>(k));
       apply_heartbeats(reader, &shards);
-      s.phase = rc == 0 ? ShardState::Phase::kDone : ShardState::Phase::kFailed;
+      bool ok = rc == 0;
+      if (ok && builder) ok = fold_shard(k);
+      s.phase = ok ? ShardState::Phase::kDone : ShardState::Phase::kFailed;
       hud.render(shards, t0);
     }
     telemetry::reset_run_record();
@@ -737,7 +705,10 @@ int run_orchestrator(const Options& opt_in, const char* argv0) {
           s.pid = -1;
           s.wall_s = std::chrono::duration<double>(Clock::now() - s.started).count();
           --running;
-          const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+          bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+          // A manifest that will not fold is as fatal as a crashed worker:
+          // route it through the same retry budget.
+          if (ok && builder) ok = fold_shard(k);
           if (ok) {
             s.phase = ShardState::Phase::kDone;
             --unfinished;
@@ -798,29 +769,51 @@ int run_orchestrator(const Options& opt_in, const char* argv0) {
   if (any_failed) return 1;
 
   // --- merge ---------------------------------------------------------------
-  std::vector<telemetry::ShardManifest> manifests;
-  manifests.reserve(shards.size());
-  try {
-    for (const ShardState& s : shards) {
-      manifests.push_back(telemetry::load_shard_manifest(s.manifest));
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "aropuf_shard: %s\n", e.what());
-    return 1;
-  }
-
   telemetry::AggregateResult merged;
-  try {
-    merged = telemetry::aggregate_shards(std::move(manifests));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "aropuf_shard: aggregation failed: %s\n", e.what());
-    return 1;
+  if (builder) {
+    // Everything already folded as workers landed; the peak window size is
+    // the measurable bounded-memory claim (CI asserts peak < total).
+    std::printf(
+        "stream: folded %d/%d shards as workers landed; raw-series window peak %zu of %zu "
+        "values (policy %s)\n",
+        builder->shards_added(), opt.shards, builder->peak_buffered_values(),
+        builder->reduced_values(), opt.drop_raw ? "drop_after_check" : "keep");
+    try {
+      merged = builder->finalize();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "aropuf_shard: aggregation failed: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    std::vector<telemetry::ShardManifest> manifests;
+    manifests.reserve(shards.size());
+    try {
+      for (const ShardState& s : shards) {
+        manifests.push_back(telemetry::load_shard_manifest(s.manifest));
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "aropuf_shard: %s\n", e.what());
+      return 1;
+    }
+    try {
+      merged = telemetry::aggregate_shards(std::move(manifests), policy);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "aropuf_shard: aggregation failed: %s\n", e.what());
+      return 1;
+    }
   }
 
   merged.manifest.as_object()["study"] = build_study_section(merged.manifest, cfg);
 
   const std::string merged_path = opt.out_dir + "/merged.manifest.json";
-  if (!telemetry::write_aggregate_manifest(merged_path, merged.manifest)) return 1;
+  if (!telemetry::write_aggregate_manifest(merged_path, merged.manifest)) {
+    // Name the path on stderr unconditionally (the telemetry error log can be
+    // suppressed) and abort: a truncated aggregate must never reach the
+    // conflict scan or --check-single.
+    std::fprintf(stderr, "aropuf_shard: failed to write aggregate manifest to %s\n",
+                 merged_path.c_str());
+    return 1;
+  }
   std::printf("aropuf_shard: merged manifest written to %s\n", merged_path.c_str());
 
   if (!merged.conflicts.empty()) {
@@ -834,7 +827,7 @@ int run_orchestrator(const Options& opt_in, const char* argv0) {
     return 1;
   }
 
-  if (opt.check_single && !check_against_single(opt, merged.manifest)) return 3;
+  if (opt.check_single && !check_against_single(opt, merged.manifest, policy)) return 3;
   return 0;
 }
 
