@@ -1,0 +1,176 @@
+// Fold-throughput experiment: how fast do shard manifests stream into
+// AggregateBuilder under each transport, and what does it cost in memory?
+//
+// Synthesizes a sharded study at --chips (default 4000 = 100x the 40-chip
+// default study) split over --shards shard manifests, writes the identical
+// payload in both transports, then times a full streaming merge of each and
+// reports chips/sec plus the process peak RSS (getrusage ru_maxrss).  The
+// binary transport's headline ratio is recorded in EXPERIMENTS.md and gated
+// in CI via the BM_FoldShard* pair in bench_micro + bench/baseline.json.
+//
+// Usage: bench_fold_throughput [--chips N] [--shards S] [--series K]
+//                              [--repeat R] [--keep-raw]
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fold_bench_util.hpp"
+#include "telemetry/aggregate.hpp"
+
+namespace {
+
+using namespace aropuf;
+namespace fs = std::filesystem;
+
+long peak_rss_kib() {
+  struct rusage ru {};
+  ::getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+/// Splits the synthetic whole-population shard into `shards` contiguous
+/// slices and writes each as its own manifest in the requested transport.
+std::vector<std::string> write_shards(const bench::SyntheticShard& whole, std::size_t chips,
+                                      std::size_t shards, bool binary, const fs::path& dir) {
+  std::vector<std::string> paths;
+  for (std::size_t k = 0; k < shards; ++k) {
+    const std::size_t lo = chips * k / shards;
+    const std::size_t hi = chips * (k + 1) / shards;
+    bench::SyntheticShard slice;
+    slice.metadata = whole.metadata;
+    JsonValue::Object& shard_desc = slice.metadata.as_object().at("shard").as_object();
+    shard_desc["index"] = JsonValue(static_cast<std::uint64_t>(k));
+    shard_desc["count"] = JsonValue(static_cast<std::uint64_t>(shards));
+    shard_desc["chip_lo"] = JsonValue(static_cast<std::uint64_t>(lo));
+    shard_desc["chip_hi"] = JsonValue(static_cast<std::uint64_t>(hi));
+    slice.metadata.as_object().at("metrics").as_object()["shard"] =
+        JsonValue(static_cast<std::uint64_t>(k));
+    JsonValue::Object& samples =
+        slice.metadata.as_object().at("results").as_object().at("samples").as_object();
+    for (const telemetry::BinarySeries& s : whole.series) {
+      telemetry::BinarySeries cut;
+      cut.name = s.name;
+      cut.offset = lo;
+      cut.total = s.total;
+      cut.hist_lo = s.hist_lo;
+      cut.hist_hi = s.hist_hi;
+      cut.hist_bins = s.hist_bins;
+      cut.values.assign(s.values.begin() + static_cast<std::ptrdiff_t>(lo),
+                        s.values.begin() + static_cast<std::ptrdiff_t>(hi));
+      samples.at(cut.name).as_object()["offset"] = JsonValue(static_cast<std::uint64_t>(lo));
+      slice.series.push_back(std::move(cut));
+    }
+    const fs::path path = dir / ("shard-" + std::to_string(k) +
+                                 (binary ? ".manifest.bin" : ".manifest.json"));
+    if (binary) {
+      if (!telemetry::write_binary_shard_manifest(path.string(), slice.metadata, slice.series)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+      }
+    } else {
+      std::ofstream out(path, std::ios::trunc);
+      out << bench::to_json_transport(slice).dump(2) << '\n';
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+      }
+    }
+    paths.push_back(path.string());
+  }
+  return paths;
+}
+
+struct FoldRun {
+  double best_seconds = 0.0;
+  std::uint64_t bytes_on_disk = 0;
+};
+
+FoldRun fold_all(const std::vector<std::string>& paths, telemetry::RawSeriesPolicy policy,
+                 int repeat) {
+  FoldRun run;
+  for (const std::string& p : paths) run.bytes_on_disk += fs::file_size(p);
+  run.best_seconds = 1e300;
+  for (int r = 0; r < repeat; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    telemetry::AggregateBuilder builder(policy);
+    for (const std::string& p : paths) builder.add(telemetry::load_shard_input(p));
+    const telemetry::AggregateResult result = builder.finalize();
+    const double dt = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    run.best_seconds = std::min(run.best_seconds, dt);
+    if (!result.conflicts.empty()) {
+      std::fprintf(stderr, "unexpected provenance conflicts in synthetic shards\n");
+      std::exit(1);
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t chips = 4000;
+  std::size_t shards = 8;
+  std::size_t series = 10;
+  int repeat = 3;
+  bool keep_raw = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto num = [&](const char* flag) -> long {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return std::atol(argv[++i]);
+      return -1;
+    };
+    if (long v = num("--chips"); v > 0) chips = static_cast<std::size_t>(v);
+    else if (long v2 = num("--shards"); v2 > 0) shards = static_cast<std::size_t>(v2);
+    else if (long v3 = num("--series"); v3 > 0) series = static_cast<std::size_t>(v3);
+    else if (long v4 = num("--repeat"); v4 > 0) repeat = static_cast<int>(v4);
+    else if (std::strcmp(argv[i], "--keep-raw") == 0) keep_raw = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--chips N] [--shards S] [--series K] [--repeat R] [--keep-raw]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const fs::path dir = fs::temp_directory_path() / "aropuf-fold-throughput";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const bench::SyntheticShard whole = bench::make_synthetic_shard(chips, series);
+  const auto json_paths = write_shards(whole, chips, shards, /*binary=*/false, dir);
+  const auto bin_paths = write_shards(whole, chips, shards, /*binary=*/true, dir);
+  const telemetry::RawSeriesPolicy policy =
+      keep_raw ? telemetry::RawSeriesPolicy::kKeep : telemetry::RawSeriesPolicy::kDropAfterCheck;
+
+  std::printf("fold throughput: %zu chips x %zu series over %zu shards (best of %d, policy %s)\n",
+              chips, series, shards, repeat, keep_raw ? "keep" : "drop_after_check");
+  const long rss_before = peak_rss_kib();
+  const FoldRun json_run = fold_all(json_paths, policy, repeat);
+  const long rss_after_json = peak_rss_kib();
+  const FoldRun bin_run = fold_all(bin_paths, policy, repeat);
+  const long rss_after_bin = peak_rss_kib();
+
+  const double json_cps = static_cast<double>(chips) / json_run.best_seconds;
+  const double bin_cps = static_cast<double>(chips) / bin_run.best_seconds;
+  std::printf("  %-8s %12s %14s %14s %12s\n", "format", "bytes", "merge (ms)", "chips/sec",
+              "peakRSS KiB");
+  std::printf("  %-8s %12llu %14.2f %14.0f %12ld\n", "json",
+              static_cast<unsigned long long>(json_run.bytes_on_disk),
+              json_run.best_seconds * 1e3, json_cps, rss_after_json);
+  std::printf("  %-8s %12llu %14.2f %14.0f %12ld\n", "binary",
+              static_cast<unsigned long long>(bin_run.bytes_on_disk),
+              bin_run.best_seconds * 1e3, bin_cps, rss_after_bin);
+  std::printf("  binary/json speedup: %.2fx   size ratio: %.2fx   baseline RSS %ld KiB\n",
+              bin_cps / json_cps,
+              static_cast<double>(json_run.bytes_on_disk) /
+                  static_cast<double>(bin_run.bytes_on_disk),
+              rss_before);
+  fs::remove_all(dir);
+  return 0;
+}

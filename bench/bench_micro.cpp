@@ -9,14 +9,22 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "circuit/delay_kernel.hpp"
 #include "ecc/bch.hpp"
+#include "fold_bench_util.hpp"
 #include "keygen/sha256.hpp"
 #include "metrics/uniqueness.hpp"
 #include "puf/ro_puf.hpp"
 #include "sim/parallel.hpp"
 #include "sim/scenarios.hpp"
+#include "telemetry/aggregate.hpp"
 
 namespace {
 
@@ -205,6 +213,58 @@ void BM_UniquenessPopulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UniquenessPopulation)->Arg(20)->Arg(100);
+
+// --- shard-manifest fold throughput: JSON vs binary transport ---------------
+//
+// One synthetic shard (Arg chips, 10 sample series — the shape of a real
+// study manifest at Arg/40 times the default population) written once per
+// format, then repeatedly loaded and folded through AggregateBuilder.  The
+// pair is gated as a *speedup*: bench/baseline.json requires binary to fold
+// at least 5x the chips/sec of JSON (see scripts/perf_gate.py "speedups").
+
+constexpr std::size_t kFoldBenchSeries = 10;
+
+std::string fold_bench_path(bool binary, std::size_t chips) {
+  namespace fs = std::filesystem;
+  static std::map<std::pair<bool, std::size_t>, std::string> cache;
+  auto [it, fresh] = cache.try_emplace({binary, chips});
+  if (!fresh) return it->second;
+  const bench::SyntheticShard shard = bench::make_synthetic_shard(chips, kFoldBenchSeries);
+  const fs::path dir = fs::temp_directory_path() / "aropuf-fold-bench";
+  fs::create_directories(dir);
+  const fs::path path =
+      dir / ("shard-" + std::to_string(chips) + (binary ? ".manifest.bin" : ".manifest.json"));
+  if (binary) {
+    if (!telemetry::write_binary_shard_manifest(path.string(), shard.metadata, shard.series)) {
+      throw std::runtime_error("fold bench: cannot write " + path.string());
+    }
+  } else {
+    std::ofstream out(path, std::ios::trunc);
+    out << bench::to_json_transport(shard).dump(2) << '\n';
+    if (!out) throw std::runtime_error("fold bench: cannot write " + path.string());
+  }
+  it->second = path.string();
+  return it->second;
+}
+
+void fold_bench(benchmark::State& state, bool binary) {
+  const std::size_t chips = static_cast<std::size_t>(state.range(0));
+  const std::string path = fold_bench_path(binary, chips);
+  for (auto _ : state) {
+    telemetry::AggregateBuilder builder(telemetry::RawSeriesPolicy::kDropAfterCheck);
+    builder.add(telemetry::load_shard_input(path));
+    benchmark::DoNotOptimize(builder.finalize());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * chips));
+  state.counters["chips_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * chips),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_FoldShardJson(benchmark::State& state) { fold_bench(state, /*binary=*/false); }
+void BM_FoldShardBinary(benchmark::State& state) { fold_bench(state, /*binary=*/true); }
+BENCHMARK(BM_FoldShardJson)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FoldShardBinary)->Arg(4000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,106 @@
+// Shared synthetic-shard builder for the fold-throughput benchmarks
+// (bench_micro's gated BM_FoldShard* pair and the standalone
+// bench_fold_throughput).  Produces the same shard payload in both transport
+// forms so the two measurements differ only in the wire format.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "telemetry/binfmt.hpp"
+#include "telemetry/manifest.hpp"
+
+namespace aropuf::bench {
+
+/// One synthetic shard covering all of [0, chips): `series_count` sample
+/// series of `chips` doubles each, deterministic values.
+struct SyntheticShard {
+  JsonValue metadata;  ///< manifest doc, headers only (binary-transport form)
+  std::vector<telemetry::BinarySeries> series;
+};
+
+inline SyntheticShard make_synthetic_shard(std::size_t chips, std::size_t series_count) {
+  SyntheticShard out;
+  std::mt19937_64 rng(2014);
+  std::uniform_real_distribution<double> value(0.0, 1.0);
+  JsonValue::Object samples;
+  for (std::size_t i = 0; i < series_count; ++i) {
+    telemetry::BinarySeries s;
+    s.name = "bench.series_" + std::to_string(i);
+    s.total = chips;
+    s.values.resize(chips);
+    for (double& v : s.values) v = value(rng);
+    JsonValue::Object header;
+    header["offset"] = JsonValue(static_cast<std::uint64_t>(0));
+    header["total"] = JsonValue(static_cast<std::uint64_t>(chips));
+    header["hist_lo"] = JsonValue(s.hist_lo);
+    header["hist_hi"] = JsonValue(s.hist_hi);
+    header["hist_bins"] = JsonValue(static_cast<std::uint64_t>(s.hist_bins));
+    samples[s.name] = JsonValue(std::move(header));
+    out.series.push_back(std::move(s));
+  }
+
+  JsonValue::Object doc;
+  doc["schema"] = JsonValue(telemetry::kManifestSchema);
+  doc["schema_version"] = JsonValue(telemetry::kManifestSchemaVersion);
+  doc["run"] = JsonValue("fold_bench");
+  doc["git_sha"] = JsonValue("bench");
+  doc["kernel_backend"] = JsonValue("batched");
+  doc["threads"] = JsonValue(1);
+  {
+    JsonValue::Object config;
+    config["chips"] = JsonValue(static_cast<std::uint64_t>(chips));
+    config["seed"] = JsonValue(2014);
+    doc["config"] = JsonValue(std::move(config));
+  }
+  {
+    JsonValue::Object build;
+    build["type"] = JsonValue("Release");
+    doc["build"] = JsonValue(std::move(build));
+  }
+  {
+    JsonValue::Object shard;
+    shard["index"] = JsonValue(0);
+    shard["count"] = JsonValue(1);
+    shard["chip_lo"] = JsonValue(static_cast<std::uint64_t>(0));
+    shard["chip_hi"] = JsonValue(static_cast<std::uint64_t>(chips));
+    doc["shard"] = JsonValue(std::move(shard));
+  }
+  {
+    JsonValue::Object metrics;
+    metrics["counters"] = JsonValue(JsonValue::Object{});
+    metrics["gauges"] = JsonValue(JsonValue::Object{});
+    metrics["histograms"] = JsonValue(JsonValue::Object{});
+    metrics["shard"] = JsonValue(0);
+    doc["metrics"] = JsonValue(std::move(metrics));
+  }
+  doc["stages"] = JsonValue(JsonValue::Array{});
+  {
+    JsonValue::Object results;
+    results["samples"] = JsonValue(std::move(samples));
+    results["tallies"] = JsonValue(JsonValue::Object{});
+    doc["results"] = JsonValue(std::move(results));
+  }
+  out.metadata = JsonValue(std::move(doc));
+  return out;
+}
+
+/// The same shard as a JSON-transport document (values embedded).
+inline JsonValue to_json_transport(const SyntheticShard& shard) {
+  JsonValue doc = shard.metadata;
+  JsonValue::Object& samples =
+      doc.as_object().at("results").as_object().at("samples").as_object();
+  for (const telemetry::BinarySeries& s : shard.series) {
+    JsonValue::Array values;
+    values.reserve(s.values.size());
+    for (const double v : s.values) values.emplace_back(v);
+    samples.at(s.name).as_object()["values"] = JsonValue(std::move(values));
+  }
+  return doc;
+}
+
+}  // namespace aropuf::bench

@@ -21,7 +21,7 @@ Usage:
 Baseline refresh procedure (after an intentional perf change):
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
   AROPUF_THREADS=1 build/bench/bench_micro --benchmark_format=json \
-      --benchmark_filter='BM_(KernelFrequencies|AgingSeries200/1|ChipConstruction|ChipEvaluate|Sha256)' \
+      --benchmark_filter='BM_(KernelFrequencies|AgingSeries200/1|ChipConstruction|ChipEvaluate|Sha256|FoldShard)' \
       --benchmark_min_time=0.2 > results.json
   python3 scripts/perf_gate.py update results.json
 then commit bench/baseline.json with a note on why the numbers moved.
@@ -91,6 +91,35 @@ def compare(ratios: dict[str, float], baseline: dict, *, quiet: bool = False) ->
             status = "faster (consider refreshing the baseline)"
         if not quiet:
             print(f"  {name}: {ratio:.4g} (baseline {base_ratio:.4g}, {change:+.1%}) {status}")
+    failures += compare_speedups(ratios, baseline, quiet=quiet)
+    return failures
+
+
+def compare_speedups(ratios: dict[str, float], baseline: dict, *,
+                     quiet: bool = False) -> list[str]:
+    """Minimum-speedup floors: pairs where `fast` must beat `slow` by >= min.
+
+    Unlike the per-benchmark regression ratios, a speedup is a property of
+    one run (both sides measured on the same machine in the same process),
+    so the floor holds absolutely — no normalization or drift margin needed.
+    Used to gate the binary shard transport's >= 5x fold advantage over JSON.
+    """
+    failures: list[str] = []
+    for label, spec in sorted(baseline.get("speedups", {}).items()):
+        fast, slow, floor = spec["fast"], spec["slow"], float(spec["min"])
+        missing = [n for n in (fast, slow) if n not in ratios]
+        if missing:
+            failures.append(f"speedup {label}: benchmark(s) {missing} missing from results")
+            continue
+        speedup = ratios[slow] / ratios[fast]
+        status = "OK"
+        if speedup < floor:
+            status = "BELOW FLOOR"
+            failures.append(
+                f"speedup {label}: {slow} / {fast} = {speedup:.2f}x, "
+                f"required >= {floor:.2f}x")
+        if not quiet:
+            print(f"  speedup {label}: {speedup:.2f}x (floor {floor:.2f}x) {status}")
     return failures
 
 
@@ -114,9 +143,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_update(args: argparse.Namespace) -> int:
     ratios = normalized_ratios(load_times_ns(args.results))
+    speedups: dict = {}
     try:
         old = load_baseline(args.baseline)
         threshold = float(old.get("threshold", DEFAULT_THRESHOLD))
+        speedups = old.get("speedups", {})
         gated = [name for name in old["benchmarks"] if name in ratios]
         missing = sorted(set(old["benchmarks"]) - set(ratios))
         if missing:
@@ -130,6 +161,8 @@ def cmd_update(args: argparse.Namespace) -> int:
         "threshold": threshold,
         "benchmarks": {name: round(ratios[name], 6) for name in sorted(gated)},
     }
+    if speedups:
+        baseline["speedups"] = speedups
     with args.baseline.open("w") as fh:
         json.dump(baseline, fh, indent=2)
         fh.write("\n")

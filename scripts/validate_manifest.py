@@ -14,12 +14,25 @@ too, and --diff-stats enforces the sharding acceptance bar: the sections
 that must be invariant under shard decomposition (config, results, study)
 must match byte-for-byte between two aggregate manifests.
 
+Binary shard manifests (telemetry/binfmt.hpp, the ARPB container that moves
+sample values out of the JSON document) validate with --binary: the framing
+is struct-decoded and cross-checked against the embedded metadata, and the
+metadata document itself must pass the run-manifest schema.
+
+--diff-stats refuses to compare a kept-raw aggregate against a dropped-raw
+one: their statistics can match while their payloads differ by design, so a
+silent pass would hide a policy regression.  Pass --ignore-raw-policy for
+the deliberate cross-policy comparisons (e.g. CI checking that a streaming
+drop-raw run reproduces a kept single-shot run's statistics).
+
 Usage:
   validate_manifest.py manifest.json [more.json ...]   # manifest schema
   validate_manifest.py --trace trace.json [...]        # Chrome-trace format
   validate_manifest.py --aggregate merged.json [...]   # aggregate schema
+  validate_manifest.py --binary shard.manifest.bin [...]  # ARPB container
   validate_manifest.py --progress progress.jsonl [...] # heartbeat JSONL
-  validate_manifest.py --diff-stats a.json b.json      # bit-identity check
+  validate_manifest.py --diff-stats [--ignore-raw-policy] a.json b.json
+                                                       # bit-identity check
 
 Exit code 0 when every file validates, 1 otherwise (one line per problem).
 """
@@ -27,6 +40,7 @@ Exit code 0 when every file validates, 1 otherwise (one line per problem).
 from __future__ import annotations
 
 import json
+import struct
 import sys
 from pathlib import Path
 
@@ -77,6 +91,10 @@ def validate_manifest(path: Path) -> list[str]:
         doc = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as e:
         return [fail(path, f"unreadable or invalid JSON: {e}")]
+    return validate_manifest_doc(doc, path)
+
+
+def validate_manifest_doc(doc, path: Path) -> list[str]:
     if not isinstance(doc, dict):
         return [fail(path, "top level must be a JSON object")]
     problems = []
@@ -240,6 +258,110 @@ def validate_aggregate(path: Path) -> list[str]:
     return problems
 
 
+# ARPB binary shard-manifest container (telemetry/binfmt.hpp).  This is an
+# independent Python decode of the same wire layout, so a C++ encoder bug
+# that its own decoder happens to tolerate still fails CI.
+BINFMT_MAGIC = b"ARPB"
+BINFMT_VERSION = 1
+BINFMT_MAX_NAME = 256
+BINFMT_MAX_HIST_BINS = 1 << 20
+SERIES_HEADER_KEYS = ("offset", "total", "hist_lo", "hist_hi", "hist_bins")
+
+
+def validate_binary(path: Path) -> list[str]:
+    try:
+        wire = path.read_bytes()
+    except OSError as e:
+        return [fail(path, f"unreadable: {e}")]
+
+    def truncated(what: str) -> list[str]:
+        return [fail(path, f"truncated inside {what}")]
+
+    if len(wire) < 16:
+        return truncated("header")
+    if wire[:4] != BINFMT_MAGIC:
+        return [fail(path, f"bad magic {wire[:4]!r} (expected {BINFMT_MAGIC!r})")]
+    version, reserved, meta_len = struct.unpack_from("<HHQ", wire, 4)
+    if version != BINFMT_VERSION:
+        return [fail(path, f"unsupported format version {version}")]
+    if reserved != 0:
+        return [fail(path, "reserved header bytes are nonzero")]
+    pos = 16
+    if len(wire) - pos < meta_len:
+        return truncated("metadata document")
+    try:
+        metadata = json.loads(wire[pos:pos + meta_len])
+    except (json.JSONDecodeError, UnicodeDecodeError) as e:
+        return [fail(path, f"metadata is not valid JSON: {e}")]
+    pos += meta_len
+    problems = validate_manifest_doc(metadata, path)
+
+    if len(wire) - pos < 4:
+        return problems + truncated("series count")
+    (series_count,) = struct.unpack_from("<I", wire, pos)
+    pos += 4
+    series = {}
+    for i in range(series_count):
+        if len(wire) - pos < 2:
+            return problems + truncated(f"series[{i}] name length")
+        (name_len,) = struct.unpack_from("<H", wire, pos)
+        pos += 2
+        if not 1 <= name_len <= BINFMT_MAX_NAME:
+            return problems + [fail(path, f"series[{i}] name length {name_len} out of range")]
+        if len(wire) - pos < name_len:
+            return problems + truncated(f"series[{i}] name")
+        name = wire[pos:pos + name_len].decode("utf-8", errors="replace")
+        pos += name_len
+        if name in series:
+            return problems + [fail(path, f"duplicate series '{name}'")]
+        if len(wire) - pos < 44:
+            return problems + truncated(f"series '{name}' header")
+        offset, total, hist_lo, hist_hi, hist_bins, count = struct.unpack_from(
+            "<QQddIQ", wire, pos)
+        pos += 44
+        if not 1 <= hist_bins <= BINFMT_MAX_HIST_BINS:
+            problems.append(fail(path, f"series '{name}' hist_bins {hist_bins} out of range"))
+        pad = (-pos) % 8
+        if wire[pos:pos + pad] != b"\x00" * pad:
+            return problems + [fail(path, f"series '{name}' has nonzero alignment padding")]
+        pos += pad
+        if count > (len(wire) - pos) // 8:
+            return problems + [fail(path, f"series '{name}' declares {count} values "
+                                          "but they do not fit in the file")]
+        if offset > total or count > total - offset:
+            problems.append(fail(path, f"series '{name}' slice [{offset}, +{count}) "
+                                       f"exceeds its total {total}"))
+        series[name] = {"offset": offset, "total": total, "hist_lo": hist_lo,
+                        "hist_hi": hist_hi, "hist_bins": hist_bins}
+        pos += count * 8
+    if pos != len(wire):
+        problems.append(fail(path, f"{len(wire) - pos} trailing bytes after the last series"))
+
+    # The metadata's results.samples section and the series blocks must
+    # describe the same payload.
+    samples = metadata.get("results", {}).get("samples", {}) if isinstance(
+        metadata, dict) else {}
+    if not isinstance(samples, dict):
+        samples = {}
+    if set(samples) != set(series):
+        problems.append(fail(path, f"metadata sample names {sorted(samples)} disagree "
+                                   f"with series blocks {sorted(series)}"))
+    for name in set(samples) & set(series):
+        header = samples[name]
+        if not isinstance(header, dict):
+            problems.append(fail(path, f"metadata samples '{name}' is not an object"))
+            continue
+        if "values" in header:
+            problems.append(fail(path, f"metadata samples '{name}' embeds a values array "
+                                       "(payload duplicated)"))
+        for key in SERIES_HEADER_KEYS:
+            if header.get(key) != series[name][key]:
+                problems.append(fail(path, f"metadata samples '{name}' key '{key}' "
+                                           f"({header.get(key)!r}) disagrees with the series "
+                                           f"block ({series[name][key]!r})"))
+    return problems
+
+
 def validate_progress(path: Path) -> list[str]:
     try:
         text = path.read_text()
@@ -291,7 +413,7 @@ def strip_raw_values(doc: dict) -> dict:
     return doc
 
 
-def diff_stats(path_a: Path, path_b: Path) -> list[str]:
+def diff_stats(path_a: Path, path_b: Path, *, ignore_raw_policy: bool = False) -> list[str]:
     docs = []
     for path in (path_a, path_b):
         try:
@@ -299,6 +421,15 @@ def diff_stats(path_a: Path, path_b: Path) -> list[str]:
         except (OSError, json.JSONDecodeError) as e:
             return [fail(path, f"unreadable or invalid JSON: {e}")]
     problems = []
+    # A kept-vs-dropped comparison is only *statistically* equal: one side has
+    # discarded its raw series, so "identical" would overstate what was
+    # checked.  Refuse unless the caller opts in explicitly.
+    policy_a = docs[0].get("raw_series")
+    policy_b = docs[1].get("raw_series")
+    if policy_a != policy_b and not ignore_raw_policy:
+        problems.append(
+            f"raw_series policy differs: {path_a} is {policy_a!r} but {path_b} is "
+            f"{policy_b!r}; pass --ignore-raw-policy to compare statistics only")
     for section in INVARIANT_SECTIONS:
         a = docs[0].get(section)
         b = docs[1].get(section)
@@ -356,17 +487,21 @@ def main(argv: list[str]) -> int:
         "--trace": "trace",
         "--aggregate": "aggregate",
         "--progress": "progress",
+        "--binary": "binary",
         "--diff-stats": "diff-stats",
     }
     if args and args[0] in modes:
         mode = modes[args[0]]
         args = args[1:]
+    ignore_raw_policy = "--ignore-raw-policy" in args
+    args = [a for a in args if a != "--ignore-raw-policy"]
     if not args or (mode == "diff-stats" and len(args) != 2):
         print(__doc__.strip(), file=sys.stderr)
         return 1
 
     if mode == "diff-stats":
-        problems = diff_stats(Path(args[0]), Path(args[1]))
+        problems = diff_stats(Path(args[0]), Path(args[1]),
+                              ignore_raw_policy=ignore_raw_policy)
         for p in problems:
             print(p, file=sys.stderr)
         if not problems:
@@ -378,6 +513,7 @@ def main(argv: list[str]) -> int:
         "trace": validate_trace,
         "aggregate": validate_aggregate,
         "progress": validate_progress,
+        "binary": validate_binary,
     }[mode]
     problems = []
     for name in args:

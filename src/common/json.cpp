@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -309,7 +310,16 @@ class Parser {
       }
       while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
     }
-    return JsonValue(std::stod(text_.substr(start, pos_ - start)));
+    // strtod, not std::stod: the token is already syntax-checked, and stod
+    // throws out_of_range on ERANGE — which glibc also sets for subnormal
+    // results, so a legal "5e-324" would escape as the wrong exception type
+    // (found by fuzzing).  strtod returns the subnormal quietly; genuine
+    // overflow comes back as ±infinity, which JSON cannot represent, so that
+    // stays a parse error.
+    const std::string token = text_.substr(start, pos_ - start);
+    const double v = std::strtod(token.c_str(), nullptr);
+    if (std::isinf(v)) fail("number out of double range");
+    return JsonValue(v);
   }
 
   const std::string& text_;

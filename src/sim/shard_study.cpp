@@ -223,7 +223,7 @@ ShardStudyResult run_shard_study(const ShardStudyConfig& cfg, std::size_t index,
   return result;
 }
 
-JsonValue study_results_to_json(const ShardStudyResult& result) {
+JsonValue study_results_to_json(const ShardStudyResult& result, bool include_values) {
   JsonValue::Object samples;
   for (const SampleSeries& s : result.samples) {
     JsonValue::Object obj;
@@ -232,10 +232,12 @@ JsonValue study_results_to_json(const ShardStudyResult& result) {
     obj["hist_lo"] = JsonValue(s.hist_lo);
     obj["hist_hi"] = JsonValue(s.hist_hi);
     obj["hist_bins"] = JsonValue(static_cast<std::uint64_t>(s.hist_bins));
-    JsonValue::Array values;
-    values.reserve(s.values.size());
-    for (const double v : s.values) values.emplace_back(v);
-    obj["values"] = JsonValue(std::move(values));
+    if (include_values) {
+      JsonValue::Array values;
+      values.reserve(s.values.size());
+      for (const double v : s.values) values.emplace_back(v);
+      obj["values"] = JsonValue(std::move(values));
+    }
     samples[s.name] = JsonValue(std::move(obj));
   }
   JsonValue::Object tallies;
@@ -261,6 +263,23 @@ JsonValue study_results_to_json(const ShardStudyResult& result) {
   root["samples"] = JsonValue(std::move(samples));
   root["tallies"] = JsonValue(std::move(tallies));
   return JsonValue(std::move(root));
+}
+
+std::vector<telemetry::BinarySeries> study_series_binary(ShardStudyResult&& result) {
+  std::vector<telemetry::BinarySeries> out;
+  out.reserve(result.samples.size());
+  for (SampleSeries& s : result.samples) {
+    telemetry::BinarySeries b;
+    b.name = std::move(s.name);
+    b.offset = static_cast<std::uint64_t>(s.offset);
+    b.total = static_cast<std::uint64_t>(s.total);
+    b.hist_lo = s.hist_lo;
+    b.hist_hi = s.hist_hi;
+    b.hist_bins = static_cast<std::uint32_t>(s.hist_bins);
+    b.values = std::move(s.values);
+    out.push_back(std::move(b));
+  }
+  return out;
 }
 
 JsonValue study_config_json(const ShardStudyConfig& cfg) {

@@ -35,6 +35,7 @@
 
 #include "common/json.hpp"
 #include "sim/scenarios.hpp"
+#include "telemetry/binfmt.hpp"
 
 namespace aropuf {
 
@@ -98,8 +99,17 @@ using StudyProgressFn = std::function<void(const std::string&, std::int64_t, std
                                                std::size_t count,
                                                const StudyProgressFn& progress = {});
 
-/// The study payload embedded in a shard manifest under "results".
-[[nodiscard]] JsonValue study_results_to_json(const ShardStudyResult& result);
+/// The study payload embedded in a shard manifest under "results".  With
+/// `include_values` false (the binary transport), sample series carry their
+/// headers only — the values travel out of band as packed doubles (see
+/// study_series_binary), which is what makes million-chip manifests cheap to
+/// parse.
+[[nodiscard]] JsonValue study_results_to_json(const ShardStudyResult& result,
+                                              bool include_values = true);
+
+/// The out-of-band value payload for the binary transport: one BinarySeries
+/// per sample series, values moved (not copied) out of `result`.
+[[nodiscard]] std::vector<telemetry::BinarySeries> study_series_binary(ShardStudyResult&& result);
 
 /// Config echo for shard manifests: identical across shards by construction,
 /// so any difference the aggregator sees is a real provenance conflict.

@@ -14,6 +14,7 @@
 #include "common/check.hpp"
 
 #include "common/statistics.hpp"
+#include "telemetry/binfmt.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/manifest.hpp"
 
@@ -280,6 +281,36 @@ const JsonValue* results_section(const ShardManifest& s, const char* kind) {
   return &results.at(kind);
 }
 
+/// Pulls every embedded sample-series value array out of a JSON shard
+/// manifest into owned chunks, validating structure as it goes.  Throws (via
+/// fail) on malformed series; mutates nothing on failure paths that matter —
+/// the caller only commits the chunks after all validation passes.
+std::vector<SeriesChunk> extract_series_chunks(const ShardManifest& shard) {
+  std::vector<SeriesChunk> chunks;
+  const JsonValue* samples = results_section(shard, "samples");
+  if (samples == nullptr) return chunks;
+  for (const auto& [name, series] : samples->as_object()) {
+    if (!series.is_object() || !series.contains("values") || !series.at("values").is_array()) {
+      fail(shard.path, "sample series '" + name + "' malformed");
+    }
+    SeriesChunk p;
+    p.name = name;
+    p.offset = static_cast<std::int64_t>(series.number_or("offset", 0.0));
+    p.total = static_cast<std::int64_t>(series.number_or("total", 0.0));
+    p.hist_lo = series.number_or("hist_lo", 0.0);
+    p.hist_hi = series.number_or("hist_hi", 1.0);
+    p.hist_bins = static_cast<std::int64_t>(series.number_or("hist_bins", 50.0));
+    const JsonValue::Array& values = series.at("values").as_array();
+    p.values.reserve(values.size());
+    for (const JsonValue& v : values) {
+      if (!v.is_number()) fail(shard.path, "sample series '" + name + "' malformed");
+      p.values.push_back(v.as_number());
+    }
+    chunks.push_back(std::move(p));
+  }
+  return chunks;
+}
+
 /// Checks that per-shard [lo, hi) ranges exactly tile [0, total).
 void require_exact_tiling(const std::string& what,
                           std::vector<std::pair<std::int64_t, std::int64_t>> ranges,
@@ -299,18 +330,6 @@ void require_exact_tiling(const std::string& what,
                              ") but the declared total is " + std::to_string(total));
   }
 }
-
-/// One shard's slice of a sample series, decoded and validated, ready to
-/// fold.  Produced during the validation phase of AggregateBuilder::add() so
-/// the commit phase cannot fail.
-struct IncomingPiece {
-  std::string name;
-  std::int64_t offset = 0;
-  std::int64_t total = 0;
-  double hist_lo = 0.0, hist_hi = 1.0;
-  std::int64_t hist_bins = 0;
-  std::vector<double> values;
-};
 
 /// Merges integer tallies: all moments are exact integer sums, so the merge
 /// is order-independent and bit-identical to a single-process tally.
@@ -438,10 +457,55 @@ ShardManifest wrap_shard_manifest(JsonValue doc, const std::string& path) {
   return validate_shard(std::move(doc), path);
 }
 
+DecodedShard load_shard_input(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) fail(path, "cannot open file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) fail(path, "read error");
+  std::string bytes = buffer.str();
+
+  DecodedShard out;
+  if (looks_binary(bytes)) {
+    BinaryManifestReader reader = [&] {
+      try {
+        return BinaryManifestReader::parse(std::move(bytes));
+      } catch (const BinfmtError& e) {
+        throw BinfmtError(e.code(), path + ": " + e.what());
+      }
+    }();
+    out.manifest = validate_shard(reader.metadata(), path);
+    out.chunks.reserve(reader.series_count());
+    for (std::size_t i = 0; i < reader.series_count(); ++i) {
+      const SeriesView& view = reader.series(i);
+      SeriesChunk chunk;
+      chunk.name = std::string(view.name);
+      chunk.offset = static_cast<std::int64_t>(view.offset);
+      chunk.total = static_cast<std::int64_t>(view.total);
+      chunk.hist_lo = view.hist_lo;
+      chunk.hist_hi = view.hist_hi;
+      chunk.hist_bins = static_cast<std::int64_t>(view.hist_bins);
+      chunk.values = view.to_vector();
+      out.chunks.push_back(std::move(chunk));
+    }
+    return out;
+  }
+
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(bytes);
+  } catch (const std::exception& e) {
+    fail(path, std::string("malformed or truncated manifest: ") + e.what());
+  }
+  out.manifest = validate_shard(std::move(doc), path);
+  out.chunks = extract_series_chunks(out.manifest);
+  return out;
+}
+
 bool shard_manifest_is_valid(const std::string& path, const std::string& expect_run,
                              int expect_index, int expect_count, std::string* why) {
   try {
-    const ShardManifest shard = load_shard_manifest(path);
+    const ShardManifest shard = load_shard_input(path).manifest;
     if (shard.doc.string_or("run", "") != expect_run) {
       if (why != nullptr) *why = "run name mismatch";
       return false;
@@ -505,7 +569,19 @@ std::size_t AggregateBuilder::peak_buffered_values() const { return impl_->peak_
 std::size_t AggregateBuilder::reduced_values() const { return impl_->reduced; }
 
 void AggregateBuilder::add(ShardManifest&& shard) {
+  // JSON transport: pull the embedded value arrays out of the document into
+  // chunks, then run the format-agnostic fold.  Extraction validates
+  // structure and touches no builder state, so a throw keeps prior folds
+  // intact (the transactional contract).
+  DecodedShard input;
+  input.chunks = extract_series_chunks(shard);
+  input.manifest = std::move(shard);
+  add(std::move(input));
+}
+
+void AggregateBuilder::add(DecodedShard&& input) {
   Impl& im = *impl_;
+  ShardManifest& shard = input.manifest;
   if (im.finalized) throw std::logic_error("AggregateBuilder: add() after finalize()");
 
   // ---- validation phase: no builder state is touched until it all passes,
@@ -516,37 +592,15 @@ void AggregateBuilder::add(ShardManifest&& shard) {
   if (im.seen.count(shard.shard_index) != 0) {
     fail(shard.path, "duplicate shard index " + std::to_string(shard.shard_index));
   }
-  std::vector<IncomingPiece> pieces;
-  if (const JsonValue* samples = results_section(shard, "samples")) {
-    for (const auto& [name, series] : samples->as_object()) {
-      if (!series.is_object() || !series.contains("values") ||
-          !series.at("values").is_array()) {
-        fail(shard.path, "sample series '" + name + "' malformed");
-      }
-      IncomingPiece p;
-      p.name = name;
-      p.offset = static_cast<std::int64_t>(series.number_or("offset", 0.0));
-      p.total = static_cast<std::int64_t>(series.number_or("total", 0.0));
-      p.hist_lo = series.number_or("hist_lo", 0.0);
-      p.hist_hi = series.number_or("hist_hi", 1.0);
-      p.hist_bins = static_cast<std::int64_t>(series.number_or("hist_bins", 50.0));
-      const JsonValue::Array& values = series.at("values").as_array();
-      p.values.reserve(values.size());
-      for (const JsonValue& v : values) {
-        if (!v.is_number()) fail(shard.path, "sample series '" + name + "' malformed");
-        p.values.push_back(v.as_number());
-      }
-      const auto it = im.series.find(name);
-      if (it != im.series.end()) {
-        const Impl::SeriesFold& f = it->second;
-        if (p.total != f.total) {
-          fail(shard.path, "sample series '" + name + "' disagrees on total sample count");
-        }
-        if (p.hist_lo != f.hist_lo || p.hist_hi != f.hist_hi || p.hist_bins != f.hist_bins) {
-          fail(shard.path, "sample series '" + name + "' disagrees on histogram shape");
-        }
-      }
-      pieces.push_back(std::move(p));
+  for (const SeriesChunk& p : input.chunks) {
+    const auto it = im.series.find(p.name);
+    if (it == im.series.end()) continue;
+    const Impl::SeriesFold& f = it->second;
+    if (p.total != f.total) {
+      fail(shard.path, "sample series '" + p.name + "' disagrees on total sample count");
+    }
+    if (p.hist_lo != f.hist_lo || p.hist_hi != f.hist_hi || p.hist_bins != f.hist_bins) {
+      fail(shard.path, "sample series '" + p.name + "' disagrees on histogram shape");
     }
   }
   // Tallies merge at finalize() from the retained docs; reject structural
@@ -561,7 +615,7 @@ void AggregateBuilder::add(ShardManifest&& shard) {
 
   // ---- commit phase: cannot fail. ----
   im.seen.insert(shard.shard_index);
-  for (IncomingPiece& p : pieces) {
+  for (SeriesChunk& p : input.chunks) {
     Impl::SeriesFold& f = im.series[p.name];
     if (f.ranges.empty()) {
       f.total = p.total;

@@ -74,15 +74,44 @@ struct ShardManifest {
 /// malformed/truncated JSON, wrong schema, or a missing "shard" descriptor.
 [[nodiscard]] ShardManifest load_shard_manifest(const std::string& path);
 
+/// One decoded sample-series slice with its values out of band.  The binary
+/// transport (telemetry/binfmt.hpp) produces these directly; the JSON path
+/// builds them by pulling the embedded value arrays out of the document, so
+/// the fold downstream of this struct is format-agnostic — and bit-identical
+/// across formats, because JSON round-trips doubles exactly.
+struct SeriesChunk {
+  std::string name;
+  std::int64_t offset = 0;
+  std::int64_t total = 0;
+  double hist_lo = 0.0;
+  double hist_hi = 1.0;
+  std::int64_t hist_bins = 0;
+  std::vector<double> values;
+};
+
+/// A shard manifest plus its sample values decoded out of band: the manifest
+/// doc's samples entries carry headers only.
+struct DecodedShard {
+  ShardManifest manifest;
+  std::vector<SeriesChunk> chunks;
+};
+
+/// Loads a shard manifest in either transport format, sniffing the binfmt
+/// magic: binary containers decode without materializing value arrays as
+/// JSON; JSON documents have their embedded values extracted.  Throws
+/// std::runtime_error (or the more specific BinfmtError) with a
+/// path-prefixed message on any defect.
+[[nodiscard]] DecodedShard load_shard_input(const std::string& path);
+
 /// Wraps an in-memory manifest document (tests, the in-process worker path).
 /// Performs the same structural validation as load_shard_manifest.
 [[nodiscard]] ShardManifest wrap_shard_manifest(JsonValue doc,
                                                 const std::string& path = "<memory>");
 
 /// Non-throwing validity probe used by the orchestrator's --resume mode: true
-/// when `path` holds a well-formed shard manifest for shard `expect_index` of
-/// `expect_count` with a matching run name.  On failure, `*why` (when given)
-/// receives a one-line reason.
+/// when `path` holds a well-formed shard manifest (either transport format)
+/// for shard `expect_index` of `expect_count` with a matching run name.  On
+/// failure, `*why` (when given) receives a one-line reason.
 [[nodiscard]] bool shard_manifest_is_valid(const std::string& path, const std::string& expect_run,
                                            int expect_index, int expect_count,
                                            std::string* why = nullptr);
@@ -133,6 +162,10 @@ class AggregateBuilder {
   /// immediately (and freed under kDropAfterCheck); values that arrived ahead
   /// of the cursor wait in the out-of-order window until the gap fills.
   void add(ShardManifest&& shard);
+
+  /// Same fold for a shard whose sample values arrived out of band (the
+  /// binary transport path): no JSON value arrays exist at any point.
+  void add(DecodedShard&& shard);
 
   /// Closes the set, verifies completeness, and emits the aggregate document.
   /// Throws std::runtime_error on an empty/incomplete set; std::logic_error

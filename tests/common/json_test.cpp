@@ -61,6 +61,18 @@ TEST(JsonParseTest, RejectsUnescapedControlCharacters) {
   EXPECT_THROW(JsonValue::parse("\"a\nb\""), std::invalid_argument);
 }
 
+TEST(JsonParseTest, ExtremeNumbersParseOrFailTyped) {
+  // Fuzz regression: glibc strtod flags subnormal results with ERANGE, which
+  // made std::stod throw std::out_of_range — the wrong type — for the legal
+  // document "5e-324".  Subnormals and huge-but-finite values must parse;
+  // overflow must be the usual std::invalid_argument, never out_of_range.
+  EXPECT_DOUBLE_EQ(JsonValue::parse("5e-324").as_number(), 5e-324);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e308").as_number(), 1e308);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e-400").as_number(), 0.0);
+  EXPECT_THROW(JsonValue::parse("1e309"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("-1e999"), std::invalid_argument);
+}
+
 TEST(JsonDumpTest, CompactRendering) {
   JsonValue::Object o;
   o["b"] = JsonValue(true);

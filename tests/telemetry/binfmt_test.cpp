@@ -1,0 +1,312 @@
+#include "telemetry/binfmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace aropuf::telemetry {
+namespace {
+
+/// Metadata document agreeing with `series`: results.samples carries one
+/// header-only entry per series (the shape the encoder's cross-check
+/// demands), plus the unrelated top-level keys a real manifest would have.
+JsonValue make_metadata(const std::vector<BinarySeries>& series) {
+  JsonValue::Object samples;
+  for (const BinarySeries& s : series) {
+    JsonValue::Object entry;
+    entry["offset"] = JsonValue(s.offset);
+    entry["total"] = JsonValue(s.total);
+    entry["hist_lo"] = JsonValue(s.hist_lo);
+    entry["hist_hi"] = JsonValue(s.hist_hi);
+    entry["hist_bins"] = JsonValue(static_cast<std::uint64_t>(s.hist_bins));
+    samples[s.name] = JsonValue(std::move(entry));
+  }
+  JsonValue::Object results;
+  results["samples"] = JsonValue(std::move(samples));
+  results["tallies"] = JsonValue(JsonValue::Object{});
+  JsonValue::Object doc;
+  doc["schema"] = JsonValue("aropuf-run-manifest");
+  doc["run"] = JsonValue("binfmt_test");
+  doc["results"] = JsonValue(std::move(results));
+  return JsonValue(std::move(doc));
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof b);
+  return b;
+}
+
+void expect_round_trip(const std::vector<BinarySeries>& series) {
+  const std::string wire = encode_shard_manifest(make_metadata(series), series);
+  const BinaryManifestReader reader = BinaryManifestReader::parse(wire);
+  ASSERT_EQ(reader.series_count(), series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const SeriesView& v = reader.series(i);
+    const BinarySeries& s = series[i];
+    EXPECT_EQ(std::string(v.name), s.name);
+    EXPECT_EQ(v.offset, s.offset);
+    EXPECT_EQ(v.total, s.total);
+    EXPECT_EQ(bits_of(v.hist_lo), bits_of(s.hist_lo));
+    EXPECT_EQ(bits_of(v.hist_hi), bits_of(s.hist_hi));
+    EXPECT_EQ(v.hist_bins, s.hist_bins);
+    ASSERT_EQ(v.count, s.values.size());
+    for (std::size_t k = 0; k < s.values.size(); ++k) {
+      EXPECT_EQ(bits_of(v.value(k)), bits_of(s.values[k]))
+          << "series " << s.name << " value " << k;
+    }
+  }
+}
+
+TEST(Binfmt, RoundTripsRandomizedSeries) {
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> value(-1e6, 1e6);
+  std::uniform_int_distribution<std::size_t> length(0, 200);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<BinarySeries> series;
+    const std::size_t n = 1 + rng() % 5;
+    for (std::size_t i = 0; i < n; ++i) {
+      BinarySeries s;
+      s.name = "series_" + std::to_string(trial) + "_" + std::to_string(i);
+      s.values.resize(length(rng));
+      for (double& v : s.values) v = value(rng);
+      s.offset = rng() % 1000;
+      s.total = s.offset + s.values.size() + rng() % 1000;
+      s.hist_lo = value(rng);
+      s.hist_hi = s.hist_lo + 1.0;
+      s.hist_bins = 1 + static_cast<std::uint32_t>(rng() % 100);
+      series.push_back(std::move(s));
+    }
+    expect_round_trip(series);
+  }
+}
+
+TEST(Binfmt, RoundTripsEmptyContainerAndEmptySeries) {
+  expect_round_trip({});  // no series at all
+  BinarySeries empty;
+  empty.name = "empty";
+  empty.total = 10;  // a slice that exists but carries no values
+  expect_round_trip({empty});
+}
+
+TEST(Binfmt, RoundTripsSingleSample) {
+  BinarySeries s;
+  s.name = "one";
+  s.values = {0.123456789012345678};
+  s.total = 1;
+  expect_round_trip({s});
+}
+
+TEST(Binfmt, PreservesNanAndInfinityBitExactly) {
+  // The binary transport's one representational advantage over JSON: these
+  // must survive with their exact bit patterns, including NaN payloads.
+  double payload_nan;
+  std::uint64_t payload_bits = 0x7ff8dead'beef0001ULL;
+  std::memcpy(&payload_nan, &payload_bits, sizeof payload_nan);
+  BinarySeries s;
+  s.name = "specials";
+  s.values = {std::numeric_limits<double>::quiet_NaN(),
+              payload_nan,
+              std::numeric_limits<double>::infinity(),
+              -std::numeric_limits<double>::infinity(),
+              -0.0,
+              std::numeric_limits<double>::denorm_min()};
+  s.total = s.values.size();
+  expect_round_trip({s});
+}
+
+TEST(Binfmt, AcceptsMaxLengthNameRejectsLonger) {
+  BinarySeries ok;
+  ok.name = std::string(kBinfmtMaxSeriesName, 'x');
+  ok.values = {1.0};
+  ok.total = 1;
+  expect_round_trip({ok});
+
+  BinarySeries bad = ok;
+  bad.name += 'x';
+  EXPECT_THROW((void)encode_shard_manifest(make_metadata({bad}), {bad}), std::invalid_argument);
+}
+
+TEST(Binfmt, ToJsonMatchesJsonTransportDocument) {
+  BinarySeries s;
+  s.name = "e2.test";
+  s.values = {0.25, 0.5, 1.0 / 3.0};
+  s.total = 3;
+  const JsonValue metadata = make_metadata({s});
+  const BinaryManifestReader reader =
+      BinaryManifestReader::parse(encode_shard_manifest(metadata, {s}));
+
+  // What the JSON transport would have written: same doc, values embedded.
+  JsonValue expected = metadata;
+  JsonValue::Array values;
+  for (const double v : s.values) values.emplace_back(v);
+  expected.as_object()
+      .at("results")
+      .as_object()
+      .at("samples")
+      .as_object()
+      .at(s.name)
+      .as_object()["values"] = JsonValue(std::move(values));
+  EXPECT_EQ(reader.to_json().dump(), expected.dump());
+}
+
+// --- rejection: every defect is a typed BinfmtError, never UB ---------------
+
+std::string valid_container() {
+  BinarySeries a;
+  a.name = "alpha";
+  a.values = {1.0, 2.0, 3.0};
+  a.total = 8;
+  a.offset = 2;
+  BinarySeries b;
+  b.name = "beta";
+  b.values = {4.0};
+  b.total = 4;
+  return encode_shard_manifest(make_metadata({a, b}), {a, b});
+}
+
+TEST(Binfmt, RejectsTruncationAtEveryByteBoundary) {
+  const std::string wire = valid_container();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW((void)BinaryManifestReader::parse(wire.substr(0, len)), BinfmtError)
+        << "prefix of " << len << " bytes parsed without error";
+  }
+  EXPECT_NO_THROW((void)BinaryManifestReader::parse(wire));
+}
+
+void expect_code(const std::string& wire, BinfmtErrc code) {
+  try {
+    (void)BinaryManifestReader::parse(wire);
+    FAIL() << "expected " << binfmt_errc_name(code);
+  } catch (const BinfmtError& e) {
+    EXPECT_EQ(static_cast<int>(e.code()), static_cast<int>(code)) << e.what();
+  }
+}
+
+TEST(Binfmt, RejectsFutureVersion) {
+  std::string wire = valid_container();
+  wire[4] = 2;  // version u16 little-endian low byte
+  expect_code(wire, BinfmtErrc::kUnsupportedVersion);
+}
+
+TEST(Binfmt, RejectsBadMagic) {
+  std::string wire = valid_container();
+  wire[0] = 'X';
+  expect_code(wire, BinfmtErrc::kBadMagic);
+}
+
+TEST(Binfmt, RejectsNonzeroReservedBytes) {
+  std::string wire = valid_container();
+  wire[6] = 1;
+  expect_code(wire, BinfmtErrc::kReservedNonzero);
+}
+
+TEST(Binfmt, RejectsTrailingGarbage) {
+  std::string wire = valid_container();
+  wire.push_back('\0');
+  expect_code(wire, BinfmtErrc::kTrailingGarbage);
+}
+
+TEST(Binfmt, RejectsCorruptMetadataJson) {
+  std::string wire = valid_container();
+  // Byte 16 is the first metadata byte ('{' of the JSON document).
+  wire[16] = '!';
+  expect_code(wire, BinfmtErrc::kMetadataParse);
+}
+
+TEST(Binfmt, RejectsHugeDeclaredValueCountWithoutAllocating) {
+  // Patch series alpha's value-count field to 2^64-1: the decoder must see
+  // the count cannot fit in the remaining bytes and throw, never allocate.
+  std::string wire = valid_container();
+  std::uint64_t meta_len = 0;
+  std::memcpy(&meta_len, wire.data() + 8, sizeof meta_len);
+  // magic+ver+res+len (16) + metadata + series count (4) + name len (2) +
+  // "alpha" (5) + offset/total/hist_lo/hist_hi (32) + hist_bins (4).
+  const std::size_t count_at = 16 + static_cast<std::size_t>(meta_len) + 4 + 2 + 5 + 36;
+  for (std::size_t i = 0; i < 8; ++i) wire[count_at + i] = static_cast<char>(0xff);
+  expect_code(wire, BinfmtErrc::kTruncated);
+}
+
+TEST(Binfmt, RejectsMetadataSeriesMismatch) {
+  BinarySeries s;
+  s.name = "present";
+  s.values = {1.0};
+  s.total = 1;
+
+  // Metadata declares a series the container does not carry.
+  BinarySeries ghost;
+  ghost.name = "ghost";
+  ghost.total = 5;
+  EXPECT_THROW((void)encode_shard_manifest(make_metadata({s, ghost}), {s}), BinfmtError);
+
+  // Metadata embeds a values array (payload would be duplicated).
+  JsonValue meta = make_metadata({s});
+  meta.as_object()
+      .at("results")
+      .as_object()
+      .at("samples")
+      .as_object()
+      .at("present")
+      .as_object()["values"] = JsonValue(JsonValue::Array{JsonValue(1.0)});
+  EXPECT_THROW((void)encode_shard_manifest(meta, {s}), BinfmtError);
+
+  // Metadata header disagrees with the series block.
+  JsonValue skewed = make_metadata({s});
+  skewed.as_object()
+      .at("results")
+      .as_object()
+      .at("samples")
+      .as_object()
+      .at("present")
+      .as_object()["total"] = JsonValue(static_cast<std::uint64_t>(999));
+  EXPECT_THROW((void)encode_shard_manifest(skewed, {s}), BinfmtError);
+}
+
+TEST(Binfmt, RejectsSliceExceedingDeclaredTotal) {
+  BinarySeries s;
+  s.name = "overrun";
+  s.values = {1.0, 2.0};
+  s.offset = 3;
+  s.total = 4;  // slice [3, 5) of a 4-element series
+  EXPECT_THROW((void)encode_shard_manifest(make_metadata({s}), {s}), BinfmtError);
+}
+
+TEST(Binfmt, RejectsNonzeroAlignmentPadding) {
+  // Find a name length whose series block actually needs padding bytes, then
+  // corrupt the first one.  Padding precedes the values block, which starts
+  // at the next multiple of 8 after the value-count field.
+  for (std::size_t name_len = 1; name_len <= 8; ++name_len) {
+    BinarySeries s;
+    s.name = std::string(name_len, 'p');
+    s.values = {7.0};
+    s.total = 1;
+    std::string wire = encode_shard_manifest(make_metadata({s}), {s});
+    std::uint64_t meta_len = 0;
+    std::memcpy(&meta_len, wire.data() + 8, sizeof meta_len);
+    const std::size_t count_end =
+        16 + static_cast<std::size_t>(meta_len) + 4 + 2 + name_len + 36 + 8;
+    if (count_end % 8 == 0) continue;  // this length needs no padding
+    wire[count_end] = 'Z';
+    expect_code(wire, BinfmtErrc::kBadSeriesHeader);
+    return;
+  }
+  FAIL() << "no name length in 1..8 produced alignment padding";
+}
+
+TEST(Binfmt, LooksBinarySniffsOnlyTheMagic) {
+  EXPECT_TRUE(looks_binary(valid_container()));
+  EXPECT_TRUE(looks_binary("ARPBxxxx"));
+  EXPECT_FALSE(looks_binary("ARP"));  // too short
+  EXPECT_FALSE(looks_binary("{\"schema\": \"aropuf-run-manifest\"}"));
+  EXPECT_FALSE(looks_binary(""));
+}
+
+}  // namespace
+}  // namespace aropuf::telemetry

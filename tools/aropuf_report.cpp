@@ -12,6 +12,10 @@
 //   * stage timing — the merged per-stage wall/CPU rollup;
 //   * distributions — SVG histograms of the merged sample/tally series.
 //
+// A second mode, --dump PATH, decodes a *shard* manifest of either transport
+// (JSON or the ARPB binary container) and prints it as JSON with the series
+// values re-embedded — the debugging escape hatch for binary shard files.
+//
 // Exit codes: 0 success, 1 unreadable manifest or write failure, 2 usage.
 #include <algorithm>
 #include <cstdio>
@@ -23,6 +27,7 @@
 
 #include "common/cli.hpp"
 #include "common/json.hpp"
+#include "telemetry/binfmt.hpp"
 
 namespace {
 
@@ -33,6 +38,7 @@ struct Options {
   std::string manifest_path;
   std::string html_path;
   std::string md_path;
+  std::string dump_path;
 };
 
 int parse_args(int argc, char** argv, Options* opt) {
@@ -42,7 +48,9 @@ int parse_args(int argc, char** argv, Options* opt) {
       .opt_string("--manifest", &opt->manifest_path, "PATH",
                   "aggregate manifest to render (required)")
       .opt_string("--html", &opt->html_path, "PATH", "HTML output path")
-      .opt_string("--md", &opt->md_path, "PATH", "Markdown output path");
+      .opt_string("--md", &opt->md_path, "PATH", "Markdown output path")
+      .opt_string("--dump", &opt->dump_path, "PATH",
+                  "decode a shard manifest (JSON or binary) and print it as JSON");
   switch (parser.parse(argc, argv)) {
     case cli::ParseStatus::kHelp:
       std::exit(0);
@@ -51,13 +59,40 @@ int parse_args(int argc, char** argv, Options* opt) {
     case cli::ParseStatus::kOk:
       break;
   }
+  if (!opt->dump_path.empty()) return 0;
   if (opt->manifest_path.empty() || (opt->html_path.empty() && opt->md_path.empty())) {
     std::fprintf(stderr,
-                 "aropuf_report: --manifest and at least one of --html / --md are required\n");
+                 "aropuf_report: --manifest and at least one of --html / --md are required "
+                 "(or --dump PATH)\n");
     parser.print_usage(stderr);
     return 2;
   }
   return 0;
+}
+
+/// --dump: shard manifest of either transport → indented JSON on stdout.
+/// Binary containers get their packed values re-embedded under
+/// results.samples.<name>.values, so the output is exactly what the JSON
+/// transport would have written.
+int dump_shard_manifest(const std::string& path) {
+  try {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) throw std::runtime_error("cannot open file");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string bytes = buffer.str();
+    JsonValue doc;
+    if (aropuf::telemetry::looks_binary(bytes)) {
+      doc = aropuf::telemetry::BinaryManifestReader::parse(std::move(bytes)).to_json();
+    } else {
+      doc = JsonValue::parse(bytes);
+    }
+    std::printf("%s\n", doc.dump(/*indent=*/2).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "aropuf_report: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
 }
 
 /// "kept" / "dropped" from a v2 aggregate; v1 documents predate the marker
@@ -396,6 +431,7 @@ bool write_file(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   Options opt;
   if (const int rc = parse_args(argc, argv, &opt); rc != 0) return rc;
+  if (!opt.dump_path.empty()) return dump_shard_manifest(opt.dump_path);
 
   JsonValue doc;
   try {

@@ -88,6 +88,10 @@ struct Options {
   bool quiet = false;
   bool stream = false;    ///< fold each shard manifest as its worker lands
   bool drop_raw = false;  ///< free raw per-chip series once reduced
+  /// Shard-manifest transport: "json", "binary", or "" = auto (binary for
+  /// --stream runs — that is the million-chip path the format exists for —
+  /// JSON otherwise).  The merged aggregate manifest is always JSON.
+  std::string format;
 
   // Worker parameters (internal).
   bool worker = false;
@@ -151,6 +155,9 @@ int parse_args(int argc, char** argv, Options* opt) {
             "drop raw per-chip series once reduced (aggregate omits them)")
       .flag("--no-fork", &opt->no_fork, "run shards sequentially in this process")
       .flag("--check-single", &opt->check_single, "verify merged results == single-process run")
+      .opt_string("--format", &opt->format, "FMT",
+                  "shard manifest transport: json or binary (default: binary for "
+                  "--stream runs, json otherwise)")
       .flag("--quiet", &opt->quiet, "plain log lines even on a TTY")
       .with_env_help();
   // Worker-mode plumbing, spawned internally: parsed but kept out of --help.
@@ -178,7 +185,20 @@ int parse_args(int argc, char** argv, Options* opt) {
     std::fprintf(stderr, "aropuf_shard: --worker requires --manifest\n");
     return 2;
   }
+  if (!opt->format.empty() && opt->format != "json" && opt->format != "binary") {
+    std::fprintf(stderr, "aropuf_shard: --format must be 'json' or 'binary' (got '%s')\n",
+                 opt->format.c_str());
+    return 2;
+  }
   return 0;
+}
+
+/// Resolves the "" auto default: the binary transport exists for the
+/// streaming (large-population) path, so --stream implies it; one-shot runs
+/// keep the human-inspectable JSON form.
+bool use_binary_format(const Options& opt) {
+  if (opt.format.empty()) return opt.stream;
+  return opt.format == "binary";
 }
 
 ShardStudyConfig study_config(const Options& opt) {
@@ -214,15 +234,25 @@ int run_worker_shard(const Options& opt, int index) {
   telemetry::ProgressWriter progress(opt.progress_path, index);
   progress.beat("start", 0, 0);
   try {
-    const ShardStudyResult result = run_shard_study(
+    ShardStudyResult result = run_shard_study(
         cfg, static_cast<std::size_t>(index), static_cast<std::size_t>(opt.shards),
         [&](const std::string& stage, std::int64_t done, std::int64_t total) {
           progress.beat(stage, done, total);
         });
+    const bool binary = use_binary_format(opt);
     telemetry::set_runtime_field("shard", shard_descriptor(cfg, index, opt.shards));
-    telemetry::set_runtime_field("results", study_results_to_json(result));
-    const bool ok =
-        telemetry::write_manifest(opt.manifest_path, opt.run, study_config_json(cfg));
+    // Binary transport: the manifest document carries series headers only;
+    // the doubles travel as packed payload blocks.  The metadata JSON must be
+    // built BEFORE study_series_binary moves the values out of `result`.
+    telemetry::set_runtime_field("results",
+                                 study_results_to_json(result, /*include_values=*/!binary));
+    bool ok;
+    if (binary) {
+      ok = telemetry::write_manifest_binary(opt.manifest_path, opt.run, study_config_json(cfg),
+                                            study_series_binary(std::move(result)));
+    } else {
+      ok = telemetry::write_manifest(opt.manifest_path, opt.run, study_config_json(cfg));
+    }
     progress.beat(ok ? "done" : "failed", 1, 1);
     return ok ? 0 : 1;
   } catch (const std::exception& e) {
@@ -372,7 +402,8 @@ class Hud {
 };
 
 std::string shard_manifest_path(const Options& opt, int index) {
-  return opt.out_dir + "/shard-" + std::to_string(index) + ".manifest.json";
+  return opt.out_dir + "/shard-" + std::to_string(index) +
+         (use_binary_format(opt) ? ".manifest.bin" : ".manifest.json");
 }
 
 #if defined(AROPUF_HAVE_FORK)
@@ -394,6 +425,8 @@ long spawn_worker(const std::string& exe, const Options& opt, int index) {
       shard_manifest_path(opt, index),
       "--progress",
       opt.progress_path,
+      "--format",
+      use_binary_format(opt) ? "binary" : "json",
   };
   {
     std::string csv;
@@ -615,7 +648,7 @@ int run_orchestrator(const Options& opt_in, const char* argv0) {
   const auto fold_shard = [&](std::size_t k) -> bool {
     ShardState& s = shards[k];
     try {
-      builder->add(telemetry::load_shard_manifest(s.manifest));
+      builder->add(telemetry::load_shard_input(s.manifest));
       s.stage = "folded";
       return true;
     } catch (const std::exception& e) {
@@ -785,18 +818,14 @@ int run_orchestrator(const Options& opt_in, const char* argv0) {
       return 1;
     }
   } else {
-    std::vector<telemetry::ShardManifest> manifests;
-    manifests.reserve(shards.size());
+    // One-shot merge goes through the same decoded-shard fold as --stream, so
+    // both transports and both merge modes share a single aggregation path.
+    telemetry::AggregateBuilder one_shot(policy);
     try {
       for (const ShardState& s : shards) {
-        manifests.push_back(telemetry::load_shard_manifest(s.manifest));
+        one_shot.add(telemetry::load_shard_input(s.manifest));
       }
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "aropuf_shard: %s\n", e.what());
-      return 1;
-    }
-    try {
-      merged = telemetry::aggregate_shards(std::move(manifests), policy);
+      merged = one_shot.finalize();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "aropuf_shard: aggregation failed: %s\n", e.what());
       return 1;
