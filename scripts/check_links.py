@@ -16,7 +16,11 @@ Two reference forms are checked:
 
 Paths under build trees are skipped: they are generated, not tracked.
 
-Usage: check_links.py README.md DESIGN.md EXPERIMENTS.md ROADMAP.md
+Arguments may be markdown files or directories; a directory is crawled
+recursively for *.md (so `check_links.py docs/` covers every runbook without
+the CI invocation needing an update per new file).
+
+Usage: check_links.py README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/
 """
 
 from __future__ import annotations
@@ -60,6 +64,14 @@ def is_checkable(token: str) -> bool:
     return (REPO_ROOT / first).exists()
 
 
+def exists_as_target(path: Path) -> bool:
+    """True for extensionless build-target references like `tools/aropuf_fleet`
+    whose source file exists — docs name binaries by target, not by .cpp."""
+    if path.suffix:
+        return False
+    return any(path.with_suffix(ext).exists() for ext in (".cpp", ".hpp"))
+
+
 def check_file(md_file: Path) -> list[str]:
     errors: list[str] = []
     text = md_file.read_text()
@@ -88,11 +100,19 @@ def check_file(md_file: Path) -> list[str]:
                 resolved_root = (REPO_ROOT / path).resolve()
                 if not resolved_root.is_relative_to(REPO_ROOT):
                     continue  # escapes the repo (e.g. GitHub-relative badge URLs)
-                if not resolved_local.exists() and not resolved_root.exists():
+                if (not resolved_local.exists() and not resolved_root.exists()
+                        and not exists_as_target(resolved_root)):
                     label = (md_file.relative_to(REPO_ROOT)
                              if md_file.is_relative_to(REPO_ROOT) else md_file)
                     errors.append(f"{label}:{lineno}: dead reference `{path}`")
     return errors
+
+
+def collect_markdown(arg: Path) -> list[Path]:
+    """A file is taken as-is; a directory is crawled recursively for *.md."""
+    if arg.is_dir():
+        return sorted(p for p in arg.rglob("*.md") if "build" not in p.parts)
+    return [arg]
 
 
 def main(argv: list[str]) -> int:
@@ -100,18 +120,25 @@ def main(argv: list[str]) -> int:
         print(__doc__)
         return 2
     all_errors: list[str] = []
+    checked = 0
     for name in argv[1:]:
-        md_file = Path(name).resolve()
-        if not md_file.exists():
+        arg = Path(name).resolve()
+        if not arg.exists():
             all_errors.append(f"{name}: file not found")
             continue
-        all_errors.extend(check_file(md_file))
+        md_files = collect_markdown(arg)
+        if arg.is_dir() and not md_files:
+            all_errors.append(f"{name}: directory holds no markdown files")
+            continue
+        for md_file in md_files:
+            all_errors.extend(check_file(md_file))
+            checked += 1
     if all_errors:
         print("dead documentation references:")
         for error in all_errors:
             print(f"  {error}")
         return 1
-    print(f"link check passed ({len(argv) - 1} files)")
+    print(f"link check passed ({checked} files)")
     return 0
 
 

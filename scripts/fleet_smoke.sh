@@ -1,0 +1,84 @@
+#!/bin/sh
+# Fleet end-to-end smoke: one coordinator + two localhost workers, with the
+# merged statistics required to be bit-identical to a single-process run
+# (--check-single).  With --kill-one, the first worker hard-closes its
+# connection on its first job (the --abort-first-job test hook), which drives
+# the coordinator's reassignment path deterministically — the run must still
+# complete bit-identically.
+#
+# Usage: fleet_smoke.sh FLEET_BINARY OUT_DIR [--kill-one]
+#
+# Exit: 0 on success; nonzero (with a message) on any failure.  Used by the
+# tools.fleet_* ctest legs and the CI fleet-smoke job.
+set -eu
+
+FLEET=${1:?usage: fleet_smoke.sh FLEET_BINARY OUT_DIR [--kill-one]}
+OUT=${2:?usage: fleet_smoke.sh FLEET_BINARY OUT_DIR [--kill-one]}
+KILL_ONE=${3:-}
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+PORT_FILE="$OUT/coordinator.port"
+
+# Total timeout bounds a hung run (a dead worker must surface as a reassign
+# or a failed job, never as a stuck CI leg).
+"$FLEET" --listen 0 --port-file "$PORT_FILE" \
+  --shards 3 --chips 12 --checkpoints 1,10 \
+  --out "$OUT" --check-single --timeout 600 --run shard_study &
+COORD_PID=$!
+
+# Rendezvous: the coordinator writes the kernel-assigned port atomically.
+i=0
+while [ ! -f "$PORT_FILE" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "fleet_smoke: coordinator never wrote $PORT_FILE" >&2
+    kill "$COORD_PID" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+
+W1_FLAGS=""
+if [ "$KILL_ONE" = "--kill-one" ]; then
+  W1_FLAGS="--abort-first-job"
+fi
+# shellcheck disable=SC2086  # W1_FLAGS is intentionally word-split
+"$FLEET" --worker "127.0.0.1:$PORT" --name smoke-w1 $W1_FLAGS &
+W1_PID=$!
+"$FLEET" --worker "127.0.0.1:$PORT" --name smoke-w2 &
+W2_PID=$!
+
+COORD_RC=0
+wait "$COORD_PID" || COORD_RC=$?
+W1_RC=0
+wait "$W1_PID" || W1_RC=$?
+W2_RC=0
+wait "$W2_PID" || W2_RC=$?
+
+if [ "$COORD_RC" -ne 0 ]; then
+  echo "fleet_smoke: coordinator exited $COORD_RC (want 0)" >&2
+  exit 1
+fi
+if [ "$KILL_ONE" = "--kill-one" ]; then
+  # WorkerExit::kAborted — the hook must actually have fired.
+  if [ "$W1_RC" -ne 3 ]; then
+    echo "fleet_smoke: killed worker exited $W1_RC (want 3)" >&2
+    exit 1
+  fi
+else
+  if [ "$W1_RC" -ne 0 ]; then
+    echo "fleet_smoke: worker 1 exited $W1_RC (want 0)" >&2
+    exit 1
+  fi
+fi
+if [ "$W2_RC" -ne 0 ]; then
+  echo "fleet_smoke: worker 2 exited $W2_RC (want 0)" >&2
+  exit 1
+fi
+if [ ! -f "$OUT/merged.manifest.json" ]; then
+  echo "fleet_smoke: no merged manifest in $OUT" >&2
+  exit 1
+fi
+echo "fleet_smoke: OK ($OUT)"

@@ -1,6 +1,7 @@
 #include "circuit/delay_kernel.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 
 #include "common/check.hpp"
@@ -175,13 +176,19 @@ void compute_frequencies(const RoArraySoA& soa, const TechnologyParams& tech, Op
     telem.batches.add(1);
     telem.ro_evals.add(static_cast<std::uint64_t>(soa.num_ros));
     // The manifest field must reflect the backend that ran, so register it
-    // the first time any batch executes (later set_delay_backend calls keep
-    // it current).
-    static const bool announced = [] {
+    // on the first batch of every run-record generation (later
+    // set_delay_backend calls keep it current).  Re-checking the generation
+    // matters when one process produces many manifests — fleet workers and
+    // --no-fork shard runs reset the run record between jobs, and a
+    // process-lifetime announce would leave every manifest after the first
+    // at "unknown".  Racing threads at a generation edge re-announce the
+    // same value, which is harmless.
+    static std::atomic<std::uint64_t> announced_generation{0};
+    const std::uint64_t generation = telemetry::run_record_generation();
+    if (announced_generation.load(std::memory_order_relaxed) != generation) {
       announce_backend(delay_backend());
-      return true;
-    }();
-    (void)announced;
+      announced_generation.store(generation, std::memory_order_relaxed);
+    }
   }
 #if defined(AROPUF_SIMD_ENABLED)
   if (delay_backend() == DelayBackend::kSimd && simd_available()) {

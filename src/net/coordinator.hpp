@@ -1,0 +1,93 @@
+// Fleet coordinator: dispatches seed-range shard jobs to TCP workers and
+// collects their shard-manifest containers.
+//
+// One single-threaded poll() loop owns the listener plus every worker
+// connection; all protocol state lives in this module, all policy about what
+// the bytes *mean* stays with the caller:
+//
+//  * jobs are shard indices drawn from the same planner aropuf_shard uses
+//    (a JobMsg template with the shard index filled per dispatch);
+//  * a returned RESULT is handed to callbacks.on_result as raw container
+//    bytes — tools/aropuf_fleet.cpp streams them into AggregateBuilder via
+//    the format-agnostic decode path, so fold semantics are identical to the
+//    single-host orchestrator;
+//  * a worker that disconnects, times out (no frame within
+//    heartbeat_timeout_s), or reports an ERROR while owning a job sends that
+//    job back through the retry budget (attempts ≤ retries+1, the same
+//    machinery aropuf_shard applies to crashed child processes).  A throwing
+//    on_result counts as a failed attempt too: a manifest that will not fold
+//    is as fatal as a worker that never answered.
+//
+// The worker and coordinator state machines, frame ordering rules, and error
+// codes are specified normatively in DESIGN.md §11.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/frame.hpp"
+#include "telemetry/progress.hpp"
+
+namespace aropuf::net {
+
+/// Run parameters for one coordinator instance.
+struct CoordinatorConfig {
+  std::uint16_t port = 0;           ///< listen port; 0 = kernel-assigned
+  int jobs = 1;                     ///< total shard jobs (indices 0..jobs-1)
+  int retries = 1;                  ///< extra attempts per failed job
+  double heartbeat_timeout_s = 60;  ///< drop a silent busy worker (0 = never)
+  double total_timeout_s = 0;       ///< abort the whole run (0 = never)
+  JobMsg job_template;              ///< study parameters; shard/attempt set per dispatch
+};
+
+/// Event hooks.  All callbacks fire on the coordinator's own thread.
+struct CoordinatorCallbacks {
+  /// A completed shard's manifest container bytes (ARPB or JSON text).
+  /// Throwing fails this attempt and routes the job through the retry budget.
+  std::function<void(int shard, std::string bytes, const std::string& worker)> on_result;
+  /// A worker's progress heartbeat (same schema as the on-disk JSONL beats).
+  std::function<void(const telemetry::Heartbeat& beat, const std::string& worker)> on_heartbeat;
+  /// Lifecycle narration for logs/HUD: event ∈ {"connect", "dispatch",
+  /// "retry", "disconnect", "timeout", "fail", "bye"}.
+  std::function<void(const std::string& event, int shard, const std::string& detail)> on_event;
+};
+
+/// Terminal accounting for one coordinator run.
+struct FleetSummary {
+  bool ok = false;        ///< every job completed within its retry budget
+  bool timed_out = false; ///< total_timeout_s elapsed with jobs outstanding
+  int jobs_done = 0;      ///< jobs whose RESULT was accepted by on_result
+  int jobs_failed = 0;    ///< jobs that exhausted their retry budget
+  int workers_seen = 0;    ///< connections that completed the HELLO handshake
+  int reassignments = 0;   ///< dispatches beyond each job's first attempt
+};
+
+/// Runs the coordinator loop: binds in the constructor (so callers can learn
+/// the ephemeral port before any worker exists), serves in run() until every
+/// job lands or fails terminally, then sends BYE to the fleet.
+class Coordinator {
+ public:
+  /// Binds the listener immediately; throws std::runtime_error when the
+  /// requested port cannot be bound or this build has no TCP transport.
+  Coordinator(CoordinatorConfig config, CoordinatorCallbacks callbacks);
+  /// Closes the listener and every worker connection still open.
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// The bound listen port (resolves a port-0 request).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Blocks until the run completes.  Throws std::runtime_error only on
+  /// unrecoverable transport faults (listener death); per-worker faults are
+  /// absorbed into the retry budget and the summary.
+  [[nodiscard]] FleetSummary run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace aropuf::net

@@ -1,0 +1,167 @@
+#include "net/worker.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "net/socket.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace aropuf::net {
+
+namespace {
+
+std::int64_t now_unix_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string default_worker_name(const WorkerConfig& config) {
+  if (!config.name.empty()) return config.name;
+#if !defined(_WIN32)
+  return config.host + ":worker." + std::to_string(::getpid());
+#else
+  return config.host + ":worker";
+#endif
+}
+
+/// Sends one HEARTBEAT frame carrying the standard heartbeat schema (the
+/// same document shape the on-disk progress JSONL uses, so one validator
+/// covers both).  Send failures are swallowed: progress is advisory and a
+/// dead socket will surface on the next blocking read anyway.
+void send_heartbeat(Socket& socket, int shard, const std::string& stage, std::int64_t done,
+                    std::int64_t total, std::int64_t start_ms) {
+  telemetry::Heartbeat beat;
+  beat.ts_unix_ms = now_unix_ms();
+  beat.shard = shard;
+  beat.stage = stage;
+  beat.done = done;
+  beat.total = total;
+  beat.elapsed_ms = static_cast<double>(beat.ts_unix_ms - start_ms);
+  try {
+    socket.send_all(
+        encode_frame(FrameType::kHeartbeat, telemetry::heartbeat_to_json(beat).dump()));
+  } catch (const std::exception&) {
+  }
+}
+
+}  // namespace
+
+WorkerExit run_worker(const WorkerConfig& config, const JobRunner& runner) {
+  Socket socket;
+  try {
+    const telemetry::TraceScope span("fleet.connect", "fleet",
+                                     {{"host", JsonValue(config.host)}});
+    socket = tcp_connect(config.host, config.port, config.connect_timeout_s);
+    socket.send_all(encode_hello(
+        {kProtocolVersion, default_worker_name(config), config.threads}));
+  } catch (const std::exception& e) {
+    ARO_LOG_ERROR("fleet", "worker cannot reach coordinator",
+                  {"host", JsonValue(config.host)},
+                  {"error", JsonValue(std::string(e.what()))});
+    return WorkerExit::kLost;
+  }
+
+  FrameDecoder decoder;
+  bool ran_a_job = false;
+  char buf[64 * 1024];
+  while (true) {
+    Frame frame;
+    bool have_frame = false;
+    try {
+      while (!(have_frame = decoder.next(&frame))) {
+        const std::size_t n = socket.recv_some(buf, sizeof buf);
+        if (n == 0) {
+          ARO_LOG_WARN("fleet", "coordinator closed the connection");
+          return WorkerExit::kLost;
+        }
+        decoder.feed(buf, n);
+      }
+    } catch (const FrameError& e) {
+      ARO_LOG_ERROR("fleet", "protocol violation from coordinator",
+                    {"error", JsonValue(std::string(e.what()))});
+      return WorkerExit::kProtocol;
+    } catch (const std::exception& e) {
+      ARO_LOG_ERROR("fleet", "connection lost", {"error", JsonValue(std::string(e.what()))});
+      return WorkerExit::kLost;
+    }
+
+    switch (frame.type) {
+      case FrameType::kJob: {
+        JobMsg job;
+        try {
+          job = job_from_json(frame_payload_json(frame));
+        } catch (const FrameError& e) {
+          ARO_LOG_ERROR("fleet", "malformed JOB frame",
+                        {"error", JsonValue(std::string(e.what()))});
+          return WorkerExit::kProtocol;
+        }
+        if (config.abort_first_job && !ran_a_job) {
+          // Test hook: die like a SIGKILLed worker — hard close, no farewell.
+          socket.close();
+          return WorkerExit::kAborted;
+        }
+        ran_a_job = true;
+        const telemetry::TraceScope span("fleet.job", "fleet",
+                                         {{"shard", JsonValue(job.shard)},
+                                          {"attempt", JsonValue(job.attempt)}});
+        telemetry::MetricsRegistry::global().counter("fleet.jobs_run").add(1);
+        const std::int64_t start_ms = now_unix_ms();
+        std::string result;
+        try {
+          result = runner(job, [&](const std::string& stage, std::int64_t done,
+                                   std::int64_t total) {
+            send_heartbeat(socket, job.shard, stage, done, total, start_ms);
+          });
+        } catch (const std::exception& e) {
+          ARO_LOG_ERROR("fleet", "shard job failed", {"shard", JsonValue(job.shard)},
+                        {"error", JsonValue(std::string(e.what()))});
+          try {
+            socket.send_all(encode_error({"job-failed", e.what(), job.shard}));
+          } catch (const std::exception&) {
+            return WorkerExit::kLost;
+          }
+          break;
+        }
+        try {
+          socket.send_all(encode_frame(FrameType::kResult, result));
+        } catch (const std::exception& e) {
+          ARO_LOG_ERROR("fleet", "result send failed", {"shard", JsonValue(job.shard)},
+                        {"error", JsonValue(std::string(e.what()))});
+          return WorkerExit::kLost;
+        }
+        break;
+      }
+      case FrameType::kBye:
+        ARO_LOG_INFO("fleet", "dismissed by coordinator");
+        return WorkerExit::kBye;
+      case FrameType::kError: {
+        ErrorMsg err;
+        try {
+          err = error_from_json(frame_payload_json(frame));
+        } catch (const FrameError&) {
+          return WorkerExit::kProtocol;
+        }
+        ARO_LOG_ERROR("fleet", "coordinator reported error", {"code", JsonValue(err.code)},
+                      {"message", JsonValue(err.message)});
+        if (err.code == "version-mismatch") return WorkerExit::kProtocol;
+        break;  // advisory; keep serving
+      }
+      case FrameType::kHello:
+      case FrameType::kHeartbeat:
+      case FrameType::kResult:
+        ARO_LOG_ERROR("fleet", "unexpected frame from coordinator",
+                      {"type", JsonValue(std::string(frame_type_name(frame.type)))});
+        return WorkerExit::kProtocol;
+    }
+  }
+}
+
+}  // namespace aropuf::net

@@ -297,4 +297,40 @@ JsonValue study_config_json(const ShardStudyConfig& cfg) {
   return JsonValue(std::move(config));
 }
 
+JsonValue study_shard_descriptor(const ShardStudyConfig& cfg, int index, int count) {
+  const auto [lo, hi] =
+      shard_range(static_cast<std::size_t>(cfg.pop.chips), static_cast<std::size_t>(index),
+                  static_cast<std::size_t>(count));
+  JsonValue::Object shard;
+  shard["index"] = JsonValue(index);
+  shard["count"] = JsonValue(count);
+  shard["chip_lo"] = JsonValue(static_cast<std::uint64_t>(lo));
+  shard["chip_hi"] = JsonValue(static_cast<std::uint64_t>(hi));
+  return JsonValue(std::move(shard));
+}
+
+std::string run_shard_job(const ShardStudyConfig& cfg, int index, int count,
+                          const std::string& run_name, bool binary,
+                          const StudyProgressFn& progress) {
+  telemetry::reset_run_record();
+  telemetry::MetricsRegistry::global().reset();
+  telemetry::MetricsRegistry::global().set_shard_index(index);
+
+  ShardStudyResult result = run_shard_study(cfg, static_cast<std::size_t>(index),
+                                            static_cast<std::size_t>(count), progress);
+  telemetry::set_runtime_field("shard", study_shard_descriptor(cfg, index, count));
+  // Binary transport: the manifest document carries series headers only; the
+  // doubles travel as packed payload blocks.  The metadata JSON must be built
+  // BEFORE study_series_binary moves the values out of `result`.
+  telemetry::set_runtime_field("results",
+                               study_results_to_json(result, /*include_values=*/!binary));
+  JsonValue doc = telemetry::build_manifest(run_name, study_config_json(cfg));
+  if (binary) {
+    return telemetry::encode_shard_manifest(doc, study_series_binary(std::move(result)));
+  }
+  // Match write_manifest byte for byte (pretty print + trailing newline) so a
+  // streamed JSON result equals the file a disk-writing worker produces.
+  return doc.dump(/*indent=*/2) + '\n';
+}
+
 }  // namespace aropuf

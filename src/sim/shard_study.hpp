@@ -115,4 +115,21 @@ using StudyProgressFn = std::function<void(const std::string&, std::int64_t, std
 /// so any difference the aggregator sees is a real provenance conflict.
 [[nodiscard]] JsonValue study_config_json(const ShardStudyConfig& cfg);
 
+/// The "shard" descriptor embedded in every shard manifest: coordinates plus
+/// the global chip range this shard owns.
+[[nodiscard]] JsonValue study_shard_descriptor(const ShardStudyConfig& cfg, int index, int count);
+
+/// Runs shard `index` end to end and serializes its manifest to bytes —
+/// ARPB container bytes when `binary`, the pretty-printed JSON document
+/// otherwise.  These are the exact bytes a file-writing worker would have
+/// put on disk, which is what lets fleet workers (net/worker via
+/// tools/aropuf_fleet) stream results over TCP and still merge
+/// bit-identically to a single-process run.  Resets process-wide telemetry
+/// state first (run record + metrics), so each call produces an honest
+/// per-shard manifest even when one process serves many jobs back to back.
+/// Throws on study failure.
+[[nodiscard]] std::string run_shard_job(const ShardStudyConfig& cfg, int index, int count,
+                                        const std::string& run_name, bool binary,
+                                        const StudyProgressFn& progress = {});
+
 }  // namespace aropuf

@@ -457,24 +457,17 @@ ShardManifest wrap_shard_manifest(JsonValue doc, const std::string& path) {
   return validate_shard(std::move(doc), path);
 }
 
-DecodedShard load_shard_input(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) fail(path, "cannot open file");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (!in.good() && !in.eof()) fail(path, "read error");
-  std::string bytes = buffer.str();
-
+DecodedShard decode_shard_input(std::string bytes, const std::string& origin) {
   DecodedShard out;
   if (looks_binary(bytes)) {
     BinaryManifestReader reader = [&] {
       try {
         return BinaryManifestReader::parse(std::move(bytes));
       } catch (const BinfmtError& e) {
-        throw BinfmtError(e.code(), path + ": " + e.what());
+        throw BinfmtError(e.code(), origin + ": " + e.what());
       }
     }();
-    out.manifest = validate_shard(reader.metadata(), path);
+    out.manifest = validate_shard(reader.metadata(), origin);
     out.chunks.reserve(reader.series_count());
     for (std::size_t i = 0; i < reader.series_count(); ++i) {
       const SeriesView& view = reader.series(i);
@@ -495,11 +488,20 @@ DecodedShard load_shard_input(const std::string& path) {
   try {
     doc = JsonValue::parse(bytes);
   } catch (const std::exception& e) {
-    fail(path, std::string("malformed or truncated manifest: ") + e.what());
+    fail(origin, std::string("malformed or truncated manifest: ") + e.what());
   }
-  out.manifest = validate_shard(std::move(doc), path);
+  out.manifest = validate_shard(std::move(doc), origin);
   out.chunks = extract_series_chunks(out.manifest);
   return out;
+}
+
+DecodedShard load_shard_input(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) fail(path, "cannot open file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) fail(path, "read error");
+  return decode_shard_input(buffer.str(), path);
 }
 
 bool shard_manifest_is_valid(const std::string& path, const std::string& expect_run,

@@ -103,6 +103,15 @@ struct DecodedShard {
 /// path-prefixed message on any defect.
 [[nodiscard]] DecodedShard load_shard_input(const std::string& path);
 
+/// Same decode for container bytes already in memory — the fleet
+/// coordinator's path for RESULT frames arriving over TCP (net/coordinator),
+/// which fold without ever touching disk.  `origin` labels error messages
+/// and the manifest provenance ("tcp://worker-3", "<memory>", ...).  Both
+/// load_shard_input and this function funnel into one decoder, so a network
+/// result and a file re-read of the same bytes produce identical
+/// DecodedShards — the fleet bit-identity guarantee rests on that.
+[[nodiscard]] DecodedShard decode_shard_input(std::string bytes, const std::string& origin);
+
 /// Wraps an in-memory manifest document (tests, the in-process worker path).
 /// Performs the same structural validation as load_shard_manifest.
 [[nodiscard]] ShardManifest wrap_shard_manifest(JsonValue doc,

@@ -1,5 +1,6 @@
 #include "telemetry/manifest.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <ctime>
 #include <fstream>
@@ -34,6 +35,7 @@ struct RunRecord {
   std::mutex mutex;
   std::vector<StageRecord> stages;
   JsonValue::Object runtime_fields;
+  std::atomic<std::uint64_t> generation{1};
 };
 
 RunRecord& run_record() {
@@ -68,6 +70,11 @@ void reset_run_record() {
   std::lock_guard<std::mutex> lock(r.mutex);
   r.stages.clear();
   r.runtime_fields.clear();
+  r.generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t run_record_generation() noexcept {
+  return run_record().generation.load(std::memory_order_relaxed);
 }
 
 struct StageTimer::Impl {

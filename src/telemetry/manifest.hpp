@@ -38,8 +38,18 @@ void set_runtime_field(const std::string& key, JsonValue value);
 /// Appends one completed stage to the process-wide stage log.
 void record_stage(const std::string& name, double wall_ms, double cpu_ms);
 
-/// Clears stages and runtime fields (tests).
+/// Clears stages and runtime fields (tests, and orchestrators that produce
+/// several per-shard manifests from one process).  Bumps the run-record
+/// generation so once-per-run provenance announcers re-fire.
 void reset_run_record();
+
+/// Monotonic generation of the run record: starts at 1, incremented by every
+/// reset_run_record().  Modules that register provenance lazily on first use
+/// (e.g. the delay kernel's "kernel_backend" field) compare this against the
+/// generation they last announced under, so a process that serves many jobs
+/// back to back (fleet workers, --no-fork shard runs) re-registers into each
+/// fresh record instead of leaving later manifests at "unknown".
+[[nodiscard]] std::uint64_t run_record_generation() noexcept;
 
 /// RAII wall + CPU stage timer; records into the stage log on destruction
 /// and opens a trace span of the same name for the duration.

@@ -1,0 +1,252 @@
+// ARPF frame codec tests: every byte of the wire format (DESIGN.md §11) is
+// pinned here — encode/decode round-trips for all six types, header-field
+// rejection, truncation at every byte, and arbitrary packetization.  The
+// fuzz harness (fuzz/fuzz_netframe.cpp) extends this with coverage-guided
+// garbage; these tests keep the *intended* behavior from drifting.
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace aropuf::net {
+namespace {
+
+Frame decode_one(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  Frame frame;
+  EXPECT_TRUE(decoder.next(&frame));
+  EXPECT_EQ(decoder.buffered(), 0u);
+  return frame;
+}
+
+FrameErrc decode_errc(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  Frame frame;
+  try {
+    (void)decoder.next(&frame);
+  } catch (const FrameError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "decode did not throw";
+  return FrameErrc::kBadMagic;
+}
+
+TEST(FrameTest, HeaderLayoutIsExactlyTwelveLittleEndianBytes) {
+  const std::string bytes = encode_frame(FrameType::kHeartbeat, "{}");
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize + 2);
+  EXPECT_EQ(bytes.substr(0, 4), "ARPF");
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), kProtocolVersion & 0xff);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[5]), kProtocolVersion >> 8);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[6]),
+            static_cast<unsigned char>(FrameType::kHeartbeat));
+  EXPECT_EQ(bytes[7], '\0');                                  // reserved
+  EXPECT_EQ(static_cast<unsigned char>(bytes[8]), 2);         // length LE
+  EXPECT_EQ(bytes[9], '\0');
+  EXPECT_EQ(bytes[10], '\0');
+  EXPECT_EQ(bytes[11], '\0');
+  EXPECT_EQ(bytes.substr(kFrameHeaderSize), "{}");
+}
+
+TEST(FrameTest, AllTypesRoundTrip) {
+  const std::vector<FrameType> types = {FrameType::kHello,  FrameType::kJob,
+                                        FrameType::kHeartbeat, FrameType::kResult,
+                                        FrameType::kError,  FrameType::kBye};
+  for (const FrameType type : types) {
+    const std::string payload =
+        type == FrameType::kBye ? "" : std::string("payload-") + frame_type_name(type);
+    const Frame frame = decode_one(encode_frame(type, payload));
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.payload, payload);
+  }
+}
+
+TEST(FrameTest, ResultPayloadMayBeArbitraryBinary) {
+  std::string blob(4096, '\0');
+  for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<char>(i * 31);
+  const Frame frame = decode_one(encode_frame(FrameType::kResult, blob));
+  EXPECT_EQ(frame.type, FrameType::kResult);
+  EXPECT_EQ(frame.payload, blob);
+}
+
+TEST(FrameTest, TruncationAtEveryByteNeedsMoreAndNeverThrows) {
+  const std::string whole = encode_frame(FrameType::kJob, R"({"probe": 1})");
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(whole.substr(0, cut));
+    Frame frame;
+    EXPECT_FALSE(decoder.next(&frame)) << "cut at " << cut;
+    // The remainder completes the frame: nothing was consumed or corrupted.
+    decoder.feed(whole.substr(cut));
+    EXPECT_TRUE(decoder.next(&frame)) << "cut at " << cut;
+    EXPECT_EQ(frame.payload, R"({"probe": 1})");
+  }
+}
+
+TEST(FrameTest, ByteByByteFeedingDecodesIdentically) {
+  const std::string a = encode_frame(FrameType::kHello, R"({"worker": "w"})");
+  const std::string b = encode_frame(FrameType::kBye, "");
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const char c : a + b) {
+    decoder.feed(&c, 1);
+    Frame frame;
+    while (decoder.next(&frame)) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kHello);
+  EXPECT_EQ(frames[1].type, FrameType::kBye);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameTest, MultipleFramesInOneFeed) {
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::kHeartbeat, "{}") + encode_frame(FrameType::kBye, "") +
+               encode_frame(FrameType::kResult, "raw"));
+  Frame frame;
+  ASSERT_TRUE(decoder.next(&frame));
+  EXPECT_EQ(frame.type, FrameType::kHeartbeat);
+  ASSERT_TRUE(decoder.next(&frame));
+  EXPECT_EQ(frame.type, FrameType::kBye);
+  ASSERT_TRUE(decoder.next(&frame));
+  EXPECT_EQ(frame.type, FrameType::kResult);
+  EXPECT_EQ(frame.payload, "raw");
+  EXPECT_FALSE(decoder.next(&frame));
+}
+
+TEST(FrameTest, BadMagicFailsFastEvenOnAPartialHeader) {
+  // A poisoned stream must not wait for 12 bytes that will never arrive.
+  EXPECT_EQ(decode_errc("HTTP"), FrameErrc::kBadMagic);
+  EXPECT_EQ(decode_errc("A@"), FrameErrc::kBadMagic);
+  EXPECT_EQ(decode_errc(std::string("\0\0\0\0", 4)), FrameErrc::kBadMagic);
+}
+
+TEST(FrameTest, HeaderFieldRejection) {
+  std::string bytes = encode_frame(FrameType::kJob, "{}");
+  bytes[4] = 0x7f;  // version
+  EXPECT_EQ(decode_errc(bytes), FrameErrc::kUnsupportedVersion);
+
+  bytes = encode_frame(FrameType::kJob, "{}");
+  bytes[6] = 0x00;  // type below range
+  EXPECT_EQ(decode_errc(bytes), FrameErrc::kBadType);
+  bytes[6] = 0x07;  // type above range
+  EXPECT_EQ(decode_errc(bytes), FrameErrc::kBadType);
+
+  bytes = encode_frame(FrameType::kJob, "{}");
+  bytes[7] = 0x01;  // reserved byte
+  EXPECT_EQ(decode_errc(bytes), FrameErrc::kReservedNonzero);
+}
+
+TEST(FrameTest, DeclaredLengthOverCapIsRejectedBeforeBuffering) {
+  // A control frame claiming a 16 MiB payload must die on header validation —
+  // the decoder never waits for (or allocates) the phantom payload.
+  std::string bytes = encode_frame(FrameType::kHeartbeat, "{}");
+  bytes[10] = 0x01;  // length byte 2: declared length = 2 + (1 << 16) ... still small
+  bytes[11] = 0x01;  // length byte 3: + (1 << 24) — now far over the 1 MiB cap
+  EXPECT_EQ(decode_errc(bytes), FrameErrc::kOversizedPayload);
+}
+
+TEST(FrameTest, EncodeRejectsOversizedControlPayload) {
+  const std::string big(kMaxControlPayload + 1, 'x');
+  EXPECT_THROW((void)encode_frame(FrameType::kError, big), FrameError);
+  // The same size is fine for RESULT, whose cap is the 1 GiB container bound.
+  EXPECT_NO_THROW((void)encode_frame(FrameType::kResult, big));
+}
+
+TEST(FrameTest, PayloadJsonRejectsGarbageAndNonObjects) {
+  Frame frame;
+  frame.type = FrameType::kHello;
+  frame.payload = "not json";
+  EXPECT_THROW((void)frame_payload_json(frame), FrameError);
+  frame.payload = "[1, 2]";
+  EXPECT_THROW((void)frame_payload_json(frame), FrameError);
+  frame.payload = R"({"ok": true})";
+  EXPECT_TRUE(frame_payload_json(frame).is_object());
+  // RESULT payloads are opaque container bytes: JSON access is a layering
+  // violation, even when the bytes happen to parse.
+  frame.type = FrameType::kResult;
+  frame.payload = "{}";
+  EXPECT_THROW((void)frame_payload_json(frame), FrameError);
+}
+
+TEST(FrameTest, HelloRoundTripAndSchemaEnforcement) {
+  HelloMsg msg;
+  msg.worker = "host:1234";
+  msg.threads = 8;
+  const Frame frame = decode_one(encode_hello(msg));
+  ASSERT_EQ(frame.type, FrameType::kHello);
+  const HelloMsg back = hello_from_json(frame_payload_json(frame));
+  EXPECT_EQ(back.protocol, kProtocolVersion);
+  EXPECT_EQ(back.worker, "host:1234");
+  EXPECT_EQ(back.threads, 8);
+
+  EXPECT_THROW((void)hello_from_json(JsonValue::parse(R"({"worker": "w"})")), FrameError);
+  EXPECT_THROW((void)hello_from_json(JsonValue::parse(R"({"protocol": 1})")), FrameError);
+}
+
+TEST(FrameTest, JobRoundTripAndValidation) {
+  JobMsg msg;
+  msg.shard = 2;
+  msg.shards = 5;
+  msg.chips = 100;
+  msg.seed = 2014;
+  msg.checkpoints = {1.0, 2.5, 10.0};
+  msg.run = "fleet_study";
+  msg.format = "binary";
+  msg.attempt = 3;
+  const Frame frame = decode_one(encode_job(msg));
+  ASSERT_EQ(frame.type, FrameType::kJob);
+  const JobMsg back = job_from_json(frame_payload_json(frame));
+  EXPECT_EQ(back.shard, 2);
+  EXPECT_EQ(back.shards, 5);
+  EXPECT_EQ(back.chips, 100);
+  EXPECT_EQ(back.seed, 2014u);
+  EXPECT_EQ(back.checkpoints, msg.checkpoints);
+  EXPECT_EQ(back.run, "fleet_study");
+  EXPECT_EQ(back.format, "binary");
+  EXPECT_EQ(back.attempt, 3);
+
+  // Out-of-range coordinates and unknown formats are schema violations.
+  JobMsg bad = msg;
+  bad.shard = 5;  // == shards
+  EXPECT_THROW((void)job_from_json(job_to_json(bad)), FrameError);
+  bad = msg;
+  bad.chips = 1;
+  EXPECT_THROW((void)job_from_json(job_to_json(bad)), FrameError);
+  bad = msg;
+  bad.checkpoints.clear();
+  EXPECT_THROW((void)job_from_json(job_to_json(bad)), FrameError);
+  bad = msg;
+  bad.format = "xml";
+  EXPECT_THROW((void)job_from_json(job_to_json(bad)), FrameError);
+}
+
+TEST(FrameTest, ErrorRoundTripWithDefaults) {
+  ErrorMsg msg;
+  msg.code = "job-failed";
+  msg.message = "shard study threw";
+  msg.shard = 4;
+  const ErrorMsg back = error_from_json(frame_payload_json(decode_one(encode_error(msg))));
+  EXPECT_EQ(back.code, "job-failed");
+  EXPECT_EQ(back.message, "shard study threw");
+  EXPECT_EQ(back.shard, 4);
+  // `code` is the only required field.
+  const ErrorMsg minimal = error_from_json(JsonValue::parse(R"({"code": "bad-frame"})"));
+  EXPECT_EQ(minimal.code, "bad-frame");
+  EXPECT_EQ(minimal.message, "");
+  EXPECT_EQ(minimal.shard, -1);
+  EXPECT_THROW((void)error_from_json(JsonValue::parse(R"({"message": "no code"})")),
+               FrameError);
+}
+
+TEST(FrameTest, UnknownJsonKeysAreIgnoredForForwardCompatibility) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"protocol": 1, "worker": "w", "threads": 2, "future_field": [1, 2, 3]})");
+  EXPECT_EQ(hello_from_json(doc).worker, "w");
+}
+
+}  // namespace
+}  // namespace aropuf::net

@@ -1,0 +1,299 @@
+// Loopback coordinator/worker e2e over 127.0.0.1 (POSIX only; registered by
+// tests/net/CMakeLists.txt under UNIX).  Runs the REAL study job runner
+// in-process and requires the fleet-merged aggregate to be bit-identical to a
+// directly computed single-process aggregate — the tentpole guarantee — plus
+// the failure paths: a worker hard-killed mid-job (reassignment), a job that
+// throws (ERROR + retry budget), and a client speaking the wrong protocol
+// version.
+//
+// Workers run jobs SEQUENTIALLY here (one worker thread at a time, or one
+// worker serving all jobs): the run record and metrics registry are
+// process-global, so two concurrent in-process jobs would interleave their
+// telemetry.  Real fleet workers are separate processes — the parallel case
+// is covered by the tools.fleet_* ctest legs driving real binaries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/coordinator.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/worker.hpp"
+#include "sim/shard_study.hpp"
+#include "telemetry/aggregate.hpp"
+
+namespace aropuf::net {
+namespace {
+
+ShardStudyConfig tiny_config() {
+  ShardStudyConfig cfg;
+  cfg.pop.chips = 8;
+  cfg.pop.seed = 77;
+  cfg.checkpoints = {1.0};
+  return cfg;
+}
+
+JobMsg job_template(const ShardStudyConfig& cfg, int shards, const std::string& format) {
+  JobMsg job;
+  job.shards = shards;
+  job.chips = cfg.pop.chips;
+  job.seed = cfg.pop.seed;
+  job.checkpoints = cfg.checkpoints;
+  job.run = "loopback";
+  job.format = format;
+  return job;
+}
+
+/// The production job body: the same runner tools/aropuf_fleet wires in.
+JobRunner study_runner() {
+  return [](const JobMsg& job, const auto& progress) {
+    ShardStudyConfig cfg;
+    cfg.pop.chips = job.chips;
+    cfg.pop.seed = job.seed;
+    cfg.checkpoints = job.checkpoints;
+    return run_shard_job(cfg, job.shard, job.shards, job.run, job.format == "binary", progress);
+  };
+}
+
+/// The reference: every shard folded without any network in between.
+std::string direct_aggregate_results(const ShardStudyConfig& cfg, int shards,
+                                     const std::string& format) {
+  telemetry::AggregateBuilder builder(telemetry::RawSeriesPolicy::kKeep);
+  for (int k = 0; k < shards; ++k) {
+    builder.add(telemetry::decode_shard_input(
+        run_shard_job(cfg, k, shards, "loopback", format == "binary"), "<direct>"));
+  }
+  return builder.finalize().manifest.at("results").dump();
+}
+
+TEST(LoopbackTest, FleetMergeIsBitIdenticalToDirectFold) {
+  const ShardStudyConfig cfg = tiny_config();
+  const int kShards = 3;
+
+  for (const std::string format : {"binary", "json"}) {
+    CoordinatorConfig config;
+    config.port = 0;
+    config.jobs = kShards;
+    config.job_template = job_template(cfg, kShards, format);
+
+    telemetry::AggregateBuilder builder(telemetry::RawSeriesPolicy::kKeep);
+    CoordinatorCallbacks callbacks;
+    callbacks.on_result = [&](int, std::string bytes, const std::string& worker) {
+      builder.add(telemetry::decode_shard_input(std::move(bytes), "tcp://" + worker));
+    };
+
+    Coordinator coordinator(config, std::move(callbacks));
+    const std::uint16_t port = coordinator.port();
+    ASSERT_GT(port, 0);
+
+    // One worker serves all three jobs back to back over one connection.
+    std::thread worker_thread([port] {
+      WorkerConfig wc;
+      wc.host = "127.0.0.1";
+      wc.port = port;
+      wc.name = "loop-w1";
+      EXPECT_EQ(run_worker(wc, study_runner()), WorkerExit::kBye);
+    });
+
+    const FleetSummary summary = coordinator.run();
+    worker_thread.join();
+    EXPECT_TRUE(summary.ok);
+    EXPECT_EQ(summary.jobs_done, kShards);
+    EXPECT_EQ(summary.jobs_failed, 0);
+    EXPECT_EQ(summary.workers_seen, 1);
+    EXPECT_EQ(summary.reassignments, 0);
+
+    const std::string fleet_results = builder.finalize().manifest.at("results").dump();
+    EXPECT_EQ(fleet_results, direct_aggregate_results(cfg, kShards, format))
+        << "fleet-merged results differ from the direct fold (format " << format << ")";
+  }
+}
+
+TEST(LoopbackTest, KilledWorkerJobIsReassignedAndStillBitIdentical) {
+  const ShardStudyConfig cfg = tiny_config();
+  const int kShards = 2;
+
+  CoordinatorConfig config;
+  config.port = 0;
+  config.jobs = kShards;
+  config.retries = 1;
+  config.job_template = job_template(cfg, kShards, "binary");
+
+  telemetry::AggregateBuilder builder(telemetry::RawSeriesPolicy::kKeep);
+  std::atomic<int> reassign_events{0};
+  CoordinatorCallbacks callbacks;
+  callbacks.on_result = [&](int, std::string bytes, const std::string& worker) {
+    builder.add(telemetry::decode_shard_input(std::move(bytes), "tcp://" + worker));
+  };
+  callbacks.on_event = [&](const std::string& event, int, const std::string&) {
+    if (event == "retry") reassign_events.fetch_add(1);
+  };
+
+  Coordinator coordinator(config, std::move(callbacks));
+  const std::uint16_t port = coordinator.port();
+
+  std::thread workers([port] {
+    // Worker 1 hard-closes on its first job — the deterministic stand-in for
+    // a machine dying mid-shard.  It must exit kAborted without sending
+    // RESULT or ERROR.
+    WorkerConfig killed;
+    killed.host = "127.0.0.1";
+    killed.port = port;
+    killed.name = "loop-killed";
+    killed.abort_first_job = true;
+    EXPECT_EQ(run_worker(killed, study_runner()), WorkerExit::kAborted);
+
+    // Worker 2 then serves everything, including the reassigned job.
+    WorkerConfig survivor;
+    survivor.host = "127.0.0.1";
+    survivor.port = port;
+    survivor.name = "loop-survivor";
+    EXPECT_EQ(run_worker(survivor, study_runner()), WorkerExit::kBye);
+  });
+
+  const FleetSummary summary = coordinator.run();
+  workers.join();
+  EXPECT_TRUE(summary.ok);
+  EXPECT_EQ(summary.jobs_done, kShards);
+  EXPECT_EQ(summary.jobs_failed, 0);
+  EXPECT_EQ(summary.workers_seen, 2);
+  EXPECT_GE(summary.reassignments, 1);
+  EXPECT_GE(reassign_events.load(), 1);
+
+  const std::string fleet_results = builder.finalize().manifest.at("results").dump();
+  EXPECT_EQ(fleet_results, direct_aggregate_results(cfg, kShards, "binary"));
+}
+
+TEST(LoopbackTest, ThrowingJobConsumesRetryBudgetThenFails) {
+  CoordinatorConfig config;
+  config.port = 0;
+  config.jobs = 1;
+  config.retries = 1;  // 2 attempts total
+  config.job_template = job_template(tiny_config(), 1, "binary");
+
+  std::atomic<int> attempts{0};
+  CoordinatorCallbacks callbacks;
+  callbacks.on_result = [](int, std::string, const std::string&) {
+    FAIL() << "no RESULT should arrive from a runner that always throws";
+  };
+
+  Coordinator coordinator(config, std::move(callbacks));
+  const std::uint16_t port = coordinator.port();
+
+  std::thread worker_thread([port, &attempts] {
+    WorkerConfig wc;
+    wc.host = "127.0.0.1";
+    wc.port = port;
+    wc.name = "loop-thrower";
+    const JobRunner runner = [&attempts](const JobMsg&, const auto&) -> std::string {
+      attempts.fetch_add(1);
+      throw std::runtime_error("synthetic job failure");
+    };
+    // The worker survives its jobs' failures; the coordinator dismisses it
+    // with BYE once the retry budget is spent.
+    EXPECT_EQ(run_worker(wc, runner), WorkerExit::kBye);
+  });
+
+  const FleetSummary summary = coordinator.run();
+  worker_thread.join();
+  EXPECT_FALSE(summary.ok);
+  EXPECT_EQ(summary.jobs_done, 0);
+  EXPECT_EQ(summary.jobs_failed, 1);
+  EXPECT_EQ(attempts.load(), 2);  // retries + 1, the aropuf_shard budget rule
+}
+
+TEST(LoopbackTest, RejectedResultRoutesThroughRetryBudget) {
+  // A manifest that will not fold is as fatal as a crashed worker: on_result
+  // throwing must consume an attempt and redispatch.
+  CoordinatorConfig config;
+  config.port = 0;
+  config.jobs = 1;
+  config.retries = 1;
+  config.job_template = job_template(tiny_config(), 1, "binary");
+
+  std::atomic<int> results_seen{0};
+  CoordinatorCallbacks callbacks;
+  callbacks.on_result = [&](int, std::string bytes, const std::string&) {
+    if (results_seen.fetch_add(1) == 0) {
+      throw std::runtime_error("synthetic fold rejection");
+    }
+  };
+
+  Coordinator coordinator(config, std::move(callbacks));
+  const std::uint16_t port = coordinator.port();
+  std::thread worker_thread([port] {
+    WorkerConfig wc;
+    wc.host = "127.0.0.1";
+    wc.port = port;
+    EXPECT_EQ(run_worker(wc, study_runner()), WorkerExit::kBye);
+  });
+
+  const FleetSummary summary = coordinator.run();
+  worker_thread.join();
+  EXPECT_TRUE(summary.ok);
+  EXPECT_EQ(results_seen.load(), 2);
+  EXPECT_EQ(summary.reassignments, 1);
+}
+
+TEST(LoopbackTest, VersionMismatchGetsStructuredErrorThenGoodWorkerFinishes) {
+  CoordinatorConfig config;
+  config.port = 0;
+  config.jobs = 1;
+  config.job_template = job_template(tiny_config(), 1, "binary");
+
+  CoordinatorCallbacks callbacks;
+  telemetry::AggregateBuilder builder(telemetry::RawSeriesPolicy::kKeep);
+  callbacks.on_result = [&](int, std::string bytes, const std::string& worker) {
+    builder.add(telemetry::decode_shard_input(std::move(bytes), "tcp://" + worker));
+  };
+
+  Coordinator coordinator(config, std::move(callbacks));
+  const std::uint16_t port = coordinator.port();
+
+  std::thread clients([port] {
+    // A client from the future: HELLO with a protocol the coordinator does
+    // not speak.  DESIGN.md §11.5 requires ERROR code "version-mismatch"
+    // followed by connection close.
+    {
+      Socket socket = tcp_connect("127.0.0.1", port, 10.0);
+      HelloMsg hello;
+      hello.protocol = 9999;
+      hello.worker = "time-traveler";
+      socket.send_all(encode_hello(hello));
+      FrameDecoder decoder;
+      Frame frame;
+      bool got_error = false;
+      char buf[4096];
+      while (!got_error) {
+        const std::size_t n = socket.recv_some(buf, sizeof buf);
+        if (n == 0) break;  // closed before we parsed — still a failure below
+        decoder.feed(buf, n);
+        while (decoder.next(&frame)) {
+          ASSERT_EQ(frame.type, FrameType::kError);
+          EXPECT_EQ(error_from_json(frame_payload_json(frame)).code, "version-mismatch");
+          got_error = true;
+        }
+      }
+      EXPECT_TRUE(got_error);
+    }
+    // A well-versioned worker then completes the run.
+    WorkerConfig wc;
+    wc.host = "127.0.0.1";
+    wc.port = port;
+    EXPECT_EQ(run_worker(wc, study_runner()), WorkerExit::kBye);
+  });
+
+  const FleetSummary summary = coordinator.run();
+  clients.join();
+  EXPECT_TRUE(summary.ok);
+  EXPECT_EQ(summary.jobs_done, 1);
+  // The mismatched client never completed the handshake.
+  EXPECT_EQ(summary.workers_seen, 1);
+}
+
+}  // namespace
+}  // namespace aropuf::net

@@ -1,0 +1,417 @@
+// aropuf_fleet: fleet orchestration of the E2+E3 population study over TCP.
+//
+// One binary, two modes (the same shape aropuf_shard has, with the process
+// boundary widened to a network boundary):
+//
+//  * coordinator (default) — listens on --listen PORT, splits the chip
+//    population into --shards seed-range shard jobs using the same planner
+//    aropuf_shard uses, and dispatches them to whatever workers connect.
+//    Returned shard-manifest containers are persisted into --out (the exact
+//    bytes a disk-writing worker would have produced) and streamed straight
+//    into AggregateBuilder through the format-agnostic decode path, so the
+//    merged manifest is bit-identical to a single-host aropuf_shard run —
+//    --check-single proves it on demand.  Workers that die, stall past
+//    --worker-timeout, or return manifests that will not fold route their
+//    jobs back through the retry budget (--retries).
+//
+//  * worker (--worker HOST:PORT) — connects to a coordinator, runs assigned
+//    shard jobs in-process (sim/shard_study), and frames each resulting
+//    manifest container back.  Progress heartbeats ride the same connection.
+//    Workers are stateless: every job message carries the full study
+//    parameterization, so a worker binary needs no other configuration.
+//
+// The wire protocol (ARPF frames: HELLO/JOB/HEARTBEAT/RESULT/ERROR/BYE) is
+// specified normatively in DESIGN.md §11; docs/runbook-fleet.md is the
+// operator guide.
+//
+// Exit codes, coordinator mode: 0 success; 1 failed jobs, fold errors,
+// provenance conflicts, or write errors; 2 usage error; 3 --check-single
+// mismatch (fleet-merged statistics differ from the single-process run — a
+// determinism regression, never acceptable).  Worker mode exits with the
+// WorkerExit status (0 = dismissed with BYE).
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "net/coordinator.hpp"
+#include "net/socket.hpp"
+#include "net/worker.hpp"
+#include "sim/parallel.hpp"
+#include "sim/shard_study.hpp"
+#include "sim/study_report.hpp"
+#include "telemetry/aggregate.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
+
+#if !defined(_WIN32)
+#include <sys/stat.h>
+#include <sys/types.h>
+#else
+#include <direct.h>
+#endif
+
+namespace {
+
+using namespace aropuf;
+
+struct Options {
+  // Study parameters (coordinator; shipped to workers inside each JOB).
+  int chips = 40;
+  std::uint64_t seed = 2014;
+  std::vector<double> checkpoints = {1.0, 2.0, 5.0, 10.0};
+  std::string run = "fleet_study";
+  std::string format = "binary";  ///< RESULT transport: "binary" or "json"
+
+  // Coordinator parameters.
+  int listen_port = -1;  ///< -1 = coordinator mode not selected
+  std::string port_file;
+  int shards = 4;
+  int retries = 1;
+  double worker_timeout_s = 60.0;
+  double timeout_s = 0.0;
+  std::string out_dir = "fleet-run";
+  bool drop_raw = false;
+  bool check_single = false;
+  bool quiet = false;
+
+  // Worker parameters.
+  std::string worker_spec;  ///< "HOST:PORT"; non-empty selects worker mode
+  std::string worker_name;
+  int threads = 0;
+  bool abort_first_job = false;  ///< test hook (hidden)
+};
+
+bool parse_checkpoints(const std::string& csv, std::vector<double>* out) {
+  std::vector<double> years;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) return false;
+    char* end = nullptr;
+    const double y = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || y < 0.0) return false;
+    years.push_back(y);
+  }
+  if (years.empty() || !std::is_sorted(years.begin(), years.end())) return false;
+  *out = std::move(years);
+  return true;
+}
+
+/// Parses "HOST:PORT" (worker connect target).  The last ':' splits, so IPv6
+/// literals work unbracketed as long as the port is present.
+bool parse_hostport(const std::string& spec, std::string* host, std::uint16_t* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) return false;
+  char* end = nullptr;
+  const long p = std::strtol(spec.substr(colon + 1).c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || p < 1 || p > 65535) return false;
+  *host = spec.substr(0, colon);
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+int parse_args(int argc, char** argv, Options* opt) {
+  cli::Parser parser("aropuf_fleet",
+                     "TCP fleet orchestrator for the E2+E3 population study");
+  parser
+      .opt_int("--chips", &opt->chips, "N", "total chip population (default 40)", 2)
+      .opt_uint64("--seed", &opt->seed, "S", "master RNG seed (default 2014)")
+      .opt_custom("--checkpoints", "CSV", "aging years, non-decreasing (default 1,2,5,10)",
+                  [opt](const std::string& v) { return parse_checkpoints(v, &opt->checkpoints); })
+      .opt_string("--run", &opt->run, "NAME", "run name in manifests (default fleet_study)")
+      .opt_int("--listen", &opt->listen_port, "PORT",
+               "coordinator mode: listen on PORT (0 = kernel-assigned)", 0)
+      .opt_string("--port-file", &opt->port_file, "PATH",
+                  "coordinator: write the bound port to PATH once listening")
+      .opt_int("--shards", &opt->shards, "K", "number of shard jobs (default 4)", 1)
+      .opt_int("--retries", &opt->retries, "R", "retries per failed job (default 1)", 0)
+      .opt_double("--worker-timeout", &opt->worker_timeout_s, "SEC",
+                  "reassign a silent busy worker's job after SEC seconds "
+                  "(default 60, 0 = never)",
+                  0.0)
+      .opt_double("--timeout", &opt->timeout_s, "SEC",
+                  "abort the whole run after SEC seconds (default: none)", 0.0)
+      .opt_string("--out", &opt->out_dir, "DIR", "output directory (default fleet-run)")
+      .opt_string("--format", &opt->format, "FMT",
+                  "shard manifest transport: binary or json (default binary)")
+      .flag("--drop-raw", &opt->drop_raw,
+            "drop raw per-chip series once reduced (aggregate omits them)")
+      .flag("--check-single", &opt->check_single, "verify merged results == single-process run")
+      .flag("--quiet", &opt->quiet, "suppress per-event narration")
+      .opt_string("--worker", &opt->worker_spec, "HOST:PORT",
+                  "worker mode: serve jobs from the coordinator at HOST:PORT")
+      .opt_string("--name", &opt->worker_name, "NAME", "worker display name (default host:pid)")
+      .opt_int("--threads", &opt->threads, "T",
+               "worker threads per job (default: library default)", 1)
+      .with_env_help();
+  // Deterministic killed-worker simulation for the e2e tests: hard-close the
+  // connection on the first assigned job.  Parsed but kept out of --help.
+  parser.flag("--abort-first-job", &opt->abort_first_job, "abort on first job (test hook)")
+      .hidden();
+
+  switch (parser.parse(argc, argv)) {
+    case cli::ParseStatus::kHelp:
+      std::exit(0);
+    case cli::ParseStatus::kError:
+      return 2;
+    case cli::ParseStatus::kOk:
+      break;
+  }
+  const bool coordinator = opt->listen_port >= 0;
+  const bool worker = !opt->worker_spec.empty();
+  if (coordinator == worker) {
+    std::fprintf(stderr,
+                 "aropuf_fleet: pick exactly one mode: --listen PORT (coordinator) or "
+                 "--worker HOST:PORT\n");
+    return 2;
+  }
+  if (opt->listen_port > 65535) {
+    std::fprintf(stderr, "aropuf_fleet: --listen port out of range\n");
+    return 2;
+  }
+  if (opt->format != "binary" && opt->format != "json") {
+    std::fprintf(stderr, "aropuf_fleet: --format must be binary or json\n");
+    return 2;
+  }
+  return 0;
+}
+
+bool make_output_dir(const std::string& dir) {
+#if !defined(_WIN32)
+  return ::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST;
+#else
+  return ::_mkdir(dir.c_str()) == 0 || errno == EEXIST;
+#endif
+}
+
+// --- worker mode -------------------------------------------------------------
+
+int run_worker_mode(const Options& opt) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_hostport(opt.worker_spec, &host, &port)) {
+    std::fprintf(stderr, "aropuf_fleet: bad --worker spec '%s' (want HOST:PORT)\n",
+                 opt.worker_spec.c_str());
+    return 2;
+  }
+  if (opt.threads > 0) ParallelExecutor::set_global_thread_count(opt.threads);
+
+  net::WorkerConfig config;
+  config.host = host;
+  config.port = port;
+  config.name = opt.worker_name;
+  config.threads = opt.threads;
+  config.abort_first_job = opt.abort_first_job;
+
+  // The job body: the same in-process shard runner aropuf_shard workers use,
+  // parameterized entirely from the JOB message.
+  const net::JobRunner runner = [](const net::JobMsg& job, const auto& progress) {
+    ShardStudyConfig cfg;
+    cfg.pop.chips = job.chips;
+    cfg.pop.seed = job.seed;
+    cfg.checkpoints = job.checkpoints;
+    return run_shard_job(cfg, job.shard, job.shards, job.run, job.format == "binary", progress);
+  };
+
+  const net::WorkerExit status = net::run_worker(config, runner);
+  switch (status) {
+    case net::WorkerExit::kBye:
+      break;
+    case net::WorkerExit::kLost:
+      std::fprintf(stderr, "aropuf_fleet: connection to coordinator lost\n");
+      break;
+    case net::WorkerExit::kProtocol:
+      std::fprintf(stderr, "aropuf_fleet: coordinator violated the protocol\n");
+      break;
+    case net::WorkerExit::kAborted:
+      std::fprintf(stderr, "aropuf_fleet: aborted on first job (test hook)\n");
+      break;
+  }
+  return static_cast<int>(status);
+}
+
+// --- coordinator mode --------------------------------------------------------
+
+std::string shard_manifest_path(const Options& opt, int shard) {
+  return opt.out_dir + "/shard-" + std::to_string(shard) +
+         (opt.format == "binary" ? ".manifest.bin" : ".manifest.json");
+}
+
+int run_coordinator_mode(const Options& opt) {
+  if (!make_output_dir(opt.out_dir)) {
+    std::fprintf(stderr, "aropuf_fleet: cannot create output directory %s\n",
+                 opt.out_dir.c_str());
+    return 1;
+  }
+
+  ShardStudyConfig cfg;
+  cfg.pop.chips = opt.chips;
+  cfg.pop.seed = opt.seed;
+  cfg.checkpoints = opt.checkpoints;
+  const telemetry::RawSeriesPolicy policy = opt.drop_raw
+                                                ? telemetry::RawSeriesPolicy::kDropAfterCheck
+                                                : telemetry::RawSeriesPolicy::kKeep;
+
+  net::CoordinatorConfig config;
+  config.port = static_cast<std::uint16_t>(opt.listen_port);
+  config.jobs = opt.shards;
+  config.retries = opt.retries;
+  config.heartbeat_timeout_s = opt.worker_timeout_s;
+  config.total_timeout_s = opt.timeout_s;
+  config.job_template.shards = opt.shards;
+  config.job_template.chips = opt.chips;
+  config.job_template.seed = opt.seed;
+  config.job_template.checkpoints = opt.checkpoints;
+  config.job_template.run = opt.run;
+  config.job_template.format = opt.format;
+
+  // Streaming fold: each RESULT is decoded and folded the moment it lands,
+  // exactly like aropuf_shard --stream — the builder keeps only the
+  // out-of-order window, never the whole population.
+  telemetry::AggregateBuilder builder(policy);
+
+  net::CoordinatorCallbacks callbacks;
+  callbacks.on_result = [&](int shard, std::string bytes, const std::string& worker) {
+    // Persist the container first (the same bytes a disk-writing worker
+    // would have produced) so a failed run leaves evidence; a write failure
+    // is advisory, the in-memory fold below is authoritative.
+    const std::string path = shard_manifest_path(opt, shard);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (out.is_open()) out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      if (!out.good()) {
+        std::fprintf(stderr, "aropuf_fleet: warning: could not persist shard %d to %s\n", shard,
+                     path.c_str());
+      }
+    }
+    // Throwing here fails the attempt and routes the job through the retry
+    // budget — a manifest that will not fold is as fatal as a dead worker.
+    builder.add(telemetry::decode_shard_input(std::move(bytes), "tcp://" + worker));
+    if (!opt.quiet) {
+      std::printf("shard %d: folded (%d/%d from %s)\n", shard, builder.shards_added(),
+                  opt.shards, worker.c_str());
+      std::fflush(stdout);
+    }
+  };
+  // Stage transitions only — per-unit beats would flood a fleet log.  Keyed
+  // per shard; callbacks fire on the coordinator's (this) thread, so the map
+  // outlives run() without synchronization.
+  std::map<int, std::string> last_stage;
+  callbacks.on_heartbeat = [&](const telemetry::Heartbeat& beat, const std::string& worker) {
+    if (opt.quiet) return;
+    const std::string key = worker + "|" + beat.stage;
+    if (last_stage[beat.shard] == key) return;
+    last_stage[beat.shard] = key;
+    std::printf("shard %d: %s (%s)\n", beat.shard, beat.stage.c_str(), worker.c_str());
+    std::fflush(stdout);
+  };
+  callbacks.on_event = [&](const std::string& event, int shard, const std::string& detail) {
+    if (opt.quiet) return;
+    if (shard >= 0) {
+      std::printf("fleet: %s shard %d: %s\n", event.c_str(), shard, detail.c_str());
+    } else {
+      std::printf("fleet: %s: %s\n", event.c_str(), detail.c_str());
+    }
+    std::fflush(stdout);
+  };
+
+  std::optional<net::Coordinator> coordinator;
+  try {
+    coordinator.emplace(config, std::move(callbacks));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "aropuf_fleet: cannot listen on port %d: %s\n", opt.listen_port,
+                 e.what());
+    return 1;
+  }
+  std::printf("aropuf_fleet: coordinating %d shard job(s) on port %u\n", opt.shards,
+              static_cast<unsigned>(coordinator->port()));
+  std::fflush(stdout);
+  if (!opt.port_file.empty()) {
+    // The port file is the rendezvous for scripted runs (--listen 0): written
+    // atomically (tmp + rename) so a polling launcher never reads a torn
+    // value.
+    const std::string tmp = opt.port_file + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    out << coordinator->port() << '\n';
+    out.close();
+    if (!out.good() || std::rename(tmp.c_str(), opt.port_file.c_str()) != 0) {
+      std::fprintf(stderr, "aropuf_fleet: cannot write port file %s\n", opt.port_file.c_str());
+      return 1;
+    }
+  }
+
+  net::FleetSummary summary;
+  try {
+    summary = coordinator->run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "aropuf_fleet: coordinator failed: %s\n", e.what());
+    return 1;
+  }
+  std::printf(
+      "aropuf_fleet: %d/%d job(s) done, %d failed, %d worker(s), %d reassignment(s)%s\n",
+      summary.jobs_done, opt.shards, summary.jobs_failed, summary.workers_seen,
+      summary.reassignments, summary.timed_out ? " [timed out]" : "");
+  if (!summary.ok) {
+    std::fprintf(stderr, "aropuf_fleet: run failed; no aggregate manifest written\n");
+    return 1;
+  }
+
+  telemetry::AggregateResult merged;
+  try {
+    merged = builder.finalize();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "aropuf_fleet: aggregation failed: %s\n", e.what());
+    return 1;
+  }
+  merged.manifest.as_object()["study"] = build_study_section(merged.manifest, cfg);
+
+  const std::string merged_path = opt.out_dir + "/merged.manifest.json";
+  if (!telemetry::write_aggregate_manifest(merged_path, merged.manifest)) {
+    std::fprintf(stderr, "aropuf_fleet: failed to write aggregate manifest to %s\n",
+                 merged_path.c_str());
+    return 1;
+  }
+  std::printf("aropuf_fleet: merged manifest written to %s\n", merged_path.c_str());
+
+  if (!merged.conflicts.empty()) {
+    for (const telemetry::AggregateConflict& c : merged.conflicts) {
+      std::fprintf(stderr, "aropuf_fleet: provenance conflict on '%s' across shards:\n",
+                   c.field.c_str());
+      for (const auto& [shard, value] : c.values) {
+        std::fprintf(stderr, "    shard %d: %s\n", shard, value.c_str());
+      }
+    }
+    return 1;
+  }
+
+  if (opt.check_single && !check_merged_against_single(cfg, opt.run, merged.manifest, policy)) {
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  const int usage = parse_args(argc, argv, &opt);
+  if (usage != 0) return usage;
+  if (!net::net_available()) {
+    std::fprintf(stderr,
+                 "aropuf_fleet: TCP fleet runs are not available on this platform; use "
+                 "aropuf_shard instead\n");
+    return 1;
+  }
+  if (!opt.worker_spec.empty()) return run_worker_mode(opt);
+  return run_coordinator_mode(opt);
+}

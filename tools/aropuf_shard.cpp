@@ -47,6 +47,7 @@
 #include "sim/parallel.hpp"
 #include "sim/scenarios.hpp"
 #include "sim/shard_study.hpp"
+#include "sim/study_report.hpp"
 #include "telemetry/aggregate.hpp"
 #include "telemetry/manifest.hpp"
 #include "telemetry/metrics.hpp"
@@ -209,18 +210,6 @@ ShardStudyConfig study_config(const Options& opt) {
   return cfg;
 }
 
-JsonValue shard_descriptor(const ShardStudyConfig& cfg, int index, int count) {
-  const auto [lo, hi] =
-      shard_range(static_cast<std::size_t>(cfg.pop.chips), static_cast<std::size_t>(index),
-                  static_cast<std::size_t>(count));
-  JsonValue::Object shard;
-  shard["index"] = JsonValue(index);
-  shard["count"] = JsonValue(count);
-  shard["chip_lo"] = JsonValue(static_cast<std::uint64_t>(lo));
-  shard["chip_hi"] = JsonValue(static_cast<std::uint64_t>(hi));
-  return JsonValue(std::move(shard));
-}
-
 // --- worker -----------------------------------------------------------------
 
 /// Runs one shard of the study and writes its manifest.  Also the body of
@@ -240,7 +229,7 @@ int run_worker_shard(const Options& opt, int index) {
           progress.beat(stage, done, total);
         });
     const bool binary = use_binary_format(opt);
-    telemetry::set_runtime_field("shard", shard_descriptor(cfg, index, opt.shards));
+    telemetry::set_runtime_field("shard", study_shard_descriptor(cfg, index, opt.shards));
     // Binary transport: the manifest document carries series headers only;
     // the doubles travel as packed payload blocks.  The metadata JSON must be
     // built BEFORE study_series_binary moves the values out of `result`.
@@ -316,9 +305,15 @@ class Hud {
     if (fancy_) {
       render_fancy(shards, t0);
     } else {
-      render_plain(shards);
+      render_plain(shards, t0);
     }
   }
+
+  /// Declares work complete before this run started (resumed/skipped
+  /// shards), in shard units.  Keeps the ETA honest after --resume: without
+  /// it the skipped shards' work is credited to the current elapsed time and
+  /// the printed ETA is stale (far too optimistic).
+  void add_baseline(double shard_units) { eta_.add_baseline(shard_units); }
 
   void finish() {
     // Leave the final HUD frame in the scrollback.
@@ -326,6 +321,17 @@ class Hud {
   }
 
  private:
+  /// This shard's progress in [0, 1]: finished/skipped shards count as a
+  /// full unit even when they never reported work totals (resumed shards
+  /// write no heartbeats).
+  static double shard_progress(const ShardState& s) {
+    if (s.phase == ShardState::Phase::kDone || s.phase == ShardState::Phase::kSkipped) {
+      return 1.0;
+    }
+    if (s.total <= 0) return 0.0;
+    return std::min(1.0, static_cast<double>(s.done) / static_cast<double>(s.total));
+  }
+
   static std::string progress_bar(std::int64_t done, std::int64_t total, int width) {
     const double frac =
         total > 0 ? static_cast<double>(done) / static_cast<double>(total) : 0.0;
@@ -336,11 +342,40 @@ class Hud {
     return bar;
   }
 
+  /// Summary line shared by both render modes: "<f>/<N> shards finished |
+  /// <p>% | elapsed <e>s[ | eta <t>s]".  Progress is measured in shard
+  /// units (each shard's fractional progress sums toward N) so resumed
+  /// shards — which report no work totals — still count; the ETA excludes
+  /// them via the estimator baseline.
+  std::string summary_line(const std::vector<ShardState>& shards, const Clock::time_point& t0,
+                           std::size_t* finished_out) {
+    double done_units = 0.0;
+    std::size_t finished = 0;
+    for (const ShardState& s : shards) {
+      done_units += shard_progress(s);
+      if (s.phase == ShardState::Phase::kDone || s.phase == ShardState::Phase::kSkipped) {
+        ++finished;
+      }
+    }
+    const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+    const double total_units = static_cast<double>(shards.size());
+    const double frac = total_units > 0.0 ? done_units / total_units : 0.0;
+    const double eta = eta_.eta_seconds(done_units, total_units, elapsed);
+    char summary[160];
+    if (eta >= 0.0) {
+      std::snprintf(summary, sizeof summary,
+                    "%zu/%zu shards finished | %.0f%% | elapsed %.1fs | eta %.1fs", finished,
+                    shards.size(), frac * 100.0, elapsed, eta);
+    } else {
+      std::snprintf(summary, sizeof summary, "%zu/%zu shards finished | %.0f%% | elapsed %.1fs",
+                    finished, shards.size(), frac * 100.0, elapsed);
+    }
+    if (finished_out != nullptr) *finished_out = finished;
+    return summary;
+  }
+
   void render_fancy(const std::vector<ShardState>& shards, const Clock::time_point& t0) {
     std::string frame;
-    std::int64_t done_sum = 0;
-    std::int64_t total_sum = 0;
-    std::size_t finished = 0;
     for (std::size_t k = 0; k < shards.size(); ++k) {
       const ShardState& s = shards[k];
       char line[160];
@@ -350,28 +385,8 @@ class Hud {
                     s.stage.c_str());
       frame += line;
       frame += '\n';
-      done_sum += s.done;
-      total_sum += s.total;
-      if (s.phase == ShardState::Phase::kDone || s.phase == ShardState::Phase::kSkipped) {
-        ++finished;
-      }
     }
-    const double elapsed =
-        std::chrono::duration<double>(Clock::now() - t0).count();
-    const double frac =
-        total_sum > 0 ? static_cast<double>(done_sum) / static_cast<double>(total_sum) : 0.0;
-    const double eta = frac > 0.01 ? elapsed * (1.0 - frac) / frac : -1.0;
-    char summary[160];
-    if (eta >= 0.0) {
-      std::snprintf(summary, sizeof summary,
-                    "  %zu/%zu shards finished | %.0f%% | elapsed %.1fs | eta %.1fs\n",
-                    finished, shards.size(), frac * 100.0, elapsed, eta);
-    } else {
-      std::snprintf(summary, sizeof summary,
-                    "  %zu/%zu shards finished | %.0f%% | elapsed %.1fs\n", finished,
-                    shards.size(), frac * 100.0, elapsed);
-    }
-    frame += summary;
+    frame += "  " + summary_line(shards, t0, nullptr) + "\n";
 
     const std::size_t lines = shards.size() + 1;
     if (drawn_) std::printf("\x1b[%zuF", lines);  // cursor to frame start
@@ -383,7 +398,7 @@ class Hud {
     drawn_ = true;
   }
 
-  void render_plain(const std::vector<ShardState>& shards) {
+  void render_plain(const std::vector<ShardState>& shards, const Clock::time_point& t0) {
     for (std::size_t k = 0; k < shards.size(); ++k) {
       const ShardState& s = shards[k];
       const std::string key = std::string(phase_name(s.phase)) + "|" + s.stage + "|" +
@@ -394,11 +409,22 @@ class Hud {
                   static_cast<long long>(s.done), static_cast<long long>(s.total));
       std::fflush(stdout);
     }
+    // One summary line (with the baseline-corrected ETA) per newly finished
+    // shard — progress for CI logs without per-poll spam.
+    std::size_t finished = 0;
+    const std::string summary = summary_line(shards, t0, &finished);
+    if (finished != last_plain_finished_ && finished > 0 && finished < shards.size()) {
+      last_plain_finished_ = finished;
+      std::printf("progress: %s\n", summary.c_str());
+      std::fflush(stdout);
+    }
   }
 
   bool fancy_;
   bool drawn_ = false;
   std::vector<std::string> last_logged_;
+  std::size_t last_plain_finished_ = 0;
+  telemetry::EtaEstimator eta_;
 };
 
 std::string shard_manifest_path(const Options& opt, int index) {
@@ -493,125 +519,6 @@ void apply_heartbeats(telemetry::ProgressReader& reader, std::vector<ShardState>
   }
 }
 
-/// Builds the derived study section (headline numbers + the ECC/area
-/// comparison at each design's p90 provisioning BER) from the merged
-/// results.  Purely a function of the merged statistics, so it is identical
-/// for every shard decomposition.
-JsonValue build_study_section(const JsonValue& merged, const ShardStudyConfig& cfg) {
-  JsonValue::Object study;
-  const double final_year = cfg.checkpoints.back();
-  char year_buf[32];
-  std::snprintf(year_buf, sizeof year_buf, "%g", final_year);
-  study["final_year"] = JsonValue(final_year);
-
-  const JsonValue& samples = merged.at("results").at("samples");
-  const JsonValue& tallies = merged.at("results").at("tallies");
-
-  double p90_ber[2] = {0.0, 0.0};
-  const char* design_keys[2] = {"conventional", "aro"};
-  JsonValue::Object designs;
-  for (int d = 0; d < 2; ++d) {
-    const std::string key = design_keys[d];
-    JsonValue::Object entry;
-    const std::string e2_name = "e2." + key + ".flip_percent.y" + year_buf;
-    if (samples.contains(e2_name)) {
-      const JsonValue& s = samples.at(e2_name);
-      BerStats ber;
-      ber.mean = s.number_or("mean", 0.0) / 100.0;
-      ber.stddev = s.number_or("stddev", 0.0) / 100.0;
-      ber.max = s.number_or("max", 0.0) / 100.0;
-      p90_ber[d] = std::max(0.0, ber.p90());
-      entry["eol_flip_percent_mean"] = JsonValue(s.number_or("mean", 0.0));
-      entry["eol_flip_percent_max"] = JsonValue(s.number_or("max", 0.0));
-      entry["eol_ber_p90"] = JsonValue(p90_ber[d]);
-    }
-    const std::string e3_name = "e3." + key + ".pair_hd";
-    if (tallies.contains(e3_name)) {
-      const JsonValue& t = tallies.at(e3_name);
-      entry["uniqueness_percent"] = JsonValue(t.number_or("mean", 0.0) * 100.0);
-      entry["uniqueness_stddev_percent"] = JsonValue(t.number_or("stddev", 0.0) * 100.0);
-    }
-    const std::string uniform_name = "e3." + key + ".uniformity";
-    if (samples.contains(uniform_name)) {
-      entry["uniformity_mean"] = JsonValue(samples.at(uniform_name).number_or("mean", 0.0));
-    }
-    designs[key] = JsonValue(std::move(entry));
-  }
-  study["designs"] = JsonValue(std::move(designs));
-
-  // ECC/area comparison at the merged p90 BERs (paper's E7 on study data).
-  JsonValue::Object ecc;
-  try {
-    const CodeSearchConstraints constraints;
-    const EccComparison cmp =
-        run_ecc_comparison(cfg.pop.tech, p90_ber[0], p90_ber[1], constraints);
-    const auto scheme_json = [](const CodeSearchResult& r) {
-      JsonValue::Object s;
-      s["repetition"] = JsonValue(r.scheme.repetition);
-      s["bch_m"] = JsonValue(r.scheme.bch_m);
-      s["bch_t"] = JsonValue(r.scheme.bch_t);
-      s["raw_bits"] = JsonValue(static_cast<std::uint64_t>(r.scheme.raw_bits()));
-      s["area_ge"] = JsonValue(r.area.total_ge());
-      s["key_failure"] = JsonValue(r.key_failure);
-      return JsonValue(std::move(s));
-    };
-    ecc["status"] = JsonValue("ok");
-    ecc["conventional"] = scheme_json(cmp.conventional);
-    ecc["aro"] = scheme_json(cmp.aro);
-    ecc["area_ratio"] = JsonValue(cmp.area_ratio());
-  } catch (const std::exception& e) {
-    ecc["status"] = JsonValue("failed");
-    ecc["error"] = JsonValue(std::string(e.what()));
-  }
-  study["ecc"] = JsonValue(std::move(ecc));
-  return JsonValue(std::move(study));
-}
-
-/// --check-single: re-runs the full population as one in-process shard and
-/// compares the decomposition-invariant sections.  The single-process
-/// aggregate is built under the same RawSeriesPolicy as the merged one so the
-/// comparison stays byte-for-byte (kKeep embeds values on both sides; kDrop
-/// omits them on both sides).  Returns true on match.
-bool check_against_single(const Options& opt, const JsonValue& merged,
-                          telemetry::RawSeriesPolicy policy) {
-  std::printf("check-single: running the full population in-process...\n");
-  std::fflush(stdout);
-  const ShardStudyConfig cfg = study_config(opt);
-
-  telemetry::reset_run_record();
-  telemetry::MetricsRegistry::global().reset();
-  telemetry::MetricsRegistry::global().set_shard_index(0);
-  const ShardStudyResult result = run_shard_study(cfg, 0, 1);
-  telemetry::set_runtime_field("shard", shard_descriptor(cfg, 0, 1));
-  telemetry::set_runtime_field("results", study_results_to_json(result));
-  JsonValue doc = telemetry::build_manifest(opt.run, study_config_json(cfg));
-
-  std::vector<telemetry::ShardManifest> single_set;
-  single_set.push_back(telemetry::wrap_shard_manifest(std::move(doc), "<single>"));
-  const telemetry::AggregateResult single =
-      telemetry::aggregate_shards(std::move(single_set), policy);
-
-  bool ok = true;
-  for (const char* section : {"results", "config"}) {
-    const std::string a = merged.at(section).dump();
-    const std::string b = single.manifest.at(section).dump();
-    if (a != b) {
-      ok = false;
-      std::fprintf(stderr,
-                   "check-single: section '%s' differs between the sharded and the "
-                   "single-process run\n",
-                   section);
-      // Locate the first divergence so the failure is actionable.
-      std::size_t at = 0;
-      while (at < a.size() && at < b.size() && a[at] == b[at]) ++at;
-      const std::size_t lo = at > 60 ? at - 60 : 0;
-      std::fprintf(stderr, "  first divergence at byte %zu:\n    sharded: ...%.120s\n    single:  ...%.120s\n",
-                   at, a.substr(lo, 120).c_str(), b.substr(lo, 120).c_str());
-    }
-  }
-  if (ok) std::printf("check-single: merged statistics are bit-identical\n");
-  return ok;
-}
 
 int run_orchestrator(const Options& opt_in, const char* argv0) {
   Options opt = opt_in;
@@ -681,6 +588,11 @@ int run_orchestrator(const Options& opt_in, const char* argv0) {
 
   telemetry::ProgressReader reader(opt.progress_path);
   Hud hud(stdout_is_tty() && !opt.quiet, shards.size());
+  // Resumed shards finished in a previous run; pin them as the ETA baseline
+  // so the estimate reflects only the remaining jobs' rate.
+  for (const ShardState& s : shards) {
+    if (s.phase == ShardState::Phase::kSkipped) hud.add_baseline(1.0);
+  }
   const Clock::time_point t0 = Clock::now();
 
   if (opt.no_fork) {
@@ -856,7 +768,9 @@ int run_orchestrator(const Options& opt_in, const char* argv0) {
     return 1;
   }
 
-  if (opt.check_single && !check_against_single(opt, merged.manifest, policy)) return 3;
+  if (opt.check_single && !check_merged_against_single(cfg, opt.run, merged.manifest, policy)) {
+    return 3;
+  }
   return 0;
 }
 
