@@ -33,6 +33,9 @@ void consume(const aropuf::net::Frame& frame) {
     case FrameType::kError:
       (void)error_from_json(doc);
       break;
+    case FrameType::kMetrics:
+      (void)metrics_from_json(doc);
+      break;
     default:
       break;  // HEARTBEAT schemas belong to telemetry/progress
   }

@@ -81,4 +81,60 @@ if [ ! -f "$OUT/merged.manifest.json" ]; then
   echo "fleet_smoke: no merged manifest in $OUT" >&2
   exit 1
 fi
+
+# Observability artifacts: every run must leave the merged fleet timeline,
+# the metrics snapshot, and the Prometheus exposition next to the manifest.
+for artifact in fleet_trace.json fleet_metrics.json fleet_metrics.prom; do
+  if [ ! -f "$OUT/$artifact" ]; then
+    echo "fleet_smoke: missing observability artifact $OUT/$artifact" >&2
+    exit 1
+  fi
+done
+
+# Deep checks need python3; skip gracefully on hosts without it (the C++
+# gtest suites cover the same invariants in-process).
+if command -v python3 >/dev/null 2>&1; then
+  SCRIPT_DIR=$(dirname "$0")
+  python3 "$SCRIPT_DIR/validate_manifest.py" --trace "$OUT/fleet_trace.json"
+  python3 "$SCRIPT_DIR/validate_manifest.py" --fleet-metrics "$OUT/fleet_metrics.json"
+  # One trace_id, spans from the coordinator AND both worker processes, and
+  # per-worker job counts summing to the shard plan (reassignment included).
+  python3 - "$OUT" "$KILL_ONE" <<'PYEOF'
+import json, sys
+out, kill_one = sys.argv[1], sys.argv[2]
+trace = json.load(open(f"{out}/fleet_trace.json"))
+metrics = json.load(open(f"{out}/fleet_metrics.json"))
+if not trace.get("trace_id"):
+    sys.exit(f"{out}/fleet_trace.json: missing trace_id")
+if trace["trace_id"] != metrics.get("trace_id"):
+    sys.exit("trace_id differs between fleet_trace.json and fleet_metrics.json")
+x_pids = {e["pid"] for e in trace["traceEvents"] if e.get("ph") == "X"}
+if 1 not in x_pids:
+    sys.exit("merged trace has no coordinator (pid 1) spans")
+worker_pids = {w["pid"] for w in metrics["workers"]}
+missing = worker_pids - x_pids
+if missing:
+    sys.exit(f"merged trace is missing spans from worker pid(s) {sorted(missing)}"
+             " — even a killed worker ships its connect span")
+prev = -1.0
+for e in trace["traceEvents"]:
+    if e.get("ph") != "X":
+        continue
+    if e["ts"] < prev:
+        sys.exit("merged trace timestamps are not monotonic after offset correction")
+    prev = e["ts"]
+shards = metrics["shards"]
+done_sum = sum(w["jobs_done"] for w in metrics["workers"])
+if done_sum != shards["done"] or shards["done"] != shards["total"]:
+    sys.exit(f"job accounting broken: per-worker sum {done_sum}, "
+             f"done {shards['done']}, total {shards['total']}")
+if kill_one == "--kill-one":
+    if shards["reassigned"] < 1:
+        sys.exit("kill-one run recorded no reassignment")
+    if len(metrics["workers"]) != 2:
+        sys.exit("kill-one run should have seen exactly 2 workers")
+print(f"fleet_smoke: observability OK (trace_id {trace['trace_id']}, "
+      f"{len(x_pids)} processes, {shards['reassigned']} reassigned)")
+PYEOF
+fi
 echo "fleet_smoke: OK ($OUT)"

@@ -27,6 +27,12 @@ double seconds_since(const Clock::time_point& t) {
   return std::chrono::duration<double>(Clock::now() - t).count();
 }
 
+std::int64_t now_unix_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 /// Per-connection protocol state (DESIGN.md §11.4, coordinator's view of the
@@ -39,6 +45,19 @@ struct Connection {
   std::string name = "<handshaking>";
   int shard = -1;  ///< job owned while kBusy
   Clock::time_point last_frame = Clock::now();
+  /// Clock-offset estimate for this worker (coordinator − worker, ms).
+  /// Every timestamped frame yields one sample (local receive time minus the
+  /// sender's embedded wall clock); the minimum filters queueing delay away,
+  /// so the estimate carries at most one one-way latency of bias.
+  double clock_offset_ms = 0.0;
+  bool offset_known = false;
+
+  void note_remote_ts(std::int64_t remote_unix_ms) {
+    if (remote_unix_ms <= 0) return;
+    const double sample = static_cast<double>(now_unix_ms() - remote_unix_ms);
+    if (!offset_known || sample < clock_offset_ms) clock_offset_ms = sample;
+    offset_known = true;
+  }
 };
 
 struct Coordinator::Impl {
@@ -76,6 +95,12 @@ struct Coordinator::Impl {
     JobMsg job = config.job_template;
     job.shard = shard;
     job.attempt = jobs[static_cast<std::size_t>(shard)].attempts + 1;
+    // Trace context: the template's trace_id rides unchanged; the parent-span
+    // label pins this specific dispatch so reassigned attempts stay distinct
+    // in the merged timeline.
+    if (!job.trace_id.empty()) {
+      job.parent_span = "dispatch/" + std::to_string(shard) + "#" + std::to_string(job.attempt);
+    }
     try {
       conn.socket.send_all(encode_job(job));
     } catch (const std::exception& e) {
@@ -176,6 +201,7 @@ struct Coordinator::Impl {
         }
         conn.name = hello.worker;
         conn.state = Connection::State::kIdle;
+        conn.note_remote_ts(hello.ts_unix_ms);
         ++summary.workers_seen;
         telemetry::MetricsRegistry::global().counter("fleet.connects").add(1);
         event("connect", -1, conn.name);
@@ -194,7 +220,18 @@ struct Coordinator::Impl {
           throw FrameError(FrameErrc::kBadPayload,
                            std::string("HEARTBEAT schema: ") + e.what());
         }
+        conn.note_remote_ts(beat.ts_unix_ms);
         if (callbacks.on_heartbeat) callbacks.on_heartbeat(beat, conn.name);
+        return true;
+      }
+      case FrameType::kMetrics: {
+        if (conn.state == Connection::State::kAwaitingHello) {
+          throw FrameError(FrameErrc::kBadPayload, "METRICS before HELLO");
+        }
+        const MetricsMsg msg = metrics_from_json(frame_payload_json(frame));
+        conn.note_remote_ts(msg.ts_unix_ms);
+        telemetry::MetricsRegistry::global().counter("fleet.metrics_frames").add(1);
+        if (callbacks.on_metrics) callbacks.on_metrics(msg, conn.name, conn.clock_offset_ms);
         return true;
       }
       case FrameType::kResult: {
@@ -354,6 +391,43 @@ FleetSummary Coordinator::run() {
           ++it;
         }
       }
+    }
+  }
+
+  // Grace drain before the BYE: a worker sends the METRICS snapshot carrying
+  // its last job's trace span right AFTER that job's RESULT, so when the
+  // final fold ends the loop above those frames are still in flight.  A few
+  // short poll rounds pick them up — without this the merged fleet timeline
+  // would always be missing the last span of every worker.
+  for (int round = 0; round < 4 && !impl.connections.empty(); ++round) {
+    std::vector<struct pollfd> fds;
+    std::vector<std::list<Connection>::iterator> order;
+    for (auto it = impl.connections.begin(); it != impl.connections.end(); ++it) {
+      fds.push_back({it->socket.fd(), POLLIN, 0});
+      order.push_back(it);
+    }
+    const int rc = ::poll(fds.data(), fds.size(), 50);
+    if (rc <= 0) break;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      auto it = order[i];
+      bool alive = true;
+      std::string why = "peer closed";
+      char buf[64 * 1024];
+      try {
+        const std::size_t n = it->socket.recv_some(buf, sizeof buf);
+        if (n == 0) {
+          alive = false;
+        } else {
+          it->decoder.feed(buf, n);
+          alive = impl.drain_frames(*it);
+          if (!alive) why = "protocol close";
+        }
+      } catch (const std::exception& e) {
+        alive = false;
+        why = e.what();
+      }
+      if (!alive) impl.drop_connection(it, why);
     }
   }
 

@@ -39,7 +39,9 @@ struct CoordinatorConfig {
   int retries = 1;                  ///< extra attempts per failed job
   double heartbeat_timeout_s = 60;  ///< drop a silent busy worker (0 = never)
   double total_timeout_s = 0;       ///< abort the whole run (0 = never)
-  JobMsg job_template;              ///< study parameters; shard/attempt set per dispatch
+  /// Study parameters; shard/attempt/parent_span are filled per dispatch
+  /// (trace_id, when set, rides every JOB unchanged — see DESIGN.md §11.8).
+  JobMsg job_template;
 };
 
 /// Event hooks.  All callbacks fire on the coordinator's own thread.
@@ -49,6 +51,12 @@ struct CoordinatorCallbacks {
   std::function<void(int shard, std::string bytes, const std::string& worker)> on_result;
   /// A worker's progress heartbeat (same schema as the on-disk JSONL beats).
   std::function<void(const telemetry::Heartbeat& beat, const std::string& worker)> on_heartbeat;
+  /// A worker's METRICS snapshot (registry state + drained trace spans).
+  /// `clock_offset_ms` is the coordinator's current skew estimate for this
+  /// worker (coordinator clock − worker clock, minimum over the arrival
+  /// samples from HELLO/HEARTBEAT/METRICS timestamps — DESIGN.md §11.8).
+  std::function<void(const MetricsMsg& msg, const std::string& worker, double clock_offset_ms)>
+      on_metrics;
   /// Lifecycle narration for logs/HUD: event ∈ {"connect", "dispatch",
   /// "retry", "disconnect", "timeout", "fail", "bye"}.
   std::function<void(const std::string& event, int shard, const std::string& detail)> on_event;

@@ -1,0 +1,170 @@
+// Fleet observability view: the coordinator-side fold of everything the
+// wire reports about a run — METRICS snapshots, heartbeats, lifecycle
+// events, and drained trace spans — into one queryable model.
+//
+// The coordinator callbacks feed one FleetView instance (all calls on the
+// coordinator's own thread, so there is no locking here); at any point the
+// view can render:
+//
+//  * a merged Chrome trace — every worker's spans rebased from its local
+//    steady clock onto the coordinator's wall clock via the per-worker
+//    trace epoch plus the clock-offset estimate, stamped with synthetic
+//    per-process pids and process_name/thread_name metadata, sorted so
+//    timestamps are monotonic (merged_trace_json());
+//  * a machine-readable fleet_metrics.json snapshot (schema
+//    "aropuf-fleet-metrics" v1): per-worker utilization, job accounting
+//    that sums to the shard plan even across reassignment, clock offsets,
+//    the last metrics-registry snapshot per worker, and the retry/
+//    reassignment history (fleet_metrics_json());
+//  * a Prometheus text-exposition rendering of the same counters
+//    (prometheus_text());
+//  * per-worker rows for the live TTY HUD (workers()).
+//
+// Clock-offset convention: offset_ms ≈ coordinator_clock − worker_clock,
+// estimated as the minimum over all arrival samples of
+// (coordinator receive wall time − sender's embedded wall time); the
+// minimum filters queueing noise, leaving at most one one-way network
+// latency of bias.  See DESIGN.md §11.8.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "telemetry/progress.hpp"
+
+namespace aropuf::net {
+
+/// One worker's accumulated observability state, as the coordinator saw it.
+struct WorkerView {
+  std::string name;           ///< HELLO display name ("host:pid")
+  int pid = 0;                ///< synthetic pid in the merged trace (2 + index)
+  bool connected = false;     ///< still attached at the last event
+  int jobs_assigned = 0;      ///< dispatches sent to this worker
+  int jobs_done = 0;          ///< RESULTs accepted (folds that succeeded)
+  int failed_attempts = 0;    ///< dispatches charged back (error/disconnect/timeout)
+  int busy_shard = -1;        ///< shard currently owned, or -1 when idle
+  std::int64_t snapshots = 0; ///< METRICS frames received
+  double clock_offset_ms = 0.0;  ///< coordinator − worker clock estimate
+  bool offset_known = false;  ///< at least one offset sample arrived
+  std::string last_stage;     ///< most recent heartbeat stage label
+  std::int64_t stage_done = 0;   ///< heartbeat work units completed
+  std::int64_t stage_total = 0;  ///< heartbeat work units owned
+  double units_per_sec = 0.0; ///< work-unit rate from the last heartbeat
+  double busy_ms = 0.0;       ///< summed duration of shipped fleet.job spans
+  std::int64_t first_seen_unix_ms = 0;  ///< coordinator clock at connect
+  std::int64_t last_seen_unix_ms = 0;   ///< coordinator clock at last signal
+  std::int64_t dispatch_unix_ms = 0;    ///< coordinator clock at current dispatch
+  JsonValue metrics;          ///< last metrics-registry snapshot (JSON object)
+};
+
+/// One retry/reassignment/lifecycle history entry (bounded ring, oldest
+/// dropped past kFleetHistoryCap).
+struct FleetHistoryEntry {
+  std::int64_t ts_unix_ms = 0;  ///< coordinator clock at the event
+  std::string event;            ///< "connect", "dispatch", "retry", ...
+  int shard = -1;               ///< affected shard, or -1
+  std::string detail;           ///< worker name or reason text
+};
+
+/// History entries kept before the oldest are dropped.
+inline constexpr std::size_t kFleetHistoryCap = 1000;
+
+/// Observability fold for one coordinator run.  Not thread-safe by design:
+/// every coordinator callback fires on the coordinator's own thread.
+class FleetView {
+ public:
+  /// @param total_jobs  shard-plan size (indices 0..total_jobs-1)
+  /// @param run         run name echoed into the artifacts
+  /// @param trace_id    fleet-wide trace identifier stamped on JOB frames
+  /// @param start_unix_ms  coordinator wall clock at run start
+  FleetView(int total_jobs, std::string run, std::string trace_id,
+            std::int64_t start_unix_ms);
+
+  /// Folds one coordinator lifecycle event (the on_event callback verbatim:
+  /// "connect"/"dispatch" carry the worker name in `detail`, "retry"/"fail"
+  /// carry the reason — shard ownership attributes those to the right
+  /// worker).  `now_unix_ms` is the coordinator clock (injected for tests).
+  void note_event(const std::string& event, int shard, const std::string& detail,
+                  std::int64_t now_unix_ms);
+
+  /// Folds one accepted RESULT (call only after the fold succeeded, so
+  /// jobs_done matches the coordinator's own accounting).
+  void note_result(int shard, const std::string& worker, std::int64_t now_unix_ms);
+
+  /// Folds one progress heartbeat into the worker's stage/rate columns.
+  void note_heartbeat(const telemetry::Heartbeat& beat, const std::string& worker,
+                      std::int64_t now_unix_ms);
+
+  /// Folds one METRICS snapshot: registry state, clock offset, and the
+  /// carried trace spans (buffered raw; rebased at render time so late
+  /// offset refinements correct earlier spans too).
+  void note_metrics(const MetricsMsg& msg, const std::string& worker,
+                    double clock_offset_ms, std::int64_t now_unix_ms);
+
+  /// Adds the coordinator's own drained trace events (pid 1, offset 0).
+  /// `epoch_unix_ms` is telemetry::trace_epoch_unix_ms() of this process;
+  /// `label` names the process row ("coordinator").
+  void add_local_events(JsonValue::Array events, double epoch_unix_ms,
+                        const std::string& label);
+
+  /// Merged Chrome trace: {"traceEvents": [...], "displayTimeUnit": "ms",
+  /// "trace_id": ..., "run": ...}.  Events are offset-corrected, rebased to
+  /// the earliest event (so every ts ≥ 0), and sorted by timestamp.
+  [[nodiscard]] JsonValue merged_trace_json() const;
+
+  /// fleet_metrics.json document (schema "aropuf-fleet-metrics" v1).
+  [[nodiscard]] JsonValue fleet_metrics_json(std::int64_t now_unix_ms) const;
+
+  /// Prometheus text exposition of the fleet + per-worker counters.
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// Per-worker rows in first-seen order (HUD + report rendering).
+  [[nodiscard]] const std::vector<WorkerView>& workers() const { return workers_; }
+
+  /// The fleet-wide trace id stamped on every JOB frame.
+  [[nodiscard]] const std::string& trace_id() const { return trace_id_; }
+
+  /// Shards whose RESULT was accepted so far.
+  [[nodiscard]] int shards_done() const { return shards_done_; }
+
+  /// Shards that exhausted their retry budget.
+  [[nodiscard]] int shards_failed() const { return shards_failed_; }
+
+  /// Dispatches beyond each shard's first attempt.
+  [[nodiscard]] int reassignments() const { return reassignments_; }
+
+  /// Bounded lifecycle history (retry/reassignment audit trail).
+  [[nodiscard]] const std::vector<FleetHistoryEntry>& history() const { return history_; }
+
+ private:
+  struct RawSpan {
+    JsonValue event;       ///< Chrome "X" event (worker steady-clock ts)
+    double unix_us = 0.0;  ///< sender wall-clock µs (epoch + ts), uncorrected
+    int worker = -1;       ///< worker index, or -1 for the coordinator
+  };
+
+  std::size_t worker_index(const std::string& name, std::int64_t now_unix_ms);
+  void push_history(const std::string& event, int shard, const std::string& detail,
+                    std::int64_t now_unix_ms);
+
+  int total_jobs_;
+  std::string run_;
+  std::string trace_id_;
+  std::int64_t start_unix_ms_;
+  std::vector<WorkerView> workers_;
+  std::map<std::string, std::size_t> index_by_name_;
+  std::map<int, std::size_t> owner_by_shard_;
+  std::map<int, int> dispatches_by_shard_;
+  std::vector<FleetHistoryEntry> history_;
+  std::vector<RawSpan> spans_;
+  std::vector<double> completed_job_ms_;
+  std::string coordinator_label_ = "coordinator";
+  int shards_done_ = 0;
+  int shards_failed_ = 0;
+  int reassignments_ = 0;
+};
+
+}  // namespace aropuf::net

@@ -29,7 +29,7 @@ std::uint32_t get_u32(const char* p) {
 
 bool valid_type(std::uint8_t byte) {
   return byte >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         byte <= static_cast<std::uint8_t>(FrameType::kBye);
+         byte <= static_cast<std::uint8_t>(FrameType::kMetrics);
 }
 
 std::uint32_t payload_cap(FrameType type) {
@@ -66,6 +66,7 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kResult: return "RESULT";
     case FrameType::kError: return "ERROR";
     case FrameType::kBye: return "BYE";
+    case FrameType::kMetrics: return "METRICS";
   }
   return "?";
 }
@@ -167,6 +168,7 @@ JsonValue hello_to_json(const HelloMsg& msg) {
   obj["protocol"] = JsonValue(static_cast<std::uint64_t>(msg.protocol));
   obj["worker"] = JsonValue(msg.worker);
   obj["threads"] = JsonValue(msg.threads);
+  if (msg.ts_unix_ms > 0) obj["ts_unix_ms"] = JsonValue(static_cast<double>(msg.ts_unix_ms));
   return JsonValue(std::move(obj));
 }
 
@@ -175,6 +177,7 @@ HelloMsg hello_from_json(const JsonValue& doc) {
   msg.protocol = static_cast<std::uint16_t>(require_number(doc, "protocol"));
   msg.worker = require_string(doc, "worker");
   msg.threads = static_cast<int>(doc.number_or("threads", 0.0));
+  msg.ts_unix_ms = static_cast<std::int64_t>(doc.number_or("ts_unix_ms", 0.0));
   return msg;
 }
 
@@ -191,6 +194,8 @@ JsonValue job_to_json(const JobMsg& msg) {
   obj["run"] = JsonValue(msg.run);
   obj["format"] = JsonValue(msg.format);
   obj["attempt"] = JsonValue(msg.attempt);
+  if (!msg.trace_id.empty()) obj["trace_id"] = JsonValue(msg.trace_id);
+  if (!msg.parent_span.empty()) obj["parent_span"] = JsonValue(msg.parent_span);
   return JsonValue(std::move(obj));
 }
 
@@ -210,6 +215,8 @@ JobMsg job_from_json(const JsonValue& doc) {
   msg.run = require_string(doc, "run");
   msg.format = require_string(doc, "format");
   msg.attempt = static_cast<int>(doc.number_or("attempt", 1.0));
+  msg.trace_id = doc.string_or("trace_id", "");
+  msg.parent_span = doc.string_or("parent_span", "");
   if (msg.shards < 1 || msg.shard < 0 || msg.shard >= msg.shards || msg.chips < 2 ||
       msg.checkpoints.empty() || (msg.format != "json" && msg.format != "binary")) {
     bad_payload("JOB fields out of range");
@@ -233,6 +240,43 @@ ErrorMsg error_from_json(const JsonValue& doc) {
   return msg;
 }
 
+JsonValue metrics_to_json(const MetricsMsg& msg) {
+  JsonValue::Object obj;
+  obj["ts_unix_ms"] = JsonValue(static_cast<double>(msg.ts_unix_ms));
+  obj["seq"] = JsonValue(static_cast<double>(msg.seq));
+  obj["trace_epoch_unix_ms"] = JsonValue(msg.trace_epoch_unix_ms);
+  obj["jobs_done"] = JsonValue(msg.jobs_done);
+  obj["jobs_in_flight"] = JsonValue(msg.jobs_in_flight);
+  obj["metrics"] = msg.metrics.is_object() ? msg.metrics : JsonValue(JsonValue::Object{});
+  obj["spans"] = JsonValue(msg.spans);
+  return JsonValue(std::move(obj));
+}
+
+MetricsMsg metrics_from_json(const JsonValue& doc) {
+  MetricsMsg msg;
+  msg.ts_unix_ms = static_cast<std::int64_t>(require_number(doc, "ts_unix_ms"));
+  msg.seq = static_cast<std::int64_t>(doc.number_or("seq", 0.0));
+  msg.trace_epoch_unix_ms = doc.number_or("trace_epoch_unix_ms", 0.0);
+  msg.jobs_done = static_cast<int>(doc.number_or("jobs_done", 0.0));
+  msg.jobs_in_flight = static_cast<int>(doc.number_or("jobs_in_flight", 0.0));
+  if (!doc.contains("metrics") || !doc.at("metrics").is_object()) {
+    bad_payload("missing or non-object field 'metrics'");
+  }
+  msg.metrics = doc.at("metrics");
+  if (doc.contains("spans")) {
+    if (!doc.at("spans").is_array()) bad_payload("non-array field 'spans'");
+    for (const JsonValue& span : doc.at("spans").as_array()) {
+      if (!span.is_object()) bad_payload("non-object span entry");
+      msg.spans.push_back(span);
+    }
+  }
+  if (msg.ts_unix_ms <= 0 || msg.seq < 0 || msg.jobs_done < 0 || msg.jobs_in_flight < 0 ||
+      msg.trace_epoch_unix_ms < 0.0) {
+    bad_payload("METRICS fields out of range");
+  }
+  return msg;
+}
+
 std::string encode_hello(const HelloMsg& msg) {
   return encode_frame(FrameType::kHello, hello_to_json(msg).dump());
 }
@@ -243,6 +287,10 @@ std::string encode_job(const JobMsg& msg) {
 
 std::string encode_error(const ErrorMsg& msg) {
   return encode_frame(FrameType::kError, error_to_json(msg).dump());
+}
+
+std::string encode_metrics(const MetricsMsg& msg) {
+  return encode_frame(FrameType::kMetrics, metrics_to_json(msg).dump());
 }
 
 std::string encode_bye() { return encode_frame(FrameType::kBye, ""); }

@@ -14,14 +14,14 @@
 //   offset  size  field
 //   0       4     magic "ARPF"
 //   4       2     protocol version (currently 1)
-//   6       1     message type (FrameType, 1..6)
+//   6       1     message type (FrameType, 1..7)
 //   7       1     reserved, must be zero
 //   8       4     payload length N
 //   12      N     payload bytes
 //
-// Payload rules by type: HELLO/JOB/HEARTBEAT/ERROR carry a UTF-8 JSON object
-// (≤ kMaxControlPayload); BYE carries an empty payload; RESULT carries an
-// opaque shard-manifest container (≤ kMaxResultPayload) that is NOT parsed at
+// Payload rules by type: HELLO/JOB/HEARTBEAT/ERROR/METRICS carry a UTF-8 JSON
+// object (≤ kMaxControlPayload); BYE carries an empty payload; RESULT carries
+// an opaque shard-manifest container (≤ kMaxResultPayload) that is NOT parsed at
 // this layer.  The decoder is a bounds-checked incremental parser over
 // untrusted bytes: it validates every header field before trusting the
 // declared length, never lets a length drive an allocation beyond the cap,
@@ -65,6 +65,7 @@ enum class FrameType : std::uint8_t {
   kResult = 4,     ///< worker → coordinator: completed shard manifest bytes
   kError = 5,      ///< either direction: structured failure report
   kBye = 6,        ///< either direction: orderly shutdown of the connection
+  kMetrics = 7,    ///< worker → coordinator: metrics snapshot + trace spans
 };
 
 /// Human-readable name for a frame type ("HELLO", ...; "?" when unknown).
@@ -148,6 +149,9 @@ struct HelloMsg {
   std::uint16_t protocol = kProtocolVersion;  ///< worker's protocol version
   std::string worker;                         ///< display name ("host:pid")
   int threads = 0;                            ///< worker thread setting (0 = default)
+  /// Worker wall clock at send time (0 = not reported).  First clock-offset
+  /// sample for the coordinator's skew estimator (DESIGN.md §11.8).
+  std::int64_t ts_unix_ms = 0;
 };
 
 /// JOB: one shard assignment.  Carries the full study parameterization so a
@@ -162,6 +166,12 @@ struct JobMsg {
   std::string run;                  ///< run name echoed into the manifest
   std::string format;               ///< "binary" or "json" result transport
   int attempt = 1;                  ///< 1-based dispatch attempt (telemetry)
+  /// Trace context (optional; empty = untraced).  The coordinator stamps its
+  /// run-wide trace id and a parent-span label ("dispatch/<shard>#<attempt>")
+  /// so worker spans land under the fleet timeline.  Workers that predate
+  /// these keys ignore them (unknown-key tolerance).
+  std::string trace_id;     ///< fleet-wide trace identifier (hex token)
+  std::string parent_span;  ///< coordinator-side parent-span label
 };
 
 /// ERROR: structured failure report.  `code` is a stable machine-readable
@@ -170,6 +180,23 @@ struct ErrorMsg {
   std::string code;     ///< stable token: "version-mismatch", "bad-frame", "job-failed"
   std::string message;  ///< free-form human-readable detail
   int shard = -1;       ///< affected shard, or -1 when not job-specific
+};
+
+/// METRICS: one worker observability snapshot (DESIGN.md §11.8).  Sent right
+/// after HELLO, after every finished job, and periodically while a job runs;
+/// always advisory — a coordinator may ignore it, losing one never stalls a
+/// run.  `metrics` is the worker's metrics-registry snapshot (the same
+/// document shape the run manifest embeds); `spans` are drained Chrome "X"
+/// trace events on the worker's steady-clock base, rebased by the receiver
+/// via `trace_epoch_unix_ms` plus its clock-offset estimate.
+struct MetricsMsg {
+  std::int64_t ts_unix_ms = 0;      ///< worker wall clock at snapshot time
+  std::int64_t seq = 0;             ///< 0-based snapshot counter per connection
+  double trace_epoch_unix_ms = 0.0; ///< worker wall clock at its steady-clock zero
+  int jobs_done = 0;                ///< jobs this worker has completed so far
+  int jobs_in_flight = 0;           ///< jobs currently running (0 or 1)
+  JsonValue metrics;                ///< metrics-registry snapshot (JSON object)
+  JsonValue::Array spans;           ///< drained trace events (may be empty)
 };
 
 /// Encodes a HELLO payload as a JSON object.
@@ -188,10 +215,18 @@ struct ErrorMsg {
 /// Decodes an ERROR payload; throws FrameError (kBadPayload) on schema violation.
 [[nodiscard]] ErrorMsg error_from_json(const JsonValue& doc);
 
+/// Encodes a METRICS payload as a JSON object.
+[[nodiscard]] JsonValue metrics_to_json(const MetricsMsg& msg);
+/// Decodes a METRICS payload; throws FrameError (kBadPayload) on schema
+/// violation (non-positive timestamp, negative counters, non-object
+/// `metrics`, non-array `spans`, ...).
+[[nodiscard]] MetricsMsg metrics_from_json(const JsonValue& doc);
+
 /// Convenience encoders: typed message → framed bytes ready for the socket.
 [[nodiscard]] std::string encode_hello(const HelloMsg& msg);
 [[nodiscard]] std::string encode_job(const JobMsg& msg);
 [[nodiscard]] std::string encode_error(const ErrorMsg& msg);
+[[nodiscard]] std::string encode_metrics(const MetricsMsg& msg);
 [[nodiscard]] std::string encode_bye();
 
 }  // namespace aropuf::net

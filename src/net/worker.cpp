@@ -52,22 +52,55 @@ void send_heartbeat(Socket& socket, int shard, const std::string& stage, std::in
   }
 }
 
+/// Sends one METRICS frame: registry snapshot plus every trace span buffered
+/// since the previous send.  Advisory like heartbeats — failures are
+/// swallowed, the socket's real state surfaces on the next blocking read.
+void send_metrics(Socket& socket, std::int64_t seq, int jobs_done, int jobs_in_flight) {
+  MetricsMsg msg;
+  msg.ts_unix_ms = now_unix_ms();
+  msg.seq = seq;
+  msg.trace_epoch_unix_ms = telemetry::trace_epoch_unix_ms();
+  msg.jobs_done = jobs_done;
+  msg.jobs_in_flight = jobs_in_flight;
+  msg.metrics = telemetry::MetricsRegistry::global().snapshot_json();
+  msg.spans = telemetry::drain_trace_events();
+  try {
+    socket.send_all(encode_metrics(msg));
+  } catch (const std::exception&) {
+  }
+}
+
 }  // namespace
 
 WorkerExit run_worker(const WorkerConfig& config, const JobRunner& runner) {
+  const std::string worker_name = default_worker_name(config);
+  // Observability plane: spans must exist to ship, so open a buffer-only
+  // session when the operator did not request a trace file of their own.
+  if (!telemetry::trace_enabled()) telemetry::start_trace_buffered();
+  telemetry::set_trace_process_label("worker " + worker_name);
+  telemetry::set_trace_thread_label("worker main");
+
   Socket socket;
   try {
     const telemetry::TraceScope span("fleet.connect", "fleet",
                                      {{"host", JsonValue(config.host)}});
     socket = tcp_connect(config.host, config.port, config.connect_timeout_s);
-    socket.send_all(encode_hello(
-        {kProtocolVersion, default_worker_name(config), config.threads}));
+    socket.send_all(
+        encode_hello({kProtocolVersion, worker_name, config.threads, now_unix_ms()}));
   } catch (const std::exception& e) {
     ARO_LOG_ERROR("fleet", "worker cannot reach coordinator",
                   {"host", JsonValue(config.host)},
                   {"error", JsonValue(std::string(e.what()))});
     return WorkerExit::kLost;
   }
+
+  // Snapshot counters: seq orders frames per connection; the initial send
+  // right after HELLO carries the connect span, so even a worker that dies
+  // on its first job has contributed to the merged timeline.
+  std::int64_t metrics_seq = 0;
+  int jobs_done = 0;
+  std::uint64_t last_metrics_us = telemetry::steady_now_us();
+  send_metrics(socket, metrics_seq++, jobs_done, 0);
 
   FrameDecoder decoder;
   bool ran_a_job = false;
@@ -109,25 +142,47 @@ WorkerExit run_worker(const WorkerConfig& config, const JobRunner& runner) {
           return WorkerExit::kAborted;
         }
         ran_a_job = true;
-        const telemetry::TraceScope span("fleet.job", "fleet",
-                                         {{"shard", JsonValue(job.shard)},
-                                          {"attempt", JsonValue(job.attempt)}});
         telemetry::MetricsRegistry::global().counter("fleet.jobs_run").add(1);
         const std::int64_t start_ms = now_unix_ms();
         std::string result;
-        try {
-          result = runner(job, [&](const std::string& stage, std::int64_t done,
-                                   std::int64_t total) {
-            send_heartbeat(socket, job.shard, stage, done, total, start_ms);
-          });
-        } catch (const std::exception& e) {
-          ARO_LOG_ERROR("fleet", "shard job failed", {"shard", JsonValue(job.shard)},
-                        {"error", JsonValue(std::string(e.what()))});
+        bool failed = false;
+        std::string failure;
+        {
+          // The job span closes before the post-job METRICS send below, so
+          // the frame that announces the finished job also carries its span.
+          const telemetry::TraceScope span("fleet.job", "fleet",
+                                           {{"shard", JsonValue(job.shard)},
+                                            {"attempt", JsonValue(job.attempt)},
+                                            {"trace_id", JsonValue(job.trace_id)},
+                                            {"parent", JsonValue(job.parent_span)}});
           try {
-            socket.send_all(encode_error({"job-failed", e.what(), job.shard}));
+            result = runner(job, [&](const std::string& stage, std::int64_t done,
+                                     std::int64_t total) {
+              send_heartbeat(socket, job.shard, stage, done, total, start_ms);
+              // Periodic snapshot, time-gated so tight progress loops never
+              // flood the coordinator with registry dumps.
+              const std::uint64_t now_us = telemetry::steady_now_us();
+              if (config.metrics_interval_s > 0 &&
+                  static_cast<double>(now_us - last_metrics_us) >=
+                      config.metrics_interval_s * 1e6) {
+                last_metrics_us = now_us;
+                send_metrics(socket, metrics_seq++, jobs_done, 1);
+              }
+            });
+          } catch (const std::exception& e) {
+            failed = true;
+            failure = e.what();
+          }
+        }
+        if (failed) {
+          ARO_LOG_ERROR("fleet", "shard job failed", {"shard", JsonValue(job.shard)},
+                        {"error", JsonValue(failure)});
+          try {
+            socket.send_all(encode_error({"job-failed", failure, job.shard}));
           } catch (const std::exception&) {
             return WorkerExit::kLost;
           }
+          send_metrics(socket, metrics_seq++, jobs_done, 0);
           break;
         }
         try {
@@ -137,6 +192,9 @@ WorkerExit run_worker(const WorkerConfig& config, const JobRunner& runner) {
                         {"error", JsonValue(std::string(e.what()))});
           return WorkerExit::kLost;
         }
+        ++jobs_done;
+        last_metrics_us = telemetry::steady_now_us();
+        send_metrics(socket, metrics_seq++, jobs_done, 0);
         break;
       }
       case FrameType::kBye:
@@ -157,6 +215,7 @@ WorkerExit run_worker(const WorkerConfig& config, const JobRunner& runner) {
       case FrameType::kHello:
       case FrameType::kHeartbeat:
       case FrameType::kResult:
+      case FrameType::kMetrics:
         ARO_LOG_ERROR("fleet", "unexpected frame from coordinator",
                       {"type", JsonValue(std::string(frame_type_name(frame.type)))});
         return WorkerExit::kProtocol;

@@ -14,6 +14,13 @@
 // coordinator owns the retry decision.  A lost connection ends the worker
 // with a nonzero status; restarting it is the operator's (or supervisor's)
 // choice, the coordinator has already reassigned the job either way.
+//
+// Observability (DESIGN.md §11.8): the worker ships METRICS frames — a
+// metrics-registry snapshot plus drained trace spans — right after HELLO,
+// after every finished job, and at most every metrics_interval_s while a job
+// runs.  When no trace session is active the worker starts a buffer-only one
+// so its spans exist to ship; with AROPUF_TRACE set, shipped spans are
+// drained out of the local file (the merged fleet timeline is the artifact).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +38,9 @@ struct WorkerConfig {
   double connect_timeout_s = 10; ///< bound on the initial TCP connect
   std::string name;              ///< HELLO display name ("" = host:pid)
   int threads = 0;               ///< echoed in HELLO (informational)
+  /// Minimum seconds between periodic METRICS snapshots while a job runs
+  /// (snapshots after HELLO and after every finished job are unconditional).
+  double metrics_interval_s = 2.0;
   /// Test hook: abort the connection (no RESULT, no ERROR, hard close) on
   /// the worker's first assigned job — simulates a worker killed mid-job so
   /// e2e tests can drive the coordinator's reassignment path

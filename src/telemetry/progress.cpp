@@ -85,6 +85,19 @@ std::vector<Heartbeat> ProgressReader::poll() {
       beats.push_back(heartbeat_from_json(JsonValue::parse(line)));
     } catch (const std::exception&) {
       ++malformed_;  // torn or foreign line: skip, never abort the HUD
+      // A writer that died mid-append leaves a torn fragment with no newline;
+      // the next healthy writer's O_APPEND line lands directly behind it, so
+      // the merged "line" reads "<fragment>{good beat}".  Recover the good
+      // suffix — the fragment costs one malformed count, never a live beat.
+      std::size_t brace = line.find('{', 1);
+      while (brace != std::string::npos) {
+        try {
+          beats.push_back(heartbeat_from_json(JsonValue::parse(line.substr(brace))));
+          break;
+        } catch (const std::exception&) {
+        }
+        brace = line.find('{', brace + 1);
+      }
     }
   }
   partial_.erase(0, start);

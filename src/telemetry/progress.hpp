@@ -83,8 +83,11 @@ class EtaEstimator {
 
 /// Incremental reader: each poll() returns the complete, well-formed
 /// heartbeat lines appended since the previous poll.  A trailing partial
-/// line (a writer mid-append) is buffered until its newline arrives;
-/// malformed complete lines are counted and skipped.
+/// line (a writer mid-append, or a byte-truncated file) is buffered until
+/// its newline arrives — never surfaced as a parse error.  Malformed
+/// complete lines are counted and skipped; when a torn fragment from a dead
+/// writer fuses with the next healthy writer's appended line, the good
+/// suffix is recovered and only the fragment counts as malformed.
 class ProgressReader {
  public:
   explicit ProgressReader(std::string path);

@@ -3,11 +3,19 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <map>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "telemetry/log.hpp"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#else
+#include <process.h>
+#endif
 
 namespace aropuf::telemetry {
 
@@ -22,10 +30,22 @@ struct TraceEvent {
   JsonValue::Object args;
 };
 
+/// The OS pid, so multi-process timelines merged by pid stay distinct even
+/// before the fleet view reassigns synthetic process rows.
+int trace_pid() noexcept {
+#if !defined(_WIN32)
+  return static_cast<int>(::getpid());
+#else
+  return ::_getpid();
+#endif
+}
+
 struct TraceState {
   std::atomic<bool> enabled{false};
   std::mutex mutex;
   std::string path;
+  std::string process_label = "aropuf";
+  std::map<int, std::string> thread_labels;
   std::vector<TraceEvent> events;
 
   TraceState() {
@@ -50,22 +70,38 @@ int next_thread_id() noexcept {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
-JsonValue events_to_json(const std::vector<TraceEvent>& events) {
+/// One "M" metadata record.  Carries ts/tid too so consumers (and the CI
+/// validator) can require those fields on every event.
+JsonValue metadata_event(const char* kind, int pid, int tid, const std::string& label) {
+  JsonValue::Object meta;
+  meta["name"] = JsonValue(kind);
+  meta["ph"] = JsonValue("M");
+  meta["ts"] = JsonValue(std::uint64_t{0});
+  meta["pid"] = JsonValue(pid);
+  meta["tid"] = JsonValue(tid);
+  JsonValue::Object meta_args;
+  meta_args["name"] = JsonValue(label);
+  meta["args"] = JsonValue(std::move(meta_args));
+  return JsonValue(std::move(meta));
+}
+
+JsonValue events_to_json(const std::vector<TraceEvent>& events, const std::string& process_label,
+                         const std::map<int, std::string>& thread_labels) {
+  const int pid = trace_pid();
   JsonValue::Array trace_events;
-  trace_events.reserve(events.size() + 1);
-  {
-    // Process-name metadata record; carries ts/tid too so consumers (and the
-    // CI validator) can require those fields on every event.
-    JsonValue::Object meta;
-    meta["name"] = JsonValue("process_name");
-    meta["ph"] = JsonValue("M");
-    meta["ts"] = JsonValue(std::uint64_t{0});
-    meta["pid"] = JsonValue(1);
-    meta["tid"] = JsonValue(0);
-    JsonValue::Object meta_args;
-    meta_args["name"] = JsonValue("aropuf");
-    meta["args"] = JsonValue(std::move(meta_args));
-    trace_events.emplace_back(std::move(meta));
+  trace_events.reserve(events.size() + 2);
+  // Process/thread naming metadata makes the timeline readable in
+  // chrome://tracing and Perfetto: role-labeled process rows instead of
+  // anonymous pids, named threads instead of bare tids.
+  trace_events.emplace_back(metadata_event("process_name", pid, 0, process_label));
+  std::set<int> tids;
+  for (const TraceEvent& e : events) tids.insert(e.tid);
+  for (const auto& [tid, label] : thread_labels) tids.insert(tid);
+  for (const int tid : tids) {
+    const auto it = thread_labels.find(tid);
+    const std::string label =
+        it != thread_labels.end() ? it->second : "thread " + std::to_string(tid);
+    trace_events.emplace_back(metadata_event("thread_name", pid, tid, label));
   }
   for (const TraceEvent& e : events) {
     JsonValue::Object obj;
@@ -74,7 +110,7 @@ JsonValue events_to_json(const std::vector<TraceEvent>& events) {
     obj["ph"] = JsonValue("X");
     obj["ts"] = JsonValue(e.ts_us);
     obj["dur"] = JsonValue(e.dur_us);
-    obj["pid"] = JsonValue(1);
+    obj["pid"] = JsonValue(pid);
     obj["tid"] = JsonValue(e.tid);
     if (!e.args.empty()) obj["args"] = JsonValue(e.args);
     trace_events.emplace_back(std::move(obj));
@@ -110,24 +146,82 @@ void start_trace(const std::string& path) {
   s.enabled.store(true, std::memory_order_release);
 }
 
+void start_trace_buffered() { start_trace(std::string()); }
+
 std::size_t trace_event_count() noexcept {
   TraceState& s = state();
   std::lock_guard<std::mutex> lock(s.mutex);
   return s.events.size();
 }
 
+void set_trace_process_label(const std::string& label) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.process_label = label;
+}
+
+void set_trace_thread_label(const std::string& label) {
+  const int tid = trace_thread_id();
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.thread_labels[tid] = label;
+}
+
+JsonValue::Array drain_trace_events() {
+  TraceState& s = state();
+  std::vector<TraceEvent> events;
+  std::map<int, std::string> thread_labels;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.enabled.load(std::memory_order_relaxed)) return {};
+    events.swap(s.events);
+    thread_labels = s.thread_labels;
+  }
+  JsonValue::Array out;
+  out.reserve(events.size());
+  for (TraceEvent& e : events) {
+    JsonValue::Object obj;
+    obj["name"] = JsonValue(std::move(e.name));
+    obj["cat"] = JsonValue(std::move(e.category));
+    obj["ph"] = JsonValue("X");
+    obj["ts"] = JsonValue(e.ts_us);
+    obj["dur"] = JsonValue(e.dur_us);
+    obj["tid"] = JsonValue(e.tid);
+    const auto label = thread_labels.find(e.tid);
+    if (label != thread_labels.end()) obj["tname"] = JsonValue(label->second);
+    if (!e.args.empty()) obj["args"] = JsonValue(std::move(e.args));
+    out.emplace_back(std::move(obj));
+  }
+  return out;
+}
+
+double trace_epoch_unix_ms() {
+  const double now_unix_ms =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::system_clock::now().time_since_epoch())
+                              .count());
+  return now_unix_ms - static_cast<double>(steady_now_us()) / 1000.0;
+}
+
 bool flush_trace() {
   TraceState& s = state();
   std::vector<TraceEvent> events;
+  std::map<int, std::string> thread_labels;
   std::string path;
+  std::string process_label;
   {
     std::lock_guard<std::mutex> lock(s.mutex);
     if (!s.enabled.load(std::memory_order_relaxed)) return true;
     s.enabled.store(false, std::memory_order_release);
     events.swap(s.events);
+    thread_labels = s.thread_labels;
+    process_label = s.process_label;
     path.swap(s.path);
   }
-  const std::string json = events_to_json(events).dump(/*indent=*/0);
+  // Buffer-only session (fleet workers): ship-over-the-wire is the output;
+  // ending the session discards whatever was never drained.
+  if (path.empty()) return true;
+  const std::string json = events_to_json(events, process_label, thread_labels).dump(/*indent=*/0);
   std::ofstream out(path, std::ios::trunc);
   if (!out.is_open()) {
     ARO_LOG_ERROR("trace", "cannot open trace output file", {"path", JsonValue(path)});

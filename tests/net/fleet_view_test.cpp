@@ -1,0 +1,225 @@
+// FleetView fold tests: the observability model is pure state (injected
+// clocks, no sockets), so every render path — merged Chrome trace, fleet
+// metrics document, Prometheus exposition — is pinned here deterministically.
+// The loopback e2e exercises the same paths against real worker processes.
+#include "net/fleet_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace aropuf::net {
+namespace {
+
+/// Chrome "X" event as a worker ships it inside METRICS.spans: steady-clock
+/// `ts` µs, no pid (the merge assigns the synthetic one).
+JsonValue span_event(const std::string& name, double ts_us, double dur_us,
+                     const std::string& tname = "") {
+  JsonValue::Object obj;
+  obj["name"] = JsonValue(name);
+  obj["ph"] = JsonValue("X");
+  obj["cat"] = JsonValue("fleet");
+  obj["ts"] = JsonValue(ts_us);
+  obj["dur"] = JsonValue(dur_us);
+  obj["tid"] = JsonValue(0);
+  if (!tname.empty()) obj["tname"] = JsonValue(tname);
+  return JsonValue(std::move(obj));
+}
+
+MetricsMsg metrics_with_span(double epoch_unix_ms, JsonValue span) {
+  MetricsMsg msg;
+  msg.ts_unix_ms = static_cast<std::int64_t>(epoch_unix_ms) + 1;
+  msg.trace_epoch_unix_ms = epoch_unix_ms;
+  msg.metrics = JsonValue(JsonValue::Object{});
+  msg.spans.push_back(std::move(span));
+  return msg;
+}
+
+TEST(FleetViewTest, MergedTraceRebasesOffsetsAndStaysMonotonic) {
+  FleetView view(2, "run", "feedf00d", 1000);
+  view.note_event("connect", -1, "w1", 1000);
+  view.note_event("connect", -1, "w2", 1001);
+
+  // w1's clock runs 500 ms behind the coordinator (offset +500); its span at
+  // local epoch 10000 + 2000 µs lands at coordinator time 10500 ms + 2000 µs.
+  view.note_metrics(metrics_with_span(10000.0, span_event("fleet.job", 2000.0, 100.0)),
+                    "w1", 500.0, 1002);
+  // w2's clock runs 500 ms ahead (offset −500); its local epoch 11200 span
+  // corrects to 10700 ms — later than w1's despite the larger raw epoch.
+  view.note_metrics(metrics_with_span(11200.0, span_event("fleet.job", 0.0, 100.0)),
+                    "w2", -500.0, 1003);
+  // Coordinator's own span at wall 10400 ms is the earliest event overall.
+  JsonValue::Array local;
+  local.push_back(span_event("fleet.coordinate", 0.0, 9000.0));
+  view.add_local_events(std::move(local), 10400.0, "coordinator run");
+
+  const JsonValue trace = view.merged_trace_json();
+  EXPECT_EQ(trace.at("trace_id").as_string(), "feedf00d");
+  EXPECT_EQ(trace.at("run").as_string(), "run");
+  EXPECT_EQ(trace.at("displayTimeUnit").as_string(), "ms");
+
+  double prev_ts = -1.0;
+  double first_x_ts = -1.0;
+  int x_events = 0;
+  std::string first_name, last_name;
+  for (const JsonValue& event : trace.at("traceEvents").as_array()) {
+    if (event.string_or("ph", "") != "X") continue;
+    const double ts = event.at("ts").as_number();
+    EXPECT_GE(ts, prev_ts) << "merged trace must be time-sorted";
+    prev_ts = ts;
+    if (x_events == 0) {
+      first_x_ts = ts;
+      first_name = event.string_or("name", "");
+    }
+    last_name = event.string_or("name", "");
+    ++x_events;
+  }
+  ASSERT_EQ(x_events, 3);
+  // Rebased to the earliest corrected timestamp: coordinator first, at ts 0.
+  EXPECT_DOUBLE_EQ(first_x_ts, 0.0);
+  EXPECT_EQ(first_name, "fleet.coordinate");
+  // Offset correction reorders the workers: w2's raw-later span is truly last,
+  // and w1's corrected span sits 102 ms after the coordinator epoch.
+  EXPECT_EQ(last_name, "fleet.job");
+  EXPECT_DOUBLE_EQ(prev_ts, (10700.0 - 10400.0) * 1000.0);
+}
+
+TEST(FleetViewTest, MergedTraceStampsSyntheticPidsAndMetadata) {
+  FleetView view(1, "run", "cafe", 0);
+  view.note_event("connect", -1, "hostA:9", 0);
+  view.note_metrics(metrics_with_span(100.0, span_event("fleet.job", 0.0, 5.0, "worker main")),
+                    "hostA:9", 0.0, 1);
+  JsonValue::Array local;
+  local.push_back(span_event("fleet.coordinate", 0.0, 10.0));
+  view.add_local_events(std::move(local), 50.0, "coordinator run");
+
+  const JsonValue trace = view.merged_trace_json();
+  bool saw_coord_proc = false, saw_worker_proc = false, saw_tname = false;
+  for (const JsonValue& event : trace.at("traceEvents").as_array()) {
+    const std::string ph = event.string_or("ph", "");
+    const std::string name = event.string_or("name", "");
+    if (ph == "M" && name == "process_name") {
+      const std::string label = event.at("args").at("name").as_string();
+      if (event.at("pid").as_number() == 1.0) {
+        saw_coord_proc = true;
+        EXPECT_EQ(label, "coordinator run");
+      } else {
+        saw_worker_proc = true;
+        EXPECT_EQ(event.at("pid").as_number(), 2.0);
+        EXPECT_EQ(label, "worker[0] hostA:9");
+      }
+    }
+    if (ph == "M" && name == "thread_name" && event.at("pid").as_number() == 2.0) {
+      saw_tname = true;
+      EXPECT_EQ(event.at("args").at("name").as_string(), "worker main");
+    }
+    if (ph == "X") {
+      // The transport-only "tname" key never leaks into the final trace.
+      EXPECT_FALSE(event.contains("tname"));
+      EXPECT_TRUE(event.contains("pid"));
+    }
+  }
+  EXPECT_TRUE(saw_coord_proc);
+  EXPECT_TRUE(saw_worker_proc);
+  EXPECT_TRUE(saw_tname);
+}
+
+TEST(FleetViewTest, RetryChargesTheDispatchOwnerNotTheReasonText) {
+  FleetView view(2, "run", "id", 0);
+  view.note_event("connect", -1, "w1", 0);
+  view.note_event("connect", -1, "w2", 0);
+  view.note_event("dispatch", 0, "w1", 1);
+  view.note_event("dispatch", 1, "w2", 1);
+  // The retry event's detail is a reason string, not a worker name; the
+  // ownership map from the dispatch must attribute the charge to w1.
+  view.note_event("retry", 0, "heartbeat timeout", 2);
+  view.note_event("dispatch", 0, "w2", 3);  // reassignment
+  view.note_result(0, "w2", 4);
+  view.note_result(1, "w2", 5);
+
+  ASSERT_EQ(view.workers().size(), 2u);
+  const WorkerView& w1 = view.workers()[0];
+  const WorkerView& w2 = view.workers()[1];
+  EXPECT_EQ(w1.failed_attempts, 1);
+  EXPECT_EQ(w1.jobs_done, 0);
+  EXPECT_EQ(w1.busy_shard, -1);
+  EXPECT_EQ(w2.failed_attempts, 0);
+  EXPECT_EQ(w2.jobs_done, 2);
+  EXPECT_EQ(view.reassignments(), 1);
+  EXPECT_EQ(view.shards_done(), 2);
+  // Per-worker job counts sum to the plan even across the reassignment.
+  EXPECT_EQ(w1.jobs_done + w2.jobs_done, 2);
+}
+
+TEST(FleetViewTest, DisconnectParsesNameFromReasonSuffix) {
+  FleetView view(1, "run", "id", 0);
+  view.note_event("connect", -1, "host:w.1", 0);
+  EXPECT_TRUE(view.workers()[0].connected);
+  view.note_event("disconnect", -1, "host:w.1: peer closed", 1);
+  EXPECT_FALSE(view.workers()[0].connected);
+}
+
+TEST(FleetViewTest, FleetMetricsJsonAccountsShardsAndUtilization) {
+  FleetView view(3, "study", "abcd", 1000);
+  view.note_event("connect", -1, "w1", 1000);
+  view.note_event("dispatch", 0, "w1", 1000);
+  view.note_metrics(metrics_with_span(0.0, span_event("fleet.job", 0.0, 400000.0)),
+                    "w1", 0.0, 1200);
+  view.note_result(0, "w1", 2000);
+  view.note_event("dispatch", 1, "w1", 2000);
+
+  const JsonValue doc = view.fleet_metrics_json(3000);
+  EXPECT_EQ(doc.at("schema").as_string(), "aropuf-fleet-metrics");
+  EXPECT_EQ(doc.at("schema_version").as_number(), 1.0);
+  EXPECT_EQ(doc.at("trace_id").as_string(), "abcd");
+  EXPECT_DOUBLE_EQ(doc.at("elapsed_ms").as_number(), 2000.0);
+  const JsonValue& shards = doc.at("shards");
+  EXPECT_EQ(shards.at("total").as_number(), 3.0);
+  EXPECT_EQ(shards.at("done").as_number(), 1.0);
+  EXPECT_EQ(shards.at("in_flight").as_number(), 1.0);
+  EXPECT_EQ(shards.at("queued").as_number(), 1.0);
+
+  const JsonValue& w1 = doc.at("workers").as_array().at(0);
+  EXPECT_EQ(w1.at("name").as_string(), "w1");
+  EXPECT_EQ(w1.at("jobs_done").as_number(), 1.0);
+  EXPECT_EQ(w1.at("jobs_assigned").as_number(), 2.0);
+  EXPECT_EQ(w1.at("busy_shard").as_number(), 1.0);
+  // 400 ms of shipped fleet.job span over 2000 ms elapsed.
+  EXPECT_DOUBLE_EQ(w1.at("busy_ms").as_number(), 400.0);
+  EXPECT_DOUBLE_EQ(w1.at("utilization").as_number(), 0.2);
+  // Current job started at 2000, now 3000 → 1000 ms elapsed; the 1 s floor
+  // (mean completed job is 1000 ms → threshold 2000 ms) keeps it off.
+  EXPECT_FALSE(w1.at("straggler").as_bool());
+  EXPECT_TRUE(view.fleet_metrics_json(5000).at("workers").as_array().at(0)
+                  .at("straggler").as_bool());
+}
+
+TEST(FleetViewTest, PrometheusTextEscapesLabelsAndListsCoreSeries) {
+  FleetView view(2, "run", "id", 0);
+  view.note_event("connect", -1, "host\"quoted\":1", 0);
+  view.note_event("dispatch", 0, "host\"quoted\":1", 1);
+  view.note_result(0, "host\"quoted\":1", 2);
+
+  const std::string text = view.prometheus_text();
+  EXPECT_NE(text.find("# TYPE aropuf_fleet_shards_done gauge"), std::string::npos);
+  EXPECT_NE(text.find("aropuf_fleet_shards_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("aropuf_fleet_shards_done 1\n"), std::string::npos);
+  EXPECT_NE(text.find(
+                "aropuf_fleet_worker_jobs_done{worker=\"host\\\"quoted\\\":1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aropuf_fleet_worker_clock_offset_ms"), std::string::npos);
+}
+
+TEST(FleetViewTest, HistoryRingIsBounded) {
+  FleetView view(1, "run", "id", 0);
+  for (std::size_t i = 0; i < kFleetHistoryCap + 50; ++i) {
+    view.note_event("retry", 0, "reason " + std::to_string(i), static_cast<std::int64_t>(i));
+  }
+  ASSERT_EQ(view.history().size(), kFleetHistoryCap);
+  // Oldest entries dropped: the ring starts 50 events in.
+  EXPECT_EQ(view.history().front().detail, "reason 50");
+  EXPECT_EQ(view.history().back().detail, "reason " + std::to_string(kFleetHistoryCap + 49));
+}
+
+}  // namespace
+}  // namespace aropuf::net

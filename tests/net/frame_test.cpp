@@ -1,5 +1,5 @@
 // ARPF frame codec tests: every byte of the wire format (DESIGN.md §11) is
-// pinned here — encode/decode round-trips for all six types, header-field
+// pinned here — encode/decode round-trips for all seven types, header-field
 // rejection, truncation at every byte, and arbitrary packetization.  The
 // fuzz harness (fuzz/fuzz_netframe.cpp) extends this with coverage-guided
 // garbage; these tests keep the *intended* behavior from drifting.
@@ -54,7 +54,8 @@ TEST(FrameTest, HeaderLayoutIsExactlyTwelveLittleEndianBytes) {
 TEST(FrameTest, AllTypesRoundTrip) {
   const std::vector<FrameType> types = {FrameType::kHello,  FrameType::kJob,
                                         FrameType::kHeartbeat, FrameType::kResult,
-                                        FrameType::kError,  FrameType::kBye};
+                                        FrameType::kError,  FrameType::kBye,
+                                        FrameType::kMetrics};
   for (const FrameType type : types) {
     const std::string payload =
         type == FrameType::kBye ? "" : std::string("payload-") + frame_type_name(type);
@@ -132,7 +133,7 @@ TEST(FrameTest, HeaderFieldRejection) {
   bytes = encode_frame(FrameType::kJob, "{}");
   bytes[6] = 0x00;  // type below range
   EXPECT_EQ(decode_errc(bytes), FrameErrc::kBadType);
-  bytes[6] = 0x07;  // type above range
+  bytes[6] = 0x08;  // type above range (0x07 became METRICS in §11.8)
   EXPECT_EQ(decode_errc(bytes), FrameErrc::kBadType);
 
   bytes = encode_frame(FrameType::kJob, "{}");
@@ -240,6 +241,112 @@ TEST(FrameTest, ErrorRoundTripWithDefaults) {
   EXPECT_EQ(minimal.shard, -1);
   EXPECT_THROW((void)error_from_json(JsonValue::parse(R"({"message": "no code"})")),
                FrameError);
+}
+
+TEST(FrameTest, HelloCarriesOptionalSenderClock) {
+  HelloMsg msg;
+  msg.worker = "w";
+  msg.threads = 1;
+  msg.ts_unix_ms = 1754700000123;
+  const HelloMsg back = hello_from_json(frame_payload_json(decode_one(encode_hello(msg))));
+  EXPECT_EQ(back.ts_unix_ms, 1754700000123);
+  // Pre-observability HELLOs omit the clock entirely; decode must not require it.
+  const HelloMsg old = hello_from_json(
+      JsonValue::parse(R"({"protocol": 1, "worker": "w", "threads": 2})"));
+  EXPECT_EQ(old.ts_unix_ms, 0);
+}
+
+TEST(FrameTest, JobCarriesOptionalTraceContext) {
+  JobMsg msg;
+  msg.shard = 0;
+  msg.shards = 1;
+  msg.chips = 8;
+  msg.checkpoints = {1.0};
+  msg.run = "fleet_study";
+  msg.format = "json";
+  msg.trace_id = "deadbeefcafef00d";
+  msg.parent_span = "dispatch/0#1";
+  const JobMsg back = job_from_json(frame_payload_json(decode_one(encode_job(msg))));
+  EXPECT_EQ(back.trace_id, "deadbeefcafef00d");
+  EXPECT_EQ(back.parent_span, "dispatch/0#1");
+  // Without trace context the keys are absent from the wire document and the
+  // decoded fields stay empty — old coordinators keep producing old JOBs.
+  msg.trace_id.clear();
+  msg.parent_span.clear();
+  const JsonValue doc = job_to_json(msg);
+  EXPECT_FALSE(doc.contains("trace_id"));
+  EXPECT_FALSE(doc.contains("parent_span"));
+  EXPECT_TRUE(job_from_json(doc).trace_id.empty());
+}
+
+TEST(FrameTest, MetricsRoundTrip) {
+  MetricsMsg msg;
+  msg.ts_unix_ms = 1754700001000;
+  msg.seq = 7;
+  msg.trace_epoch_unix_ms = 1754699990000.5;
+  msg.jobs_done = 3;
+  msg.jobs_in_flight = 1;
+  JsonValue::Object counters;
+  counters["fleet.jobs_run"] = JsonValue(3);
+  JsonValue::Object metrics;
+  metrics["counters"] = JsonValue(std::move(counters));
+  msg.metrics = JsonValue(std::move(metrics));
+  JsonValue::Object span;
+  span["name"] = JsonValue(std::string("fleet.job"));
+  span["ph"] = JsonValue(std::string("X"));
+  span["ts"] = JsonValue(12.0);
+  span["dur"] = JsonValue(34.0);
+  msg.spans.push_back(JsonValue(std::move(span)));
+
+  const Frame frame = decode_one(encode_metrics(msg));
+  ASSERT_EQ(frame.type, FrameType::kMetrics);
+  const MetricsMsg back = metrics_from_json(frame_payload_json(frame));
+  EXPECT_EQ(back.ts_unix_ms, 1754700001000);
+  EXPECT_EQ(back.seq, 7);
+  EXPECT_DOUBLE_EQ(back.trace_epoch_unix_ms, 1754699990000.5);
+  EXPECT_EQ(back.jobs_done, 3);
+  EXPECT_EQ(back.jobs_in_flight, 1);
+  EXPECT_DOUBLE_EQ(back.metrics.at("counters").number_or("fleet.jobs_run", 0.0), 3.0);
+  ASSERT_EQ(back.spans.size(), 1u);
+  EXPECT_EQ(back.spans[0].at("name").as_string(), "fleet.job");
+}
+
+TEST(FrameTest, MetricsSchemaEnforcement) {
+  const auto reject = [](const std::string& json) {
+    EXPECT_THROW((void)metrics_from_json(JsonValue::parse(json)), FrameError) << json;
+  };
+  reject(R"({"metrics": {}})");                            // missing ts_unix_ms
+  reject(R"({"ts_unix_ms": 1})");                          // missing metrics object
+  reject(R"({"ts_unix_ms": 1, "metrics": [1, 2]})");       // metrics not an object
+  reject(R"({"ts_unix_ms": 0, "metrics": {}})");           // ts out of range
+  reject(R"({"ts_unix_ms": 1, "metrics": {}, "seq": -1})");
+  reject(R"({"ts_unix_ms": 1, "metrics": {}, "jobs_done": -2})");
+  reject(R"({"ts_unix_ms": 1, "metrics": {}, "jobs_in_flight": -1})");
+  reject(R"({"ts_unix_ms": 1, "metrics": {}, "trace_epoch_unix_ms": -5})");
+  reject(R"({"ts_unix_ms": 1, "metrics": {}, "spans": {"not": "array"}})");
+  reject(R"({"ts_unix_ms": 1, "metrics": {}, "spans": [42]})");  // span not object
+  // Minimal valid document: everything beyond ts + metrics is optional.
+  const MetricsMsg minimal =
+      metrics_from_json(JsonValue::parse(R"({"ts_unix_ms": 1, "metrics": {}})"));
+  EXPECT_EQ(minimal.seq, 0);
+  EXPECT_TRUE(minimal.spans.empty());
+}
+
+TEST(FrameTest, MetricsTruncationAtEveryByteNeedsMoreAndNeverThrows) {
+  MetricsMsg msg;
+  msg.ts_unix_ms = 1754700001000;
+  msg.metrics = JsonValue(JsonValue::Object{});
+  const std::string whole = encode_metrics(msg);
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(whole.substr(0, cut));
+    Frame frame;
+    EXPECT_FALSE(decoder.next(&frame)) << "cut at " << cut;
+    decoder.feed(whole.substr(cut));
+    EXPECT_TRUE(decoder.next(&frame)) << "cut at " << cut;
+    EXPECT_EQ(frame.type, FrameType::kMetrics);
+    EXPECT_NO_THROW((void)metrics_from_json(frame_payload_json(frame)));
+  }
 }
 
 TEST(FrameTest, UnknownJsonKeysAreIgnoredForForwardCompatibility) {

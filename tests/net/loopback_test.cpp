@@ -14,17 +14,21 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "net/coordinator.hpp"
+#include "net/fleet_view.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "net/worker.hpp"
 #include "sim/shard_study.hpp"
 #include "telemetry/aggregate.hpp"
+#include "telemetry/trace.hpp"
 
 namespace aropuf::net {
 namespace {
@@ -166,6 +170,128 @@ TEST(LoopbackTest, KilledWorkerJobIsReassignedAndStillBitIdentical) {
 
   const std::string fleet_results = builder.finalize().manifest.at("results").dump();
   EXPECT_EQ(fleet_results, direct_aggregate_results(cfg, kShards, "binary"));
+}
+
+TEST(LoopbackTest, ObservabilityPlaneMergesTraceAndAccountsJobsAcrossAKill) {
+  // The full observability loop against real sockets: trace context on JOB
+  // frames, METRICS snapshots (including the killed worker's initial one),
+  // clock-offset estimation, and the FleetView fold the tools wire in.
+  //
+  // Caveat: both "processes" share this test binary's global trace buffer, so
+  // span *attribution* between coordinator and worker blurs (each drain grabs
+  // whatever is buffered).  Assertions therefore target what survives the
+  // blur — one trace_id, synthetic pids present, monotonic merged timestamps,
+  // coordinator-side job accounting.  Per-process attribution is covered by
+  // scripts/fleet_smoke.sh with real separate binaries.
+  (void)telemetry::drain_trace_events();  // flush spans left by earlier tests
+
+  const ShardStudyConfig cfg = tiny_config();
+  const int kShards = 2;
+
+  CoordinatorConfig config;
+  config.port = 0;
+  config.jobs = kShards;
+  config.retries = 1;
+  config.job_template = job_template(cfg, kShards, "binary");
+  config.job_template.trace_id = "loopbacktrace001";
+
+  FleetView view(kShards, "loopback", config.job_template.trace_id, 0);
+  auto now_ms = [] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  };
+  telemetry::AggregateBuilder builder(telemetry::RawSeriesPolicy::kKeep);
+  std::atomic<int> metrics_frames{0};
+  CoordinatorCallbacks callbacks;
+  callbacks.on_result = [&](int shard, std::string bytes, const std::string& worker) {
+    builder.add(telemetry::decode_shard_input(std::move(bytes), "tcp://" + worker));
+    view.note_result(shard, worker, now_ms());
+  };
+  callbacks.on_event = [&](const std::string& event, int shard, const std::string& detail) {
+    view.note_event(event, shard, detail, now_ms());
+  };
+  callbacks.on_heartbeat = [&](const telemetry::Heartbeat& beat, const std::string& worker) {
+    view.note_heartbeat(beat, worker, now_ms());
+  };
+  callbacks.on_metrics = [&](const MetricsMsg& msg, const std::string& worker, double offset) {
+    metrics_frames.fetch_add(1);
+    view.note_metrics(msg, worker, offset, now_ms());
+  };
+
+  Coordinator coordinator(config, std::move(callbacks));
+  const std::uint16_t port = coordinator.port();
+
+  std::thread workers([port] {
+    WorkerConfig killed;
+    killed.host = "127.0.0.1";
+    killed.port = port;
+    killed.name = "obs-killed";
+    killed.abort_first_job = true;
+    EXPECT_EQ(run_worker(killed, study_runner()), WorkerExit::kAborted);
+
+    WorkerConfig survivor;
+    survivor.host = "127.0.0.1";
+    survivor.port = port;
+    survivor.name = "obs-survivor";
+    EXPECT_EQ(run_worker(survivor, study_runner()), WorkerExit::kBye);
+  });
+
+  const FleetSummary summary = coordinator.run();
+  workers.join();
+  ASSERT_TRUE(summary.ok);
+  view.add_local_events(telemetry::drain_trace_events(),
+                        telemetry::trace_epoch_unix_ms(), "coordinator loopback");
+
+  // Both workers sent their initial METRICS right after HELLO, and the
+  // survivor one more per finished job.
+  EXPECT_GE(metrics_frames.load(), 3);
+  ASSERT_EQ(view.workers().size(), 2u);
+  const WorkerView& killed = view.workers()[0];
+  const WorkerView& survivor = view.workers()[1];
+  EXPECT_EQ(killed.name, "obs-killed");
+  EXPECT_GE(killed.failed_attempts, 1);
+  EXPECT_TRUE(killed.offset_known);
+  EXPECT_TRUE(survivor.offset_known);
+  // Loopback clocks are one clock: the min-filtered estimate stays tiny.
+  EXPECT_LT(std::abs(survivor.clock_offset_ms), 50.0);
+  // Job accounting sums to the shard plan, reassigned shard included.
+  EXPECT_EQ(killed.jobs_done + survivor.jobs_done, kShards);
+  EXPECT_GE(view.reassignments(), 1);
+
+  const JsonValue trace = view.merged_trace_json();
+  EXPECT_EQ(trace.at("trace_id").as_string(), "loopbacktrace001");
+  bool saw_killed_pid = false, saw_survivor_pid = false, saw_job_span = false;
+  double prev_ts = -1.0;
+  for (const JsonValue& event : trace.at("traceEvents").as_array()) {
+    if (event.string_or("ph", "") != "X") continue;
+    const double ts = event.at("ts").as_number();
+    EXPECT_GE(ts, 0.0);
+    EXPECT_GE(ts, prev_ts);
+    prev_ts = ts;
+    const int pid = static_cast<int>(event.at("pid").as_number());
+    if (pid == killed.pid) saw_killed_pid = true;
+    if (pid == survivor.pid) saw_survivor_pid = true;
+    if (event.string_or("name", "") == "fleet.job" && event.contains("args")) {
+      saw_job_span = true;
+      EXPECT_EQ(event.at("args").string_or("trace_id", ""), "loopbacktrace001");
+    }
+  }
+  // The killed worker's initial METRICS shipped its fleet.connect span before
+  // it died, so even that process appears in the merged timeline.
+  EXPECT_TRUE(saw_killed_pid);
+  EXPECT_TRUE(saw_survivor_pid);
+  EXPECT_TRUE(saw_job_span);
+
+  const JsonValue doc = view.fleet_metrics_json(now_ms());
+  EXPECT_EQ(doc.at("shards").at("done").as_number(), static_cast<double>(kShards));
+  double sum_done = 0.0;
+  for (const JsonValue& w : doc.at("workers").as_array()) {
+    sum_done += w.at("jobs_done").as_number();
+  }
+  EXPECT_DOUBLE_EQ(sum_done, static_cast<double>(kShards));
+  EXPECT_EQ(doc.at("shards").at("reassigned").as_number(),
+            static_cast<double>(view.reassignments()));
 }
 
 TEST(LoopbackTest, ThrowingJobConsumesRetryBudgetThenFails) {

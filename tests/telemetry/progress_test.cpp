@@ -5,6 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace aropuf::telemetry {
 namespace {
@@ -114,6 +115,87 @@ TEST(ProgressTest, MalformedCompleteLinesAreCountedAndSkipped) {
   EXPECT_EQ(beats[0].stage, "good");
   EXPECT_EQ(beats[1].stage, "good2");
   EXPECT_EQ(reader.malformed_lines(), 2u);
+}
+
+TEST(ProgressTest, ByteTruncatedFileNeverThrowsAndRecoversOnCompletion) {
+  // Regression: a progress file byte-truncated at ANY position (worker died
+  // mid-write, filesystem cut the tail) must read cleanly — the partial tail
+  // is buffered, never surfaced as an error — and once the missing bytes
+  // arrive the buffered prefix completes into real beats.
+  ProgressWriter probe(temp_path("trunc_probe.jsonl"), 0);
+  truncate_file(temp_path("trunc_probe.jsonl"));
+  ASSERT_TRUE(probe.beat("alpha", 1, 2));
+  ASSERT_TRUE(probe.beat("beta", 2, 2));
+  std::string whole;
+  {
+    std::ifstream in(temp_path("trunc_probe.jsonl"), std::ios::binary);
+    whole.assign((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(whole.size(), 2u);
+
+  const std::string path = temp_path("trunc_cut.jsonl");
+  for (std::size_t cut = 0; cut <= whole.size(); ++cut) {
+    truncate_file(path);
+    {
+      std::ofstream out(path, std::ios::binary);
+      out << whole.substr(0, cut);
+    }
+    ProgressReader reader(path);
+    std::vector<Heartbeat> beats;
+    ASSERT_NO_THROW(beats = reader.poll()) << "cut at " << cut;
+    EXPECT_LE(beats.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(reader.malformed_lines(), 0u) << "cut at " << cut;
+    // Appending the remainder completes the torn tail losslessly.
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::app);
+      out << whole.substr(cut);
+    }
+    const auto rest = reader.poll();
+    EXPECT_EQ(beats.size() + rest.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(reader.malformed_lines(), 0u) << "cut at " << cut;
+  }
+}
+
+TEST(ProgressTest, TornFragmentFusedWithNextLineRecoversTheGoodSuffix) {
+  // A writer that died mid-append leaves a newline-less fragment; the next
+  // healthy writer's O_APPEND line lands right behind it, producing one
+  // merged "line" of <fragment>{good beat}.  The reader must salvage the
+  // good beat and charge exactly one malformed line for the fragment.
+  const std::string path = temp_path("torn_fused.jsonl");
+  truncate_file(path);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << R"({"ts_unix_ms": 9, "shard": 1, "stage": "die)";  // no newline
+  }
+  ProgressWriter writer(path, 3);
+  ASSERT_TRUE(writer.beat("alive", 1, 4));
+
+  ProgressReader reader(path);
+  const auto beats = reader.poll();
+  ASSERT_EQ(beats.size(), 1u);
+  EXPECT_EQ(beats[0].shard, 3);
+  EXPECT_EQ(beats[0].stage, "alive");
+  EXPECT_EQ(reader.malformed_lines(), 1u);
+}
+
+TEST(ProgressTest, FragmentWithBracesInStringsStillFindsTheRealSuffix) {
+  // The salvage scan retries from every '{': decoy braces inside the torn
+  // fragment's string data must not defeat it.
+  const std::string path = temp_path("torn_decoy.jsonl");
+  truncate_file(path);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << R"({"ts_unix_ms": 9, "stage": "curly { decoy {{", "sh)";  // no newline
+  }
+  ProgressWriter writer(path, 5);
+  ASSERT_TRUE(writer.beat("rescued", 2, 2));
+
+  ProgressReader reader(path);
+  const auto beats = reader.poll();
+  ASSERT_EQ(beats.size(), 1u);
+  EXPECT_EQ(beats[0].shard, 5);
+  EXPECT_EQ(beats[0].stage, "rescued");
+  EXPECT_EQ(reader.malformed_lines(), 1u);
 }
 
 TEST(ProgressTest, DisabledWriterIsANoOp) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -43,8 +44,9 @@ TEST(TraceTest, SpansSerializeToValidChromeTraceJson) {
   ASSERT_TRUE(doc.is_object());
   EXPECT_EQ(doc.as_object().at("displayTimeUnit").as_string(), "ms");
   const auto& events = doc.as_object().at("traceEvents").as_array();
-  // Metadata event + the two spans.
-  ASSERT_EQ(events.size(), 3U);
+  // process_name + thread_name metadata (both spans share one thread) + the
+  // two spans.
+  ASSERT_EQ(events.size(), 4U);
   bool saw_outer = false;
   for (const JsonValue& event : events) {
     const auto& e = event.as_object();
@@ -89,6 +91,79 @@ TEST(TraceTest, SpansRecordTheirThreadIds) {
   EXPECT_GE(worker_tid, 0.0);
   EXPECT_NE(main_tid, worker_tid);
   std::remove(path.c_str());
+}
+
+TEST(TraceTest, ProcessAndThreadLabelsFlowIntoMetadataEvents) {
+  const std::string path = ::testing::TempDir() + "aropuf_trace_labels.json";
+  start_trace(path);
+  set_trace_process_label("worker host:7");
+  set_trace_thread_label("worker main");
+  {
+    const TraceScope span("labeled", "test");
+  }
+  ASSERT_TRUE(flush_trace());
+
+  const JsonValue doc = JsonValue::parse(read_file(path));
+  bool saw_process = false;
+  bool saw_thread = false;
+  for (const JsonValue& event : doc.as_object().at("traceEvents").as_array()) {
+    const auto& e = event.as_object();
+    if (e.at("ph").as_string() != "M") continue;
+    const std::string label = e.at("args").as_object().at("name").as_string();
+    if (e.at("name").as_string() == "process_name") {
+      saw_process = true;
+      EXPECT_EQ(label, "worker host:7");
+    }
+    if (e.at("name").as_string() == "thread_name") {
+      saw_thread = true;
+      EXPECT_EQ(label, "worker main");
+    }
+  }
+  EXPECT_TRUE(saw_process);
+  EXPECT_TRUE(saw_thread);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, BufferedSessionDrainsEventsForTheWire) {
+  // The fleet worker path: no file, spans accumulate in memory and ship
+  // inside METRICS frames via drain_trace_events().
+  start_trace_buffered();
+  ASSERT_TRUE(trace_enabled());
+  set_trace_thread_label("worker main");
+  {
+    const TraceScope span("shippable", "fleet");
+  }
+  EXPECT_EQ(trace_event_count(), 1U);
+
+  JsonValue::Array drained = drain_trace_events();
+  ASSERT_EQ(drained.size(), 1U);
+  const auto& e = drained[0].as_object();
+  EXPECT_EQ(e.at("name").as_string(), "shippable");
+  EXPECT_EQ(e.at("ph").as_string(), "X");
+  // Wire form: steady-clock ts + transport-only thread label, NO pid — the
+  // coordinator's merge assigns the synthetic one.
+  EXPECT_FALSE(e.contains("pid"));
+  EXPECT_EQ(e.at("tname").as_string(), "worker main");
+
+  // Draining empties the buffer without ending the session.
+  EXPECT_EQ(trace_event_count(), 0U);
+  EXPECT_TRUE(trace_enabled());
+  EXPECT_TRUE(drain_trace_events().empty());
+  // A buffer-only session flushes as a no-op success (nothing to write).
+  EXPECT_TRUE(flush_trace());
+  EXPECT_FALSE(trace_enabled());
+}
+
+TEST(TraceTest, TraceEpochAnchorsSteadyTimestampsToWallClock) {
+  // epoch + steady_now_us()/1000 must reconstruct "now" to within a coarse
+  // tolerance — this is the invariant the fleet timeline merge relies on.
+  const double epoch_ms = trace_epoch_unix_ms();
+  const double reconstructed_ms =
+      epoch_ms + static_cast<double>(steady_now_us()) / 1000.0;
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  EXPECT_NEAR(reconstructed_ms, static_cast<double>(wall_ms), 250.0);
 }
 
 TEST(TraceTest, FlushToUnwritablePathFails) {

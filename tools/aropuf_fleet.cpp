@@ -20,9 +20,16 @@
 //    Workers are stateless: every job message carries the full study
 //    parameterization, so a worker binary needs no other configuration.
 //
-// The wire protocol (ARPF frames: HELLO/JOB/HEARTBEAT/RESULT/ERROR/BYE) is
-// specified normatively in DESIGN.md §11; docs/runbook-fleet.md is the
-// operator guide.
+// The wire protocol (ARPF frames: HELLO/JOB/HEARTBEAT/RESULT/ERROR/METRICS/
+// BYE) is specified normatively in DESIGN.md §11; docs/runbook-fleet.md is
+// the operator guide.
+//
+// Observability: the coordinator stamps a fleet-wide trace id on every JOB,
+// folds worker METRICS snapshots into a live per-worker HUD (TTY only), and
+// on exit writes fleet_trace.json (merged offset-corrected Chrome timeline),
+// fleet_metrics.json (schema aropuf-fleet-metrics v1), and
+// fleet_metrics.prom (Prometheus text exposition) into --out — for failed
+// runs too.
 //
 // Exit codes, coordinator mode: 0 success; 1 failed jobs, fold errors,
 // provenance conflicts, or write errors; 2 usage error; 3 --check-single
@@ -31,6 +38,7 @@
 // WorkerExit status (0 = dismissed with BYE).
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +52,7 @@
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "net/coordinator.hpp"
+#include "net/fleet_view.hpp"
 #include "net/socket.hpp"
 #include "net/worker.hpp"
 #include "sim/parallel.hpp"
@@ -52,10 +61,12 @@
 #include "telemetry/aggregate.hpp"
 #include "telemetry/manifest.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 #if !defined(_WIN32)
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 #else
 #include <direct.h>
 #endif
@@ -194,6 +205,117 @@ bool make_output_dir(const std::string& dir) {
 #endif
 }
 
+std::int64_t now_unix_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+bool stdout_is_tty() {
+#if !defined(_WIN32)
+  return ::isatty(1) == 1;
+#else
+  return false;
+#endif
+}
+
+/// 16-hex-char fleet trace id: splitmix64 over seed ⊕ wall clock ⊕ pid, so
+/// concurrent runs from the same seed still get distinct timelines.
+std::string make_trace_id(std::uint64_t seed) {
+  std::uint64_t x = seed ^ static_cast<std::uint64_t>(now_unix_ms());
+#if !defined(_WIN32)
+  x ^= static_cast<std::uint64_t>(::getpid()) << 32;
+#endif
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(x));
+  return buf;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out.is_open()) return false;
+  out << text;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+/// Live per-worker fleet table, redrawn in place with the same cursor-up +
+/// line-clear idiom aropuf_shard's HUD uses.  Active only on a TTY without
+/// --quiet; when active it replaces the per-event narration entirely (the
+/// two would shred each other's terminal region).
+class FleetHud {
+ public:
+  FleetHud(bool enabled, int shards, std::int64_t start_unix_ms)
+      : enabled_(enabled), shards_(shards), start_unix_ms_(start_unix_ms) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void note_event(const std::string& event, int shard, const std::string& detail) {
+    if (!enabled_) return;
+    last_event_ = shard >= 0 ? event + " shard " + std::to_string(shard) + " (" + detail + ")"
+                             : event + " (" + detail + ")";
+  }
+
+  void render(const net::FleetView& view, bool force) {
+    if (!enabled_) return;
+    // 10 Hz redraw cap: heartbeats can arrive per work unit.
+    const std::int64_t now = now_unix_ms();
+    if (!force && now - last_render_ms_ < 100) return;
+    last_render_ms_ = now;
+
+    if (erase_lines_ > 0) std::printf("\x1b[%zuF", erase_lines_);
+    std::size_t lines = 0;
+    auto line = [&lines](const std::string& text) {
+      std::printf("\x1b[2K%s\n", text.c_str());
+      ++lines;
+    };
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "fleet: %d/%d done  %d failed  %d reassigned  elapsed %.1fs%s%s",
+                  view.shards_done(), shards_, view.shards_failed(), view.reassignments(),
+                  static_cast<double>(now - start_unix_ms_) / 1000.0,
+                  last_event_.empty() ? "" : "  |  ", last_event_.c_str());
+    line(head);
+    for (const net::WorkerView& w : view.workers()) {
+      char row[256];
+      std::string stage = w.last_stage.empty() ? "-" : w.last_stage;
+      if (w.stage_total > 0) {
+        stage += " " + std::to_string(w.stage_done) + "/" + std::to_string(w.stage_total);
+      }
+      std::snprintf(row, sizeof row,
+                    "  worker[%d] %-24s %s  jobs %d/%d  retry %d  %s  clk%+.1fms",
+                    w.pid - 2, w.name.c_str(),
+                    w.busy_shard >= 0 ? ("busy s" + std::to_string(w.busy_shard)).c_str()
+                    : w.connected    ? "idle   "
+                                     : "gone   ",
+                    w.jobs_done, w.jobs_assigned, w.failed_attempts, stage.c_str(),
+                    w.clock_offset_ms);
+      line(row);
+    }
+    std::fflush(stdout);
+    erase_lines_ = lines;
+  }
+
+  /// Leaves the final table on screen and stops managing the region.
+  void finish(const net::FleetView& view) {
+    if (!enabled_) return;
+    render(view, /*force=*/true);
+    erase_lines_ = 0;
+  }
+
+ private:
+  bool enabled_;
+  int shards_;
+  std::int64_t start_unix_ms_;
+  std::int64_t last_render_ms_ = 0;
+  std::size_t erase_lines_ = 0;
+  std::string last_event_;
+};
+
 // --- worker mode -------------------------------------------------------------
 
 int run_worker_mode(const Options& opt) {
@@ -262,6 +384,17 @@ int run_coordinator_mode(const Options& opt) {
                                                 ? telemetry::RawSeriesPolicy::kDropAfterCheck
                                                 : telemetry::RawSeriesPolicy::kKeep;
 
+  // Observability plane: one trace session (buffer-only unless the operator
+  // asked for a file via AROPUF_TRACE), one fleet-wide trace id stamped on
+  // every JOB, and one FleetView folding everything the wire reports.
+  if (!telemetry::trace_enabled()) telemetry::start_trace_buffered();
+  telemetry::set_trace_process_label("coordinator " + opt.run);
+  telemetry::set_trace_thread_label("coordinator main");
+  const std::string trace_id = make_trace_id(opt.seed);
+  const std::int64_t run_start_ms = now_unix_ms();
+  net::FleetView view(opt.shards, opt.run, trace_id, run_start_ms);
+  FleetHud hud(stdout_is_tty() && !opt.quiet, opt.shards, run_start_ms);
+
   net::CoordinatorConfig config;
   config.port = static_cast<std::uint16_t>(opt.listen_port);
   config.jobs = opt.shards;
@@ -274,6 +407,7 @@ int run_coordinator_mode(const Options& opt) {
   config.job_template.checkpoints = opt.checkpoints;
   config.job_template.run = opt.run;
   config.job_template.format = opt.format;
+  config.job_template.trace_id = trace_id;
 
   // Streaming fold: each RESULT is decoded and folded the moment it lands,
   // exactly like aropuf_shard --stream — the builder keeps only the
@@ -297,7 +431,10 @@ int run_coordinator_mode(const Options& opt) {
     // Throwing here fails the attempt and routes the job through the retry
     // budget — a manifest that will not fold is as fatal as a dead worker.
     builder.add(telemetry::decode_shard_input(std::move(bytes), "tcp://" + worker));
-    if (!opt.quiet) {
+    view.note_result(shard, worker, now_unix_ms());
+    if (hud.enabled()) {
+      hud.render(view, /*force=*/true);
+    } else if (!opt.quiet) {
       std::printf("shard %d: folded (%d/%d from %s)\n", shard, builder.shards_added(),
                   opt.shards, worker.c_str());
       std::fflush(stdout);
@@ -308,6 +445,11 @@ int run_coordinator_mode(const Options& opt) {
   // outlives run() without synchronization.
   std::map<int, std::string> last_stage;
   callbacks.on_heartbeat = [&](const telemetry::Heartbeat& beat, const std::string& worker) {
+    view.note_heartbeat(beat, worker, now_unix_ms());
+    if (hud.enabled()) {
+      hud.render(view, /*force=*/false);
+      return;
+    }
     if (opt.quiet) return;
     const std::string key = worker + "|" + beat.stage;
     if (last_stage[beat.shard] == key) return;
@@ -315,7 +457,18 @@ int run_coordinator_mode(const Options& opt) {
     std::printf("shard %d: %s (%s)\n", beat.shard, beat.stage.c_str(), worker.c_str());
     std::fflush(stdout);
   };
+  callbacks.on_metrics = [&](const net::MetricsMsg& msg, const std::string& worker,
+                             double clock_offset_ms) {
+    view.note_metrics(msg, worker, clock_offset_ms, now_unix_ms());
+    hud.render(view, /*force=*/false);
+  };
   callbacks.on_event = [&](const std::string& event, int shard, const std::string& detail) {
+    view.note_event(event, shard, detail, now_unix_ms());
+    if (hud.enabled()) {
+      hud.note_event(event, shard, detail);
+      hud.render(view, /*force=*/true);
+      return;
+    }
     if (opt.quiet) return;
     if (shard >= 0) {
       std::printf("fleet: %s shard %d: %s\n", event.c_str(), shard, detail.c_str());
@@ -357,10 +510,31 @@ int run_coordinator_mode(const Options& opt) {
     std::fprintf(stderr, "aropuf_fleet: coordinator failed: %s\n", e.what());
     return 1;
   }
+  hud.finish(view);
   std::printf(
       "aropuf_fleet: %d/%d job(s) done, %d failed, %d worker(s), %d reassignment(s)%s\n",
       summary.jobs_done, opt.shards, summary.jobs_failed, summary.workers_seen,
       summary.reassignments, summary.timed_out ? " [timed out]" : "");
+
+  // Observability artifacts are written for failed runs too — a timeline of
+  // a run that went wrong is worth more than one of a run that went right.
+  view.add_local_events(telemetry::drain_trace_events(), telemetry::trace_epoch_unix_ms(),
+                        "coordinator " + opt.run);
+  const std::int64_t run_end_ms = now_unix_ms();
+  const std::string trace_path = opt.out_dir + "/fleet_trace.json";
+  const std::string metrics_path = opt.out_dir + "/fleet_metrics.json";
+  const std::string prom_path = opt.out_dir + "/fleet_metrics.prom";
+  if (!write_text_file(trace_path, view.merged_trace_json().dump(/*indent=*/0) + "\n") ||
+      !write_text_file(metrics_path,
+                       view.fleet_metrics_json(run_end_ms).dump(/*indent=*/2) + "\n") ||
+      !write_text_file(prom_path, view.prometheus_text())) {
+    std::fprintf(stderr, "aropuf_fleet: warning: could not write fleet observability artifacts\n");
+  } else if (!opt.quiet) {
+    std::printf("aropuf_fleet: fleet timeline %s, metrics %s + %s (trace_id %s)\n",
+                trace_path.c_str(), metrics_path.c_str(), prom_path.c_str(), trace_id.c_str());
+    std::fflush(stdout);
+  }
+
   if (!summary.ok) {
     std::fprintf(stderr, "aropuf_fleet: run failed; no aggregate manifest written\n");
     return 1;
