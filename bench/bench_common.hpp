@@ -13,6 +13,7 @@
 #include "sim/parallel.hpp"
 #include "sim/scenarios.hpp"
 #include "telemetry/manifest.hpp"
+#include "telemetry/prof.hpp"
 
 namespace aropuf::bench {
 
@@ -50,6 +51,10 @@ inline void parse_args(int argc, char** argv) {
       break;
   }
   if (options().threads > 0) ParallelExecutor::set_global_thread_count(options().threads);
+  // Env-driven (AROPUF_PROF / AROPUF_PROF_RESOURCE): whole-run hardware
+  // counters + resource sampler; per-stage deltas land in the manifest and
+  // the totals in its "profile" section.  No-op when profiling is off.
+  telemetry::start_process_profile();
 }
 
 /// The reference population every E-bench uses (seed printed so results are
@@ -81,6 +86,10 @@ inline int finish(const char* run_name, std::optional<CsvWriter>* csv = nullptr)
   if (const char* dir = cli::env_value("ARO_CSV_DIR")) {
     fallback = std::string(dir) + "/" + run_name + ".manifest.json";
   }
+  // Freeze profile totals (and close the resource timeline) before the
+  // manifest snapshots them; a failed timeline write fails the run like a
+  // failed CSV does.
+  ok = telemetry::stop_process_profile() && ok;
   ok = telemetry::finalize_run(run_name, JsonValue(std::move(config)), fallback) && ok;
   return ok ? 0 : 1;
 }

@@ -10,8 +10,6 @@
 //
 // Usage: bench_fold_throughput [--chips N] [--shards S] [--series K]
 //                              [--repeat R] [--keep-raw]
-#include <sys/resource.h>
-
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -24,17 +22,16 @@
 
 #include "fold_bench_util.hpp"
 #include "telemetry/aggregate.hpp"
+#include "telemetry/prof.hpp"
 
 namespace {
 
 using namespace aropuf;
 namespace fs = std::filesystem;
 
-long peak_rss_kib() {
-  struct rusage ru {};
-  ::getrusage(RUSAGE_SELF, &ru);
-  return ru.ru_maxrss;  // KiB on Linux
-}
+// Peak RSS comes from the profiling layer's shared helper, which
+// normalizes the Linux-KiB vs macOS-bytes ru_maxrss discrepancy.
+using telemetry::peak_rss_kib;
 
 /// Splits the synthetic whole-population shard into `shards` contiguous
 /// slices and writes each as its own manifest in the requested transport.

@@ -25,6 +25,7 @@
 #include "sim/parallel.hpp"
 #include "sim/scenarios.hpp"
 #include "telemetry/aggregate.hpp"
+#include "telemetry/prof.hpp"
 
 namespace {
 
@@ -33,6 +34,26 @@ using namespace aropuf;
 const TechnologyParams& tech() {
   static const TechnologyParams t = TechnologyParams::cmos90();
   return t;
+}
+
+/// Publishes a reader's hardware-counter delta as google-benchmark user
+/// counters so --benchmark_format=json carries IPC / cache-miss-rate / GHz
+/// columns for scripts/perf_gate.py.  Silently a no-op where counters are
+/// unavailable (AROPUF_PROF off, paranoid kernel, no PMU) — the gate skips
+/// the check when the columns are absent.
+void attach_hw_counters(benchmark::State& state, const telemetry::CounterReader& reader) {
+  const telemetry::CounterDelta d = reader.sample();
+  if (!d.counters_valid) return;
+  state.counters["ipc"] = benchmark::Counter(d.ipc());
+  state.counters["ghz"] = benchmark::Counter(d.ghz());
+  state.counters["cycles"] = benchmark::Counter(static_cast<double>(d.cycles));
+  state.counters["instructions"] = benchmark::Counter(static_cast<double>(d.instructions));
+  if (d.cache_valid) {
+    state.counters["cache_miss_rate"] = benchmark::Counter(d.cache_miss_rate());
+  }
+  if (d.branch_valid) {
+    state.counters["branch_misses"] = benchmark::Counter(static_cast<double>(d.branch_misses));
+  }
 }
 
 void BM_RoFrequency(benchmark::State& state) {
@@ -61,9 +82,11 @@ void BM_KernelFrequencies(benchmark::State& state, DelayBackend backend) {
   const auto op = chip.nominal_op();
   const DelayBackend previous = delay_backend();
   set_delay_backend(backend);
+  const telemetry::CounterReader counters;
   for (auto _ : state) {
     benchmark::DoNotOptimize(chip.ro_frequencies(op));
   }
+  attach_hw_counters(state, counters);
   set_delay_backend(previous);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
 }
@@ -149,9 +172,11 @@ void BM_AgingSeries200(benchmark::State& state) {
   pop.chips = 200;
   pop.seed = 2014;
   const double checkpoints[] = {10.0};
+  const telemetry::CounterReader counters;
   for (auto _ : state) {
     benchmark::DoNotOptimize(run_aging_series(pop, PufConfig::aro(), checkpoints));
   }
+  attach_hw_counters(state, counters);
   aropuf::ParallelExecutor::set_global_thread_count(previous_threads);
 }
 BENCHMARK(BM_AgingSeries200)
@@ -289,9 +314,13 @@ int main(int argc, char** argv) {
     argv[kept++] = argv[i];
   }
   argc = kept;
+  // AROPUF_PROF=on puts the whole bench under the profiling layer (whole-run
+  // counters + resource sampler) — the profiling-smoke CI leg measures the
+  // on-vs-off overhead of exactly this configuration via perf_gate overhead.
+  aropuf::telemetry::start_process_profile();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return aropuf::telemetry::stop_process_profile() ? 0 : 1;
 }

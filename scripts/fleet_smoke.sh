@@ -20,6 +20,13 @@ rm -rf "$OUT"
 mkdir -p "$OUT"
 PORT_FILE="$OUT/coordinator.port"
 
+# Profile the whole fleet: every process resolves AROPUF_PROF itself (perf
+# counters where the kernel allows, the rusage fallback elsewhere), so the
+# workers' METRICS frames carry prof.*/proc.* instruments either way and the
+# Prometheus exposition must export them.
+AROPUF_PROF=on
+export AROPUF_PROF
+
 # Total timeout bounds a hung run (a dead worker must surface as a reassign
 # or a failed job, never as a stuck CI leg).
 "$FLEET" --listen 0 --port-file "$PORT_FILE" \
@@ -90,6 +97,14 @@ for artifact in fleet_trace.json fleet_metrics.json fleet_metrics.prom; do
     exit 1
   fi
 done
+
+# With AROPUF_PROF=on every worker's snapshots carry profiling instruments
+# (prof.scopes at minimum, even on the fallback path), so the exposition
+# must include the per-worker profile family.
+if ! grep -q "aropuf_fleet_worker_profile" "$OUT/fleet_metrics.prom"; then
+  echo "fleet_smoke: fleet_metrics.prom has no aropuf_fleet_worker_profile series" >&2
+  exit 1
+fi
 
 # Deep checks need python3; skip gracefully on hosts without it (the C++
 # gtest suites cover the same invariants in-process).

@@ -12,11 +12,30 @@ A runner that is 2x slower slows the benchmark AND the normalizer 2x, so the
 ratio — and therefore the gate — is machine-speed independent.  Only genuine
 relative slowdowns of the simulation kernels trip it.
 
+Hardware-counter gating: bench_micro attaches perf_event user counters (ipc,
+cache_miss_rate, ghz, ...) to its JSON when AROPUF_PROF=on and the kernel
+grants counters.  baseline.json's "hw_counters" section holds per-benchmark
+floors/ceilings (min_ipc, max_cache_miss_rate) checked by `counters` and by
+`compare`.  Counters are gated separately from wall time because they fail
+differently: an IPC collapse with flat wall time means the machine got
+faster while the code got worse, which ratio gating alone cannot see.  When
+the counter fields are absent (no PMU, AROPUF_PROF off) the checks skip with
+a note instead of failing — CI runners without perf access stay green.
+
+Profiling-overhead gating: baseline.json's "overheads" section pins the
+cost of the observability layer itself — `overhead` compares a profiled run
+against an unprofiled one (same build, same process kind) and fails when
+the profiled wall time exceeds the budget (e.g. 2 % for the resource
+sampler).  Min-across-repetitions is used on both sides so scheduler noise
+on a loaded runner does not flag the layer.
+
 Usage:
   perf_gate.py compare results.json     # exit 1 on any >threshold regression
   perf_gate.py update results.json      # refresh bench/baseline.json in place
   perf_gate.py self-test results.json   # canary: doctor one result 2x slower
                                         # and assert the gate catches it
+  perf_gate.py counters results.json    # hw-counter floors/ceilings only
+  perf_gate.py overhead off.json on.json  # profiling overhead budget
 
 Baseline refresh procedure (after an intentional perf change):
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
@@ -56,6 +75,52 @@ def load_times_ns(results_path: Path) -> dict[str, float]:
             continue  # keep the first occurrence of repeated runs
         times[name] = float(bench["real_time"]) * _UNIT_TO_NS[bench.get("time_unit", "ns")]
     return times
+
+
+def load_min_times_ns(results_path: Path) -> dict[str, float]:
+    """name -> minimum real_time in ns across repetitions.
+
+    The overhead gate compares two absolute wall times from the same machine,
+    so (unlike the first-occurrence policy above, which mirrors how the
+    normalized-ratio baseline was recorded) the min across repetitions is the
+    right estimator: scheduler noise only ever adds time.
+    """
+    with results_path.open() as fh:
+        data = json.load(fh)
+    times: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate" or "aggregate_name" in bench:
+            continue
+        if bench.get("error_occurred"):
+            continue
+        t = float(bench["real_time"]) * _UNIT_TO_NS[bench.get("time_unit", "ns")]
+        name = bench["name"]
+        times[name] = min(times[name], t) if name in times else t
+    return times
+
+
+# User counters bench_micro attaches via state.counters when hardware
+# counters are live.  Their presence in the JSON is how the gate knows the
+# run was counter-profiled at all.
+COUNTER_FIELDS = ("ipc", "ghz", "cycles", "instructions", "cache_miss_rate",
+                  "branch_misses")
+
+
+def load_counters(results_path: Path) -> dict[str, dict[str, float]]:
+    """name -> {counter: value} for benchmarks that carry hw counters."""
+    with results_path.open() as fh:
+        data = json.load(fh)
+    counters: dict[str, dict[str, float]] = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate" or "aggregate_name" in bench:
+            continue
+        if bench.get("error_occurred"):
+            continue
+        row = {f: float(bench[f]) for f in COUNTER_FIELDS
+               if isinstance(bench.get(f), (int, float))}
+        if row and bench["name"] not in counters:
+            counters[bench["name"]] = row
+    return counters
 
 
 def normalized_ratios(times: dict[str, float]) -> dict[str, float]:
@@ -123,6 +188,44 @@ def compare_speedups(ratios: dict[str, float], baseline: dict, *,
     return failures
 
 
+def compare_counters(counters: dict[str, dict[str, float]], baseline: dict, *,
+                     quiet: bool = False) -> tuple[list[str], list[str]]:
+    """Hardware-counter floors/ceilings; returns (failures, skip notes).
+
+    A missing counter column is a *skip*, not a failure: perf_event access
+    is a runner property (paranoid level, container PMU passthrough), and a
+    gate that fails wherever counters are unavailable would just get
+    disabled.  The skip note keeps the absence visible in the CI log.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    for name, spec in sorted(baseline.get("hw_counters", {}).items()):
+        row = counters.get(name)
+        if row is None:
+            notes.append(f"hw_counters {name}: no counter columns in results "
+                         "(no PMU or AROPUF_PROF off) — skipped")
+            continue
+        checks = []
+        if "min_ipc" in spec:
+            checks.append(("ipc", float(spec["min_ipc"]), ">="))
+        if "max_cache_miss_rate" in spec:
+            checks.append(("cache_miss_rate", float(spec["max_cache_miss_rate"]), "<="))
+        for field, bound, op in checks:
+            if field not in row:
+                notes.append(f"hw_counters {name}: field '{field}' absent — skipped")
+                continue
+            value = row[field]
+            bad = value < bound if op == ">=" else value > bound
+            status = "VIOLATION" if bad else "OK"
+            if bad:
+                failures.append(f"hw_counters {name}: {field} = {value:.4g}, "
+                                f"required {op} {bound:.4g}")
+            if not quiet:
+                print(f"  hw {name}: {field} = {value:.4g} "
+                      f"(bound {op} {bound:.4g}) {status}")
+    return failures, notes
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     ratios = normalized_ratios(load_times_ns(args.results))
     baseline = load_baseline(args.baseline)
@@ -130,6 +233,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
           f"(threshold +{float(baseline.get('threshold', DEFAULT_THRESHOLD)):.0%}, "
           f"normalizer {NORMALIZER})")
     failures = compare(ratios, baseline)
+    counter_failures, notes = compare_counters(load_counters(args.results), baseline)
+    failures += counter_failures
+    for note in notes:
+        print(f"  note: {note}")
     if failures:
         print("\nperf gate FAILED:")
         for failure in failures:
@@ -144,10 +251,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_update(args: argparse.Namespace) -> int:
     ratios = normalized_ratios(load_times_ns(args.results))
     speedups: dict = {}
+    overheads: dict = {}
+    hw_counters: dict = {}
     try:
         old = load_baseline(args.baseline)
         threshold = float(old.get("threshold", DEFAULT_THRESHOLD))
         speedups = old.get("speedups", {})
+        overheads = old.get("overheads", {})
+        hw_counters = old.get("hw_counters", {})
         gated = [name for name in old["benchmarks"] if name in ratios]
         missing = sorted(set(old["benchmarks"]) - set(ratios))
         if missing:
@@ -163,10 +274,70 @@ def cmd_update(args: argparse.Namespace) -> int:
     }
     if speedups:
         baseline["speedups"] = speedups
+    if overheads:
+        baseline["overheads"] = overheads
+    if hw_counters:
+        baseline["hw_counters"] = hw_counters
     with args.baseline.open("w") as fh:
         json.dump(baseline, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.baseline} ({len(gated)} gated benchmarks)")
+    return 0
+
+
+def cmd_counters(args: argparse.Namespace) -> int:
+    baseline = load_baseline(args.baseline)
+    if not baseline.get("hw_counters"):
+        print("no hw_counters section in baseline — nothing to gate")
+        return 0
+    counters = load_counters(args.results)
+    print(f"hw-counter gate: {args.results} vs {args.baseline}")
+    failures, notes = compare_counters(counters, baseline)
+    for note in notes:
+        print(f"  note: {note}")
+    if failures:
+        print("\nhw-counter gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("hw-counter gate passed")
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    baseline = load_baseline(args.baseline)
+    overheads = baseline.get("overheads", {})
+    if not overheads:
+        print("no overheads section in baseline — nothing to gate")
+        return 0
+    off_times = load_min_times_ns(args.results)
+    on_times = load_min_times_ns(args.profiled)
+    print(f"overhead gate: {args.profiled} (profiled) vs {args.results} (plain)")
+    failures: list[str] = []
+    for label, spec in sorted(overheads.items()):
+        name = spec["benchmark"]
+        budget = float(spec["max_overhead"])
+        missing = [p for p, times in ((args.results, off_times), (args.profiled, on_times))
+                   if name not in times]
+        if missing:
+            failures.append(f"overhead {label}: benchmark {name!r} missing from "
+                            f"{', '.join(map(str, missing))}")
+            continue
+        overhead = on_times[name] / off_times[name] - 1.0
+        status = "OK"
+        if overhead > budget:
+            status = "OVER BUDGET"
+            failures.append(f"overhead {label}: {name} profiled run is "
+                            f"{overhead:+.2%}, budget +{budget:.0%}")
+        print(f"  {label}: {name} {overhead:+.2%} (budget +{budget:.0%}) {status}")
+    if failures:
+        print("\noverhead gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        print("\nThe profiling layer itself got more expensive — check the "
+              "sampler cadence and per-scope counter reads before raising the budget.")
+        return 1
+    print("overhead gate passed")
     return 0
 
 
@@ -198,9 +369,13 @@ def main() -> int:
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
     for name, fn in (("compare", cmd_compare), ("update", cmd_update),
-                     ("self-test", cmd_self_test)):
+                     ("self-test", cmd_self_test), ("counters", cmd_counters),
+                     ("overhead", cmd_overhead)):
         p = sub.add_parser(name)
         p.add_argument("results", type=Path, help="google-benchmark JSON output")
+        if name == "overhead":
+            p.add_argument("profiled", type=Path,
+                           help="JSON from the same benchmark with AROPUF_PROF=on")
         p.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
         p.set_defaults(fn=fn)
     args = parser.parse_args()

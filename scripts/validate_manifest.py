@@ -25,12 +25,19 @@ silent pass would hide a policy regression.  Pass --ignore-raw-policy for
 the deliberate cross-policy comparisons (e.g. CI checking that a streaming
 drop-raw run reproduces a kept single-shot run's statistics).
 
+Resource timelines (telemetry/prof.hpp ResourceSampler) validate with
+--resource: every JSONL line must carry a monotonic timestamp and
+non-negative RSS/CPU readings, with the same torn-final-line tolerance as
+the heartbeat reader.  The run-manifest "profile" section (counter mode,
+fallback reason, peak RSS) is validated as part of the manifest schema.
+
 Usage:
   validate_manifest.py manifest.json [more.json ...]   # manifest schema
   validate_manifest.py --trace trace.json [...]        # Chrome-trace format
   validate_manifest.py --aggregate merged.json [...]   # aggregate schema
   validate_manifest.py --binary shard.manifest.bin [...]  # ARPB container
   validate_manifest.py --progress progress.jsonl [...] # heartbeat JSONL
+  validate_manifest.py --resource resource.jsonl [...] # resource timeline
   validate_manifest.py --fleet-metrics fleet_metrics.json [...]
                                                        # fleet snapshot schema
   validate_manifest.py --diff-stats [--ignore-raw-policy] a.json b.json
@@ -71,7 +78,13 @@ MANIFEST_KEYS = {
     "stages": lambda v: isinstance(v, list),
     "metrics": lambda v: isinstance(v, dict) and isinstance(v.get("counters"), dict)
     and isinstance(v.get("gauges"), dict) and isinstance(v.get("histograms"), dict),
+    "profile": lambda v: isinstance(v, dict),
 }
+
+# Modes a run manifest's profile section may report (telemetry/prof.hpp
+# ProfMode); aggregates additionally use "mixed" when shards disagree.
+PROFILE_MODES = ("counters", "fallback", "off")
+AGGREGATE_PROFILE_MODES = PROFILE_MODES + ("mixed",)
 
 STAGE_KEYS = {
     "name": lambda v: isinstance(v, str) and v != "",
@@ -86,6 +99,69 @@ TRACE_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
 
 def fail(path: Path, message: str) -> str:
     return f"{path}: {message}"
+
+
+def validate_profile_section(profile, path: Path, *, aggregate: bool) -> list[str]:
+    """Validates a manifest's "profile" section (telemetry/prof.hpp).
+
+    Run manifests carry a single mode + fallback_reason; aggregates carry
+    the merged mode ("mixed" when shards disagree), the deduplicated
+    fallback_reasons list, and a per_shard echo of every input section.
+    The counters object is optional in both (absent when perf_event was
+    unavailable), but when present every entry must be a non-negative
+    number — downstream gates read these fields arithmetically.
+    """
+    if not isinstance(profile, dict):
+        return [fail(path, "profile section is not an object")]
+    problems = []
+    modes = AGGREGATE_PROFILE_MODES if aggregate else PROFILE_MODES
+    if profile.get("mode") not in modes:
+        problems.append(fail(path, f"profile mode {profile.get('mode')!r} "
+                                   f"not one of {modes}"))
+    rss = profile.get("peak_rss_kib")
+    if not isinstance(rss, (int, float)) or rss < 0:
+        problems.append(fail(path, "profile peak_rss_kib missing or negative"))
+    if aggregate:
+        reasons = profile.get("fallback_reasons")
+        if not isinstance(reasons, list) or not all(
+                isinstance(r, str) for r in reasons):
+            problems.append(fail(path, "profile fallback_reasons must be a "
+                                       "list of strings"))
+        if not isinstance(profile.get("per_shard"), dict):
+            problems.append(fail(path, "profile per_shard missing"))
+    else:
+        if not isinstance(profile.get("fallback_reason"), str):
+            problems.append(fail(path, "profile fallback_reason must be a string"))
+        # A manifest claiming hardware counters ran but giving no reason for
+        # a fallback (or vice versa) is internally inconsistent.
+        if profile.get("mode") == "fallback" and not profile.get("fallback_reason"):
+            problems.append(fail(path, "profile mode is 'fallback' but "
+                                       "fallback_reason is empty"))
+    counters = profile.get("counters")
+    if counters is not None:
+        if not isinstance(counters, dict):
+            problems.append(fail(path, "profile counters is not an object"))
+        else:
+            for name, value in counters.items():
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(fail(
+                        path, f"profile counter '{name}' is not a "
+                              "non-negative number"))
+    sampler = profile.get("sampler")
+    if sampler is not None and not aggregate:
+        if not isinstance(sampler, dict):
+            problems.append(fail(path, "profile sampler is not an object"))
+        else:
+            if not isinstance(sampler.get("interval_ms"), (int, float)) or \
+                    sampler["interval_ms"] <= 0:
+                problems.append(fail(path, "profile sampler interval_ms invalid"))
+            if not isinstance(sampler.get("samples"), (int, float)) or \
+                    sampler["samples"] < 0:
+                problems.append(fail(path, "profile sampler samples invalid"))
+            if sampler.get("ok") is not True:
+                problems.append(fail(path, "profile sampler reports a stream "
+                                          "failure (ok != true)"))
+    return problems
 
 
 def validate_manifest(path: Path) -> list[str]:
@@ -112,9 +188,21 @@ def validate_manifest_doc(doc, path: Path) -> list[str]:
         for key, ok in STAGE_KEYS.items():
             if key not in stage or not ok(stage[key]):
                 problems.append(fail(path, f"stages[{i}] key '{key}' missing or invalid"))
+        # Hardware-counter deltas are optional per stage (absent when
+        # perf_event was unavailable), but must be numeric when present.
+        if "counters" in stage:
+            if not isinstance(stage["counters"], dict):
+                problems.append(fail(path, f"stages[{i}] counters is not an object"))
+            else:
+                for name, value in stage["counters"].items():
+                    if not isinstance(value, (int, float)):
+                        problems.append(fail(
+                            path, f"stages[{i}] counter '{name}' is not a number"))
     for name, value in doc.get("metrics", {}).get("counters", {}).items():
         if not isinstance(value, (int, float)) or value < 0:
             problems.append(fail(path, f"counter '{name}' is not a non-negative number"))
+    if "profile" in doc:
+        problems.extend(validate_profile_section(doc["profile"], path, aggregate=False))
     return problems
 
 
@@ -136,6 +224,7 @@ AGGREGATE_KEYS = {
     "results": lambda v: isinstance(v, dict) and isinstance(v.get("samples"), dict)
     and isinstance(v.get("tallies"), dict),
     "conflicts": lambda v: isinstance(v, list),
+    "profile": lambda v: isinstance(v, dict),
 }
 
 SHARD_ROW_KEYS = ("index", "chip_lo", "chip_hi", "manifest", "git_sha", "threads",
@@ -170,6 +259,8 @@ def validate_aggregate(path: Path) -> list[str]:
             problems.append(fail(path, f"missing required key '{key}'"))
         elif not ok(doc[key]):
             problems.append(fail(path, f"key '{key}' has invalid value"))
+    if isinstance(doc.get("profile"), dict):
+        problems.extend(validate_profile_section(doc["profile"], path, aggregate=True))
 
     # Shard rows must carry their coordinates and exactly tile [0, chips).
     ranges = []
@@ -402,6 +493,67 @@ def validate_progress(path: Path) -> list[str]:
     return problems
 
 
+# resource.jsonl (telemetry/prof.hpp ResourceSampler): one sample object per
+# line.  Timestamps are derived from a cached epoch plus the steady clock, so
+# they must be strictly positive and non-decreasing across the file.
+RESOURCE_KEYS = {
+    "ts_unix_ms": lambda v: isinstance(v, (int, float)) and v > 0,
+    "rss_kib": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "peak_rss_kib": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "cpu_user_ms": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "cpu_sys_ms": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "cpu_pct": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "threads": lambda v: isinstance(v, (int, float)) and v >= 0,
+}
+
+
+def validate_resource(path: Path) -> list[str]:
+    try:
+        text = path.read_text()
+    except OSError as e:
+        return [fail(path, f"unreadable: {e}")]
+    problems = []
+    samples = 0
+    prev_ts = None
+    lines = text.splitlines()
+    # Same torn-final-line tolerance as the heartbeat reader: the sampler may
+    # be killed mid-append, and a byte-truncated last line is a writer
+    # artifact rather than a schema violation.
+    if text and not text.endswith("\n") and lines:
+        lines = lines[:-1]
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            sample = json.loads(line)
+        except json.JSONDecodeError:
+            problems.append(fail(path, f"line {i + 1} is not valid JSON"))
+            continue
+        if not isinstance(sample, dict):
+            problems.append(fail(path, f"line {i + 1} is not an object"))
+            continue
+        samples += 1
+        for key, ok in RESOURCE_KEYS.items():
+            if key not in sample:
+                problems.append(fail(path, f"line {i + 1} missing '{key}'"))
+            elif not ok(sample[key]):
+                problems.append(fail(path, f"line {i + 1} key '{key}' invalid"))
+        ts = sample.get("ts_unix_ms")
+        if isinstance(ts, (int, float)):
+            if prev_ts is not None and ts < prev_ts:
+                problems.append(fail(path, f"line {i + 1} timestamp went backwards "
+                                           f"({ts} < {prev_ts})"))
+            prev_ts = ts
+        rss = sample.get("rss_kib")
+        peak = sample.get("peak_rss_kib")
+        if isinstance(rss, (int, float)) and isinstance(peak, (int, float)) and \
+                peak > 0 and rss > peak:
+            problems.append(fail(path, f"line {i + 1} has rss_kib > peak_rss_kib"))
+    if samples == 0:
+        problems.append(fail(path, "no resource samples"))
+    return problems
+
+
 # fleet_metrics.json (net/fleet_view.hpp fleet_metrics_json()).
 FLEET_METRICS_SCHEMA = "aropuf-fleet-metrics"
 FLEET_METRICS_VERSION = 1
@@ -563,6 +715,19 @@ def validate_trace(path: Path) -> list[str]:
                 problems.append(fail(path, f"traceEvents[{i}] 'X' event needs numeric 'dur'"))
             if not isinstance(event.get("ts"), (int, float)) or event["ts"] < 0:
                 problems.append(fail(path, f"traceEvents[{i}] needs numeric 'ts'"))
+        elif ph == "C":
+            # Counter events (resource sampler): instantaneous, so no 'dur';
+            # the args object carries the numeric series Perfetto plots.
+            if "dur" in event:
+                problems.append(fail(path, f"traceEvents[{i}] 'C' event must not carry 'dur'"))
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(fail(path, f"traceEvents[{i}] 'C' event needs a non-empty args object"))
+            else:
+                for key, value in args.items():
+                    if not isinstance(value, (int, float)):
+                        problems.append(fail(
+                            path, f"traceEvents[{i}] 'C' series '{key}' is not numeric"))
         elif ph not in ("M",):
             problems.append(fail(path, f"traceEvents[{i}] unexpected ph {ph!r}"))
     if events and not saw_complete:
@@ -577,6 +742,7 @@ def main(argv: list[str]) -> int:
         "--trace": "trace",
         "--aggregate": "aggregate",
         "--progress": "progress",
+        "--resource": "resource",
         "--binary": "binary",
         "--fleet-metrics": "fleet-metrics",
         "--diff-stats": "diff-stats",
@@ -604,6 +770,7 @@ def main(argv: list[str]) -> int:
         "trace": validate_trace,
         "aggregate": validate_aggregate,
         "progress": validate_progress,
+        "resource": validate_resource,
         "binary": validate_binary,
         "fleet-metrics": validate_fleet_metrics,
     }[mode]

@@ -254,6 +254,10 @@ const std::vector<EnvVar>& env_vars() {
       {"AROPUF_LOG", "log level: trace|debug|info|warn|error|off (default warn)"},
       {"AROPUF_LOG_FORMAT", "log format: text | json"},
       {"AROPUF_TRACE", "write a Chrome-trace span file to this path"},
+      {"AROPUF_PROF", "on | off — perf_event counter + resource profiling (default off)"},
+      {"AROPUF_PROF_RESOURCE", "write the resource timeline JSONL to this path"},
+      {"AROPUF_PROF_INTERVAL_MS", "resource-sampler cadence in milliseconds (default 250)"},
+      {"AROPUF_PROF_FORCE_FALLBACK", "force the rusage fallback path (degraded-mode tests)"},
       {"ARO_CSV_DIR", "directory for bench CSV output (and the manifest fallback)"},
   };
   return vars;

@@ -354,6 +354,29 @@ std::string FleetView::prometheus_text() const {
               "coordinator-minus-worker clock estimate", offset);
   prom_metric(&out, "aropuf_fleet_worker_busy_ms", "summed fleet.job span duration", busy);
   prom_metric(&out, "aropuf_fleet_worker_metrics_snapshots", "METRICS frames received", snaps);
+
+  // Hot profiling instruments ("prof.*" hardware counters / "proc.*"
+  // resource gauges) from each worker's latest METRICS snapshot, exported
+  // with a metric label so scrapers see fleet-wide IPC and RSS without a
+  // per-instrument metric family.
+  std::vector<std::pair<std::string, double>> profile;
+  for (const WorkerView& w : workers_) {
+    if (!w.metrics.is_object()) continue;
+    for (const char* kind : {"counters", "gauges"}) {
+      if (!w.metrics.contains(kind) || !w.metrics.at(kind).is_object()) continue;
+      for (const auto& [name, v] : w.metrics.at(kind).as_object()) {
+        if (!v.is_number()) continue;
+        if (name.rfind("prof.", 0) != 0 && name.rfind("proc.", 0) != 0) continue;
+        profile.emplace_back("{worker=\"" + prom_escape(w.name) + "\",metric=\"" +
+                                 prom_escape(name) + "\"}",
+                             v.as_number());
+      }
+    }
+  }
+  if (!profile.empty()) {
+    prom_metric(&out, "aropuf_fleet_worker_profile",
+                "profiling-layer counters/gauges from the last METRICS snapshot", profile);
+  }
   return out;
 }
 

@@ -135,6 +135,76 @@ JsonValue merge_stages(const std::vector<ShardManifest>& shards) {
   return JsonValue(std::move(out));
 }
 
+/// Folds per-shard "profile" sections (profiling layer, DESIGN.md §12):
+/// modes unify (all equal → that mode, else "mixed"), peak RSS takes the
+/// max, raw counters sum with IPC/cache-miss-rate re-derived from the sums,
+/// and distinct fallback reasons are collected so a downgraded worker is
+/// visible in the merged document.  Shards predating the profile section
+/// are skipped; with none present the merged mode is "off".
+JsonValue merge_profiles(const std::vector<ShardManifest>& shards) {
+  JsonValue::Object out;
+  std::string mode;
+  bool mixed = false;
+  double peak_rss_kib = 0.0;
+  std::map<std::string, double> counter_sums;
+  bool have_counters = false;
+  std::vector<std::string> reasons;
+  JsonValue::Object per_shard;
+  for (const ShardManifest& s : shards) {
+    if (!s.doc.contains("profile") || !s.doc.at("profile").is_object()) continue;
+    const JsonValue& p = s.doc.at("profile");
+    per_shard[std::to_string(s.shard_index)] = p;
+    const std::string shard_mode = p.string_or("mode", "off");
+    if (mode.empty()) {
+      mode = shard_mode;
+    } else if (mode != shard_mode) {
+      mixed = true;
+    }
+    peak_rss_kib = std::max(peak_rss_kib, p.number_or("peak_rss_kib", 0.0));
+    const std::string reason = p.string_or("fallback_reason", "");
+    if (!reason.empty() && std::find(reasons.begin(), reasons.end(), reason) == reasons.end()) {
+      reasons.push_back(reason);
+    }
+    if (p.contains("counters") && p.at("counters").is_object()) {
+      for (const auto& [name, v] : p.at("counters").as_object()) {
+        // Raw tallies sum across shards; the derived ratios (ipc,
+        // cache_miss_rate, ghz) are recomputed from the sums below.
+        if (v.is_number() && name != "ipc" && name != "cache_miss_rate" && name != "ghz") {
+          counter_sums[name] += v.as_number();
+          have_counters = true;
+        }
+      }
+    }
+  }
+  out["mode"] = JsonValue(mixed ? "mixed" : (mode.empty() ? "off" : mode));
+  {
+    JsonValue::Array arr;
+    for (const std::string& r : reasons) arr.emplace_back(r);
+    out["fallback_reasons"] = JsonValue(std::move(arr));
+  }
+  out["peak_rss_kib"] = JsonValue(peak_rss_kib);
+  if (have_counters) {
+    JsonValue::Object counters;
+    for (const auto& [name, v] : counter_sums) counters[name] = JsonValue(v);
+    const double cycles = counter_sums.count("cycles") ? counter_sums.at("cycles") : 0.0;
+    if (cycles > 0.0 && counter_sums.count("instructions")) {
+      counters["ipc"] = JsonValue(counter_sums.at("instructions") / cycles);
+    }
+    if (counter_sums.count("cache_references") && counter_sums.count("cache_misses") &&
+        counter_sums.at("cache_references") > 0.0) {
+      counters["cache_miss_rate"] =
+          JsonValue(counter_sums.at("cache_misses") / counter_sums.at("cache_references"));
+    }
+    if (cycles > 0.0 && counter_sums.count("task_clock_ms") &&
+        counter_sums.at("task_clock_ms") > 0.0) {
+      counters["ghz"] = JsonValue(cycles / (counter_sums.at("task_clock_ms") * 1e6));
+    }
+    out["counters"] = JsonValue(std::move(counters));
+  }
+  out["per_shard"] = JsonValue(std::move(per_shard));
+  return JsonValue(std::move(out));
+}
+
 const JsonValue* metrics_section(const ShardManifest& s, const char* kind) {
   if (!s.doc.contains("metrics") || !s.doc.at("metrics").is_object()) return nullptr;
   const JsonValue& metrics = s.doc.at("metrics");
@@ -745,6 +815,7 @@ AggregateResult AggregateBuilder::finalize() {
   root["shards"] = JsonValue(std::move(shard_rows));
 
   root["stages"] = merge_stages(shards);
+  root["profile"] = merge_profiles(shards);
   {
     JsonValue::Object metrics;
     metrics["counters"] = merge_counters(shards);

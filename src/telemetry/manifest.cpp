@@ -10,6 +10,7 @@
 #include "common/cli.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/prof.hpp"
 #include "telemetry/trace.hpp"
 
 // Baked in by src/telemetry/CMakeLists.txt from `git rev-parse`; "unknown"
@@ -29,6 +30,9 @@ struct StageRecord {
   std::string name;
   double wall_ms = 0.0;
   double cpu_ms = 0.0;
+  /// Hardware-counter delta ({"cycles", "ipc", ...}); empty unless the
+  /// profiling layer had live counters during the stage.
+  JsonValue::Object counters;
 };
 
 struct RunRecord {
@@ -60,9 +64,14 @@ void set_runtime_field(const std::string& key, JsonValue value) {
 }
 
 void record_stage(const std::string& name, double wall_ms, double cpu_ms) {
+  record_stage(name, wall_ms, cpu_ms, JsonValue::Object{});
+}
+
+void record_stage(const std::string& name, double wall_ms, double cpu_ms,
+                  JsonValue::Object counters) {
   RunRecord& r = run_record();
   std::lock_guard<std::mutex> lock(r.mutex);
-  r.stages.push_back(StageRecord{name, wall_ms, cpu_ms});
+  r.stages.push_back(StageRecord{name, wall_ms, cpu_ms, std::move(counters)});
 }
 
 void reset_run_record() {
@@ -81,13 +90,14 @@ struct StageTimer::Impl {
   std::string name;
   std::chrono::steady_clock::time_point wall_start;
   std::clock_t cpu_start;
-  TraceScope span;
+  std::uint64_t trace_start_us;
+  CounterReader counters;
 
   explicit Impl(std::string n)
       : name(std::move(n)),
         wall_start(std::chrono::steady_clock::now()),
         cpu_start(std::clock()),
-        span(name, "stage") {}
+        trace_start_us(steady_now_us()) {}
 };
 
 StageTimer::StageTimer(std::string name) : impl_(new Impl(std::move(name))) {}
@@ -100,7 +110,20 @@ StageTimer::~StageTimer() {
   // wall_ms, which is exactly the utilization signal we want per stage.
   const double cpu_ms = static_cast<double>(std::clock() - impl_->cpu_start) * 1000.0 /
                         static_cast<double>(CLOCKS_PER_SEC);
-  record_stage(impl_->name, wall_ms, cpu_ms);
+  // Counter deltas ride along wherever the profiling layer has live
+  // counters: into the stage log, the metrics registry (so fleet METRICS
+  // snapshots carry them), and the stage's trace span args.
+  const CounterDelta delta = impl_->counters.sample();
+  JsonValue::Object counters;
+  if (delta.counters_valid) counters = delta.to_json();
+  // In fallback mode the delta still carries wall/rusage time, so profiled
+  // runs on counter-less machines keep their "prof.*" wall metrics.
+  if (prof_status().mode != ProfMode::kOff) record_counter_metrics(delta);
+  if (trace_enabled()) {
+    trace_complete(impl_->name, "stage", impl_->trace_start_us,
+                   delta.counters_valid ? delta.to_json() : JsonValue::Object{});
+  }
+  record_stage(impl_->name, wall_ms, cpu_ms, std::move(counters));
   delete impl_;
 }
 
@@ -137,11 +160,13 @@ JsonValue build_manifest(const std::string& run_name, JsonValue config) {
       stage["name"] = JsonValue(s.name);
       stage["wall_ms"] = JsonValue(s.wall_ms);
       stage["cpu_ms"] = JsonValue(s.cpu_ms);
+      if (!s.counters.empty()) stage["counters"] = JsonValue(s.counters);
       stages.emplace_back(std::move(stage));
     }
     root["stages"] = JsonValue(std::move(stages));
   }
   root["metrics"] = MetricsRegistry::global().snapshot_json();
+  root["profile"] = profile_manifest_section();
   return JsonValue(std::move(root));
 }
 

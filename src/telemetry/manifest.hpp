@@ -38,6 +38,12 @@ void set_runtime_field(const std::string& key, JsonValue value);
 /// Appends one completed stage to the process-wide stage log.
 void record_stage(const std::string& name, double wall_ms, double cpu_ms);
 
+/// Overload carrying a hardware-counter delta object ({"cycles", "ipc",
+/// ...}, from CounterDelta::to_json()); empty objects are omitted from the
+/// manifest's stage entries.
+void record_stage(const std::string& name, double wall_ms, double cpu_ms,
+                  JsonValue::Object counters);
+
 /// Clears stages and runtime fields (tests, and orchestrators that produce
 /// several per-shard manifests from one process).  Bumps the run-record
 /// generation so once-per-run provenance announcers re-fire.
@@ -68,7 +74,7 @@ class StageTimer {
 
 /// Assembles the manifest document:
 ///   schema/schema_version/run/created_unix_ms/git_sha/build/config/
-///   runtime fields (threads, kernel_backend, ...)/stages/metrics.
+///   runtime fields (threads, kernel_backend, ...)/stages/metrics/profile.
 /// Absent runtime fields default ("threads": 0, "kernel_backend": "unknown")
 /// so the document always validates against scripts/validate_manifest.py.
 [[nodiscard]] JsonValue build_manifest(const std::string& run_name, JsonValue config);

@@ -24,6 +24,7 @@ namespace {
 struct TraceEvent {
   std::string name;
   std::string category;
+  char phase = 'X';  // 'X' complete span, 'C' counter sample
   std::uint64_t ts_us = 0;
   std::uint64_t dur_us = 0;
   int tid = 0;
@@ -61,8 +62,14 @@ struct TraceState {
 };
 
 TraceState& state() {
-  static TraceState s;
-  return s;
+  // Intentionally leaked.  The constructor registers a std::atexit flush,
+  // and atexit handlers run in reverse registration order — a plain static
+  // would register its destructor *after* that handler (the destructor is
+  // enrolled once the constructor body finishes), so ~TraceState would run
+  // first and the exit-time flush would read destroyed events.  Leaking
+  // keeps the buffer alive until the flush has written it.
+  static TraceState* s = new TraceState();
+  return *s;
 }
 
 int next_thread_id() noexcept {
@@ -107,9 +114,9 @@ JsonValue events_to_json(const std::vector<TraceEvent>& events, const std::strin
     JsonValue::Object obj;
     obj["name"] = JsonValue(e.name);
     obj["cat"] = JsonValue(e.category);
-    obj["ph"] = JsonValue("X");
+    obj["ph"] = JsonValue(std::string(1, e.phase));
     obj["ts"] = JsonValue(e.ts_us);
-    obj["dur"] = JsonValue(e.dur_us);
+    if (e.phase == 'X') obj["dur"] = JsonValue(e.dur_us);
     obj["pid"] = JsonValue(pid);
     obj["tid"] = JsonValue(e.tid);
     if (!e.args.empty()) obj["args"] = JsonValue(e.args);
@@ -183,9 +190,9 @@ JsonValue::Array drain_trace_events() {
     JsonValue::Object obj;
     obj["name"] = JsonValue(std::move(e.name));
     obj["cat"] = JsonValue(std::move(e.category));
-    obj["ph"] = JsonValue("X");
+    obj["ph"] = JsonValue(std::string(1, e.phase));
     obj["ts"] = JsonValue(e.ts_us);
-    obj["dur"] = JsonValue(e.dur_us);
+    if (e.phase == 'X') obj["dur"] = JsonValue(e.dur_us);
     obj["tid"] = JsonValue(e.tid);
     const auto label = thread_labels.find(e.tid);
     if (label != thread_labels.end()) obj["tname"] = JsonValue(label->second);
@@ -237,6 +244,43 @@ bool flush_trace() {
   ARO_LOG_INFO("trace", "trace written", {"path", JsonValue(path)},
                {"events", JsonValue(static_cast<std::uint64_t>(events.size()))});
   return true;
+}
+
+namespace {
+
+void append_event(TraceEvent e) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.enabled.load(std::memory_order_relaxed)) return;
+  s.events.push_back(std::move(e));
+}
+
+}  // namespace
+
+void trace_counter(std::string_view name, std::initializer_list<TraceCounterValue> values) {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.name.assign(name);
+  e.category = "resource";
+  e.phase = 'C';
+  e.ts_us = steady_now_us();
+  e.tid = trace_thread_id();
+  for (const auto& [series, value] : values) e.args[std::string(series)] = JsonValue(value);
+  append_event(std::move(e));
+}
+
+void trace_complete(std::string_view name, std::string_view category, std::uint64_t start_us,
+                    JsonValue::Object args) {
+  if (!trace_enabled()) return;
+  const std::uint64_t end_us = steady_now_us();
+  TraceEvent e;
+  e.name.assign(name);
+  e.category.assign(category);
+  e.ts_us = start_us;
+  e.dur_us = end_us > start_us ? end_us - start_us : 0;
+  e.tid = trace_thread_id();
+  e.args = std::move(args);
+  append_event(std::move(e));
 }
 
 TraceScope::TraceScope(std::string_view name, std::string_view category)

@@ -73,6 +73,20 @@ void set_trace_thread_label(const std::string& label);
 [[nodiscard]] std::uint64_t steady_now_us() noexcept;
 
 using TraceArg = std::pair<std::string_view, JsonValue>;
+using TraceCounterValue = std::pair<std::string_view, double>;
+
+/// Appends a Chrome counter ("C"-phase) event at the current timestamp;
+/// each (series, value) pair renders as a stacked counter track in
+/// chrome://tracing / Perfetto.  The ResourceSampler emits RSS/CPU/thread
+/// timelines through this.  No-op when tracing is disabled.
+void trace_counter(std::string_view name, std::initializer_list<TraceCounterValue> values);
+
+/// Appends a complete ("X") span covering [start_us, now] whose args are
+/// only known at end of scope — profiling scopes attach counter deltas
+/// this way (TraceScope copies args at construction, too early for them).
+/// No-op when tracing is disabled.
+void trace_complete(std::string_view name, std::string_view category, std::uint64_t start_us,
+                    JsonValue::Object args);
 
 /// RAII span: records a complete event covering construction → destruction.
 /// Construction is a no-op (no string copies) when tracing is disabled.

@@ -210,6 +210,42 @@ TEST(FleetViewTest, PrometheusTextEscapesLabelsAndListsCoreSeries) {
   EXPECT_NE(text.find("aropuf_fleet_worker_clock_offset_ms"), std::string::npos);
 }
 
+TEST(FleetViewTest, PrometheusTextExportsWorkerProfileInstruments) {
+  FleetView view(1, "run", "id", 0);
+  view.note_event("connect", -1, "w1", 0);
+
+  MetricsMsg msg;
+  msg.ts_unix_ms = 1;
+  JsonValue::Object counters;
+  counters["prof.cycles"] = JsonValue(123456.0);
+  counters["fold.shards"] = JsonValue(7.0);  // non-profiling: must NOT export
+  JsonValue::Object gauges;
+  gauges["proc.rss_kib"] = JsonValue(2048.0);
+  gauges["prof.ipc"] = JsonValue(1.75);
+  JsonValue::Object snapshot;
+  snapshot["counters"] = JsonValue(std::move(counters));
+  snapshot["gauges"] = JsonValue(std::move(gauges));
+  snapshot["histograms"] = JsonValue(JsonValue::Object{});
+  msg.metrics = JsonValue(std::move(snapshot));
+  view.note_metrics(msg, "w1", 0.0, 2);
+
+  const std::string text = view.prometheus_text();
+  EXPECT_NE(text.find("# TYPE aropuf_fleet_worker_profile gauge"), std::string::npos);
+  EXPECT_NE(text.find("aropuf_fleet_worker_profile{worker=\"w1\","
+                      "metric=\"prof.cycles\"} 123456\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("metric=\"proc.rss_kib\"} 2048\n"), std::string::npos);
+  EXPECT_NE(text.find("metric=\"prof.ipc\"} 1.75\n"), std::string::npos);
+  EXPECT_EQ(text.find("fold.shards"), std::string::npos);
+}
+
+TEST(FleetViewTest, PrometheusTextOmitsProfileFamilyWithoutInstruments) {
+  FleetView view(1, "run", "id", 0);
+  view.note_event("connect", -1, "w1", 0);
+  EXPECT_EQ(view.prometheus_text().find("aropuf_fleet_worker_profile"),
+            std::string::npos);
+}
+
 TEST(FleetViewTest, HistoryRingIsBounded) {
   FleetView view(1, "run", "id", 0);
   for (std::size_t i = 0; i < kFleetHistoryCap + 50; ++i) {

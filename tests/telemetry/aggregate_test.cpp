@@ -233,6 +233,77 @@ TEST(AggregateTest, GaugesResolveByPolicyAndRetainPerShardValues) {
   EXPECT_EQ(phase.at("value").as_number(), 20.0);  // highest shard index wins
 }
 
+JsonValue make_profile(const std::string& mode, double peak_rss_kib,
+                       const std::string& reason, double cycles = 0.0,
+                       double instructions = 0.0) {
+  JsonValue::Object profile;
+  profile["mode"] = JsonValue(mode);
+  profile["fallback_reason"] = JsonValue(reason);
+  profile["peak_rss_kib"] = JsonValue(peak_rss_kib);
+  if (cycles > 0.0) {
+    JsonValue::Object counters;
+    counters["cycles"] = JsonValue(cycles);
+    counters["instructions"] = JsonValue(instructions);
+    counters["task_clock_ms"] = JsonValue(1.0);
+    counters["ipc"] = JsonValue(instructions / cycles);
+    profile["counters"] = JsonValue(std::move(counters));
+  }
+  return JsonValue(std::move(profile));
+}
+
+TEST(AggregateTest, ProfilesMergeAcrossShards) {
+  std::vector<ShardManifest> shards;
+  for (int k = 0; k < 2; ++k) {
+    JsonValue doc = make_shard_doc(k, 2, 4 * k, 4 * k + 4);
+    doc.as_object()["profile"] =
+        make_profile("counters", k == 0 ? 5000.0 : 7000.0, "",
+                     /*cycles=*/1000.0 * (k + 1), /*instructions=*/2000.0 * (k + 1));
+    shards.push_back(wrap_shard_manifest(std::move(doc)));
+  }
+  const AggregateResult merged = aggregate_shards(std::move(shards));
+  const auto& profile = merged.manifest.as_object().at("profile").as_object();
+  EXPECT_EQ(profile.at("mode").as_string(), "counters");
+  // Peak RSS takes the max shard, not a sum: shards are concurrent processes.
+  EXPECT_DOUBLE_EQ(profile.at("peak_rss_kib").as_number(), 7000.0);
+  EXPECT_TRUE(profile.at("fallback_reasons").as_array().empty());
+  const auto& counters = profile.at("counters").as_object();
+  EXPECT_DOUBLE_EQ(counters.at("cycles").as_number(), 3000.0);
+  EXPECT_DOUBLE_EQ(counters.at("instructions").as_number(), 6000.0);
+  // The merged IPC must come from the summed tallies, not from averaging
+  // per-shard ratios (those weigh shards equally regardless of work done).
+  EXPECT_DOUBLE_EQ(counters.at("ipc").as_number(), 2.0);
+  EXPECT_EQ(profile.at("per_shard").as_object().size(), 2U);
+}
+
+TEST(AggregateTest, MixedProfileModesAreReportedAsMixed) {
+  std::vector<ShardManifest> shards;
+  JsonValue a = make_shard_doc(0, 2, 0, 4);
+  a.as_object()["profile"] = make_profile("counters", 1000.0, "");
+  JsonValue b = make_shard_doc(1, 2, 4, 8);
+  b.as_object()["profile"] =
+      make_profile("fallback", 2000.0, "perf_event unavailable on this platform");
+  shards.push_back(wrap_shard_manifest(std::move(a)));
+  shards.push_back(wrap_shard_manifest(std::move(b)));
+  const AggregateResult merged = aggregate_shards(std::move(shards));
+  const auto& profile = merged.manifest.as_object().at("profile").as_object();
+  EXPECT_EQ(profile.at("mode").as_string(), "mixed");
+  const auto& reasons = profile.at("fallback_reasons").as_array();
+  ASSERT_EQ(reasons.size(), 1U);
+  EXPECT_EQ(reasons[0].as_string(), "perf_event unavailable on this platform");
+}
+
+TEST(AggregateTest, ShardsWithoutProfilesMergeToOff) {
+  std::vector<ShardManifest> shards;
+  for (int k = 0; k < 2; ++k) {
+    JsonValue doc = make_shard_doc(k, 2, 4 * k, 4 * k + 4);
+    shards.push_back(wrap_shard_manifest(std::move(doc)));
+  }
+  const AggregateResult merged = aggregate_shards(std::move(shards));
+  const auto& profile = merged.manifest.as_object().at("profile").as_object();
+  EXPECT_EQ(profile.at("mode").as_string(), "off");
+  EXPECT_FALSE(profile.contains("counters"));
+}
+
 TEST(AggregateTest, ProvenanceMismatchBecomesConflictNotException) {
   std::vector<ShardManifest> shards;
   for (int k = 0; k < 2; ++k) {

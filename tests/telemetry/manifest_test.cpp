@@ -74,6 +74,34 @@ TEST_F(ManifestTest, StageTimerRecordsWallAndCpuTime) {
   EXPECT_GE(s.at("cpu_ms").as_number(), 0.0);
 }
 
+TEST_F(ManifestTest, ManifestCarriesTheProfileSection) {
+  const JsonValue m = build_manifest("run", JsonValue(JsonValue::Object{}));
+  const auto& root = m.as_object();
+  // The profile section is unconditional: an unprofiled run says so
+  // explicitly ("off"), it does not just omit the key.
+  ASSERT_TRUE(root.contains("profile"));
+  const auto& profile = root.at("profile").as_object();
+  EXPECT_TRUE(profile.contains("mode"));
+  EXPECT_TRUE(profile.contains("fallback_reason"));
+  EXPECT_GT(profile.at("peak_rss_kib").as_number(), 0.0);
+}
+
+TEST_F(ManifestTest, ExplicitStageCountersLandInTheManifest) {
+  JsonValue::Object counters;
+  counters["cycles"] = JsonValue(12345.0);
+  counters["ipc"] = JsonValue(1.25);
+  record_stage("counted-stage", 10.0, 9.0, std::move(counters));
+  record_stage("plain-stage", 5.0, 4.0);
+  const JsonValue m = build_manifest("run", JsonValue(JsonValue::Object{}));
+  const auto& stages = m.as_object().at("stages").as_array();
+  ASSERT_EQ(stages.size(), 2U);
+  const auto& counted = stages[0].as_object();
+  ASSERT_TRUE(counted.contains("counters"));
+  EXPECT_DOUBLE_EQ(counted.at("counters").as_object().at("ipc").as_number(), 1.25);
+  // Stages without counter data stay lean: no empty "counters" stub.
+  EXPECT_FALSE(stages[1].as_object().contains("counters"));
+}
+
 TEST_F(ManifestTest, WriteManifestRoundTripsThroughTheParser) {
   const std::string path = ::testing::TempDir() + "aropuf_manifest_test.json";
   MetricsRegistry::global().counter("test.manifest.counter").add(5);

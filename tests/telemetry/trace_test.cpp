@@ -175,6 +175,72 @@ TEST(TraceTest, FlushToUnwritablePathFails) {
   EXPECT_FALSE(trace_enabled());  // the session still ends
 }
 
+TEST(TraceTest, CounterEventsSerializeWithoutDuration) {
+  const std::string path = ::testing::TempDir() + "aropuf_trace_counters.json";
+  start_trace(path);
+  trace_counter("resource.rss_mib", {{"rss_mib", 128.5}});
+  trace_counter("resource.cpu_ms", {{"user", 10.0}, {"sys", 2.0}});
+  {
+    const TraceScope span("work", "test");  // the validator still wants one X
+  }
+  ASSERT_TRUE(flush_trace());
+
+  const JsonValue doc = JsonValue::parse(read_file(path));
+  const auto& events = doc.as_object().at("traceEvents").as_array();
+  int counter_events = 0;
+  for (const JsonValue& event : events) {
+    const auto& e = event.as_object();
+    if (e.at("ph").as_string() != "C") continue;
+    ++counter_events;
+    // Counter events are instantaneous: a 'dur' would make Perfetto render
+    // them as broken slices instead of a counter track.
+    EXPECT_FALSE(e.contains("dur"));
+    EXPECT_EQ(e.at("cat").as_string(), "resource");
+    ASSERT_TRUE(e.contains("args"));
+    for (const auto& [series, value] : e.at("args").as_object()) {
+      (void)series;
+      EXPECT_TRUE(value.is_number());
+    }
+    if (e.at("name").as_string() == "resource.cpu_ms") {
+      EXPECT_EQ(e.at("args").as_object().size(), 2U);
+      EXPECT_DOUBLE_EQ(e.at("args").as_object().at("user").as_number(), 10.0);
+    }
+  }
+  EXPECT_EQ(counter_events, 2);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, CounterEventsAreNoopsWhenDisabled) {
+  ASSERT_TRUE(flush_trace());
+  EXPECT_FALSE(trace_enabled());
+  trace_counter("resource.rss_mib", {{"rss_mib", 1.0}});
+  EXPECT_EQ(trace_event_count(), 0U);
+}
+
+TEST(TraceTest, CompleteEventsCoverTheGivenStart) {
+  const std::string path = ::testing::TempDir() + "aropuf_trace_complete.json";
+  start_trace(path);
+  const std::uint64_t start = steady_now_us();
+  JsonValue::Object args;
+  args["ipc"] = JsonValue(1.5);
+  trace_complete("profiled", "prof", start, std::move(args));
+  ASSERT_TRUE(flush_trace());
+
+  const JsonValue doc = JsonValue::parse(read_file(path));
+  bool saw = false;
+  for (const JsonValue& event : doc.as_object().at("traceEvents").as_array()) {
+    const auto& e = event.as_object();
+    if (e.at("name").as_string() != "profiled") continue;
+    saw = true;
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_TRUE(e.contains("dur"));
+    EXPECT_GE(e.at("dur").as_number(), 0.0);
+    EXPECT_DOUBLE_EQ(e.at("args").as_object().at("ipc").as_number(), 1.5);
+  }
+  EXPECT_TRUE(saw);
+  std::remove(path.c_str());
+}
+
 TEST(TraceTest, RestartDiscardsBufferedSpans) {
   const std::string path = ::testing::TempDir() + "aropuf_trace_restart.json";
   start_trace(path);

@@ -61,6 +61,7 @@
 #include "telemetry/aggregate.hpp"
 #include "telemetry/manifest.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/prof.hpp"
 #include "telemetry/trace.hpp"
 
 #if !defined(_WIN32)
@@ -586,6 +587,11 @@ int main(int argc, char** argv) {
                  "aropuf_shard instead\n");
     return 1;
   }
-  if (!opt.worker_spec.empty()) return run_worker_mode(opt);
-  return run_coordinator_mode(opt);
+  // Coordinator and workers each profile their own process; worker "prof.*"
+  // metrics additionally travel home inside METRICS snapshots and surface
+  // in the FleetView Prometheus exposition.
+  telemetry::start_process_profile();
+  const int rc = !opt.worker_spec.empty() ? run_worker_mode(opt) : run_coordinator_mode(opt);
+  const bool prof_ok = telemetry::stop_process_profile();
+  return rc != 0 ? rc : (prof_ok ? 0 : 1);
 }

@@ -333,6 +333,90 @@ void emit_fleet_health(std::ostringstream& out, const JsonValue& fleet, bool htm
 
 // --- HTML -------------------------------------------------------------------
 
+/// "Resource profile" section from the aggregate's merged "profile"
+/// section (profiling layer, DESIGN.md §12): mode + peak RSS always,
+/// counter totals and a per-shard breakdown when the run was profiled.
+/// Omitted entirely for aggregates that predate the section.
+void emit_resource_profile(std::ostringstream& out, const JsonValue& doc, bool html) {
+  if (!doc.contains("profile") || !doc.at("profile").is_object()) return;
+  const JsonValue& profile = doc.at("profile");
+  const std::string mode = profile.string_or("mode", "off");
+  const double peak_mib = profile.number_or("peak_rss_kib", 0.0) / 1024.0;
+  if (mode == "off" && peak_mib <= 0.0) return;
+
+  std::string summary = "mode `" + mode + "`, peak RSS " + fmt(peak_mib, 1) + " MiB";
+  if (profile.contains("fallback_reasons") && profile.at("fallback_reasons").is_array()) {
+    for (const JsonValue& r : profile.at("fallback_reasons").as_array()) {
+      if (r.is_string()) summary += "; fallback: " + r.as_string();
+    }
+  }
+  if (html) {
+    out << "<h2>Resource profile</h2>\n<p>" << escape_html(summary) << "</p>\n";
+  } else {
+    out << "\n## Resource profile\n\n" << summary << "\n\n";
+  }
+
+  // The hardware table only makes sense when some shard actually counted:
+  // a fallback run's counters object carries wall/cpu alone, and a table of
+  // zero cycles would read as "this run executed nothing".
+  if (profile.contains("counters") && profile.at("counters").is_object() &&
+      profile.at("counters").number_or("cycles", 0.0) > 0.0) {
+    const JsonValue& c = profile.at("counters");
+    const std::string ipc = fmt(c.number_or("ipc", 0.0), 2);
+    const std::string miss = c.contains("cache_miss_rate")
+                                 ? fmt(c.number_or("cache_miss_rate", 0.0) * 100.0, 1) + "%"
+                                 : std::string("n/a");
+    const std::string ghz = fmt(c.number_or("ghz", 0.0), 2);
+    if (html) {
+      out << "<table>\n<tr><th>cycles</th><th>instructions</th><th>IPC</th>"
+          << "<th>cache-miss rate</th><th>GHz</th><th>task-clock (ms)</th></tr>\n"
+          << "<tr><td>" << fmt_g(c.number_or("cycles", 0.0)) << "</td><td>"
+          << fmt_g(c.number_or("instructions", 0.0)) << "</td><td>" << ipc << "</td><td>"
+          << miss << "</td><td>" << ghz << "</td><td>"
+          << fmt(c.number_or("task_clock_ms", 0.0), 1) << "</td></tr>\n</table>\n";
+    } else {
+      out << "| cycles | instructions | IPC | cache-miss rate | GHz | task-clock (ms) |\n"
+          << "|---|---|---|---|---|---|\n"
+          << "| " << fmt_g(c.number_or("cycles", 0.0)) << " | "
+          << fmt_g(c.number_or("instructions", 0.0)) << " | " << ipc << " | " << miss << " | "
+          << ghz << " | " << fmt(c.number_or("task_clock_ms", 0.0), 1) << " |\n";
+    }
+  }
+
+  if (profile.contains("per_shard") && profile.at("per_shard").is_object() &&
+      !profile.at("per_shard").as_object().empty()) {
+    if (html) {
+      out << "<table>\n<tr><th>shard</th><th>mode</th><th>peak RSS (MiB)</th><th>IPC</th>"
+          << "<th>cache-miss rate</th></tr>\n";
+    } else {
+      out << "\n| shard | mode | peak RSS (MiB) | IPC | cache-miss rate |\n|---|---|---|---|---|\n";
+    }
+    for (const auto& [shard, p] : profile.at("per_shard").as_object()) {
+      if (!p.is_object()) continue;
+      std::string ipc = "n/a";
+      std::string miss = "n/a";
+      if (p.contains("counters") && p.at("counters").is_object()) {
+        const JsonValue& c = p.at("counters");
+        if (c.contains("ipc")) ipc = fmt(c.number_or("ipc", 0.0), 2);
+        if (c.contains("cache_miss_rate")) {
+          miss = fmt(c.number_or("cache_miss_rate", 0.0) * 100.0, 1) + "%";
+        }
+      }
+      const std::string shard_mode = p.string_or("mode", "off");
+      const double shard_mib = p.number_or("peak_rss_kib", 0.0) / 1024.0;
+      if (html) {
+        out << "<tr><td>" << escape_html(shard) << "</td><td>" << escape_html(shard_mode)
+            << "</td><td>" << fmt(shard_mib, 1) << "</td><td>" << ipc << "</td><td>" << miss
+            << "</td></tr>\n";
+      } else {
+        out << "| " << shard << " | " << shard_mode << " | " << fmt(shard_mib, 1) << " | "
+            << ipc << " | " << miss << " |\n";
+      }
+    }
+    if (html) out << "</table>\n";
+  }
+}
+
 void emit_series_summary_rows(std::ostringstream& out, const JsonValue& section, bool html) {
   for (const auto& [name, s] : section.as_object()) {
     if (!s.is_object()) continue;
@@ -412,6 +496,7 @@ std::string render_html(const JsonValue& doc, const JsonValue& fleet) {
     out << "</table>\n";
   }
   emit_fleet_health(out, fleet, /*html=*/true);
+  emit_resource_profile(out, doc, /*html=*/true);
 
   if (doc.contains("stages") && doc.at("stages").is_array()) {
     out << "<h2>Stage timing (across all shards)</h2>\n<table>\n"
@@ -491,6 +576,7 @@ std::string render_markdown(const JsonValue& doc, const JsonValue& fleet) {
     }
   }
   emit_fleet_health(out, fleet, /*html=*/false);
+  emit_resource_profile(out, doc, /*html=*/false);
 
   if (doc.contains("stages") && doc.at("stages").is_array()) {
     out << "\n## Stage timing\n\n";

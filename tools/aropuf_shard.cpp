@@ -52,6 +52,7 @@
 #include "telemetry/manifest.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/progress.hpp"
+#include "telemetry/prof.hpp"
 
 #if !defined(_WIN32)
 #include <signal.h>
@@ -779,6 +780,12 @@ int run_orchestrator(const Options& opt_in, const char* argv0) {
 int main(int argc, char** argv) {
   Options opt;
   if (const int rc = parse_args(argc, argv, &opt); rc != 0) return rc;
-  if (opt.worker) return run_worker_shard(opt, opt.shard_index);
-  return run_orchestrator(opt, argv[0]);
+  // Both the orchestrator and each forked worker profile themselves
+  // (AROPUF_PROF is inherited; AROPUF_PROF_RESOURCE supports a %p pid
+  // placeholder so workers don't clobber one timeline).
+  telemetry::start_process_profile();
+  const int rc = opt.worker ? run_worker_shard(opt, opt.shard_index)
+                            : run_orchestrator(opt, argv[0]);
+  const bool prof_ok = telemetry::stop_process_profile();
+  return rc != 0 ? rc : (prof_ok ? 0 : 1);
 }
