@@ -1,0 +1,94 @@
+// E15 — fleet verification service throughput.
+//
+// Builds a synthetic-fleet ARPS store in memory, then sweeps the verify
+// workload across thread counts and cache configurations, printing the
+// auth/sec, tail-latency, and cache-effectiveness rows EXPERIMENTS.md
+// records.  The decision digest is printed per row: every row of a sweep
+// must show the same digest (the workload is bit-deterministic), so a
+// mismatch is immediately visible in the output.
+//
+//   $ ./bench_auth_service [--devices N] [--requests M] [--cache CAP]
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "auth/auth_service.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "keygen/sha256.hpp"
+#include "sim/parallel.hpp"
+#include "telemetry/manifest.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aropuf;
+
+  std::uint64_t devices = 50000;
+  std::uint64_t requests = 200000;
+  std::uint64_t cache = 4096;
+  cli::Parser parser("bench_auth_service",
+                     "verification throughput vs thread count and hot-device cache");
+  parser.opt_uint64("--devices", &devices, "N", "fleet size")
+      .opt_uint64("--requests", &requests, "M", "verification requests per row")
+      .opt_uint64("--cache", &cache, "CAP", "LRU capacity for the cached rows")
+      .allow_unknown()
+      .with_env_help();
+  switch (parser.parse(argc, argv)) {
+    case cli::ParseStatus::kOk: break;
+    case cli::ParseStatus::kHelp: return 0;
+    case cli::ParseStatus::kError: return 2;
+  }
+
+  FleetConfig fleet;
+  fleet.devices = devices;
+  fleet.seed = 2014;
+  const std::string store_path = "bench_auth_store.arps";
+  std::printf("building %llu-device store...\n", static_cast<unsigned long long>(devices));
+  build_fleet_shard(fleet, 0, 1, store_path);
+  std::shared_ptr<BinaryEnrollmentStore> store = BinaryEnrollmentStore::open(store_path);
+
+  const AuthPolicy policy = AuthPolicy::for_false_accept_rate(fleet.response_bits, 1e-6);
+  WorkloadConfig cfg;
+  cfg.requests = requests;
+
+  Table table("verify workload: " + std::to_string(requests) + " requests, " +
+              std::to_string(devices) + " devices, 90% traffic on the hot 1%");
+  table.set_header({"threads", "cache", "auth/sec", "p50 us", "p99 us", "hit %", "digest"});
+
+  JsonValue::Array rows;
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const std::uint64_t cap : {std::uint64_t{0}, cache}) {
+      ParallelExecutor::set_global_thread_count(threads);
+      Authenticator auth(policy, store, fleet_verifier_key(fleet.seed));
+      if (cap > 0) auth.set_cache(static_cast<std::size_t>(cap));
+      const WorkloadStats stats = run_verify_workload(auth, fleet, cfg);
+      const double lookups = static_cast<double>(stats.cache_hits + stats.cache_misses);
+      const double hit_pct =
+          lookups > 0.0 ? 100.0 * static_cast<double>(stats.cache_hits) / lookups : 0.0;
+      const std::string digest = Sha256::to_hex(stats.decisions_digest);
+      table.add_row({std::to_string(threads), cap > 0 ? std::to_string(cap) : "off",
+                     Table::num(stats.auth_per_sec, 0), Table::num(stats.p50_us, 2),
+                     Table::num(stats.p99_us, 2), cap > 0 ? Table::num(hit_pct, 1) : "-",
+                     digest.substr(0, 12)});
+      JsonValue::Object row;
+      row["threads"] = threads;
+      row["cache"] = cap;
+      row["auth_per_sec"] = stats.auth_per_sec;
+      row["p50_us"] = stats.p50_us;
+      row["p99_us"] = stats.p99_us;
+      row["cache_hit_pct"] = hit_pct;
+      row["decisions_sha256"] = digest;
+      rows.push_back(JsonValue(std::move(row)));
+    }
+  }
+  ParallelExecutor::set_global_thread_count(0);
+  table.print(std::cout);
+  std::remove(store_path.c_str());
+
+  telemetry::set_runtime_field("auth_bench", JsonValue(std::move(rows)));
+  JsonValue::Object config;
+  config["devices"] = devices;
+  config["requests"] = requests;
+  config["cache"] = cache;
+  return telemetry::finalize_run("bench_auth_service", JsonValue(std::move(config))) ? 0 : 1;
+}

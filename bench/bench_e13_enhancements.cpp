@@ -57,14 +57,15 @@ void authentication_study(const PopulationConfig& pop) {
       Authenticator auth(policy);
       for (int c = 0; c < 12; ++c) {
         chips.emplace_back(pop.tech, cfg, fabric.child("chip", static_cast<std::uint64_t>(c)));
-        auth.enroll("chip" + std::to_string(c), chips.back().evaluate(chips.back().nominal_op(), 0));
+        auth.enroll(static_cast<DeviceId>(c),
+                    chips.back().evaluate(chips.back().nominal_op(), 0));
       }
       std::vector<std::string> row{cfg.label, refresh ? "margin-refresh" : "fixed enrollment"};
       for (int year = 2; year <= 10; year += 2) {
         int ok = 0;
         for (std::size_t c = 0; c < chips.size(); ++c) {
           chips[c].age_years(2.0);
-          const std::string id = "chip" + std::to_string(c);
+          const auto id = static_cast<DeviceId>(c);
           const BitVector reading =
               chips[c].evaluate(chips[c].nominal_op(), static_cast<std::uint64_t>(year));
           const auto result = auth.verify(id, reading);

@@ -16,6 +16,7 @@
 #include <string>
 #include <utility>
 
+#include "auth/auth_service.hpp"
 #include "circuit/delay_kernel.hpp"
 #include "ecc/bch.hpp"
 #include "fold_bench_util.hpp"
@@ -159,6 +160,49 @@ void BM_Sha256_1KiB(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
 }
 BENCHMARK(BM_Sha256_1KiB);
+
+/// One threshold verification against a state.range(0)-device binary store:
+/// binary-search lookup, HMAC binding-tag check, packed Hamming distance.
+/// This is the auth service's hot path (tools/aropuf_auth drives it at fleet
+/// scale); the gated 4096-device row keeps its cost pinned in CI.
+void BM_AuthVerify(benchmark::State& state) {
+  FleetConfig fleet;
+  fleet.devices = static_cast<std::uint64_t>(state.range(0));
+  fleet.seed = 17;
+  std::vector<std::pair<DeviceId, EnrollmentRecord>> records;
+  const Authenticator::VerifierKey key = fleet_verifier_key(fleet.seed);
+  for (std::uint64_t i = 0; i < fleet.devices; ++i) {
+    EnrollmentRecord record;
+    record.response = fleet_enrollment_response(fleet, i);
+    const std::vector<std::uint8_t> packed = record.response.to_bytes();
+    record.tag = record_binding_tag(key, fleet_device_id(fleet, i), fleet.response_bits, 0,
+                                    packed.data(), nullptr);
+    records.push_back({fleet_device_id(fleet, i), std::move(record)});
+  }
+  std::shared_ptr<BinaryEnrollmentStore> store = BinaryEnrollmentStore::parse(
+      encode_enrollment_store(fleet_store_params(fleet), std::move(records)));
+  const Authenticator auth(AuthPolicy::for_false_accept_rate(fleet.response_bits, 1e-6),
+                           store, key);
+  // Pre-generate the request mix so the loop times verify() alone, not the
+  // synthetic response model.
+  Xoshiro256 pick(3);
+  std::vector<std::pair<DeviceId, BitVector>> requests;
+  for (int r = 0; r < 256; ++r) {
+    const std::uint64_t index = pick.bounded(fleet.devices);
+    requests.push_back({fleet_device_id(fleet, index), fleet_field_response(fleet, index, 1, 0.0)});
+  }
+  std::uint64_t accepted = 0;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const auto& [id, claim] = requests[next];
+    next = (next + 1) % requests.size();
+    const auto result = auth.verify(id, claim);
+    accepted += result && result->accepted ? 1 : 0;
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AuthVerify)->Arg(4096);
 
 /// Per-thread-count state.range(0) run of the E2 engine at 200 chips and a
 /// 10-year checkpoint: the speedup benchmark the ISSUE/ROADMAP track.  The

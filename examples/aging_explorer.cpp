@@ -4,16 +4,17 @@
 // evaluations-per-day across six orders of magnitude and watch the 10-year
 // flip rate climb from the noise floor back toward the conventional value.
 //
-//   $ ./aging_explorer [years] [chips]          (defaults: 10 years, 15 chips)
-//   $ ./aging_explorer --config pop.json [years]
+//   $ ./aging_explorer [--years Y] [--chips N]   (defaults: 10 years, 15 chips)
+//   $ ./aging_explorer --config pop.json [--years Y]
 //
 // With --config, the population (technology overrides, chip count, seed)
 // comes from a JSON file; see src/sim/experiment_config.hpp for the schema.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <exception>
 #include <iostream>
+#include <string>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sim/experiment_config.hpp"
 #include "sim/scenarios.hpp"
@@ -25,26 +26,32 @@ int main(int argc, char** argv) {
   pop.chips = 15;
   pop.seed = 11;
   double lifetime = 10.0;
+  int chips = 0;  // 0 = keep the population default
+  std::string config_path;
 
-  int arg = 1;
-  if (argc > 2 && std::strcmp(argv[1], "--config") == 0) {
+  cli::Parser parser("aging_explorer",
+                     "10-year flip rate vs usage intensity for the gated ARO design");
+  parser.opt_double("--years", &lifetime, "Y", "deployment lifetime in years", 0.0)
+      .opt_int("--chips", &chips, "N", "population size (>= 2)", 0)
+      .opt_string("--config", &config_path, "FILE", "population config JSON")
+      .with_env_help();
+  switch (parser.parse(argc, argv)) {
+    case cli::ParseStatus::kOk: break;
+    case cli::ParseStatus::kHelp: return 0;
+    case cli::ParseStatus::kError: return 2;
+  }
+  if (!config_path.empty()) {
     try {
-      pop = load_population_config(argv[2]);
+      pop = load_population_config(config_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "config error: %s\n", e.what());
       return 1;
     }
-    arg = 3;
-  } else {
-    if (argc > 1) lifetime = std::atof(argv[1]);
-    if (argc > 2) pop.chips = std::atoi(argv[2]);
-    arg = argc;  // positional args consumed
   }
-  if (arg < argc) lifetime = std::atof(argv[arg]);
+  if (chips > 0) pop.chips = chips;
   if (lifetime <= 0.0 || pop.chips < 2) {
-    std::fprintf(stderr, "usage: %s [years > 0] [chips >= 2]\n", argv[0]);
-    std::fprintf(stderr, "       %s --config pop.json [years > 0]\n", argv[0]);
-    return 1;
+    std::fprintf(stderr, "aging_explorer: need --years > 0 and a population of >= 2 chips\n");
+    return 2;
   }
 
   const double checkpoints[] = {lifetime};

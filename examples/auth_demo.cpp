@@ -2,50 +2,71 @@
 // decade — enrollment, challenge-response verification, impostor rejection,
 // and margin-triggered re-enrollment.
 //
-//   $ ./auth_demo
+//   $ ./auth_demo [--devices N] [--years Y] [--far FAR]
 #include <cstdio>
+#include <vector>
 
 #include "auth/authenticator.hpp"
+#include "common/cli.hpp"
 #include "puf/ro_puf.hpp"
 #include "telemetry/manifest.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aropuf;
+
+  int devices = 4;
+  int years = 10;
+  double far_target = 1e-6;
+  cli::Parser parser("auth_demo",
+                     "fleet authentication over a decade of aging, with "
+                     "margin-triggered re-enrollment");
+  parser.opt_int("--devices", &devices, "N", "ARO devices to enroll", 1)
+      .opt_double("--far", &far_target, "FAR", "target false-accept rate", 0.0)
+      .opt_int("--years", &years, "Y", "deployment lifetime in years", 2)
+      .with_env_help();
+  switch (parser.parse(argc, argv)) {
+    case cli::ParseStatus::kOk: break;
+    case cli::ParseStatus::kHelp: return 0;
+    case cli::ParseStatus::kError: return 2;
+  }
+
   const TechnologyParams tech = TechnologyParams::cmos90();
 
-  // Verifier policy: threshold set for a 1e-6 false-accept rate at 128 bits.
-  const AuthPolicy policy = AuthPolicy::for_false_accept_rate(128, 1e-6);
+  // Verifier policy: threshold set for the target false-accept rate at the
+  // ARO response width (128 bits for the default 256-RO array).
+  const AuthPolicy policy = AuthPolicy::for_false_accept_rate(128, far_target);
   Authenticator verifier(policy);
   std::printf("verifier policy: accept at <= %.1f%% HD (FAR %.1e)\n",
               policy.accept_threshold * 100.0, policy.false_accept_probability(128));
 
-  // Enroll a small fleet of ARO devices.
+  // Enroll the fleet.  Devices are 64-bit DeviceId handles since the E15
+  // service redesign (the old string names survive one release as a shim).
   const RngFabric fab(77);
   std::vector<RoPuf> fleet;
-  for (int d = 0; d < 4; ++d) {
+  for (int d = 0; d < devices; ++d) {
     fleet.emplace_back(tech, PufConfig::aro(), fab.child("device", static_cast<std::uint64_t>(d)));
-    const std::string id = "device-" + std::to_string(d);
+    const auto id = static_cast<DeviceId>(d);
     verifier.enroll(id, fleet.back().evaluate(fleet.back().nominal_op(), 0));
-    std::printf("enrolled %s\n", id.c_str());
+    std::printf("enrolled device %llu\n", static_cast<unsigned long long>(id));
   }
 
-  // An impostor clone tries to authenticate as device-0.
+  // An impostor clone tries to authenticate as device 0.
   const RoPuf impostor(tech, PufConfig::aro(), fab.child("impostor", 0));
   const auto stolen =
-      verifier.verify("device-0", impostor.evaluate(impostor.nominal_op(), 0));
-  std::printf("\nimpostor claiming device-0: HD %.1f%% -> %s\n",
+      verifier.verify(DeviceId{0}, impostor.evaluate(impostor.nominal_op(), 0));
+  std::printf("\nimpostor claiming device 0: HD %.1f%% -> %s\n",
               stolen->fractional_distance * 100.0, stolen->accepted ? "ACCEPTED (!)" : "rejected");
 
-  // Ten years of field operation with margin-triggered re-enrollment.
+  // Years of field operation with margin-triggered re-enrollment.
   std::printf("\nyear | device-0 HD%% | verdict | action\n");
-  for (int year = 2; year <= 10; year += 2) {
+  for (int year = 2; year <= years; year += 2) {
     for (auto& device : fleet) device.age_years(2.0);
     const BitVector reading =
         fleet[0].evaluate(fleet[0].nominal_op(), static_cast<std::uint64_t>(year));
-    const auto result = verifier.verify("device-0", reading);
+    const auto result = verifier.verify(DeviceId{0}, reading);
     const char* action = "-";
     if (result->accepted && verifier.needs_refresh(*result, 0.10)) {
-      verifier.enroll("device-0", reading);
+      verifier.enroll(DeviceId{0}, reading);
       action = "re-enrolled (thin margin)";
     }
     std::printf("%4d | %10.1f%% | %s | %s\n", year, result->fractional_distance * 100.0,

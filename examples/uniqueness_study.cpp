@@ -3,11 +3,11 @@
 // for both designs, plus the identification margin (can you tell any two
 // chips apart by their responses?).
 //
-//   $ ./uniqueness_study [num_chips]     (default 60)
+//   $ ./uniqueness_study [--chips N]     (default 60)
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/cli.hpp"
 #include "metrics/uniformity.hpp"
 #include "metrics/uniqueness.hpp"
 #include "puf/ro_puf.hpp"
@@ -50,10 +50,16 @@ void study(const char* label, const aropuf::PufConfig& cfg, int chips) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int chips = argc > 1 ? std::atoi(argv[1]) : 60;
-  if (chips < 2) {
-    std::fprintf(stderr, "usage: %s [num_chips >= 2]\n", argv[0]);
-    return 1;
+  using aropuf::cli::Parser;
+  using aropuf::cli::ParseStatus;
+  int chips = 60;
+  Parser parser("uniqueness_study",
+                "inter-chip uniqueness, uniformity, and bit-aliasing for both designs");
+  parser.opt_int("--chips", &chips, "N", "population size (>= 2)", 2).with_env_help();
+  switch (parser.parse(argc, argv)) {
+    case ParseStatus::kOk: break;
+    case ParseStatus::kHelp: return 0;
+    case ParseStatus::kError: return 2;
   }
   study("conventional RO-PUF", aropuf::PufConfig::conventional(), chips);
   study("ARO-PUF", aropuf::PufConfig::aro(), chips);

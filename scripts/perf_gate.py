@@ -40,10 +40,16 @@ Usage:
 Baseline refresh procedure (after an intentional perf change):
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
   AROPUF_THREADS=1 build/bench/bench_micro --benchmark_format=json \
-      --benchmark_filter='BM_(KernelFrequencies|AgingSeries200/1|ChipConstruction|ChipEvaluate|Sha256|FoldShard)' \
+      --benchmark_filter='BM_(KernelFrequencies|AgingSeries200/1|ChipConstruction|ChipEvaluate|Sha256|FoldShard|AuthVerify)' \
       --benchmark_min_time=0.2 > results.json
   python3 scripts/perf_gate.py update results.json
 then commit bench/baseline.json with a note on why the numbers moved.
+
+Note `update` only refreshes ratios for benchmarks already in the baseline;
+a newly gated benchmark is added by hand-editing bench/baseline.json with a
+locally measured ratio.  `compare` FAILS when a baseline-gated benchmark is
+missing from the results, so extend the CI --benchmark_filter in the same
+change that adds the entry.
 """
 
 from __future__ import annotations

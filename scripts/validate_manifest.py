@@ -36,6 +36,7 @@ Usage:
   validate_manifest.py --trace trace.json [...]        # Chrome-trace format
   validate_manifest.py --aggregate merged.json [...]   # aggregate schema
   validate_manifest.py --binary shard.manifest.bin [...]  # ARPB container
+  validate_manifest.py --auth-store store.arps [...]   # ARPS enrollment store
   validate_manifest.py --progress progress.jsonl [...] # heartbeat JSONL
   validate_manifest.py --resource resource.jsonl [...] # resource timeline
   validate_manifest.py --fleet-metrics fleet_metrics.json [...]
@@ -455,6 +456,57 @@ def validate_binary(path: Path) -> list[str]:
     return problems
 
 
+def validate_auth_store(path: Path) -> list[str]:
+    """Independent decoder for ARPS enrollment stores (src/auth/store_binary.hpp).
+
+    Re-implements the wire spec from the layout comment rather than calling
+    the C++ reader, so an encoder bug the C++ decoder happens to tolerate
+    still fails here: header ranges, exact file size, and a strictly
+    increasing device index.
+    """
+    try:
+        wire = path.read_bytes()
+    except OSError as e:
+        return [fail(path, f"unreadable: {e}")]
+
+    if len(wire) < 40:
+        return [fail(path, "truncated inside the 40-byte header")]
+    if wire[:4] != b"ARPS":
+        return [fail(path, f"bad magic {wire[:4]!r} (expected b'ARPS')")]
+    version, reserved, device_count, response_bits, helper_bits, tag_bytes, model, \
+        fleet_seed = struct.unpack_from("<HHQIIIIQ", wire, 4)
+    if version != 1:
+        return [fail(path, f"unsupported store version {version}")]
+    if reserved != 0:
+        return [fail(path, "reserved header bytes are nonzero")]
+    problems = []
+    if tag_bytes != 32:
+        problems.append(fail(path, f"tag_bytes {tag_bytes} (expected 32)"))
+    if response_bits == 0 and helper_bits == 0:
+        problems.append(fail(path, "store carries neither responses nor helper data"))
+    if response_bits > 1 << 20 or helper_bits > 1 << 20:
+        problems.append(fail(path, f"unreasonable bit widths R={response_bits} "
+                                   f"H={helper_bits}"))
+    stride = (response_bits + 7) // 8 + (helper_bits + 7) // 8 + tag_bytes
+    expected = 40 + device_count * (8 + stride)
+    if len(wire) != expected:
+        return problems + [fail(path, f"file is {len(wire)} bytes but the header "
+                                      f"implies {expected} "
+                                      f"(N={device_count}, stride={stride})")]
+    prev = -1
+    for i in range(device_count):
+        (device_id,) = struct.unpack_from("<Q", wire, 40 + 8 * i)
+        if device_id <= prev:
+            problems.append(fail(path, f"device index not strictly increasing "
+                                       f"at entry {i} ({device_id:#x} after {prev:#x})"))
+            break
+        prev = device_id
+    if not problems:
+        print(f"{path}: {device_count} devices, {response_bits}-bit responses, "
+              f"{helper_bits}-bit helper data, model {model}, seed {fleet_seed}")
+    return problems
+
+
 def validate_progress(path: Path) -> list[str]:
     try:
         text = path.read_text()
@@ -744,6 +796,7 @@ def main(argv: list[str]) -> int:
         "--progress": "progress",
         "--resource": "resource",
         "--binary": "binary",
+        "--auth-store": "auth-store",
         "--fleet-metrics": "fleet-metrics",
         "--diff-stats": "diff-stats",
     }
@@ -772,6 +825,7 @@ def main(argv: list[str]) -> int:
         "progress": validate_progress,
         "resource": validate_resource,
         "binary": validate_binary,
+        "auth-store": validate_auth_store,
         "fleet-metrics": validate_fleet_metrics,
     }[mode]
     problems = []

@@ -1,11 +1,35 @@
 #include "auth/authenticator.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
 
+#include "auth/store_binary.hpp"
 #include "common/check.hpp"
 #include "common/statistics.hpp"
+#include "keygen/hmac.hpp"
 
 namespace aropuf {
+
+namespace {
+
+void append_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void append_u64le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+/// Constant-time tag comparison: no early exit on the first differing byte.
+bool tag_equal(const std::uint8_t* a, const std::uint8_t* b) {
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < kRecordTagBytes; ++i) diff |= static_cast<unsigned>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+}  // namespace
 
 void AuthPolicy::validate() const {
   ARO_REQUIRE(accept_threshold > 0.0 && accept_threshold < 0.5,
@@ -24,51 +48,192 @@ double AuthPolicy::false_accept_probability(std::size_t response_bits) const {
 }
 
 AuthPolicy AuthPolicy::for_false_accept_rate(std::size_t response_bits, double target_far) {
-  ARO_REQUIRE(response_bits >= 8, "response too short for thresholding");
-  ARO_REQUIRE(target_far > 0.0 && target_far < 1.0, "target FAR must be in (0, 1)");
-  AuthPolicy best;
-  best.accept_threshold = 1.0 / static_cast<double>(response_bits);
-  for (std::size_t k = 1; k * 2 < response_bits; ++k) {
+  ARO_REQUIRE(response_bits >= 2, "response must have at least 2 bits");
+  ARO_REQUIRE(target_far > 0.0 && target_far < 0.5, "target FAR must be in (0, 0.5)");
+  // Candidate thresholds (k + 0.5)/n accept HD <= k; FAR is monotone in k.
+  // k = 0 (exact match only, FAR = 2^-n) is the floor: when even that misses
+  // the target, there is no valid policy and we say so instead of returning
+  // a degenerate threshold.
+  std::optional<AuthPolicy> best;
+  for (std::size_t k = 0; 2 * k + 1 < response_bits; ++k) {
     AuthPolicy candidate;
     candidate.accept_threshold =
         (static_cast<double>(k) + 0.5) / static_cast<double>(response_bits);
     if (candidate.false_accept_probability(response_bits) <= target_far) {
       best = candidate;
     } else {
-      break;  // FAR is monotone in the threshold
+      break;
     }
   }
-  best.validate();
-  return best;
+  ARO_REQUIRE(best.has_value(), "response too short to meet the FAR target even at exact match");
+  best->validate();
+  return *best;
 }
 
-Authenticator::Authenticator(AuthPolicy policy) : policy_(policy) { policy_.validate(); }
+std::array<std::uint8_t, kRecordTagBytes> record_binding_tag(
+    const Authenticator::VerifierKey& key, DeviceId id, std::uint32_t response_bits,
+    std::uint32_t helper_bits, const std::uint8_t* response_bytes,
+    const std::uint8_t* helper_bytes) {
+  const std::size_t response_len = (response_bits + 7) / 8;
+  const std::size_t helper_len = (helper_bits + 7) / 8;
+  std::vector<std::uint8_t> message;
+  message.reserve(16 + response_len + helper_len);
+  append_u64le(message, id);
+  append_u32le(message, response_bits);
+  append_u32le(message, helper_bits);
+  if (response_len > 0) message.insert(message.end(), response_bytes, response_bytes + response_len);
+  if (helper_len > 0) message.insert(message.end(), helper_bytes, helper_bytes + helper_len);
+  return hmac_sha256(key, message);
+}
 
-void Authenticator::enroll(const std::string& device_id, BitVector response) {
-  ARO_REQUIRE(!device_id.empty(), "device id must be non-empty");
+std::array<std::uint8_t, kRecordTagBytes> key_confirmation_tag(const Sha256::Digest& device_key,
+                                                               DeviceId id) {
+  static constexpr char kLabel[] = "aropuf-key-confirm";
+  std::vector<std::uint8_t> message;
+  message.reserve(sizeof kLabel - 1 + 8);
+  message.insert(message.end(), reinterpret_cast<const std::uint8_t*>(kLabel),
+                 reinterpret_cast<const std::uint8_t*>(kLabel) + sizeof kLabel - 1);
+  append_u64le(message, id);
+  return hmac_sha256(device_key, message);
+}
+
+Authenticator::Authenticator(AuthPolicy policy, std::shared_ptr<EnrollmentStore> store,
+                             VerifierKey key)
+    : policy_(policy), store_(std::move(store)), key_(key) {
+  policy_.validate();
+  ARO_REQUIRE(store_ != nullptr, "authenticator needs a store");
+}
+
+Authenticator::Authenticator(AuthPolicy policy, std::shared_ptr<EnrollmentStore> store)
+    : Authenticator(policy, std::move(store), VerifierKey{}) {}
+
+Authenticator::Authenticator(AuthPolicy policy)
+    : Authenticator(policy, std::make_shared<MemoryEnrollmentStore>(), VerifierKey{}) {}
+
+void Authenticator::enroll(DeviceId id, BitVector response) {
   ARO_REQUIRE(!response.empty(), "enrollment response must be non-empty");
-  db_[device_id] = std::move(response);
+  EnrollmentRecord record;
+  record.response = std::move(response);
+  const std::vector<std::uint8_t> packed = record.response.to_bytes();
+  record.tag = record_binding_tag(key_, id, static_cast<std::uint32_t>(record.response.size()),
+                                  0, packed.data(), nullptr);
+  store_->put(id, record);
 }
 
-bool Authenticator::knows(const std::string& device_id) const {
-  return db_.find(device_id) != db_.end();
+void Authenticator::enroll_key(DeviceId id, const FuzzyExtractor& extractor,
+                               const BitVector& golden_response, Xoshiro256& rng) {
+  const Enrollment enrollment = extractor.enroll(golden_response, rng);
+  EnrollmentRecord record;
+  record.helper = enrollment.helper_data;
+  record.tag = key_confirmation_tag(enrollment.key, id);
+  store_->put(id, record);
 }
 
-std::optional<AuthResult> Authenticator::verify(const std::string& device_id,
-                                                const BitVector& response) const {
-  const auto it = db_.find(device_id);
-  if (it == db_.end()) return std::nullopt;
-  ARO_REQUIRE(response.size() == it->second.size(), "response length mismatch");
+std::shared_ptr<const RecordCache::Entry> Authenticator::load_record(DeviceId id,
+                                                                     RecordView view) const {
+  const std::uint32_t response_bits = static_cast<std::uint32_t>(store_->response_bits());
+  const std::uint32_t helper_bits = static_cast<std::uint32_t>(store_->helper_bits());
+  if (response_bits > 0) {
+    // Re-check the binding tag before trusting store bytes (key-mode records
+    // carry a key-confirmation tag instead, checked in verify_key).
+    const auto expected =
+        record_binding_tag(key_, id, response_bits, helper_bits, view.response, view.helper);
+    if (!tag_equal(expected.data(), view.tag)) {
+      throw AuthStoreError(AuthStoreErrc::kTagMismatch,
+                           "record binding tag mismatch for device " + std::to_string(id));
+    }
+  }
+  auto entry = std::make_shared<RecordCache::Entry>();
+  if (response_bits > 0) entry->response = BitVector::from_bytes(view.response, response_bits);
+  if (helper_bits > 0) entry->helper = BitVector::from_bytes(view.helper, helper_bits);
+  return entry;
+}
+
+std::optional<AuthResult> Authenticator::verify(DeviceId id, const BitVector& response) const {
+  const std::size_t bits = store_->response_bits();
+  ARO_REQUIRE(bits > 0, "store holds no enrollment responses (key-mode store)");
+  ARO_REQUIRE(response.size() == bits, "response length mismatch");
+
+  std::size_t distance = 0;
+  if (cache_ != nullptr) {
+    if (const auto cached = cache_->find(id)) {
+      distance = hamming_distance(cached->response, response);
+    } else {
+      const auto view = store_->find(id);
+      if (!view) return std::nullopt;
+      const auto entry = load_record(id, *view);
+      distance = hamming_distance(entry->response, response);
+      cache_->insert(id, entry);
+    }
+  } else {
+    const auto view = store_->find(id);
+    if (!view) return std::nullopt;
+    const std::uint32_t response_bits = static_cast<std::uint32_t>(bits);
+    const auto expected = record_binding_tag(
+        key_, id, response_bits, static_cast<std::uint32_t>(store_->helper_bits()),
+        view->response, view->helper);
+    if (!tag_equal(expected.data(), view->tag)) {
+      throw AuthStoreError(AuthStoreErrc::kTagMismatch,
+                           "record binding tag mismatch for device " + std::to_string(id));
+    }
+    distance = hamming_distance_packed(response, view->response, bits);
+  }
+
   AuthResult result;
-  result.fractional_distance = fractional_hamming_distance(it->second, response);
+  result.fractional_distance = static_cast<double>(distance) / static_cast<double>(bits);
   result.accepted = result.fractional_distance <= policy_.accept_threshold;
   result.margin = policy_.accept_threshold - result.fractional_distance;
+  return result;
+}
+
+std::optional<KeyAuthResult> Authenticator::verify_key(DeviceId id,
+                                                       const FuzzyExtractor& extractor,
+                                                       const BitVector& response) const {
+  const std::size_t helper_bits = store_->helper_bits();
+  ARO_REQUIRE(helper_bits > 0, "store holds no helper data (threshold-mode store)");
+  const auto view = store_->find(id);
+  if (!view) return std::nullopt;
+  const BitVector helper = BitVector::from_bytes(view->helper, helper_bits);
+  KeyAuthResult result;
+  const auto key = extractor.reconstruct(response, helper);
+  if (!key) return result;  // drifted beyond the code's correction capability
+  result.decoded = true;
+  const auto expected = key_confirmation_tag(*key, id);
+  result.accepted = tag_equal(expected.data(), view->tag);
   return result;
 }
 
 bool Authenticator::needs_refresh(const AuthResult& result, double refresh_margin) const {
   ARO_REQUIRE(refresh_margin >= 0.0, "refresh margin must be non-negative");
   return result.accepted && result.margin < refresh_margin;
+}
+
+void Authenticator::set_cache(std::size_t capacity) {
+  cache_ = capacity > 0 ? std::make_unique<RecordCache>(capacity) : nullptr;
+}
+
+DeviceId Authenticator::device_id_from_name(const std::string& device_name) {
+  ARO_REQUIRE(!device_name.empty(), "device id must be non-empty");
+  // FNV-1a 64: stable, documented mapping for legacy string keys.
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : device_name) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void Authenticator::enroll(const std::string& device_name, BitVector response) {
+  enroll(device_id_from_name(device_name), std::move(response));
+}
+
+bool Authenticator::knows(const std::string& device_name) const {
+  return knows(device_id_from_name(device_name));
+}
+
+std::optional<AuthResult> Authenticator::verify(const std::string& device_name,
+                                                const BitVector& response) const {
+  return verify(device_id_from_name(device_name), response);
 }
 
 }  // namespace aropuf

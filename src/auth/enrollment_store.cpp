@@ -1,0 +1,45 @@
+#include "auth/enrollment_store.hpp"
+
+#include "common/check.hpp"
+
+namespace aropuf {
+
+void EnrollmentStore::put(DeviceId /*id*/, const EnrollmentRecord& /*record*/) {
+  ARO_REQUIRE(false, "enrollment store is read-only");
+}
+
+MemoryEnrollmentStore::MemoryEnrollmentStore(std::size_t response_bits, std::size_t helper_bits)
+    : response_bits_(response_bits), helper_bits_(helper_bits), layout_adopted_(true) {
+  ARO_REQUIRE(response_bits + helper_bits > 0, "record layout must carry some bits");
+}
+
+std::optional<RecordView> MemoryEnrollmentStore::find(DeviceId id) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  RecordView view;
+  view.response = it->second.response.empty() ? nullptr : it->second.response.data();
+  view.helper = it->second.helper.empty() ? nullptr : it->second.helper.data();
+  view.tag = it->second.tag.data();
+  return view;
+}
+
+void MemoryEnrollmentStore::put(DeviceId id, const EnrollmentRecord& record) {
+  ARO_REQUIRE(record.response.size() + record.helper.size() > 0,
+              "enrollment record must carry some bits");
+  if (!layout_adopted_) {
+    response_bits_ = record.response.size();
+    helper_bits_ = record.helper.size();
+    layout_adopted_ = true;
+  }
+  ARO_REQUIRE(record.response.size() == response_bits_,
+              "response length mismatch");
+  ARO_REQUIRE(record.helper.size() == helper_bits_,
+              "helper-data length mismatch");
+  Stored stored;
+  stored.response = record.response.to_bytes();
+  stored.helper = record.helper.to_bytes();
+  stored.tag = record.tag;
+  records_[id] = std::move(stored);
+}
+
+}  // namespace aropuf

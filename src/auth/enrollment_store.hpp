@@ -1,0 +1,124 @@
+// Pluggable verifier-side enrollment storage behind the Authenticator.
+//
+// The pre-E15 Authenticator owned a private unordered_map<string, BitVector>;
+// that shape cannot reach fleet scale (no persistence, no zero-copy load, no
+// sharded build) and string keys allocate on every lookup.  The redesigned
+// API splits storage from matching policy: Authenticator talks to an
+// EnrollmentStore, device identity is a fixed-width 64-bit DeviceId, and
+// records carry packed response/helper bits plus an HMAC binding tag so a
+// store file can be integrity-checked record by record.
+//
+// Two backends implement the interface:
+//   * MemoryEnrollmentStore — mutable in-memory map (tests, small demos,
+//     incremental enrollment);
+//   * BinaryEnrollmentStore (store_binary.hpp) — read-only mmap-ed ARPS
+//     container for millions of devices.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace aropuf {
+
+/// Fixed-width device handle used across the authentication service.
+/// Replaces the std::string keys of the old Authenticator API: 64-bit ids
+/// sort, hash, and pack into the binary store index without allocation.
+using DeviceId = std::uint64_t;
+
+/// Size of the HMAC-SHA256 binding tag stored with every enrollment record.
+inline constexpr std::size_t kRecordTagBytes = 32;
+
+/// Owned enrollment material for one device, as handed to put().
+struct EnrollmentRecord {
+  /// Enrollment response bits (empty in key-mode stores).
+  BitVector response;
+  /// Fuzzy-extractor helper data (empty in threshold-mode stores).
+  BitVector helper;
+  /// HMAC-SHA256 binding tag; semantics depend on the mode (see
+  /// Authenticator: record-integrity tag in threshold mode, key-confirmation
+  /// tag in key mode).
+  std::array<std::uint8_t, kRecordTagBytes> tag{};
+};
+
+/// Zero-copy view of one stored record.  Pointers stay valid until the
+/// owning store is mutated or destroyed; bit lengths come from the store
+/// (response_bits() / helper_bits(), packed LSB-first as BitVector::to_bytes).
+struct RecordView {
+  /// Packed response bits, ceil(response_bits / 8) bytes (null when 0 bits).
+  const std::uint8_t* response = nullptr;
+  /// Packed helper-data bits, ceil(helper_bits / 8) bytes (null when 0 bits).
+  const std::uint8_t* helper = nullptr;
+  /// Binding tag, kRecordTagBytes bytes.
+  const std::uint8_t* tag = nullptr;
+};
+
+/// Storage interface behind Authenticator.  A store is homogeneous: every
+/// record carries response_bits() response bits and helper_bits() helper
+/// bits, so lookups return raw views and the hot path never allocates.
+class EnrollmentStore {
+ public:
+  virtual ~EnrollmentStore() = default;
+
+  /// Number of enrolled devices.
+  [[nodiscard]] virtual std::size_t device_count() const = 0;
+
+  /// Bits per enrollment response (0 for key-mode stores).
+  [[nodiscard]] virtual std::size_t response_bits() const = 0;
+
+  /// Bits of fuzzy-extractor helper data per record (0 in threshold mode).
+  [[nodiscard]] virtual std::size_t helper_bits() const = 0;
+
+  /// Looks a device up; std::nullopt when it has no enrollment on file.
+  [[nodiscard]] virtual std::optional<RecordView> find(DeviceId id) const = 0;
+
+  /// Whether put() is supported (false for the read-only binary backend).
+  [[nodiscard]] virtual bool is_mutable() const { return false; }
+
+  /// Inserts or replaces a record.  Throws std::invalid_argument on
+  /// read-only stores and on records whose bit lengths disagree with the
+  /// store's adopted layout.
+  virtual void put(DeviceId id, const EnrollmentRecord& record);
+
+  /// Convenience: true when the device has an enrollment on file.
+  [[nodiscard]] bool contains(DeviceId id) const { return find(id).has_value(); }
+};
+
+/// Mutable in-memory backend.  The record layout (response/helper bit
+/// widths) is adopted from the first put() and enforced afterwards, which
+/// preserves the old Authenticator's "any response length" ergonomics while
+/// keeping the store homogeneous.
+class MemoryEnrollmentStore final : public EnrollmentStore {
+ public:
+  /// Creates an empty store; the layout is adopted on first put().
+  MemoryEnrollmentStore() = default;
+
+  /// Creates an empty store with a fixed record layout.
+  MemoryEnrollmentStore(std::size_t response_bits, std::size_t helper_bits);
+
+  [[nodiscard]] std::size_t device_count() const override { return records_.size(); }
+  [[nodiscard]] std::size_t response_bits() const override { return response_bits_; }
+  [[nodiscard]] std::size_t helper_bits() const override { return helper_bits_; }
+  [[nodiscard]] std::optional<RecordView> find(DeviceId id) const override;
+  [[nodiscard]] bool is_mutable() const override { return true; }
+  void put(DeviceId id, const EnrollmentRecord& record) override;
+
+ private:
+  struct Stored {
+    std::vector<std::uint8_t> response;
+    std::vector<std::uint8_t> helper;
+    std::array<std::uint8_t, kRecordTagBytes> tag{};
+  };
+
+  std::unordered_map<DeviceId, Stored> records_;
+  std::size_t response_bits_ = 0;
+  std::size_t helper_bits_ = 0;
+  bool layout_adopted_ = false;
+};
+
+}  // namespace aropuf

@@ -1,0 +1,57 @@
+#include "auth/lru_cache.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace aropuf {
+
+RecordCache::RecordCache(std::size_t capacity, std::size_t shard_count) : capacity_(capacity) {
+  ARO_REQUIRE(capacity > 0, "cache capacity must be positive");
+  if (shard_count == 0) shard_count = 16;
+  shard_count = std::min(shard_count, capacity);
+  per_shard_capacity_ = (capacity + shard_count - 1) / shard_count;
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) shards_.push_back(std::make_unique<Shard>());
+}
+
+RecordCache::Shard& RecordCache::shard_for(DeviceId id) {
+  // SplitMix the id before taking the residue so sequential or strided
+  // device ids still spread across shards.
+  const std::uint64_t mixed = SplitMix64(id).next();
+  return *shards_[static_cast<std::size_t>(mixed % shards_.size())];
+}
+
+std::shared_ptr<const RecordCache::Entry> RecordCache::find(DeviceId id) {
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(id);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void RecordCache::insert(DeviceId id, std::shared_ptr<const Entry> entry) {
+  ARO_REQUIRE(entry != nullptr, "cannot cache a null record");
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(id);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(entry);
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return;
+  }
+  if (shard.order.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.order.back().first);
+    shard.order.pop_back();
+  }
+  shard.order.emplace_front(id, std::move(entry));
+  shard.index.emplace(id, shard.order.begin());
+}
+
+}  // namespace aropuf

@@ -1,0 +1,86 @@
+// Hot-device record cache for the verification hot path.
+//
+// A fleet workload is heavily skewed: a small set of chatty devices
+// dominates the request stream.  A store lookup costs a binary search over
+// the mmap-ed index plus an HMAC record-integrity check; caching the decoded,
+// already-verified record skips both.  The cache never changes accept/reject
+// decisions — it only memoizes the record — so workload results stay
+// bit-identical with the cache on or off, at any thread count.
+//
+// Concurrency: the map is split into shards, each guarded by its own mutex,
+// so verifier threads rarely contend.  Hit/miss counters are relaxed atomics
+// (they are reporting-only and may vary run to run with thread interleaving;
+// decisions never do).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "auth/enrollment_store.hpp"
+#include "common/bitvector.hpp"
+
+namespace aropuf {
+
+/// Sharded LRU cache of decoded enrollment records, keyed by DeviceId.
+class RecordCache {
+ public:
+  /// A decoded, integrity-verified enrollment record.
+  struct Entry {
+    /// Enrollment response bits (empty in key-mode stores).
+    BitVector response;
+    /// Fuzzy-extractor helper data (empty in threshold-mode stores).
+    BitVector helper;
+  };
+
+  /// Creates a cache holding up to `capacity` records spread over
+  /// `shard_count` independently locked shards (0 picks a default).
+  explicit RecordCache(std::size_t capacity, std::size_t shard_count = 0);
+
+  /// Looks a device up, refreshing its recency on a hit.  Returns nullptr on
+  /// a miss.  Thread-safe.
+  [[nodiscard]] std::shared_ptr<const Entry> find(DeviceId id);
+
+  /// Inserts (or refreshes) a record, evicting the least-recently-used entry
+  /// of the target shard when it is full.  Thread-safe.
+  void insert(DeviceId id, std::shared_ptr<const Entry> entry);
+
+  /// Total record capacity across all shards.
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Lookups served from the cache so far (reporting only).
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Lookups that fell through to the store so far (reporting only).
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used.  The map points into the list.
+    std::list<std::pair<DeviceId, std::shared_ptr<const Entry>>> order;
+    std::unordered_map<DeviceId,
+                       std::list<std::pair<DeviceId, std::shared_ptr<const Entry>>>::iterator>
+        index;
+  };
+
+  [[nodiscard]] Shard& shard_for(DeviceId id);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t capacity_;
+  std::size_t per_shard_capacity_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace aropuf

@@ -22,6 +22,11 @@ class BitVector {
   /// Creates from a string of '0'/'1' characters (test convenience).
   static BitVector from_string(const std::string& bits);
 
+  /// Inverse of to_bytes(): unpacks `bits` bits from LSB-first packed bytes.
+  /// Reads ceil(bits / 8) bytes from `data`; stray bits in the final byte
+  /// beyond `bits` are ignored.
+  static BitVector from_bytes(const std::uint8_t* data, std::size_t bits);
+
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
@@ -74,5 +79,18 @@ class BitVector {
 
 /// Hamming distance normalized by length (0 for empty vectors).
 [[nodiscard]] double fractional_hamming_distance(const BitVector& a, const BitVector& b);
+
+/// Number of set bits in a packed byte buffer, accumulated word-wise (eight
+/// bytes per popcount).  Shared by every hot path that compares bit material
+/// still sitting in serialized form (e.g. the mmap-ed enrollment store).
+[[nodiscard]] std::size_t popcount_bytes(const std::uint8_t* data, std::size_t size);
+
+/// Hamming distance between `a` and `bits` bits packed LSB-first at `packed`
+/// (the to_bytes() layout), without materializing a second BitVector.  Runs
+/// word-wise; stray bits in the final byte beyond `bits` are ignored.
+/// Requires a.size() == bits.
+[[nodiscard]] std::size_t hamming_distance_packed(const BitVector& a,
+                                                  const std::uint8_t* packed,
+                                                  std::size_t bits);
 
 }  // namespace aropuf

@@ -4,6 +4,9 @@
 
 #include <stdexcept>
 
+#include "auth/store_binary.hpp"
+#include "ecc/code_search.hpp"
+#include "keygen/fuzzy_extractor.hpp"
 #include "puf/ro_puf.hpp"
 
 namespace aropuf {
@@ -47,6 +50,39 @@ TEST(AuthPolicyTest, LongerResponsesAllowHigherThresholds) {
   EXPECT_GT(long_resp.accept_threshold, short_resp.accept_threshold);
 }
 
+// Regression: 8-bit responses against a 2% FAR budget used to return a
+// threshold accepting HD <= 1, whose true FAR is (1 + 8)/256 ~ 3.5% — a
+// silently degenerate policy.  The only compliant threshold is exact match
+// (FAR 2^-8 ~ 0.39%).
+TEST(AuthPolicyTest, ShortResponsesNeverGetDegenerateThresholds) {
+  const auto policy = AuthPolicy::for_false_accept_rate(8, 0.02);
+  EXPECT_LE(policy.false_accept_probability(8), 0.02);
+  EXPECT_LT(policy.accept_threshold, 1.0 / 8.0);  // accepts exact match only
+}
+
+// Regression: when even exact match cannot meet the target FAR (2^-n >
+// target), the old code looped to a nonsense threshold; now it throws.
+TEST(AuthPolicyTest, UnreachableFarTargetThrows) {
+  EXPECT_THROW(AuthPolicy::for_false_accept_rate(4, 1e-9), std::invalid_argument);
+  EXPECT_THROW(AuthPolicy::for_false_accept_rate(16, 1e-12), std::invalid_argument);
+}
+
+TEST(AuthPolicyTest, ForFalseAcceptRateRejectsDegenerateInputs) {
+  EXPECT_THROW(AuthPolicy::for_false_accept_rate(1, 0.01), std::invalid_argument);
+  EXPECT_THROW(AuthPolicy::for_false_accept_rate(128, 0.0), std::invalid_argument);
+  EXPECT_THROW(AuthPolicy::for_false_accept_rate(128, 0.5), std::invalid_argument);
+  EXPECT_THROW(AuthPolicy::for_false_accept_rate(128, 1.0), std::invalid_argument);
+}
+
+TEST(AuthPolicyTest, SmallButAchievableTargetsStillResolve) {
+  // 16 bits, 1% budget: HD <= 2 has FAR (1+16+120)/65536 ~ 0.21%, HD <= 3
+  // would be ~1.06% — the picked threshold must accept exactly HD <= 2.
+  const auto policy = AuthPolicy::for_false_accept_rate(16, 0.01);
+  EXPECT_LE(policy.false_accept_probability(16), 0.01);
+  EXPECT_GT(policy.accept_threshold * 16.0, 2.0);
+  EXPECT_LT(policy.accept_threshold * 16.0, 3.0);
+}
+
 class AuthenticatorTest : public ::testing::Test {
  protected:
   AuthenticatorTest() : auth_(AuthPolicy::for_false_accept_rate(128, 1e-6)) {}
@@ -59,16 +95,17 @@ class AuthenticatorTest : public ::testing::Test {
 };
 
 TEST_F(AuthenticatorTest, UnknownDeviceIsNullopt) {
-  EXPECT_FALSE(auth_.verify("ghost", BitVector(128)).has_value());
-  EXPECT_FALSE(auth_.knows("ghost"));
+  auth_.enroll(DeviceId{1}, BitVector(128));
+  EXPECT_FALSE(auth_.verify(DeviceId{999}, BitVector(128)).has_value());
+  EXPECT_FALSE(auth_.knows(DeviceId{999}));
 }
 
 TEST_F(AuthenticatorTest, EnrolledDeviceAuthenticates) {
   const RoPuf chip = make_chip(0);
   const auto op = chip.nominal_op();
-  auth_.enroll("device-0", chip.evaluate(op, 0));
-  EXPECT_TRUE(auth_.knows("device-0"));
-  const auto result = auth_.verify("device-0", chip.evaluate(op, 1));
+  auth_.enroll(DeviceId{10}, chip.evaluate(op, 0));
+  EXPECT_TRUE(auth_.knows(DeviceId{10}));
+  const auto result = auth_.verify(DeviceId{10}, chip.evaluate(op, 1));
   ASSERT_TRUE(result.has_value());
   EXPECT_TRUE(result->accepted);
   EXPECT_GT(result->margin, 0.0);
@@ -78,8 +115,8 @@ TEST_F(AuthenticatorTest, ImpostorChipIsRejected) {
   const RoPuf genuine = make_chip(1);
   const RoPuf impostor = make_chip(2);
   const auto op = genuine.nominal_op();
-  auth_.enroll("device-1", genuine.evaluate(op, 0));
-  const auto result = auth_.verify("device-1", impostor.evaluate(op, 0));
+  auth_.enroll(DeviceId{11}, genuine.evaluate(op, 0));
+  const auto result = auth_.verify(DeviceId{11}, impostor.evaluate(op, 0));
   ASSERT_TRUE(result.has_value());
   EXPECT_FALSE(result->accepted);
   EXPECT_GT(result->fractional_distance, 0.3);
@@ -88,10 +125,10 @@ TEST_F(AuthenticatorTest, ImpostorChipIsRejected) {
 TEST_F(AuthenticatorTest, ReEnrollReplacesResponse) {
   const RoPuf chip = make_chip(3);
   const auto op = chip.nominal_op();
-  auth_.enroll("device-3", chip.evaluate(op, 0));
-  auth_.enroll("device-3", chip.evaluate(op, 5));
+  auth_.enroll(DeviceId{12}, chip.evaluate(op, 0));
+  auth_.enroll(DeviceId{12}, chip.evaluate(op, 5));
   EXPECT_EQ(auth_.enrolled_count(), 1U);
-  EXPECT_TRUE(auth_.verify("device-3", chip.evaluate(op, 6))->accepted);
+  EXPECT_TRUE(auth_.verify(DeviceId{12}, chip.evaluate(op, 6))->accepted);
 }
 
 TEST_F(AuthenticatorTest, AgedConventionalChipEventuallyFailsFixedThreshold) {
@@ -99,9 +136,9 @@ TEST_F(AuthenticatorTest, AgedConventionalChipEventuallyFailsFixedThreshold) {
   RoPuf chip(TechnologyParams::cmos90(), PufConfig::conventional(),
              RngFabric(5).child("chip", 7));
   const auto op = chip.nominal_op();
-  auth.enroll("conv", chip.evaluate(op, 0));
+  auth.enroll(DeviceId{13}, chip.evaluate(op, 0));
   chip.age_years(10.0);
-  const auto result = auth.verify("conv", chip.evaluate(op, 1));
+  const auto result = auth.verify(DeviceId{13}, chip.evaluate(op, 1));
   ASSERT_TRUE(result.has_value());
   // ~33% flips vs a ~0.3 threshold: the conventional chip is locked out.
   EXPECT_FALSE(result->accepted);
@@ -110,9 +147,9 @@ TEST_F(AuthenticatorTest, AgedConventionalChipEventuallyFailsFixedThreshold) {
 TEST_F(AuthenticatorTest, AgedAroChipKeepsAuthenticating) {
   RoPuf chip(TechnologyParams::cmos90(), PufConfig::aro(), RngFabric(5).child("chip", 8));
   const auto op = chip.nominal_op();
-  auth_.enroll("aro", chip.evaluate(op, 0));
+  auth_.enroll(DeviceId{14}, chip.evaluate(op, 0));
   chip.age_years(10.0);
-  const auto result = auth_.verify("aro", chip.evaluate(op, 1));
+  const auto result = auth_.verify(DeviceId{14}, chip.evaluate(op, 1));
   ASSERT_TRUE(result.has_value());
   EXPECT_TRUE(result->accepted);
 }
@@ -133,12 +170,108 @@ TEST_F(AuthenticatorTest, RefreshPolicyFlagsThinMargins) {
 }
 
 TEST_F(AuthenticatorTest, RejectsDegenerateInputs) {
-  EXPECT_THROW(auth_.enroll("", BitVector(8)), std::invalid_argument);
-  EXPECT_THROW(auth_.enroll("x", BitVector()), std::invalid_argument);
-  auth_.enroll("x", BitVector(16));
-  EXPECT_THROW((void)auth_.verify("x", BitVector(8)), std::invalid_argument);
+  EXPECT_THROW(auth_.enroll(DeviceId{20}, BitVector()), std::invalid_argument);
+  auth_.enroll(DeviceId{20}, BitVector(16));
+  EXPECT_THROW((void)auth_.verify(DeviceId{20}, BitVector(8)), std::invalid_argument);
   EXPECT_THROW((void)auth_.needs_refresh(AuthResult{}, -0.1), std::invalid_argument);
 }
+
+TEST_F(AuthenticatorTest, CachedAndUncachedDecisionsAgree) {
+  const RoPuf chip = make_chip(4);
+  const auto op = chip.nominal_op();
+  auth_.enroll(DeviceId{30}, chip.evaluate(op, 0));
+  const auto cold = auth_.verify(DeviceId{30}, chip.evaluate(op, 1));
+  auth_.set_cache(8);
+  const auto miss = auth_.verify(DeviceId{30}, chip.evaluate(op, 1));
+  const auto hit = auth_.verify(DeviceId{30}, chip.evaluate(op, 1));
+  ASSERT_TRUE(cold && miss && hit);
+  EXPECT_EQ(cold->accepted, miss->accepted);
+  EXPECT_DOUBLE_EQ(cold->fractional_distance, miss->fractional_distance);
+  EXPECT_DOUBLE_EQ(miss->fractional_distance, hit->fractional_distance);
+  ASSERT_NE(auth_.cache(), nullptr);
+  EXPECT_EQ(auth_.cache()->hits(), 1U);
+  EXPECT_EQ(auth_.cache()->misses(), 1U);
+  auth_.set_cache(0);
+  EXPECT_EQ(auth_.cache(), nullptr);
+}
+
+TEST_F(AuthenticatorTest, TamperedRecordFailsTheBindingTag) {
+  Authenticator::VerifierKey key{};
+  key[0] = 0x5a;
+  auto store = std::make_shared<MemoryEnrollmentStore>();
+  Authenticator auth(AuthPolicy::for_false_accept_rate(128, 1e-6), store, key);
+  const RoPuf chip = make_chip(5);
+  const BitVector golden = chip.evaluate(chip.nominal_op(), 0);
+  auth.enroll(DeviceId{40}, golden);
+  EXPECT_TRUE(auth.verify(DeviceId{40}, golden)->accepted);
+
+  // Re-insert the same response bytes with a zeroed tag: the verifier must
+  // refuse to match against unauthenticated store bytes.
+  EnrollmentRecord tampered;
+  tampered.response = golden;
+  store->put(DeviceId{40}, tampered);
+  EXPECT_THROW((void)auth.verify(DeviceId{40}, golden), AuthStoreError);
+}
+
+TEST_F(AuthenticatorTest, KeyModeEnrollAndConfirm) {
+  const auto scheme = find_min_area_scheme(TechnologyParams::cmos90(), 0.05,
+                                           CodeSearchConstraints{});
+  ASSERT_TRUE(scheme.has_value());
+  const FuzzyExtractor extractor(scheme->scheme);
+  RngFabric fabric(77);
+  Xoshiro256 rng = fabric.stream("enroll", 0);
+  BitVector golden(extractor.response_bits());
+  Xoshiro256 bits = fabric.stream("golden", 0);
+  for (std::size_t i = 0; i < golden.size(); ++i) golden.set(i, bits.bernoulli(0.5));
+
+  Authenticator auth(AuthPolicy::for_false_accept_rate(128, 1e-6));
+  auth.enroll_key(DeviceId{50}, extractor, golden, rng);
+
+  // Clean re-read reconstructs the key and the confirmation tag matches.
+  const auto ok = auth.verify_key(DeviceId{50}, extractor, golden);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->decoded);
+  EXPECT_TRUE(ok->accepted);
+
+  // A different device's response fails (either decode or confirmation).
+  BitVector other(extractor.response_bits());
+  Xoshiro256 noise = fabric.stream("golden", 1);
+  for (std::size_t i = 0; i < other.size(); ++i) other.set(i, noise.bernoulli(0.5));
+  const auto bad = auth.verify_key(DeviceId{50}, extractor, other);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(bad->accepted);
+
+  EXPECT_FALSE(auth.verify_key(DeviceId{51}, extractor, golden).has_value());
+}
+
+// The one-release string shim must behave exactly like the DeviceId API
+// under the documented FNV-1a mapping.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+TEST_F(AuthenticatorTest, DeprecatedStringShimForwardsThroughNameHash) {
+  const RoPuf chip = make_chip(6);
+  const auto op = chip.nominal_op();
+  auth_.enroll("device-6", chip.evaluate(op, 0));
+  const DeviceId id = Authenticator::device_id_from_name("device-6");
+  EXPECT_TRUE(auth_.knows("device-6"));
+  EXPECT_TRUE(auth_.knows(id));
+  const auto via_name = auth_.verify("device-6", chip.evaluate(op, 1));
+  const auto via_id = auth_.verify(id, chip.evaluate(op, 1));
+  ASSERT_TRUE(via_name && via_id);
+  EXPECT_DOUBLE_EQ(via_name->fractional_distance, via_id->fractional_distance);
+  EXPECT_THROW(auth_.enroll("", BitVector(8)), std::invalid_argument);
+}
+
+TEST_F(AuthenticatorTest, NameHashIsTheDocumentedFnv1a) {
+  // FNV-1a 64 of "a": (basis ^ 'a') * prime.
+  const DeviceId expected = (14695981039346656037ULL ^ 0x61ULL) * 1099511628211ULL;
+  EXPECT_EQ(Authenticator::device_id_from_name("a"), expected);
+}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace
 }  // namespace aropuf

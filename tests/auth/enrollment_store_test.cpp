@@ -1,0 +1,72 @@
+#include "auth/enrollment_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aropuf {
+namespace {
+
+EnrollmentRecord record_of(std::size_t response_bits, std::size_t helper_bits,
+                           std::uint8_t fill) {
+  EnrollmentRecord record;
+  record.response = BitVector(response_bits);
+  record.helper = BitVector(helper_bits);
+  for (std::size_t i = 0; i < response_bits; ++i) {
+    record.response.set(i, ((fill >> (i % 8)) & 1) != 0);
+  }
+  record.tag.fill(fill);
+  return record;
+}
+
+TEST(MemoryEnrollmentStoreTest, AdoptsLayoutFromFirstPut) {
+  MemoryEnrollmentStore store;
+  EXPECT_EQ(store.device_count(), 0U);
+  EXPECT_EQ(store.response_bits(), 0U);
+  EXPECT_TRUE(store.is_mutable());
+
+  store.put(DeviceId{1}, record_of(20, 13, 0xa5));
+  EXPECT_EQ(store.response_bits(), 20U);
+  EXPECT_EQ(store.helper_bits(), 13U);
+
+  // Later records must match the adopted layout exactly.
+  EXPECT_THROW(store.put(DeviceId{2}, record_of(21, 13, 0)), std::invalid_argument);
+  EXPECT_THROW(store.put(DeviceId{2}, record_of(20, 12, 0)), std::invalid_argument);
+  store.put(DeviceId{2}, record_of(20, 13, 0x3c));
+  EXPECT_EQ(store.device_count(), 2U);
+}
+
+TEST(MemoryEnrollmentStoreTest, FixedLayoutConstructorEnforcesFromTheStart) {
+  MemoryEnrollmentStore store(16, 0);
+  EXPECT_EQ(store.response_bits(), 16U);
+  EXPECT_THROW(store.put(DeviceId{1}, record_of(8, 0, 0)), std::invalid_argument);
+  store.put(DeviceId{1}, record_of(16, 0, 0x11));
+}
+
+TEST(MemoryEnrollmentStoreTest, FindReturnsTheStoredBytes) {
+  MemoryEnrollmentStore store;
+  const EnrollmentRecord record = record_of(20, 13, 0xa5);
+  store.put(DeviceId{7}, record);
+
+  const auto view = store.find(DeviceId{7});
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(BitVector::from_bytes(view->response, 20), record.response);
+  EXPECT_EQ(BitVector::from_bytes(view->helper, 13), record.helper);
+  EXPECT_EQ(view->tag[0], 0xa5);
+  EXPECT_TRUE(store.contains(DeviceId{7}));
+  EXPECT_FALSE(store.find(DeviceId{8}).has_value());
+  EXPECT_FALSE(store.contains(DeviceId{8}));
+}
+
+TEST(MemoryEnrollmentStoreTest, PutReplacesExistingRecord) {
+  MemoryEnrollmentStore store;
+  store.put(DeviceId{3}, record_of(20, 13, 0x01));
+  store.put(DeviceId{3}, record_of(20, 13, 0xff));
+  EXPECT_EQ(store.device_count(), 1U);
+  const auto view = store.find(DeviceId{3});
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->tag[0], 0xff);
+}
+
+}  // namespace
+}  // namespace aropuf

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace aropuf {
 namespace {
@@ -139,6 +141,96 @@ TEST(FractionalHammingDistanceTest, NormalizesByLength) {
   const BitVector b = BitVector::from_string("0011");
   EXPECT_DOUBLE_EQ(fractional_hamming_distance(a, b), 0.5);
   EXPECT_DOUBLE_EQ(fractional_hamming_distance(BitVector(), BitVector()), 0.0);
+}
+
+TEST(BitVectorTest, FromBytesRoundTripsToBytes) {
+  for (const std::size_t bits : {0UL, 1UL, 7UL, 8UL, 63UL, 64UL, 65UL, 130UL, 200UL}) {
+    BitVector v(bits);
+    for (std::size_t i = 0; i < bits; i += 3) v.set(i, true);
+    const std::vector<std::uint8_t> packed = v.to_bytes();
+    EXPECT_EQ(BitVector::from_bytes(packed.data(), bits), v) << bits << " bits";
+  }
+}
+
+TEST(BitVectorTest, FromBytesIgnoresStrayPaddingBits) {
+  // Bits past `bits` in the final byte must not leak into the vector (the
+  // padding-is-zero invariant), so popcount and equality stay exact.
+  const std::uint8_t raw[] = {0xff, 0xff};
+  const BitVector v = BitVector::from_bytes(raw, 10);
+  EXPECT_EQ(v.size(), 10U);
+  EXPECT_EQ(v.popcount(), 10U);
+  EXPECT_EQ(v, BitVector::from_bytes(v.to_bytes().data(), 10));
+}
+
+/// Scalar reference: count set bits one by one.
+std::size_t popcount_bytes_scalar(const std::uint8_t* data, std::size_t size) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    for (int b = 0; b < 8; ++b) count += (data[i] >> b) & 1;
+  }
+  return count;
+}
+
+TEST(PopcountBytesTest, MatchesScalarReference) {
+  std::vector<std::uint8_t> data;
+  for (std::size_t i = 0; i < 41; ++i) {
+    data.push_back(static_cast<std::uint8_t>((i * 37 + 11) & 0xff));
+    EXPECT_EQ(popcount_bytes(data.data(), data.size()),
+              popcount_bytes_scalar(data.data(), data.size()))
+        << data.size() << " bytes";
+  }
+  EXPECT_EQ(popcount_bytes(data.data(), 0), 0U);
+}
+
+/// Scalar reference for the packed-HD hot path: bit-by-bit comparison.
+std::size_t hamming_distance_packed_scalar(const BitVector& a, const std::uint8_t* packed,
+                                           std::size_t bits) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const bool pb = ((packed[i / 8] >> (i % 8)) & 1) != 0;
+    count += a.get(i) != pb ? 1 : 0;
+  }
+  return count;
+}
+
+TEST(HammingDistancePackedTest, MatchesScalarReferenceAtAllLengths) {
+  for (const std::size_t bits : {1UL, 7UL, 8UL, 63UL, 64UL, 65UL, 128UL, 200UL}) {
+    BitVector a(bits);
+    std::vector<std::uint8_t> packed((bits + 7) / 8, 0);
+    for (std::size_t i = 0; i < bits; i += 3) a.set(i, true);
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+      packed[i] = static_cast<std::uint8_t>((i * 73 + 29) & 0xff);
+    }
+    EXPECT_EQ(hamming_distance_packed(a, packed.data(), bits),
+              hamming_distance_packed_scalar(a, packed.data(), bits))
+        << bits << " bits";
+  }
+}
+
+TEST(HammingDistancePackedTest, AgreesWithBitVectorHammingDistance) {
+  BitVector a(130);
+  BitVector b(130);
+  for (std::size_t i = 0; i < 130; i += 5) a.flip(i);
+  for (std::size_t i = 1; i < 130; i += 7) b.flip(i);
+  const std::vector<std::uint8_t> packed = b.to_bytes();
+  EXPECT_EQ(hamming_distance_packed(a, packed.data(), 130), hamming_distance(a, b));
+}
+
+TEST(HammingDistancePackedTest, StrayBitsInTheFinalPackedByteAreMasked) {
+  // 10 bits leaves 6 padding bits in the second byte; set them all and the
+  // distance must not change.
+  const BitVector a(10);
+  std::uint8_t packed[] = {0x03, 0x01};
+  const std::size_t clean = hamming_distance_packed(a, packed, 10);
+  packed[1] |= 0xfc;
+  EXPECT_EQ(hamming_distance_packed(a, packed, 10), clean);
+  EXPECT_EQ(clean, 3U);
+}
+
+TEST(HammingDistancePackedTest, LengthMismatchThrows) {
+  const BitVector a(16);
+  const std::uint8_t packed[2] = {0, 0};
+  EXPECT_THROW((void)hamming_distance_packed(a, packed, 8), std::invalid_argument);
 }
 
 }  // namespace
